@@ -1,0 +1,33 @@
+//! Criterion end-to-end benchmarks: simulated instructions per second for the
+//! three machine organisations on a representative kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimConfig, Simulator};
+use msp_workloads::{by_name, Variant};
+use std::hint::black_box;
+
+fn bench_machines(c: &mut Criterion) {
+    let instructions = 3_000u64;
+    let workload = by_name("crafty", Variant::Original).expect("crafty kernel exists");
+    let mut group = c.benchmark_group("simulate_crafty");
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(10);
+    for machine in [MachineKind::Baseline, MachineKind::cpr(), MachineKind::msp(16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(machine.label()),
+            &machine,
+            |b, machine| {
+                b.iter(|| {
+                    let config = SimConfig::machine(*machine, PredictorKind::Gshare);
+                    let result = Simulator::new(workload.program(), config).run(instructions);
+                    black_box(result.stats.cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

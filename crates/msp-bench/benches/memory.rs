@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the memory hierarchy and store queues.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msp_mem::{HierarchicalStoreQueue, MemoryConfig, MemoryHierarchy, StoreQueue, StoreQueueEntry};
+use std::hint::black_box;
+
+fn bench_cache_stream(c: &mut Criterion) {
+    c.bench_function("hierarchy_streaming_loads_4k", |b| {
+        b.iter(|| {
+            let mut mem = MemoryHierarchy::new(MemoryConfig::paper());
+            let mut cycles = 0u64;
+            for i in 0..4096u64 {
+                cycles += mem.load_latency(0x10_0000 + i * 8);
+            }
+            black_box(cycles)
+        })
+    });
+}
+
+fn bench_store_queue_forwarding(c: &mut Criterion) {
+    c.bench_function("hierarchical_sq_insert_forward", |b| {
+        b.iter(|| {
+            let mut sq = HierarchicalStoreQueue::paper();
+            let mut hits = 0u32;
+            for seq in 0..256u64 {
+                sq.insert(StoreQueueEntry {
+                    seq,
+                    tag: seq,
+                    addr: (seq % 64) * 8,
+                    width: 8,
+                    value: seq,
+                });
+            }
+            for slot in 0..64u64 {
+                if sq.forward(slot * 8, 8, 1_000).is_hit() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_stream, bench_store_queue_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the branch predictors (prediction + update
+//! throughput for gshare and TAGE) and the confidence estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msp_branch::{ConfidenceEstimator, DirectionPredictor, GsharePredictor, TageConfig, TagePredictor};
+use std::hint::black_box;
+
+fn synthetic_stream(len: usize) -> Vec<(u64, bool)> {
+    // Deterministic branch stream: a few static branches with different
+    // biases and one alternating branch.
+    (0..len)
+        .map(|i| {
+            let pc = 0x1000 + 4 * ((i % 13) as u64);
+            let taken = match i % 13 {
+                0..=7 => true,
+                8 | 9 => i % 2 == 0,
+                _ => i % 7 == 0,
+            };
+            (pc, taken)
+        })
+        .collect()
+}
+
+fn bench_gshare(c: &mut Criterion) {
+    let stream = synthetic_stream(4096);
+    c.bench_function("gshare_predict_update_4k", |b| {
+        let mut p = GsharePredictor::new(16);
+        b.iter(|| {
+            let mut correct = 0u32;
+            for (pc, taken) in &stream {
+                if p.predict(*pc) == *taken {
+                    correct += 1;
+                }
+                p.update(*pc, *taken);
+            }
+            black_box(correct)
+        })
+    });
+}
+
+fn bench_tage(c: &mut Criterion) {
+    let stream = synthetic_stream(4096);
+    c.bench_function("tage_predict_update_4k", |b| {
+        let mut p = TagePredictor::new(TageConfig::paper());
+        b.iter(|| {
+            let mut correct = 0u32;
+            for (pc, taken) in &stream {
+                if p.predict(*pc) == *taken {
+                    correct += 1;
+                }
+                p.update(*pc, *taken);
+            }
+            black_box(correct)
+        })
+    });
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    let stream = synthetic_stream(4096);
+    c.bench_function("confidence_estimate_update_4k", |b| {
+        let mut est = ConfidenceEstimator::paper();
+        b.iter(|| {
+            let mut high = 0u32;
+            for (pc, taken) in &stream {
+                if est.is_high_confidence(*pc) {
+                    high += 1;
+                }
+                est.update(*pc, true, *taken);
+            }
+            black_box(high)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gshare, bench_tage, bench_confidence);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the MSP state-management structures: SCT
+//! rename/commit/recover throughput, LCS reduction, and RelIQ updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msp_isa::ArchReg;
+use msp_state::{LcsUnit, MspConfig, MspStateManager, RelIq, RenameRequest, Sct, StateId};
+use std::hint::black_box;
+
+fn bench_sct(c: &mut Criterion) {
+    c.bench_function("sct_rename_commit_cycle", |b| {
+        b.iter(|| {
+            let mut sct = Sct::new(0, 16);
+            let mut state = 1u64;
+            for _ in 0..200 {
+                if let Ok(slot) = sct.allocate(StateId::new(state)) {
+                    sct.mark_ready(slot);
+                    state += 1;
+                } else {
+                    sct.release_committed(StateId::new(state));
+                }
+            }
+            black_box(sct.live_entries())
+        })
+    });
+}
+
+fn bench_lcs(c: &mut Criterion) {
+    c.bench_function("lcs_reduction_64_banks", |b| {
+        let contributions: Vec<Option<StateId>> =
+            (0..64).map(|i| Some(StateId::new(1000 + i))).collect();
+        let mut lcs = LcsUnit::new(1);
+        b.iter(|| black_box(lcs.clock(contributions.iter().copied(), StateId::ZERO)))
+    });
+}
+
+fn bench_reliq(c: &mut Criterion) {
+    c.bench_function("reliq_set_clear_or", |b| {
+        let mut reliq = RelIq::new(16, 128);
+        b.iter(|| {
+            for slot in 0..128 {
+                reliq.set_use(slot % 16, slot);
+            }
+            let mut any = false;
+            for row in 0..16 {
+                any |= reliq.any_use(row);
+            }
+            for slot in 0..128 {
+                reliq.clear_use(slot % 16, slot);
+            }
+            black_box(any)
+        })
+    });
+}
+
+fn bench_manager(c: &mut Criterion) {
+    c.bench_function("msp_manager_rename_commit", |b| {
+        b.iter(|| {
+            let mut msp = MspStateManager::new(MspConfig::n_sp(16));
+            for i in 0..500usize {
+                let dest = ArchReg::int(1 + (i % 24));
+                let src = ArchReg::int(1 + ((i + 7) % 24));
+                if let Ok(out) = msp.rename_group(&[RenameRequest::new(Some(dest), &[src])]) {
+                    if let Some(d) = out.renamed[0].dest {
+                        msp.mark_ready(d.phys);
+                    }
+                }
+                msp.clock_commit();
+            }
+            black_box(msp.stats().states_committed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sct, bench_lcs, bench_reliq, bench_manager);
+criterion_main!(benches);

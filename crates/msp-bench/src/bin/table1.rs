@@ -1,0 +1,85 @@
+//! Reproduces Table I: the configuration of every simulated machine.
+
+use msp_bench::TextTable;
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimConfig};
+
+fn main() {
+    let machines = [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ];
+    let mut table = TextTable::new(&[
+        "parameter", "Baseline", "CPR", "n-SP (n=16)", "ideal MSP",
+    ]);
+    let configs: Vec<SimConfig> = machines
+        .iter()
+        .map(|m| SimConfig::machine(*m, PredictorKind::Gshare))
+        .collect();
+    let row = |name: &str, f: &dyn Fn(&SimConfig) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(configs.iter().map(|c| f(c)));
+        cells
+    };
+    table.row(row("reorder buffer", &|c| match c.machine {
+        MachineKind::Baseline => c.resources.rob_size.to_string(),
+        _ => "-".into(),
+    }));
+    table.row(row("instruction queue", &|c| c.resources.iq_size.to_string()));
+    table.row(row("checkpoints", &|c| match c.machine {
+        MachineKind::Cpr { .. } => format!("{} (out-of-order release)", c.resources.checkpoints),
+        _ => "-".into(),
+    }));
+    table.row(row("fetch|rename|issue|retire", &|c| {
+        format!(
+            "{}|{}|{}|{}",
+            c.frontend.fetch_width,
+            c.frontend.rename_width,
+            c.frontend.issue_width,
+            if matches!(c.machine, MachineKind::Baseline) {
+                c.frontend.retire_width.to_string()
+            } else {
+                "-".into()
+            }
+        )
+    }));
+    table.row(row("int|fp registers", &|c| match c.machine {
+        MachineKind::Msp { regs_per_bank } => format!("{regs_per_bank} per logical register"),
+        MachineKind::IdealMsp => "unbounded per logical register".into(),
+        _ => format!("{0}|{0}", c.resources.regs_per_class),
+    }));
+    table.row(row("ld|L1st|L2st buffers", &|c| {
+        format!(
+            "{}|{}|{}",
+            c.resources.lq_size,
+            c.resources.sq_l1_size,
+            if c.resources.sq_l2_size == 0 { "-".into() } else { c.resources.sq_l2_size.to_string() }
+        )
+    }));
+    table.row(row("confidence estimator", &|c| match c.machine {
+        MachineKind::Cpr { .. } => "64k entries | 4 bits".into(),
+        _ => "-".into(),
+    }));
+    table.row(row("LCS propagation delay", &|c| match c.machine {
+        MachineKind::Msp { .. } => "1 cycle".into(),
+        MachineKind::IdealMsp => "0 cycles".into(),
+        _ => "-".into(),
+    }));
+    table.row(row("arbitration stage", &|c| if c.arbitration { "yes".into() } else { "-".into() }));
+    table.row(row("int|fp|ldst units", &|c| {
+        format!("{}|{}|{}", c.resources.int_units, c.resources.fp_units, c.resources.ldst_units)
+    }));
+    table.row(row("memory", &|c| {
+        format!(
+            "IL1 {}KB, DL1 {}KB, L2 {}KB, {} cycles",
+            c.memory.il1.size_bytes / 1024,
+            c.memory.dl1.size_bytes / 1024,
+            c.memory.l2.size_bytes / 1024,
+            c.memory.memory_latency
+        )
+    }));
+    println!("Table I: processor configurations");
+    println!("{}", table.render());
+}

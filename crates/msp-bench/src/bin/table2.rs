@@ -1,0 +1,38 @@
+//! Reproduces Table II: IPC of the original vs hand-modified (unrolled,
+//! register-rotated) hot loops for the five register-pressure benchmarks,
+//! with the TAGE predictor.
+
+use msp_bench::{fmt_ipc, run_workload, TextTable};
+use msp_branch::PredictorKind;
+use msp_pipeline::MachineKind;
+use msp_workloads::table2_pairs;
+
+fn main() {
+    let machines = [
+        MachineKind::cpr(),
+        MachineKind::msp(8),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ];
+    let mut header = vec!["benchmark", "version"];
+    let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
+    header.extend(labels.iter().map(|s| s.as_str()));
+    let mut table = TextTable::new(&header);
+    for (original, modified) in table2_pairs() {
+        for workload in [&original, &modified] {
+            let mut cells = vec![
+                workload.name().to_string(),
+                workload.variant().to_string(),
+            ];
+            for machine in machines {
+                let result = run_workload(workload, machine, PredictorKind::Tage);
+                cells.push(fmt_ipc(result.ipc()));
+            }
+            table.row(cells);
+        }
+    }
+    println!("Table II: IPC for modified benchmarks with the TAGE branch predictor");
+    println!("{}", table.render());
+    println!("The paper's claim: modifying 1-3 hot loops recovers most of the 8/16-SP");
+    println!("register-bank stall loss while leaving CPR and the ideal MSP unchanged.");
+}

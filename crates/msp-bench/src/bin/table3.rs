@@ -1,0 +1,34 @@
+//! Reproduces Table III: register-file access power (mW) and access time
+//! (FO4) for the CPR and 16-SP register-file organisations at 65 nm / 45 nm.
+
+use msp_bench::TextTable;
+use msp_power::{table3_rows, RegFileConfig, TechNode};
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "technology", "configuration", "write mW", "write FO4", "read mW", "read FO4",
+    ]);
+    for row in table3_rows() {
+        table.row(vec![
+            row.node.label().to_string(),
+            row.config.to_string(),
+            format!("{:.2}", row.write_mw),
+            format!("{:.2}", row.write_fo4),
+            format!("{:.2}", row.read_mw),
+            format!("{:.2}", row.read_fo4),
+        ]);
+    }
+    println!("Table III: register file access power and access time (analytical model)");
+    println!("{}", table.render());
+    println!("Section 5.1 area estimates:");
+    for config in RegFileConfig::table3() {
+        println!(
+            "  {:40} {:.3} sq.mm at 45nm",
+            config.name,
+            config.area_mm2(TechNode::Nm45)
+        );
+    }
+    println!();
+    println!("Paper values (65nm): CPR 4-bank 4.75|1.06 / 4.50|5.51, CPR 8-bank 2.75|1.06 /");
+    println!("2.65|5.51, 16-SP 2.05|0.85 / 2.10|4.44 (write mW|FO4 / read mW|FO4).");
+}

@@ -1,0 +1,205 @@
+//! Experiment harness for the MSP reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin` (see DESIGN.md's experiment index); this library holds
+//! the shared machinery: which machine configurations to sweep, how many
+//! instructions to simulate, and plain-text table formatting.
+//!
+//! The instruction budget per simulation defaults to 20,000 committed
+//! instructions and can be overridden with the `MSP_BENCH_INSTRUCTIONS`
+//! environment variable (the paper simulated 300M-instruction SimPoints; the
+//! synthetic kernels reach steady state much sooner).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
+use msp_workloads::Workload;
+
+/// Default number of committed instructions per simulation.
+pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
+
+/// The instruction budget for one simulation, honouring the
+/// `MSP_BENCH_INSTRUCTIONS` environment variable.
+pub fn instruction_budget() -> u64 {
+    std::env::var("MSP_BENCH_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS)
+}
+
+/// The machine configurations swept in Figs. 6–8: Baseline, CPR, n-SP for
+/// n in {8, 16, 32, 64, 128}, and the ideal MSP.
+pub fn figure_machines() -> Vec<MachineKind> {
+    vec![
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(8),
+        MachineKind::msp(16),
+        MachineKind::msp(32),
+        MachineKind::msp(64),
+        MachineKind::msp(128),
+        MachineKind::IdealMsp,
+    ]
+}
+
+/// Runs one workload on one machine with one predictor for the configured
+/// instruction budget.
+pub fn run_workload(workload: &Workload, machine: MachineKind, predictor: PredictorKind) -> SimResult {
+    run_workload_for(workload, machine, predictor, instruction_budget())
+}
+
+/// Runs one workload on one machine with an explicit instruction budget.
+pub fn run_workload_for(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+    instructions: u64,
+) -> SimResult {
+    let config = SimConfig::machine(machine, predictor);
+    Simulator::new(workload.program(), config).run(instructions)
+}
+
+/// Runs one workload on one machine with a custom configuration hook applied
+/// before simulation (used by the ablation binaries).
+pub fn run_workload_with(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+    instructions: u64,
+    adjust: impl FnOnce(&mut SimConfig),
+) -> SimResult {
+    let mut config = SimConfig::machine(machine, predictor);
+    adjust(&mut config);
+    Simulator::new(workload.program(), config).run(instructions)
+}
+
+/// A plain-text table printer with right-aligned numeric columns.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<width$}", c, width = widths[i])
+                    } else {
+                        format!("{:>width$}", c, width = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an IPC value the way the paper's tables do.
+pub fn fmt_ipc(ipc: f64) -> String {
+    format!("{ipc:.2}")
+}
+
+/// Geometric-mean helper used for suite averages.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.max(1e-9).ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_workloads::{by_name, Variant};
+
+    #[test]
+    fn budget_default_and_override() {
+        // Avoid mutating the process environment (other tests run in
+        // parallel): only check the default path here.
+        assert!(instruction_budget() >= 1_000);
+    }
+
+    #[test]
+    fn figure_machine_sweep_matches_paper() {
+        let machines = figure_machines();
+        assert_eq!(machines.len(), 8);
+        assert_eq!(machines[0], MachineKind::Baseline);
+        assert_eq!(machines[7], MachineKind::IdealMsp);
+    }
+
+    #[test]
+    fn run_workload_produces_results() {
+        let w = by_name("crafty", Variant::Original).unwrap();
+        let r = run_workload_for(&w, MachineKind::msp(16), PredictorKind::Gshare, 2_000);
+        assert!(r.stats.committed >= 2_000);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn text_table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["bench", "CPR", "16-SP"]);
+        t.row(vec!["gzip".into(), "1.00".into(), "1.10".into()]);
+        t.row(vec!["mcf".into(), "0.20".into(), "0.25".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("bench"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    fn geometric_mean_behaviour() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn text_table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,459 @@
+//! A TAGE (TAgged GEometric history length) direction predictor.
+//!
+//! The paper uses a "partially tagged geometric history length (TAGE)"
+//! predictor with 8 components (Table I) as its aggressive predictor,
+//! following Seznec & Michaud. This implementation has a bimodal base
+//! component plus `N-1` partially tagged components indexed with
+//! geometrically increasing history lengths, the usual provider/alternate
+//! prediction selection, useful-bit management, and allocation on
+//! mispredictions.
+
+use crate::gshare::Counter2;
+use crate::DirectionPredictor;
+
+/// Configuration of a [`TagePredictor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of the number of entries in each tagged component.
+    pub tagged_index_bits: u32,
+    /// log2 of the number of entries of the bimodal base component.
+    pub base_index_bits: u32,
+    /// Tag width in bits of the tagged components.
+    pub tag_bits: u32,
+    /// History lengths of the tagged components, shortest first. The number
+    /// of components is `history_lengths.len() + 1` (including the base).
+    pub history_lengths: Vec<u32>,
+}
+
+impl TageConfig {
+    /// The paper's 8-component configuration: a bimodal base plus seven
+    /// tagged tables with geometric history lengths.
+    pub fn paper() -> Self {
+        TageConfig {
+            tagged_index_bits: 11,
+            base_index_bits: 13,
+            tag_bits: 9,
+            history_lengths: vec![4, 8, 14, 24, 40, 68, 116],
+        }
+    }
+
+    /// A small configuration for unit tests and fast simulations.
+    pub fn small() -> Self {
+        TageConfig {
+            tagged_index_bits: 8,
+            base_index_bits: 10,
+            tag_bits: 7,
+            history_lengths: vec![4, 8, 16, 32],
+        }
+    }
+
+    /// Number of components including the bimodal base.
+    pub fn components(&self) -> usize {
+        self.history_lengths.len() + 1
+    }
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        TageConfig::paper()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: i8,     // 3-bit signed counter in [-4, 3]; >= 0 predicts taken
+    useful: u8,  // 2-bit useful counter
+}
+
+impl TaggedEntry {
+    const EMPTY: TaggedEntry = TaggedEntry {
+        tag: 0,
+        ctr: 0,
+        useful: 0,
+    };
+
+    fn predict(&self) -> bool {
+        self.ctr >= 0
+    }
+
+    fn is_weak(&self) -> bool {
+        self.ctr == 0 || self.ctr == -1
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.ctr = (self.ctr + 1).min(3);
+        } else {
+            self.ctr = (self.ctr - 1).max(-4);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaggedTable {
+    entries: Vec<TaggedEntry>,
+    history_length: u32,
+    index_bits: u32,
+    tag_bits: u32,
+}
+
+impl TaggedTable {
+    fn new(index_bits: u32, tag_bits: u32, history_length: u32) -> Self {
+        TaggedTable {
+            entries: vec![TaggedEntry::EMPTY; 1 << index_bits],
+            history_length,
+            index_bits,
+            tag_bits,
+        }
+    }
+
+    /// Folds `length` bits of history into `bits` bits.
+    fn fold(history: &[bool], length: u32, bits: u32) -> u64 {
+        let mut folded = 0u64;
+        let mut chunk = 0u64;
+        let mut chunk_len = 0;
+        for &h in history.iter().take(length as usize) {
+            chunk = (chunk << 1) | u64::from(h);
+            chunk_len += 1;
+            if chunk_len == bits {
+                folded ^= chunk;
+                chunk = 0;
+                chunk_len = 0;
+            }
+        }
+        folded ^ chunk
+    }
+
+    fn index(&self, pc: u64, history: &[bool]) -> usize {
+        let folded = Self::fold(history, self.history_length, self.index_bits);
+        let mask = (1u64 << self.index_bits) - 1;
+        (((pc >> 2) ^ (pc >> (2 + self.index_bits as u64)) ^ folded) & mask) as usize
+    }
+
+    fn tag(&self, pc: u64, history: &[bool]) -> u16 {
+        let folded = Self::fold(history, self.history_length, self.tag_bits);
+        let folded2 = Self::fold(history, self.history_length, self.tag_bits.saturating_sub(1).max(1));
+        let mask = (1u64 << self.tag_bits) - 1;
+        (((pc >> 2) ^ folded ^ (folded2 << 1)) & mask) as u16
+    }
+}
+
+/// The lookup result remembered between `predict` and `update`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Lookup {
+    pc: u64,
+    provider: Option<usize>,
+    provider_index: usize,
+    provider_pred: bool,
+    alt_pred: bool,
+    pred: bool,
+}
+
+/// An 8-component TAGE predictor (Seznec & Michaud style).
+#[derive(Debug, Clone)]
+pub struct TagePredictor {
+    config: TageConfig,
+    base: Vec<Counter2>,
+    tables: Vec<TaggedTable>,
+    /// Global history, most recent outcome first.
+    history: Vec<bool>,
+    /// Use-alternate-on-newly-allocated counter.
+    use_alt_on_na: i8,
+    last: Lookup,
+    /// Counter driving the periodic useful-bit reset.
+    reset_tick: u64,
+}
+
+impl TagePredictor {
+    /// Creates a TAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no tagged component.
+    pub fn new(config: TageConfig) -> Self {
+        assert!(
+            !config.history_lengths.is_empty(),
+            "TAGE needs at least one tagged component"
+        );
+        let max_hist = *config.history_lengths.iter().max().expect("non-empty") as usize;
+        TagePredictor {
+            base: vec![Counter2::WEAKLY_TAKEN; 1 << config.base_index_bits],
+            tables: config
+                .history_lengths
+                .iter()
+                .map(|&len| TaggedTable::new(config.tagged_index_bits, config.tag_bits, len))
+                .collect(),
+            history: vec![false; max_hist],
+            use_alt_on_na: 0,
+            last: Lookup::default(),
+            reset_tick: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.config.base_index_bits) - 1)) as usize
+    }
+
+    fn lookup(&self, pc: u64) -> Lookup {
+        let mut provider = None;
+        let mut provider_index = 0;
+        let mut provider_pred = false;
+        let mut alt_pred = self.base[self.base_index(pc)].predict();
+        // Search from the longest history component down; the first hit is
+        // the provider, the next hit (or the base) is the alternate.
+        let mut found_provider = false;
+        for t in (0..self.tables.len()).rev() {
+            let table = &self.tables[t];
+            let idx = table.index(pc, &self.history);
+            let entry = &table.entries[idx];
+            if entry.tag == table.tag(pc, &self.history) && entry.useful != u8::MAX {
+                if !found_provider {
+                    provider = Some(t);
+                    provider_index = idx;
+                    provider_pred = entry.predict();
+                    found_provider = true;
+                } else {
+                    alt_pred = entry.predict();
+                    break;
+                }
+            }
+        }
+        let pred = match provider {
+            Some(t) => {
+                let entry = &self.tables[t].entries[provider_index];
+                if entry.is_weak() && self.use_alt_on_na >= 0 {
+                    alt_pred
+                } else {
+                    provider_pred
+                }
+            }
+            None => alt_pred,
+        };
+        Lookup {
+            pc,
+            provider,
+            provider_index,
+            provider_pred,
+            alt_pred,
+            pred,
+        }
+    }
+
+    fn allocate(&mut self, pc: u64, taken: bool, provider: Option<usize>) {
+        let start = provider.map(|p| p + 1).unwrap_or(0);
+        if start >= self.tables.len() {
+            return;
+        }
+        // Find a component with a free (useful == 0) entry above the provider.
+        let mut allocated = false;
+        for t in start..self.tables.len() {
+            let idx = self.tables[t].index(pc, &self.history);
+            let tag = self.tables[t].tag(pc, &self.history);
+            let entry = &mut self.tables[t].entries[idx];
+            if entry.useful == 0 {
+                *entry = TaggedEntry {
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                allocated = true;
+                break;
+            }
+        }
+        if !allocated {
+            // Decay useful bits so a future allocation succeeds.
+            for t in start..self.tables.len() {
+                let idx = self.tables[t].index(pc, &self.history);
+                let entry = &mut self.tables[t].entries[idx];
+                entry.useful = entry.useful.saturating_sub(1);
+            }
+        }
+    }
+
+    fn push_history(&mut self, taken: bool) {
+        self.history.rotate_right(1);
+        self.history[0] = taken;
+    }
+}
+
+impl DirectionPredictor for TagePredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.last = self.lookup(pc);
+        self.last.pred
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        // Re-do the lookup if update is called for a different branch than
+        // the last prediction (robustness for out-of-order callers).
+        if self.last.pc != pc {
+            self.last = self.lookup(pc);
+        }
+        let lookup = self.last;
+
+        match lookup.provider {
+            Some(t) => {
+                let entry = &mut self.tables[t].entries[lookup.provider_index];
+                // Update the use-alt-on-newly-allocated counter when the
+                // provider was weak and the alternate disagreed.
+                if entry.is_weak() && lookup.provider_pred != lookup.alt_pred {
+                    if lookup.provider_pred == taken {
+                        self.use_alt_on_na = (self.use_alt_on_na - 1).max(-8);
+                    } else {
+                        self.use_alt_on_na = (self.use_alt_on_na + 1).min(7);
+                    }
+                }
+                // Useful bit: provider was correct and the alternate was not.
+                if lookup.provider_pred == taken && lookup.alt_pred != taken {
+                    entry.useful = (entry.useful + 1).min(3);
+                } else if lookup.provider_pred != taken && lookup.alt_pred == taken {
+                    entry.useful = entry.useful.saturating_sub(1);
+                }
+                entry.update(taken);
+            }
+            None => {
+                let idx = self.base_index(pc);
+                self.base[idx].update(taken);
+            }
+        }
+
+        // On a misprediction, allocate a new entry in a longer-history table.
+        if lookup.pred != taken {
+            self.allocate(pc, taken, lookup.provider);
+        }
+
+        // Periodic graceful reset of useful counters.
+        self.reset_tick += 1;
+        if self.reset_tick % (256 * 1024) == 0 {
+            for table in &mut self.tables {
+                for entry in &mut table.entries {
+                    entry.useful >>= 1;
+                }
+            }
+        }
+
+        self.push_history(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "TAGE"
+    }
+
+    fn storage_bits(&self) -> usize {
+        let tagged_entry_bits = (self.config.tag_bits + 3 + 2) as usize;
+        self.base.len() * 2
+            + self.tables.len() * (1 << self.config.tagged_index_bits) * tagged_entry_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_eight_components() {
+        let cfg = TageConfig::paper();
+        assert_eq!(cfg.components(), 8);
+        // Geometric growth of history lengths.
+        for w in cfg.history_lengths.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let p = TagePredictor::new(cfg);
+        assert_eq!(p.name(), "TAGE");
+        assert!(p.storage_bits() > 100_000);
+    }
+
+    #[test]
+    fn learns_strongly_biased_branches() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        for _ in 0..64 {
+            let _ = p.predict(0x1000);
+            p.update(0x1000, true);
+            let _ = p.predict(0x1004);
+            p.update(0x1004, false);
+        }
+        assert!(p.predict(0x1000));
+        assert!(!p.predict(0x1004));
+    }
+
+    #[test]
+    fn learns_long_period_pattern_better_than_gshare_short_history() {
+        // Period-12 pattern with a single not-taken per period: a loop-exit
+        // style branch that needs long history to capture.
+        let pattern: Vec<bool> = (0..12).map(|i| i != 11).collect();
+        let mut tage = TagePredictor::new(TageConfig::paper());
+        let mut correct = 0;
+        let total = 6000;
+        for i in 0..total {
+            let outcome = pattern[i % pattern.len()];
+            if tage.predict(0x1000) == outcome {
+                correct += 1;
+            }
+            tage.update(0x1000, outcome);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.97, "TAGE accuracy on loop pattern was {acc}");
+    }
+
+    #[test]
+    fn update_without_matching_predict_is_robust() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        // Call update directly for a branch that was never predicted.
+        p.update(0x5555, true);
+        p.update(0x5555, true);
+        assert!(p.predict(0x5555));
+    }
+
+    #[test]
+    fn distinct_branches_do_not_destructively_alias() {
+        let mut p = TagePredictor::new(TageConfig::paper());
+        for _ in 0..200 {
+            for b in 0..16u64 {
+                let pc = 0x1000 + b * 4;
+                let outcome = b % 2 == 0;
+                let _ = p.predict(pc);
+                p.update(pc, outcome);
+            }
+        }
+        let mut correct = 0;
+        for b in 0..16u64 {
+            let pc = 0x1000 + b * 4;
+            if p.predict(pc) == (b % 2 == 0) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tagged component")]
+    fn empty_config_rejected() {
+        let _ = TagePredictor::new(TageConfig {
+            tagged_index_bits: 4,
+            base_index_bits: 4,
+            tag_bits: 4,
+            history_lengths: vec![],
+        });
+    }
+
+    #[test]
+    fn fold_compresses_history() {
+        let hist = vec![true; 64];
+        let folded = TaggedTable::fold(&hist, 64, 8);
+        assert!(folded < 256);
+        let folded_short = TaggedTable::fold(&hist, 4, 8);
+        assert_eq!(folded_short, 0b1111);
+    }
+
+    #[test]
+    fn config_accessor_returns_configuration() {
+        let p = TagePredictor::new(TageConfig::small());
+        assert_eq!(p.config().components(), 5);
+    }
+}

@@ -1,0 +1,753 @@
+//! Instruction definitions.
+//!
+//! Instructions are a compact, fully-decoded representation: an [`Opcode`]
+//! plus up to one destination register, two source registers, an immediate
+//! and a control-flow target. The timing simulator never needs to decode
+//! bit patterns; it inspects instructions through the accessor methods.
+
+use crate::reg::{ArchReg, RegClass};
+use std::fmt;
+
+/// Condition evaluated by conditional branches (`src1 <cond> src2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+/// Access width of a load or store, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// The functional-unit class an instruction executes on.
+///
+/// The pipeline model maps these onto the paper's `Int | Fp | LdSt` unit pools
+/// (Table I: 4 integer, 4 floating-point, 2 load/store units) and assigns
+/// execution latencies per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer ALU operation (1 cycle).
+    IntAlu,
+    /// Integer multiply / divide (multi-cycle, integer unit).
+    IntMul,
+    /// Floating-point add/sub/compare/convert.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide (long latency).
+    FpDiv,
+    /// Load or store (address generation + memory port).
+    Mem,
+    /// Branch resolution (integer unit).
+    Branch,
+}
+
+/// Operation performed by an [`Instruction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // -- integer ALU, register-register --
+    /// `dest = src1 + src2`
+    Add,
+    /// `dest = src1 - src2`
+    Sub,
+    /// `dest = src1 & src2`
+    And,
+    /// `dest = src1 | src2`
+    Or,
+    /// `dest = src1 ^ src2`
+    Xor,
+    /// `dest = src1 << (src2 & 63)`
+    Sll,
+    /// `dest = src1 >> (src2 & 63)` (logical)
+    Srl,
+    /// `dest = (src1 as i64) < (src2 as i64)`
+    Slt,
+    // -- integer ALU, register-immediate --
+    /// `dest = src1 + imm`
+    AddI,
+    /// `dest = src1 & imm`
+    AndI,
+    /// `dest = src1 | imm`
+    OrI,
+    /// `dest = src1 ^ imm`
+    XorI,
+    /// `dest = src1 << (imm & 63)`
+    SllI,
+    /// `dest = src1 >> (imm & 63)` (logical)
+    SrlI,
+    /// `dest = (src1 as i64) < imm`
+    SltI,
+    // -- integer multiply / divide --
+    /// `dest = src1 * src2` (wrapping)
+    Mul,
+    /// `dest = src1 / src2` (0 divisor yields 0)
+    Div,
+    // -- floating point --
+    /// `dest = src1 + src2`
+    FAdd,
+    /// `dest = src1 - src2`
+    FSub,
+    /// `dest = src1 * src2`
+    FMul,
+    /// `dest = src1 / src2`
+    FDiv,
+    /// Integer `dest = (src1 < src2)` over fp sources.
+    FCmpLt,
+    /// Convert integer `src1` to floating point `dest`.
+    CvtIntFp,
+    /// Convert floating point `src1` to integer `dest` (truncating).
+    CvtFpInt,
+    // -- memory --
+    /// `dest = mem[src1 + imm]` (dest class selects int / fp load)
+    Load,
+    /// `mem[src1 + imm] = src2` (src2 class selects int / fp store)
+    Store,
+    // -- control flow --
+    /// Conditional branch to `target` if `src1 <cond> src2`.
+    Branch(BranchCond),
+    /// Unconditional direct jump to `target`.
+    Jump,
+    /// Unconditional indirect jump to the address in `src1`.
+    JumpIndirect,
+    /// Direct call: `dest = pc + 4`, jump to `target`.
+    Call,
+    /// Return: indirect jump to the address in `src1` (return-stack hint).
+    Ret,
+    // -- misc --
+    /// No operation.
+    Nop,
+    /// Stop the program.
+    Halt,
+}
+
+/// A fully decoded instruction.
+///
+/// Construct instructions through the named constructors (`Instruction::add`,
+/// [`Instruction::load`], …) which enforce operand-class invariants.
+///
+/// ```
+/// use msp_isa::{ArchReg, Instruction, FuClass};
+/// let i = Instruction::add(ArchReg::int(3), ArchReg::int(1), ArchReg::int(2));
+/// assert_eq!(i.dest(), Some(ArchReg::int(3)));
+/// assert_eq!(i.fu_class(), FuClass::IntAlu);
+/// assert!(!i.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    opcode: Opcode,
+    dest: Option<ArchReg>,
+    src1: Option<ArchReg>,
+    src2: Option<ArchReg>,
+    imm: i64,
+    target: Option<u64>,
+    width: MemWidth,
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction::nop()
+    }
+}
+
+impl Instruction {
+    fn raw(opcode: Opcode) -> Self {
+        Instruction {
+            opcode,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: None,
+            width: MemWidth::B8,
+        }
+    }
+
+    fn alu_rr(opcode: Opcode, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Int, "integer ALU dest must be an int register");
+        let mut i = Instruction::raw(opcode);
+        i.dest = Some(dest);
+        i.src1 = Some(src1);
+        i.src2 = Some(src2);
+        i
+    }
+
+    fn alu_ri(opcode: Opcode, dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        assert_eq!(dest.class(), RegClass::Int, "integer ALU dest must be an int register");
+        let mut i = Instruction::raw(opcode);
+        i.dest = Some(dest);
+        i.src1 = Some(src1);
+        i.imm = imm;
+        i
+    }
+
+    fn fp_rr(opcode: Opcode, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(src1.class(), RegClass::Fp, "fp source must be an fp register");
+        assert_eq!(src2.class(), RegClass::Fp, "fp source must be an fp register");
+        let mut i = Instruction::raw(opcode);
+        i.dest = Some(dest);
+        i.src1 = Some(src1);
+        i.src2 = Some(src2);
+        i
+    }
+
+    // ---- integer ALU constructors ----
+
+    /// `dest = src1 + src2`.
+    pub fn add(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Add, dest, src1, src2)
+    }
+    /// `dest = src1 - src2`.
+    pub fn sub(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Sub, dest, src1, src2)
+    }
+    /// `dest = src1 & src2`.
+    pub fn and(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::And, dest, src1, src2)
+    }
+    /// `dest = src1 | src2`.
+    pub fn or(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Or, dest, src1, src2)
+    }
+    /// `dest = src1 ^ src2`.
+    pub fn xor(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Xor, dest, src1, src2)
+    }
+    /// `dest = src1 << src2`.
+    pub fn sll(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Sll, dest, src1, src2)
+    }
+    /// `dest = src1 >> src2` (logical).
+    pub fn srl(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Srl, dest, src1, src2)
+    }
+    /// `dest = (src1 < src2)` signed.
+    pub fn slt(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Slt, dest, src1, src2)
+    }
+    /// `dest = src1 + imm`.
+    pub fn addi(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::AddI, dest, src1, imm)
+    }
+    /// `dest = src1 & imm`.
+    pub fn andi(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::AndI, dest, src1, imm)
+    }
+    /// `dest = src1 | imm`.
+    pub fn ori(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::OrI, dest, src1, imm)
+    }
+    /// `dest = src1 ^ imm`.
+    pub fn xori(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::XorI, dest, src1, imm)
+    }
+    /// `dest = src1 << imm`.
+    pub fn slli(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::SllI, dest, src1, imm)
+    }
+    /// `dest = src1 >> imm` (logical).
+    pub fn srli(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::SrlI, dest, src1, imm)
+    }
+    /// `dest = (src1 < imm)` signed.
+    pub fn slti(dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Self::alu_ri(Opcode::SltI, dest, src1, imm)
+    }
+    /// Pseudo-instruction: load immediate (`dest = imm`).
+    pub fn li(dest: ArchReg, imm: i64) -> Self {
+        Self::addi(dest, ArchReg::ZERO, imm)
+    }
+    /// Pseudo-instruction: register move (`dest = src`).
+    pub fn mov(dest: ArchReg, src: ArchReg) -> Self {
+        Self::addi(dest, src, 0)
+    }
+    /// `dest = src1 * src2` (wrapping).
+    pub fn mul(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Mul, dest, src1, src2)
+    }
+    /// `dest = src1 / src2` (a zero divisor produces zero).
+    pub fn div(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Self::alu_rr(Opcode::Div, dest, src1, src2)
+    }
+
+    // ---- floating point constructors ----
+
+    /// `dest = src1 + src2` (all fp registers).
+    pub fn fadd(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Fp, "fadd dest must be an fp register");
+        Self::fp_rr(Opcode::FAdd, dest, src1, src2)
+    }
+    /// `dest = src1 - src2` (all fp registers).
+    pub fn fsub(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Fp, "fsub dest must be an fp register");
+        Self::fp_rr(Opcode::FSub, dest, src1, src2)
+    }
+    /// `dest = src1 * src2` (all fp registers).
+    pub fn fmul(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Fp, "fmul dest must be an fp register");
+        Self::fp_rr(Opcode::FMul, dest, src1, src2)
+    }
+    /// `dest = src1 / src2` (all fp registers).
+    pub fn fdiv(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Fp, "fdiv dest must be an fp register");
+        Self::fp_rr(Opcode::FDiv, dest, src1, src2)
+    }
+    /// Integer `dest = (src1 < src2)` comparing fp sources.
+    pub fn fcmplt(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Int, "fcmplt dest must be an int register");
+        Self::fp_rr(Opcode::FCmpLt, dest, src1, src2)
+    }
+    /// Convert the integer in `src1` into the fp register `dest`.
+    pub fn cvt_int_fp(dest: ArchReg, src1: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Fp, "cvt_int_fp dest must be fp");
+        assert_eq!(src1.class(), RegClass::Int, "cvt_int_fp src must be int");
+        let mut i = Instruction::raw(Opcode::CvtIntFp);
+        i.dest = Some(dest);
+        i.src1 = Some(src1);
+        i
+    }
+    /// Convert (truncate) the fp value in `src1` into the integer register `dest`.
+    pub fn cvt_fp_int(dest: ArchReg, src1: ArchReg) -> Self {
+        assert_eq!(dest.class(), RegClass::Int, "cvt_fp_int dest must be int");
+        assert_eq!(src1.class(), RegClass::Fp, "cvt_fp_int src must be fp");
+        let mut i = Instruction::raw(Opcode::CvtFpInt);
+        i.dest = Some(dest);
+        i.src1 = Some(src1);
+        i
+    }
+
+    // ---- memory constructors ----
+
+    /// `dest = mem[base + offset]`, 8 bytes. The destination class selects an
+    /// integer or floating-point load.
+    pub fn load(dest: ArchReg, base: ArchReg, offset: i64) -> Self {
+        Self::load_w(dest, base, offset, MemWidth::B8)
+    }
+
+    /// `dest = mem[base + offset]` with an explicit access width.
+    pub fn load_w(dest: ArchReg, base: ArchReg, offset: i64, width: MemWidth) -> Self {
+        assert_eq!(base.class(), RegClass::Int, "load base must be an int register");
+        let mut i = Instruction::raw(Opcode::Load);
+        i.dest = Some(dest);
+        i.src1 = Some(base);
+        i.imm = offset;
+        i.width = width;
+        i
+    }
+
+    /// `mem[base + offset] = value`, 8 bytes. The value class selects an
+    /// integer or floating-point store.
+    pub fn store(value: ArchReg, base: ArchReg, offset: i64) -> Self {
+        Self::store_w(value, base, offset, MemWidth::B8)
+    }
+
+    /// `mem[base + offset] = value` with an explicit access width.
+    pub fn store_w(value: ArchReg, base: ArchReg, offset: i64, width: MemWidth) -> Self {
+        assert_eq!(base.class(), RegClass::Int, "store base must be an int register");
+        let mut i = Instruction::raw(Opcode::Store);
+        i.src1 = Some(base);
+        i.src2 = Some(value);
+        i.imm = offset;
+        i.width = width;
+        i
+    }
+
+    // ---- control-flow constructors ----
+
+    /// Conditional branch to the absolute address `target`.
+    pub fn branch(cond: BranchCond, src1: ArchReg, src2: ArchReg, target: u64) -> Self {
+        let mut i = Instruction::raw(Opcode::Branch(cond));
+        i.src1 = Some(src1);
+        i.src2 = Some(src2);
+        i.target = Some(target);
+        i
+    }
+    /// `beq src1, src2, target`.
+    pub fn beq(src1: ArchReg, src2: ArchReg, target: u64) -> Self {
+        Self::branch(BranchCond::Eq, src1, src2, target)
+    }
+    /// `bne src1, src2, target`.
+    pub fn bne(src1: ArchReg, src2: ArchReg, target: u64) -> Self {
+        Self::branch(BranchCond::Ne, src1, src2, target)
+    }
+    /// `blt src1, src2, target` (signed).
+    pub fn blt(src1: ArchReg, src2: ArchReg, target: u64) -> Self {
+        Self::branch(BranchCond::Lt, src1, src2, target)
+    }
+    /// `bge src1, src2, target` (signed).
+    pub fn bge(src1: ArchReg, src2: ArchReg, target: u64) -> Self {
+        Self::branch(BranchCond::Ge, src1, src2, target)
+    }
+    /// Unconditional direct jump to `target`.
+    pub fn jump(target: u64) -> Self {
+        let mut i = Instruction::raw(Opcode::Jump);
+        i.target = Some(target);
+        i
+    }
+    /// Indirect jump to the address held in `src1`.
+    pub fn jump_indirect(src1: ArchReg) -> Self {
+        assert_eq!(src1.class(), RegClass::Int, "indirect jump target register must be int");
+        let mut i = Instruction::raw(Opcode::JumpIndirect);
+        i.src1 = Some(src1);
+        i
+    }
+    /// Direct call to `target`, writing the return address into `link`.
+    pub fn call(link: ArchReg, target: u64) -> Self {
+        assert_eq!(link.class(), RegClass::Int, "link register must be int");
+        let mut i = Instruction::raw(Opcode::Call);
+        i.dest = Some(link);
+        i.target = Some(target);
+        i
+    }
+    /// Return through the address held in `src1`.
+    pub fn ret(src1: ArchReg) -> Self {
+        assert_eq!(src1.class(), RegClass::Int, "return address register must be int");
+        let mut i = Instruction::raw(Opcode::Ret);
+        i.src1 = Some(src1);
+        i
+    }
+
+    // ---- misc constructors ----
+
+    /// No operation.
+    pub fn nop() -> Self {
+        Instruction::raw(Opcode::Nop)
+    }
+    /// Stop the program.
+    pub fn halt() -> Self {
+        Instruction::raw(Opcode::Halt)
+    }
+
+    // ---- accessors ----
+
+    /// The operation this instruction performs.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// Destination register, if the instruction writes one.
+    ///
+    /// Writes to the hard-wired zero register are reported as `None`: they
+    /// neither allocate a physical register nor create a new processor state.
+    pub fn dest(&self) -> Option<ArchReg> {
+        match self.dest {
+            Some(r) if r.is_zero() => None,
+            other => other,
+        }
+    }
+
+    /// First source register, if any.
+    pub fn src1(&self) -> Option<ArchReg> {
+        self.src1
+    }
+
+    /// Second source register, if any.
+    pub fn src2(&self) -> Option<ArchReg> {
+        self.src2
+    }
+
+    /// Both source registers in order, skipping absent ones.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> {
+        self.src1.into_iter().chain(self.src2)
+    }
+
+    /// Immediate operand (offset for loads/stores).
+    pub fn imm(&self) -> i64 {
+        self.imm
+    }
+
+    /// Static control-flow target (direct branches, jumps and calls).
+    pub fn target(&self) -> Option<u64> {
+        self.target
+    }
+
+    /// Memory access width (meaningful for loads and stores only).
+    pub fn width(&self) -> MemWidth {
+        self.width
+    }
+
+    /// Whether this instruction is any kind of branch, jump, call or return.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.opcode,
+            Opcode::Branch(_) | Opcode::Jump | Opcode::JumpIndirect | Opcode::Call | Opcode::Ret
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(self.opcode, Opcode::Branch(_))
+    }
+
+    /// Whether this control transfer resolves its target from a register
+    /// (indirect jump or return).
+    pub fn is_indirect(&self) -> bool {
+        matches!(self.opcode, Opcode::JumpIndirect | Opcode::Ret)
+    }
+
+    /// Whether this is a call instruction.
+    pub fn is_call(&self) -> bool {
+        matches!(self.opcode, Opcode::Call)
+    }
+
+    /// Whether this is a return instruction.
+    pub fn is_return(&self) -> bool {
+        matches!(self.opcode, Opcode::Ret)
+    }
+
+    /// Whether this instruction loads from memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self.opcode, Opcode::Load)
+    }
+
+    /// Whether this instruction stores to memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self.opcode, Opcode::Store)
+    }
+
+    /// Whether this instruction accesses memory.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this instruction terminates the program.
+    pub fn is_halt(&self) -> bool {
+        matches!(self.opcode, Opcode::Halt)
+    }
+
+    /// Alias of [`Instruction::is_control`] matching the paper's terminology.
+    pub fn is_branch(&self) -> bool {
+        self.is_control()
+    }
+
+    /// Whether this instruction allocates a new physical register (and in the
+    /// MSP, a new processor state): it has a non-zero destination register.
+    pub fn allocates_register(&self) -> bool {
+        self.dest().is_some()
+    }
+
+    /// The functional-unit class this instruction executes on.
+    pub fn fu_class(&self) -> FuClass {
+        match self.opcode {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Slt
+            | Opcode::AddI
+            | Opcode::AndI
+            | Opcode::OrI
+            | Opcode::XorI
+            | Opcode::SllI
+            | Opcode::SrlI
+            | Opcode::SltI
+            | Opcode::Nop
+            | Opcode::Halt => FuClass::IntAlu,
+            Opcode::Mul | Opcode::Div => FuClass::IntMul,
+            Opcode::FAdd | Opcode::FSub | Opcode::FCmpLt | Opcode::CvtIntFp | Opcode::CvtFpInt => {
+                FuClass::FpAlu
+            }
+            Opcode::FMul => FuClass::FpMul,
+            Opcode::FDiv => FuClass::FpDiv,
+            Opcode::Load | Opcode::Store => FuClass::Mem,
+            Opcode::Branch(_) | Opcode::Jump | Opcode::JumpIndirect | Opcode::Call | Opcode::Ret => {
+                FuClass::Branch
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = |r: Option<ArchReg>| r.map(|r| r.to_string()).unwrap_or_else(|| "-".into());
+        match self.opcode {
+            Opcode::Load => write!(
+                f,
+                "load {}, {}({})",
+                d(self.dest),
+                self.imm,
+                d(self.src1)
+            ),
+            Opcode::Store => write!(
+                f,
+                "store {}, {}({})",
+                d(self.src2),
+                self.imm,
+                d(self.src1)
+            ),
+            Opcode::Branch(cond) => write!(
+                f,
+                "b{:?} {}, {}, {:#x}",
+                cond,
+                d(self.src1),
+                d(self.src2),
+                self.target.unwrap_or(0)
+            ),
+            Opcode::Jump => write!(f, "jump {:#x}", self.target.unwrap_or(0)),
+            Opcode::JumpIndirect => write!(f, "jr {}", d(self.src1)),
+            Opcode::Call => write!(f, "call {}, {:#x}", d(self.dest), self.target.unwrap_or(0)),
+            Opcode::Ret => write!(f, "ret {}", d(self.src1)),
+            Opcode::Nop => write!(f, "nop"),
+            Opcode::Halt => write!(f, "halt"),
+            _ => write!(
+                f,
+                "{:?} {}, {}, {} (imm={})",
+                self.opcode,
+                d(self.dest),
+                d(self.src1),
+                d(self.src2),
+                self.imm
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_destination_is_discarded() {
+        let i = Instruction::add(ArchReg::int(0), ArchReg::int(1), ArchReg::int(2));
+        assert_eq!(i.dest(), None);
+        assert!(!i.allocates_register());
+        let j = Instruction::add(ArchReg::int(3), ArchReg::int(1), ArchReg::int(2));
+        assert_eq!(j.dest(), Some(ArchReg::int(3)));
+        assert!(j.allocates_register());
+    }
+
+    #[test]
+    fn branch_classification() {
+        let b = Instruction::bne(ArchReg::int(1), ArchReg::int(0), 0x2000);
+        assert!(b.is_branch());
+        assert!(b.is_conditional_branch());
+        assert!(!b.is_indirect());
+        assert!(!b.allocates_register());
+        assert_eq!(b.fu_class(), FuClass::Branch);
+
+        let j = Instruction::jump_indirect(ArchReg::int(5));
+        assert!(j.is_branch());
+        assert!(!j.is_conditional_branch());
+        assert!(j.is_indirect());
+
+        let c = Instruction::call(ArchReg::int(31), 0x4000);
+        assert!(c.is_call());
+        assert!(c.allocates_register());
+
+        let r = Instruction::ret(ArchReg::int(31));
+        assert!(r.is_return());
+        assert!(r.is_indirect());
+    }
+
+    #[test]
+    fn memory_classification() {
+        let l = Instruction::load(ArchReg::int(4), ArchReg::int(2), 16);
+        assert!(l.is_load());
+        assert!(l.is_mem());
+        assert!(!l.is_store());
+        assert_eq!(l.fu_class(), FuClass::Mem);
+        assert_eq!(l.width().bytes(), 8);
+
+        let s = Instruction::store_w(ArchReg::int(4), ArchReg::int(2), 8, MemWidth::B4);
+        assert!(s.is_store());
+        assert!(!s.allocates_register());
+        assert_eq!(s.width().bytes(), 4);
+    }
+
+    #[test]
+    fn fp_classification() {
+        let fa = Instruction::fadd(ArchReg::fp(1), ArchReg::fp(2), ArchReg::fp(3));
+        assert_eq!(fa.fu_class(), FuClass::FpAlu);
+        assert!(fa.allocates_register());
+        let fm = Instruction::fmul(ArchReg::fp(1), ArchReg::fp(2), ArchReg::fp(3));
+        assert_eq!(fm.fu_class(), FuClass::FpMul);
+        let fd = Instruction::fdiv(ArchReg::fp(1), ArchReg::fp(2), ArchReg::fp(3));
+        assert_eq!(fd.fu_class(), FuClass::FpDiv);
+        let cmp = Instruction::fcmplt(ArchReg::int(1), ArchReg::fp(2), ArchReg::fp(3));
+        assert_eq!(cmp.fu_class(), FuClass::FpAlu);
+        assert_eq!(cmp.dest().unwrap().class(), RegClass::Int);
+    }
+
+    #[test]
+    fn sources_iterator() {
+        let i = Instruction::add(ArchReg::int(3), ArchReg::int(1), ArchReg::int(2));
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![ArchReg::int(1), ArchReg::int(2)]);
+        let li = Instruction::li(ArchReg::int(3), 42);
+        assert_eq!(li.sources().count(), 1);
+        let nop = Instruction::nop();
+        assert_eq!(nop.sources().count(), 0);
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let li = Instruction::li(ArchReg::int(7), -3);
+        assert_eq!(li.opcode(), Opcode::AddI);
+        assert_eq!(li.src1(), Some(ArchReg::ZERO));
+        assert_eq!(li.imm(), -3);
+        let mv = Instruction::mov(ArchReg::int(7), ArchReg::int(9));
+        assert_eq!(mv.opcode(), Opcode::AddI);
+        assert_eq!(mv.imm(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dest must be an int register")]
+    fn int_alu_rejects_fp_dest() {
+        let _ = Instruction::add(ArchReg::fp(1), ArchReg::int(1), ArchReg::int(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "fp source")]
+    fn fp_alu_rejects_int_source() {
+        let _ = Instruction::fadd(ArchReg::fp(1), ArchReg::int(1), ArchReg::fp(2));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let insts = [
+            Instruction::add(ArchReg::int(3), ArchReg::int(1), ArchReg::int(2)),
+            Instruction::load(ArchReg::int(4), ArchReg::int(2), 16),
+            Instruction::store(ArchReg::int(4), ArchReg::int(2), 16),
+            Instruction::bne(ArchReg::int(1), ArchReg::int(0), 0x2000),
+            Instruction::jump(0x2000),
+            Instruction::nop(),
+            Instruction::halt(),
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Sparse, paged byte-addressable data memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse byte-addressable memory backed by 4 KiB pages allocated on demand.
+///
+/// Reads from never-written locations return zero, so programs can run without
+/// an explicit data-initialisation pass.
+///
+/// ```
+/// use msp_isa::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1_0000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1_0000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x9_9999), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident data footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| p.as_ref())
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map(|p| p[(addr & PAGE_MASK) as usize])
+            .unwrap_or(0)
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `n <= 8` bytes starting at `addr` as a little-endian integer.
+    ///
+    /// The access may straddle a page boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 8`.
+    pub fn read_le(&self, addr: u64, n: u64) -> u64 {
+        assert!(n >= 1 && n <= 8, "access width must be 1..=8 bytes");
+        let mut value = 0u64;
+        for i in 0..n {
+            value |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the `n <= 8` low-order bytes of `value` starting at `addr`
+    /// (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 8`.
+    pub fn write_le(&mut self, addr: u64, value: u64, n: u64) {
+        assert!(n >= 1 && n <= 8, "access width must be 1..=8 bytes");
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an 8-byte little-endian value.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes an 8-byte little-endian value.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_le(addr, value, 8)
+    }
+
+    /// Reads an 8-byte value and reinterprets it as an `f64`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its 8-byte bit pattern.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(123), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_0000), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x4000, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(0x4000), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u8(0x4000), 0xef);
+        assert_eq!(mem.read_u8(0x4007), 0x01);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = PAGE_SIZE as u64 - 4;
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn narrow_widths() {
+        let mut mem = Memory::new();
+        mem.write_le(0x100, 0xaabb_ccdd, 4);
+        assert_eq!(mem.read_le(0x100, 4), 0xaabb_ccdd);
+        assert_eq!(mem.read_le(0x100, 2), 0xccdd);
+        mem.write_le(0x200, 0x1_0000, 2); // truncated to 16 bits
+        assert_eq!(mem.read_le(0x200, 2), 0);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_f64(0x300, 3.5);
+        assert_eq!(mem.read_f64(0x300), 3.5);
+        mem.write_f64(0x308, -0.0);
+        assert_eq!(mem.read_f64(0x308).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "access width")]
+    fn zero_width_read_panics() {
+        let mem = Memory::new();
+        let _ = mem.read_le(0, 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_pages() {
+        let mut mem = Memory::new();
+        mem.write_u8(0, 1);
+        mem.write_u8(PAGE_SIZE as u64 * 3, 1);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.resident_bytes(), 2 * PAGE_SIZE);
+    }
+}

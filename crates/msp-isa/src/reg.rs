@@ -1,0 +1,188 @@
+//! Logical (architectural) registers.
+
+use std::fmt;
+
+/// Number of integer logical registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point logical registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total number of logical registers (integer + floating point).
+///
+/// The MSP instantiates one State Control Table per logical register, so this
+/// is also the number of register banks in an MSP register file.
+pub const NUM_LOGICAL_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// The class of a logical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register (`r0`–`r31`). `r0` is hard-wired to zero.
+    Int,
+    /// Floating-point register (`f0`–`f31`).
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural (logical) register: a class plus an index within the class.
+///
+/// ```
+/// use msp_isa::{ArchReg, RegClass};
+/// let r5 = ArchReg::int(5);
+/// assert_eq!(r5.class(), RegClass::Int);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.flat_index(), 5);
+/// let f3 = ArchReg::fp(3);
+/// assert_eq!(f3.flat_index(), 32 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// The integer register that always reads as zero (`r0`).
+    pub const ZERO: ArchReg = ArchReg {
+        class: RegClass::Int,
+        index: 0,
+    };
+
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_REGS`.
+    pub fn int(index: usize) -> Self {
+        assert!(index < NUM_INT_REGS, "integer register index out of range");
+        ArchReg {
+            class: RegClass::Int,
+            index: index as u8,
+        }
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_REGS`.
+    pub fn fp(index: usize) -> Self {
+        assert!(index < NUM_FP_REGS, "fp register index out of range");
+        ArchReg {
+            class: RegClass::Fp,
+            index: index as u8,
+        }
+    }
+
+    /// Creates a register from a flat index in `0..NUM_LOGICAL_REGS`
+    /// (integer registers first, then floating point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= NUM_LOGICAL_REGS`.
+    pub fn from_flat_index(flat: usize) -> Self {
+        assert!(flat < NUM_LOGICAL_REGS, "flat register index out of range");
+        if flat < NUM_INT_REGS {
+            ArchReg::int(flat)
+        } else {
+            ArchReg::fp(flat - NUM_INT_REGS)
+        }
+    }
+
+    /// The register class.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Index within the register class.
+    pub fn index(&self) -> usize {
+        self.index as usize
+    }
+
+    /// Flat index over all logical registers: integer registers occupy
+    /// `0..NUM_INT_REGS` and floating-point registers follow.
+    pub fn flat_index(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS + self.index as usize,
+        }
+    }
+
+    /// Whether this is the hard-wired zero register (`r0`).
+    ///
+    /// Writes to the zero register are discarded and never allocate a new
+    /// physical register or processor state.
+    pub fn is_zero(&self) -> bool {
+        *self == ArchReg::ZERO
+    }
+
+    /// Iterates over every logical register (integer first, then fp).
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_LOGICAL_REGS).map(ArchReg::from_flat_index)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrip() {
+        for flat in 0..NUM_LOGICAL_REGS {
+            let reg = ArchReg::from_flat_index(flat);
+            assert_eq!(reg.flat_index(), flat);
+        }
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(ArchReg::int(0).is_zero());
+        assert!(!ArchReg::int(1).is_zero());
+        assert!(!ArchReg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(7).to_string(), "r7");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+        assert_eq!(RegClass::Int.to_string(), "int");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<ArchReg> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_LOGICAL_REGS);
+        let ints = regs.iter().filter(|r| r.class() == RegClass::Int).count();
+        let fps = regs.iter().filter(|r| r.class() == RegClass::Fp).count();
+        assert_eq!(ints, NUM_INT_REGS);
+        assert_eq!(fps, NUM_FP_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_register_out_of_range_panics() {
+        let _ = ArchReg::from_flat_index(NUM_LOGICAL_REGS);
+    }
+}

@@ -1,0 +1,177 @@
+//! Architectural state: logical register values, data memory and the PC.
+
+use crate::memory::Memory;
+use crate::program::Program;
+use crate::reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};
+
+/// Architectural (committed) state of a program: 32 integer registers, 32
+/// floating-point registers, the program counter and data memory.
+///
+/// The timing simulator keeps one `ArchState` as the *oracle* for correct-path
+/// execution; functional execution with [`crate::execute_step`] advances it one
+/// instruction at a time.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    int_regs: [u64; NUM_INT_REGS],
+    fp_regs: [f64; NUM_FP_REGS],
+    pc: u64,
+    memory: Memory,
+    halted: bool,
+    retired: u64,
+}
+
+impl ArchState {
+    /// Creates the initial state for `program`: all registers zero, PC at the
+    /// program entry point, and the program's initial data loaded into memory.
+    pub fn new(program: &Program) -> Self {
+        let mut memory = Memory::new();
+        for &(addr, value) in program.initial_data() {
+            memory.write_u64(addr, value);
+        }
+        ArchState {
+            int_regs: [0; NUM_INT_REGS],
+            fp_regs: [0.0; NUM_FP_REGS],
+            pc: program.entry(),
+            memory,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter (used by the functional executor).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Whether a halt instruction has been executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Marks the program as halted.
+    pub fn set_halted(&mut self) {
+        self.halted = true;
+    }
+
+    /// Number of instructions functionally executed so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Increments the retired-instruction counter.
+    pub fn count_retired(&mut self) {
+        self.retired += 1;
+    }
+
+    /// Reads an integer register. Register 0 always reads zero.
+    pub fn read_int(&self, index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            self.int_regs[index]
+        }
+    }
+
+    /// Writes an integer register. Writes to register 0 are discarded.
+    pub fn write_int(&mut self, index: usize, value: u64) {
+        if index != 0 {
+            self.int_regs[index] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn read_fp(&self, index: usize) -> f64 {
+        self.fp_regs[index]
+    }
+
+    /// Writes a floating-point register.
+    pub fn write_fp(&mut self, index: usize, value: f64) {
+        self.fp_regs[index] = value;
+    }
+
+    /// Reads a logical register as a 64-bit pattern regardless of class.
+    ///
+    /// Floating-point registers return their IEEE-754 bit pattern, which is
+    /// what flows through physical registers in the timing model.
+    pub fn read_reg_bits(&self, reg: ArchReg) -> u64 {
+        match reg.class() {
+            RegClass::Int => self.read_int(reg.index()),
+            RegClass::Fp => self.read_fp(reg.index()).to_bits(),
+        }
+    }
+
+    /// Writes a logical register from a 64-bit pattern regardless of class.
+    pub fn write_reg_bits(&mut self, reg: ArchReg, value: u64) {
+        match reg.class() {
+            RegClass::Int => self.write_int(reg.index(), value),
+            RegClass::Fp => self.write_fp(reg.index(), f64::from_bits(value)),
+        }
+    }
+
+    /// Shared access to data memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to data memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+
+    fn empty_program() -> Program {
+        Program::new(vec![Instruction::halt()])
+    }
+
+    #[test]
+    fn initial_state_is_zeroed() {
+        let p = empty_program();
+        let s = ArchState::new(&p);
+        assert_eq!(s.pc(), p.entry());
+        for i in 0..NUM_INT_REGS {
+            assert_eq!(s.read_int(i), 0);
+        }
+        for i in 0..NUM_FP_REGS {
+            assert_eq!(s.read_fp(i), 0.0);
+        }
+        assert!(!s.is_halted());
+        assert_eq!(s.retired(), 0);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let p = empty_program();
+        let mut s = ArchState::new(&p);
+        s.write_int(0, 99);
+        assert_eq!(s.read_int(0), 0);
+        s.write_int(1, 99);
+        assert_eq!(s.read_int(1), 99);
+    }
+
+    #[test]
+    fn reg_bits_roundtrip_fp() {
+        let p = empty_program();
+        let mut s = ArchState::new(&p);
+        s.write_reg_bits(ArchReg::fp(3), 2.5f64.to_bits());
+        assert_eq!(s.read_fp(3), 2.5);
+        assert_eq!(s.read_reg_bits(ArchReg::fp(3)), 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn initial_data_is_loaded() {
+        let mut p = empty_program();
+        p.add_data(0x9000, 1234);
+        let s = ArchState::new(&p);
+        assert_eq!(s.memory().read_u64(0x9000), 1234);
+    }
+}

@@ -1,0 +1,507 @@
+//! Store queues: the baseline's single-level queue and the hierarchical
+//! (two-level) store queue used by CPR and the MSP.
+//!
+//! Stores sit in the store queue from dispatch until their state commits
+//! (`tag < commit limit`, where the tag is the checkpoint/StateId order for
+//! CPR/MSP and the sequence number for the ROB baseline). Loads search the
+//! queue for the youngest older store to the same address (store-to-load
+//! forwarding). In the hierarchical queue the level-1 structure is small and
+//! fast; overflow entries spill to a large level-2 queue whose associative
+//! scan costs extra cycles — the cost the paper calls out for CPR roll-back
+//! and forwarding.
+
+/// One store held in a store queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreQueueEntry {
+    /// Dynamic sequence number of the store (program order).
+    pub seq: u64,
+    /// Commit tag: entries with `tag < limit` drain at commit. For the MSP
+    /// and CPR this is the StateId (or checkpoint order); for the baseline it
+    /// is the sequence number itself.
+    pub tag: u64,
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Value to be written.
+    pub value: u64,
+}
+
+impl StoreQueueEntry {
+    fn overlaps(&self, addr: u64, width: u64) -> bool {
+        let a_end = self.addr + self.width;
+        let b_end = addr + width;
+        self.addr < b_end && addr < a_end
+    }
+}
+
+/// The result of a store-queue forwarding search for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// A matching older store was found; the load receives `value` after
+    /// `latency` extra cycles of queue scan.
+    Hit {
+        /// Forwarded value.
+        value: u64,
+        /// Extra scan latency in cycles.
+        latency: u64,
+    },
+    /// No matching older store; the load goes to the cache after `latency`
+    /// extra scan cycles.
+    Miss {
+        /// Extra scan latency in cycles.
+        latency: u64,
+    },
+}
+
+impl ForwardResult {
+    /// The extra scan latency regardless of hit/miss.
+    pub fn latency(&self) -> u64 {
+        match self {
+            ForwardResult::Hit { latency, .. } | ForwardResult::Miss { latency } => *latency,
+        }
+    }
+
+    /// Whether the load was satisfied by forwarding.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, ForwardResult::Hit { .. })
+    }
+}
+
+/// Common interface of the store-queue organisations.
+pub trait StoreQueue {
+    /// Inserts a store at dispatch. Returns `false` (and does not insert)
+    /// when the queue is full; dispatch must stall.
+    fn insert(&mut self, entry: StoreQueueEntry) -> bool;
+
+    /// Searches for the youngest store older than `seq` whose footprint
+    /// overlaps `[addr, addr + width)`.
+    fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult;
+
+    /// Removes and returns (in program order) every store whose tag is
+    /// strictly below `tag_limit`; the caller writes them to memory.
+    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry>;
+
+    /// Removes every store with a sequence number greater than `seq`
+    /// (recovery). Returns how many were removed.
+    fn squash_younger(&mut self, seq: u64) -> usize;
+
+    /// Current occupancy.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue cannot accept another store.
+    fn is_full(&self) -> bool;
+
+    /// Total capacity.
+    fn capacity(&self) -> usize;
+}
+
+/// The baseline's single-level store queue (Table I: 24 entries).
+#[derive(Debug, Clone)]
+pub struct SimpleStoreQueue {
+    capacity: usize,
+    entries: Vec<StoreQueueEntry>,
+}
+
+impl SimpleStoreQueue {
+    /// Creates a single-level store queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store queue capacity must be non-zero");
+        SimpleStoreQueue {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+}
+
+impl StoreQueue for SimpleStoreQueue {
+    fn insert(&mut self, entry: StoreQueueEntry) -> bool {
+        if self.entries.len() == self.capacity {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
+        let hit = self
+            .entries
+            .iter()
+            .filter(|e| e.seq < seq && e.overlaps(addr, width))
+            .max_by_key(|e| e.seq);
+        match hit {
+            Some(e) => ForwardResult::Hit {
+                value: e.value,
+                latency: 0,
+            },
+            None => ForwardResult::Miss { latency: 0 },
+        }
+    }
+
+    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry> {
+        let mut drained: Vec<StoreQueueEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|e| e.tag < tag_limit)
+            .collect();
+        self.entries.retain(|e| e.tag >= tag_limit);
+        drained.sort_by_key(|e| e.seq);
+        drained
+    }
+
+    fn squash_younger(&mut self, seq: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.seq <= seq);
+        before - self.entries.len()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The hierarchical store queue of CPR and the MSP (Table I: 48 L1 entries
+/// backed by 256 L2 entries).
+///
+/// New stores enter the L1 queue; when it is full the oldest L1 entries spill
+/// to the L2 queue. Forwarding searches the L1 for free and pays
+/// `l2_scan_latency` extra cycles when it has to scan the large L2 structure.
+#[derive(Debug, Clone)]
+pub struct HierarchicalStoreQueue {
+    l1_capacity: usize,
+    l2_capacity: usize,
+    l2_scan_latency: u64,
+    l1: Vec<StoreQueueEntry>,
+    l2: Vec<StoreQueueEntry>,
+    l2_scans: u64,
+}
+
+impl HierarchicalStoreQueue {
+    /// Creates a hierarchical store queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(l1_capacity: usize, l2_capacity: usize, l2_scan_latency: u64) -> Self {
+        assert!(l1_capacity > 0 && l2_capacity > 0, "store queue capacities must be non-zero");
+        HierarchicalStoreQueue {
+            l1_capacity,
+            l2_capacity,
+            l2_scan_latency,
+            l1: Vec::with_capacity(l1_capacity),
+            l2: Vec::with_capacity(l2_capacity),
+            l2_scans: 0,
+        }
+    }
+
+    /// The paper's configuration: 48 L1 entries, 256 L2 entries, and a
+    /// 4-cycle L2 scan.
+    pub fn paper() -> Self {
+        HierarchicalStoreQueue::new(48, 256, 4)
+    }
+
+    /// An effectively unbounded configuration for the ideal MSP.
+    pub fn unbounded() -> Self {
+        HierarchicalStoreQueue::new(1 << 20, 1 << 20, 0)
+    }
+
+    /// Number of forwarding searches that had to scan the L2 queue.
+    pub fn l2_scans(&self) -> u64 {
+        self.l2_scans
+    }
+
+    /// Occupancy of the level-1 queue.
+    pub fn l1_len(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Occupancy of the level-2 queue.
+    pub fn l2_len(&self) -> usize {
+        self.l2.len()
+    }
+}
+
+impl StoreQueue for HierarchicalStoreQueue {
+    fn insert(&mut self, entry: StoreQueueEntry) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        if self.l1.len() == self.l1_capacity {
+            // Spill the oldest L1 entry into the L2 queue.
+            let oldest_idx = self
+                .l1
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)
+                .expect("L1 is full, hence non-empty");
+            let spilled = self.l1.swap_remove(oldest_idx);
+            self.l2.push(spilled);
+        }
+        self.l1.push(entry);
+        true
+    }
+
+    fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
+        let l1_hit = self
+            .l1
+            .iter()
+            .filter(|e| e.seq < seq && e.overlaps(addr, width))
+            .max_by_key(|e| e.seq);
+        if let Some(e) = l1_hit {
+            return ForwardResult::Hit {
+                value: e.value,
+                latency: 0,
+            };
+        }
+        if self.l2.is_empty() {
+            return ForwardResult::Miss { latency: 0 };
+        }
+        // Have to scan the large second-level queue.
+        self.l2_scans += 1;
+        let l2_hit = self
+            .l2
+            .iter()
+            .filter(|e| e.seq < seq && e.overlaps(addr, width))
+            .max_by_key(|e| e.seq);
+        match l2_hit {
+            Some(e) => ForwardResult::Hit {
+                value: e.value,
+                latency: self.l2_scan_latency,
+            },
+            None => ForwardResult::Miss {
+                latency: self.l2_scan_latency,
+            },
+        }
+    }
+
+    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry> {
+        let mut drained: Vec<StoreQueueEntry> = self
+            .l1
+            .iter()
+            .chain(self.l2.iter())
+            .copied()
+            .filter(|e| e.tag < tag_limit)
+            .collect();
+        self.l1.retain(|e| e.tag >= tag_limit);
+        self.l2.retain(|e| e.tag >= tag_limit);
+        drained.sort_by_key(|e| e.seq);
+        drained
+    }
+
+    fn squash_younger(&mut self, seq: u64) -> usize {
+        let before = self.l1.len() + self.l2.len();
+        self.l1.retain(|e| e.seq <= seq);
+        self.l2.retain(|e| e.seq <= seq);
+        before - (self.l1.len() + self.l2.len())
+    }
+
+    fn len(&self) -> usize {
+        self.l1.len() + self.l2.len()
+    }
+
+    fn is_full(&self) -> bool {
+        self.l1.len() == self.l1_capacity && self.l2.len() == self.l2_capacity
+    }
+
+    fn capacity(&self) -> usize {
+        self.l1_capacity + self.l2_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(seq: u64, addr: u64, value: u64) -> StoreQueueEntry {
+        StoreQueueEntry {
+            seq,
+            tag: seq,
+            addr,
+            width: 8,
+            value,
+        }
+    }
+
+    #[test]
+    fn simple_queue_forwarding_picks_youngest_older_store() {
+        let mut sq = SimpleStoreQueue::new(24);
+        sq.insert(entry(1, 0x100, 10));
+        sq.insert(entry(3, 0x100, 30));
+        sq.insert(entry(5, 0x200, 50));
+        // A load at seq 4 sees the store at seq 3, not seq 1 or 5.
+        assert_eq!(
+            sq.forward(0x100, 8, 4),
+            ForwardResult::Hit {
+                value: 30,
+                latency: 0
+            }
+        );
+        // A load at seq 2 sees only the store at seq 1.
+        assert_eq!(
+            sq.forward(0x100, 8, 2),
+            ForwardResult::Hit {
+                value: 10,
+                latency: 0
+            }
+        );
+        // Different address: miss.
+        assert!(!sq.forward(0x300, 8, 10).is_hit());
+    }
+
+    #[test]
+    fn simple_queue_capacity_and_drain() {
+        let mut sq = SimpleStoreQueue::new(2);
+        assert!(sq.insert(entry(1, 0, 0)));
+        assert!(sq.insert(entry(2, 8, 0)));
+        assert!(sq.is_full());
+        assert!(!sq.insert(entry(3, 16, 0)));
+        let drained = sq.drain_committed(2);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, 1);
+        assert_eq!(sq.len(), 1);
+        assert_eq!(sq.capacity(), 2);
+    }
+
+    #[test]
+    fn simple_queue_squash() {
+        let mut sq = SimpleStoreQueue::new(8);
+        for seq in 1..=5 {
+            sq.insert(entry(seq, seq * 8, seq));
+        }
+        assert_eq!(sq.squash_younger(3), 2);
+        assert_eq!(sq.len(), 3);
+    }
+
+    #[test]
+    fn hierarchical_queue_spills_to_l2() {
+        let mut hsq = HierarchicalStoreQueue::new(2, 4, 3);
+        for seq in 1..=5 {
+            assert!(hsq.insert(entry(seq, seq * 8, seq)));
+        }
+        assert_eq!(hsq.l1_len(), 2);
+        assert_eq!(hsq.l2_len(), 3);
+        assert_eq!(hsq.len(), 5);
+        // The two youngest stores are still in L1 and forward for free.
+        assert_eq!(
+            hsq.forward(5 * 8, 8, 100),
+            ForwardResult::Hit {
+                value: 5,
+                latency: 0
+            }
+        );
+        // An old (spilled) store pays the L2 scan latency.
+        assert_eq!(
+            hsq.forward(8, 8, 100),
+            ForwardResult::Hit {
+                value: 1,
+                latency: 3
+            }
+        );
+        assert_eq!(hsq.l2_scans(), 1);
+        // A miss that had to scan the L2 also pays the scan latency.
+        assert_eq!(hsq.forward(0x999000, 8, 100), ForwardResult::Miss { latency: 3 });
+    }
+
+    #[test]
+    fn hierarchical_queue_full_only_when_both_levels_full() {
+        let mut hsq = HierarchicalStoreQueue::new(1, 2, 0);
+        assert_eq!(hsq.capacity(), 3);
+        for seq in 1..=3 {
+            assert!(hsq.insert(entry(seq, seq, 0)));
+        }
+        assert!(hsq.is_full());
+        assert!(!hsq.insert(entry(4, 4, 0)));
+    }
+
+    #[test]
+    fn hierarchical_drain_and_squash_cover_both_levels() {
+        let mut hsq = HierarchicalStoreQueue::new(2, 8, 0);
+        for seq in 1..=6 {
+            hsq.insert(entry(seq, seq * 8, seq));
+        }
+        let drained = hsq.drain_committed(3);
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(hsq.len(), 4);
+        assert_eq!(hsq.squash_younger(4), 2);
+        assert_eq!(hsq.len(), 2);
+        assert!(!hsq.is_empty());
+    }
+
+    #[test]
+    fn paper_and_unbounded_configurations() {
+        let paper = HierarchicalStoreQueue::paper();
+        assert_eq!(paper.capacity(), 48 + 256);
+        let unbounded = HierarchicalStoreQueue::unbounded();
+        assert!(unbounded.capacity() > 1_000_000);
+    }
+
+    #[test]
+    fn overlapping_partial_width_stores_forward() {
+        let mut sq = SimpleStoreQueue::new(4);
+        sq.insert(StoreQueueEntry {
+            seq: 1,
+            tag: 1,
+            addr: 0x104,
+            width: 4,
+            value: 7,
+        });
+        // An 8-byte load covering 0x100..0x108 overlaps the 4-byte store.
+        assert!(sq.forward(0x100, 8, 2).is_hit());
+        // A load below the store does not overlap.
+        assert!(!sq.forward(0x0f8, 8, 2).is_hit());
+    }
+
+    proptest! {
+        /// The hierarchical and the simple store queue agree on forwarding
+        /// results (value and hit-ness) for arbitrary store/load sequences,
+        /// as long as capacity is not exceeded.
+        #[test]
+        fn hierarchical_matches_simple_semantics(
+            stores in proptest::collection::vec((0u64..16, 0u64..200u64), 1..40),
+            loads in proptest::collection::vec(0u64..16, 1..20),
+        ) {
+            let mut simple = SimpleStoreQueue::new(64);
+            let mut hier = HierarchicalStoreQueue::new(4, 64, 2);
+            for (i, (slot, value)) in stores.iter().enumerate() {
+                let e = StoreQueueEntry {
+                    seq: i as u64 + 1,
+                    tag: i as u64 + 1,
+                    addr: slot * 8,
+                    width: 8,
+                    value: *value,
+                };
+                prop_assert!(simple.insert(e));
+                prop_assert!(hier.insert(e));
+            }
+            let load_seq = stores.len() as u64 + 10;
+            for slot in loads {
+                let a = simple.forward(slot * 8, 8, load_seq);
+                let b = hier.forward(slot * 8, 8, load_seq);
+                prop_assert_eq!(a.is_hit(), b.is_hit());
+                if let (ForwardResult::Hit { value: va, .. }, ForwardResult::Hit { value: vb, .. }) = (a, b) {
+                    prop_assert_eq!(va, vb);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A cycle-level, execution-driven out-of-order timing simulator with three
+//! interchangeable state-management back ends:
+//!
+//! * **Baseline** — a conventional superscalar with a 128-entry re-order
+//!   buffer, RAT-style renaming against a 96+96-entry register file and a
+//!   48-entry issue queue (Table I, column 1),
+//! * **CPR** — a ROB-free checkpoint processor: up to 8 checkpoints allocated
+//!   at low-confidence and indirect branches, aggressive register release,
+//!   hierarchical store queue, and rollback-to-checkpoint recovery that
+//!   re-executes correct-path instructions (Table I, column 2),
+//! * **MSP** — the paper's Multi-State Processor built on
+//!   [`msp_state::MspStateManager`]: per-logical-register banks (`n-SP`),
+//!   LCS-driven commit, RelIQ use tracking, banked register file with port
+//!   arbitration, and precise recovery (Table I, columns 3 and 4).
+//!
+//! All three machines share the front end (branch predictors, BTB, return
+//! stack, I-cache), the functional **oracle** (correct-path values come from
+//! [`msp_isa::execute_step`]), the cache hierarchy, the functional units and
+//! the issue logic, so measured differences come from the state-management
+//! mechanism itself — the methodology of the paper's Section 4.
+//!
+//! ```
+//! use msp_pipeline::{Simulator, SimConfig, MachineKind};
+//! use msp_branch::PredictorKind;
+//! use msp_workloads::microbenchmark;
+//!
+//! let program = microbenchmark();
+//! let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare);
+//! let mut sim = Simulator::new(&program, config);
+//! let result = sim.run(2_000);
+//! assert!(result.ipc() > 0.1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod oracle;
+mod simulator;
+mod stats;
+
+pub use config::{FrontendConfig, LatencyConfig, MachineKind, ResourceConfig, SimConfig};
+pub use oracle::Oracle;
+pub use simulator::{SimResult, Simulator};
+pub use stats::{ExecutedBreakdown, SimStats, StallBreakdown};

@@ -1,0 +1,122 @@
+//! The functional oracle: a lazily extended, replayable stream of
+//! correct-path dynamic instructions.
+//!
+//! The timing simulator is execution-driven: correct-path instructions carry
+//! the values, branch outcomes and effective addresses the functional
+//! executor produced. Because CPR rolls back to checkpoints and re-dispatches
+//! instructions that already executed, the oracle must be *replayable* — the
+//! records are cached by dynamic index so re-fetching the same index after a
+//! rollback returns the identical record without re-running the functional
+//! model.
+
+use msp_isa::{execute_step, ArchState, ExecError, ExecutedInst, Program};
+
+/// A lazily materialised trace of correct-path execution.
+#[derive(Debug, Clone)]
+pub struct Oracle<'p> {
+    program: &'p Program,
+    state: ArchState,
+    records: Vec<ExecutedInst>,
+    finished: bool,
+}
+
+impl<'p> Oracle<'p> {
+    /// Creates the oracle for a program, starting from its initial state.
+    pub fn new(program: &'p Program) -> Self {
+        Oracle {
+            state: ArchState::new(program),
+            program,
+            records: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Returns the dynamic instruction at `index` (0-based program order),
+    /// executing the functional model as far as needed. Returns `None` once
+    /// the program has halted (or left the text segment) before `index`.
+    pub fn get(&mut self, index: u64) -> Option<ExecutedInst> {
+        while !self.finished && (self.records.len() as u64) <= index {
+            match execute_step(&mut self.state, self.program) {
+                Ok(rec) => {
+                    if rec.halted {
+                        self.finished = true;
+                    }
+                    self.records.push(rec);
+                }
+                Err(ExecError::Halted) | Err(ExecError::OutOfRange(_)) => {
+                    self.finished = true;
+                }
+            }
+        }
+        self.records.get(index as usize).copied()
+    }
+
+    /// Number of dynamic instructions materialised so far.
+    pub fn materialised(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Whether the program reached a halt (no more records will appear).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_isa::{ArchReg, Instruction};
+
+    fn counted_loop() -> Program {
+        let r = ArchReg::int;
+        Program::new(vec![
+            Instruction::li(r(1), 3),
+            Instruction::addi(r(1), r(1), -1),
+            Instruction::bne(r(1), ArchReg::ZERO, msp_isa::TEXT_BASE + 4),
+            Instruction::halt(),
+        ])
+    }
+
+    #[test]
+    fn lazy_extension_and_replay() {
+        let p = counted_loop();
+        let mut oracle = Oracle::new(&p);
+        assert_eq!(oracle.materialised(), 0);
+        let rec5 = oracle.get(5).unwrap();
+        assert!(oracle.materialised() >= 6);
+        // Replay: asking again returns the identical record.
+        assert_eq!(oracle.get(5).unwrap(), rec5);
+        // Earlier records are also available without re-execution.
+        let rec0 = oracle.get(0).unwrap();
+        assert_eq!(rec0.pc, p.entry());
+    }
+
+    #[test]
+    fn finishes_at_halt() {
+        let p = counted_loop();
+        let mut oracle = Oracle::new(&p);
+        // 1 li + 3*(addi+bne) + halt = 8 records.
+        assert!(oracle.get(7).unwrap().halted);
+        assert!(oracle.get(8).is_none());
+        assert!(oracle.is_finished());
+        assert_eq!(oracle.materialised(), 8);
+        assert_eq!(oracle.program().len(), 4);
+    }
+
+    #[test]
+    fn infinite_programs_keep_producing() {
+        let r = ArchReg::int;
+        let p = Program::new(vec![
+            Instruction::addi(r(1), r(1), 1),
+            Instruction::jump(msp_isa::TEXT_BASE),
+        ]);
+        let mut oracle = Oracle::new(&p);
+        assert!(oracle.get(10_000).is_some());
+        assert!(!oracle.is_finished());
+    }
+}

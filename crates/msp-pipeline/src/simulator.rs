@@ -1,0 +1,1337 @@
+//! The cycle-level out-of-order timing simulator.
+//!
+//! One [`Simulator`] models one machine (Baseline, CPR or MSP) running one
+//! program. The per-cycle loop processes, in order: writeback (and branch
+//! recovery), commit/retire, issue, rename/dispatch and fetch. Correct-path
+//! instructions carry their functional results from the [`Oracle`];
+//! wrong-path instructions are fetched from the static program image beyond
+//! the mispredicted branch and executed with synthetic operands, so the
+//! wrong-path work of Fig. 9 is measured rather than estimated.
+
+use crate::config::{MachineKind, SimConfig};
+use crate::oracle::Oracle;
+use crate::stats::SimStats;
+use msp_branch::{build_predictor, Btb, ConfidenceEstimator, DirectionPredictor, ReturnStack};
+use msp_isa::{ArchReg, ExecutedInst, FuClass, Program, RegClass};
+use msp_mem::{
+    HierarchicalStoreQueue, LoadQueue, MemoryHierarchy, SimpleStoreQueue, StoreQueue,
+    StoreQueueEntry,
+};
+use msp_state::{MspStateManager, PhysReg, PortArbiter, RenameRequest, StateId};
+use std::collections::VecDeque;
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Label of the simulated machine (e.g. `"16-SP"`).
+    pub machine: String,
+    /// The direction predictor used.
+    pub predictor: String,
+    /// All collected statistics.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Execution status of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Dispatched, waiting in the issue queue.
+    Waiting,
+    /// Issued to a functional unit, executing.
+    Executing,
+    /// Execution finished.
+    Done,
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Debug, Clone)]
+struct InFlight {
+    seq: u64,
+    oracle_idx: Option<u64>,
+    rec: ExecutedInst,
+    status: Status,
+    complete_cycle: u64,
+    deps: [Option<u64>; 2],
+    iq_slot: Option<usize>,
+    dest: Option<ArchReg>,
+    /// Misprediction discovered at fetch time, resolved at completion.
+    mispredicted: bool,
+    // MSP bookkeeping.
+    msp_state: Option<StateId>,
+    msp_dest: Option<PhysReg>,
+    msp_source_bits: Vec<(PhysReg, usize)>,
+    msp_anchor_bit: Option<(PhysReg, usize)>,
+    // CPR aggressive-release bookkeeping.
+    superseded_by: Option<u64>,
+    pending_consumers: u32,
+    reg_released: bool,
+}
+
+/// An instruction waiting in the front end between fetch and rename.
+#[derive(Debug, Clone)]
+struct Fetched {
+    oracle_idx: Option<u64>,
+    rec: ExecutedInst,
+    ready_cycle: u64,
+    mispredicted: bool,
+    low_confidence: bool,
+}
+
+/// A CPR checkpoint: a rollback point before the instruction at
+/// `oracle_idx`, created when the instruction with `start_seq` dispatched.
+#[derive(Debug, Clone, Copy)]
+struct Checkpoint {
+    oracle_idx: u64,
+    start_seq: u64,
+}
+
+/// Register-management backend state.
+enum Backend {
+    /// ROB baseline / CPR: counted register pools per class.
+    Counted { int_free: usize, fp_free: usize },
+    /// MSP: the full state manager plus the register-file port arbiter.
+    Msp {
+        manager: Box<MspStateManager>,
+        arbiter: PortArbiter,
+    },
+}
+
+/// The timing simulator for one machine and one program.
+pub struct Simulator<'p> {
+    config: SimConfig,
+    oracle: Oracle<'p>,
+    program: &'p Program,
+    // Front end.
+    predictor: Box<dyn DirectionPredictor>,
+    confidence: ConfidenceEstimator,
+    btb: Btb,
+    ras: ReturnStack,
+    fetch_queue: VecDeque<Fetched>,
+    next_oracle_idx: u64,
+    wrong_path_pc: Option<u64>,
+    fetch_stalled_until: u64,
+    oracle_done: bool,
+    // Back end.
+    window: VecDeque<InFlight>,
+    waiting: Vec<u64>,
+    executing: Vec<u64>,
+    iq_free: Vec<usize>,
+    iq_occupancy: usize,
+    last_writer: [Option<u64>; msp_isa::NUM_LOGICAL_REGS],
+    backend: Backend,
+    checkpoints: VecDeque<Checkpoint>,
+    insts_since_checkpoint: u64,
+    memory: MemoryHierarchy,
+    load_queue: LoadQueue,
+    store_queue: Box<dyn StoreQueue>,
+    // Progress tracking.
+    cycle: u64,
+    next_seq: u64,
+    executed_once: Vec<bool>,
+    stats: SimStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for `program` with the given configuration.
+    pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        let backend = match config.machine {
+            MachineKind::Baseline | MachineKind::Cpr { .. } => Backend::Counted {
+                int_free: config
+                    .resources
+                    .regs_per_class
+                    .saturating_sub(msp_isa::NUM_INT_REGS),
+                fp_free: config
+                    .resources
+                    .regs_per_class
+                    .saturating_sub(msp_isa::NUM_FP_REGS),
+            },
+            MachineKind::Msp { .. } | MachineKind::IdealMsp => Backend::Msp {
+                manager: Box::new(MspStateManager::new(config.msp_config())),
+                arbiter: PortArbiter::new(msp_isa::NUM_LOGICAL_REGS),
+            },
+        };
+        let store_queue: Box<dyn StoreQueue> = if config.resources.sq_l2_size == 0 {
+            Box::new(SimpleStoreQueue::new(config.resources.sq_l1_size))
+        } else {
+            Box::new(HierarchicalStoreQueue::new(
+                config.resources.sq_l1_size,
+                config.resources.sq_l2_size,
+                config.resources.sq_l2_scan_latency,
+            ))
+        };
+        let mut checkpoints = VecDeque::new();
+        if matches!(config.machine, MachineKind::Cpr { .. }) {
+            checkpoints.push_back(Checkpoint {
+                oracle_idx: 0,
+                start_seq: 0,
+            });
+        }
+        Simulator {
+            oracle: Oracle::new(program),
+            program,
+            predictor: build_predictor(config.predictor),
+            confidence: ConfidenceEstimator::paper(),
+            btb: Btb::default_config(),
+            ras: ReturnStack::default(),
+            fetch_queue: VecDeque::new(),
+            next_oracle_idx: 0,
+            wrong_path_pc: None,
+            fetch_stalled_until: 0,
+            oracle_done: false,
+            window: VecDeque::new(),
+            waiting: Vec::new(),
+            executing: Vec::new(),
+            iq_free: (0..config.resources.iq_size).rev().collect(),
+            iq_occupancy: 0,
+            last_writer: [None; msp_isa::NUM_LOGICAL_REGS],
+            backend,
+            checkpoints,
+            insts_since_checkpoint: 0,
+            memory: MemoryHierarchy::new(config.memory),
+            load_queue: LoadQueue::new(config.resources.lq_size),
+            store_queue,
+            cycle: 0,
+            next_seq: 0,
+            executed_once: Vec::new(),
+            stats: SimStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs the simulation until `max_instructions` correct-path instructions
+    /// have committed, the program finishes, or progress stops (watchdog).
+    pub fn run(&mut self, max_instructions: u64) -> SimResult {
+        let mut last_committed = 0;
+        let mut idle_cycles = 0u64;
+        while self.stats.committed < max_instructions {
+            self.step_cycle();
+            if self.stats.committed == last_committed {
+                idle_cycles += 1;
+                if idle_cycles > 20_000 {
+                    // Watchdog: no forward progress (should not happen).
+                    break;
+                }
+            } else {
+                idle_cycles = 0;
+                last_committed = self.stats.committed;
+            }
+            if self.oracle_done && self.window.is_empty() && self.fetch_queue.is_empty() {
+                break;
+            }
+        }
+        SimResult {
+            machine: self.config.machine.label(),
+            predictor: self.config.predictor.label().to_string(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Advances the machine by one clock cycle.
+    pub fn step_cycle(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        if let Backend::Msp { arbiter, .. } = &mut self.backend {
+            arbiter.begin_cycle();
+        }
+        self.writeback_stage();
+        self.commit_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+    }
+
+    // ----------------------------------------------------------------- util
+
+    fn window_index(&self, seq: u64) -> Option<usize> {
+        self.window.binary_search_by_key(&seq, |i| i.seq).ok()
+    }
+
+    fn is_seq_done(&self, seq: u64) -> bool {
+        match self.window_index(seq) {
+            Some(idx) => self.window[idx].status == Status::Done,
+            // Not in the window any more: it committed (or was squashed, in
+            // which case no surviving instruction depends on it).
+            None => true,
+        }
+    }
+
+    fn wrong_path_address(pc: u64) -> u64 {
+        // Deterministic pseudo effective address for wrong-path memory
+        // instructions: stays in the data region, 8-byte aligned.
+        0x10_0000 + (pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xf_fff8)
+    }
+
+    fn free_counted_register(&mut self, class: RegClass) {
+        let limit = self
+            .config
+            .resources
+            .regs_per_class
+            .saturating_sub(msp_isa::NUM_INT_REGS);
+        if let Backend::Counted { int_free, fp_free } = &mut self.backend {
+            match class {
+                RegClass::Int => *int_free = (*int_free + 1).min(limit),
+                RegClass::Fp => *fp_free = (*fp_free + 1).min(limit),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ writeback
+
+    fn writeback_stage(&mut self) {
+        // Collect instructions finishing this cycle (oldest first).
+        let mut finished: Vec<u64> = self
+            .executing
+            .iter()
+            .copied()
+            .filter(|seq| {
+                self.window_index(*seq)
+                    .map(|idx| self.window[idx].complete_cycle <= self.cycle)
+                    .unwrap_or(false)
+            })
+            .collect();
+        finished.sort_unstable();
+        let mut recovery: Option<u64> = None;
+        let mut completed: Vec<u64> = Vec::with_capacity(finished.len());
+        for seq in finished {
+            let idx = self
+                .window_index(seq)
+                .expect("finishing instruction is in flight");
+            // MSP write-port arbitration: a completion may be delayed a cycle
+            // when its bank's single write port is already taken.
+            if self.config.arbitration {
+                if let (Some(dest), Backend::Msp { arbiter, .. }) =
+                    (self.window[idx].msp_dest, &mut self.backend)
+                {
+                    if !arbiter.request_write(dest.bank()).is_granted() {
+                        self.stats.port_conflicts += 1;
+                        self.window[idx].complete_cycle = self.cycle + 1;
+                        continue;
+                    }
+                }
+            }
+            self.window[idx].status = Status::Done;
+            completed.push(seq);
+            let (msp_dest, anchor, oracle_idx, mispredicted, is_load) = {
+                let i = &self.window[idx];
+                (
+                    i.msp_dest,
+                    i.msp_anchor_bit,
+                    i.oracle_idx,
+                    i.mispredicted,
+                    i.rec.inst.is_load(),
+                )
+            };
+            // Backend-specific completion bookkeeping.
+            if let Backend::Msp { manager, .. } = &mut self.backend {
+                if let Some(phys) = msp_dest {
+                    manager.mark_ready(phys);
+                } else if let Some((phys, slot)) = anchor {
+                    manager.clear_use(phys, slot);
+                }
+            }
+            // A non-allocating instruction keeps its IQ slot for anchor
+            // tracking until completion; release it now.
+            if let Some(slot) = self.window[idx].iq_slot.take() {
+                self.iq_free.push(slot);
+            }
+            if is_load {
+                self.load_queue.remove(seq);
+            }
+            // Branch resolution: the oldest mispredicted branch on the
+            // correct path triggers a recovery.
+            if mispredicted && oracle_idx.is_some() && recovery.is_none() {
+                recovery = Some(seq);
+            }
+        }
+        self.executing.retain(|seq| !completed.contains(seq));
+        self.release_cpr_registers();
+        if let Some(branch_seq) = recovery {
+            self.recover_from(branch_seq);
+        }
+    }
+
+    /// CPR aggressive register release (reference-counter semantics): an
+    /// instruction's destination register returns to the pool once the value
+    /// has been produced, all its known consumers have issued, and a younger
+    /// correct-path instruction writing the same logical register exists.
+    fn release_cpr_registers(&mut self) {
+        if !matches!(self.config.machine, MachineKind::Cpr { .. }) {
+            return;
+        }
+        let mut released: Vec<(usize, RegClass)> = Vec::new();
+        for (idx, inst) in self.window.iter().enumerate() {
+            if inst.reg_released
+                || inst.status != Status::Done
+                || inst.pending_consumers > 0
+                || inst.superseded_by.is_none()
+            {
+                continue;
+            }
+            if let Some(dest) = inst.dest {
+                released.push((idx, dest.class()));
+            }
+        }
+        for (idx, class) in released {
+            self.window[idx].reg_released = true;
+            self.free_counted_register(class);
+        }
+    }
+
+    // -------------------------------------------------------------- recover
+
+    fn recover_from(&mut self, branch_seq: u64) {
+        let branch_idx = self
+            .window_index(branch_seq)
+            .expect("recovering branch is in flight");
+        let branch_oracle = self.window[branch_idx]
+            .oracle_idx
+            .expect("only correct-path branches trigger recovery");
+        self.stats.recoveries += 1;
+
+        // Determine the squash point and the fetch restart point.
+        let (squash_from_seq, restart_oracle_idx) = match self.config.machine {
+            MachineKind::Cpr { .. } => {
+                // Roll back to the youngest checkpoint at or before the
+                // faulting branch; everything younger — including correctly
+                // executed correct-path work — is squashed and re-fetched.
+                while self.checkpoints.len() > 1
+                    && self
+                        .checkpoints
+                        .back()
+                        .map(|c| c.oracle_idx > branch_oracle)
+                        .unwrap_or(false)
+                {
+                    self.checkpoints.pop_back();
+                }
+                let chk = *self
+                    .checkpoints
+                    .back()
+                    .expect("CPR always keeps at least one checkpoint");
+                if chk.oracle_idx < branch_oracle {
+                    self.stats.imprecise_recoveries += 1;
+                }
+                self.insts_since_checkpoint = 0;
+                (chk.start_seq, chk.oracle_idx)
+            }
+            // Baseline and MSP recover precisely: only instructions younger
+            // than the branch (the wrong path) are squashed.
+            _ => (branch_seq + 1, branch_oracle + 1),
+        };
+
+        // MSP: the precise Recovery StateId is the state of the branch.
+        let msp_recovery_state = self.window[branch_idx].msp_state;
+
+        // Squash every in-flight instruction at or beyond the squash point.
+        let mut squashed: Vec<InFlight> = Vec::new();
+        while self
+            .window
+            .back()
+            .map(|i| i.seq >= squash_from_seq)
+            .unwrap_or(false)
+        {
+            squashed.push(self.window.pop_back().expect("back checked above"));
+        }
+        for inst in &squashed {
+            if inst.status == Status::Waiting {
+                self.iq_occupancy -= 1;
+            }
+            if let Some(slot) = inst.iq_slot {
+                self.iq_free.push(slot);
+                if let Backend::Msp { manager, .. } = &mut self.backend {
+                    manager.clear_iq_slot(slot);
+                }
+            }
+            if let Some(dest) = inst.dest {
+                if !inst.reg_released && !matches!(self.backend, Backend::Msp { .. }) {
+                    self.free_counted_register(dest.class());
+                }
+            }
+        }
+        self.waiting.retain(|seq| *seq < squash_from_seq);
+        self.executing.retain(|seq| *seq < squash_from_seq);
+        let youngest_surviving_seq = squash_from_seq.saturating_sub(1);
+        self.load_queue.squash_younger(youngest_surviving_seq);
+        self.store_queue.squash_younger(youngest_surviving_seq);
+
+        // Backend-specific state restoration.
+        if let Backend::Msp { manager, .. } = &mut self.backend {
+            let state = match self.config.machine {
+                MachineKind::Msp { .. } | MachineKind::IdealMsp => {
+                    msp_recovery_state.expect("MSP instructions always carry a state")
+                }
+                _ => unreachable!("MSP backend on a non-MSP machine"),
+            };
+            manager.recover(state);
+        }
+
+        // Rebuild the logical-register writer map from surviving
+        // instructions (generic dependence tracking).
+        self.last_writer = [None; msp_isa::NUM_LOGICAL_REGS];
+        for inst in self.window.iter() {
+            if let Some(dest) = inst.dest {
+                self.last_writer[dest.flat_index()] = Some(inst.seq);
+            }
+        }
+
+        // Redirect the front end.
+        self.fetch_queue.clear();
+        self.wrong_path_pc = None;
+        self.next_oracle_idx = restart_oracle_idx;
+        self.oracle_done = false;
+        self.fetch_stalled_until = self.cycle + 1;
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn commit_stage(&mut self) {
+        match self.config.machine {
+            MachineKind::Baseline => self.commit_baseline(),
+            MachineKind::Cpr { .. } => self.commit_cpr(),
+            MachineKind::Msp { .. } | MachineKind::IdealMsp => self.commit_msp(),
+        }
+    }
+
+    fn retire_front(&mut self) -> InFlight {
+        let inst = self
+            .window
+            .pop_front()
+            .expect("caller checked that the window front exists");
+        if inst.oracle_idx.is_some() {
+            self.stats.committed += 1;
+        }
+        inst
+    }
+
+    fn commit_baseline(&mut self) {
+        let mut retired = 0;
+        while retired < self.config.frontend.retire_width {
+            match self.window.front() {
+                Some(front) if front.status == Status::Done => {}
+                _ => break,
+            }
+            let inst = self.retire_front();
+            let seq = inst.seq;
+            if let (Some(dest), false) = (inst.dest, inst.reg_released) {
+                self.free_counted_register(dest.class());
+            }
+            for drained in self.store_queue.drain_committed(seq + 1) {
+                self.memory.store_commit(drained.addr);
+            }
+            retired += 1;
+        }
+    }
+
+    fn commit_cpr(&mut self) {
+        // The oldest checkpoint interval commits in bulk when every
+        // instruction dispatched before the next checkpoint has completed.
+        loop {
+            if self.checkpoints.len() < 2 {
+                break;
+            }
+            let boundary_seq = self.checkpoints[1].start_seq;
+            let all_done = self
+                .window
+                .iter()
+                .take_while(|i| i.seq < boundary_seq)
+                .all(|i| i.status == Status::Done);
+            if !all_done {
+                break;
+            }
+            while self
+                .window
+                .front()
+                .map(|i| i.seq < boundary_seq)
+                .unwrap_or(false)
+            {
+                let inst = self.retire_front();
+                if let (Some(dest), false) = (inst.dest, inst.reg_released) {
+                    self.free_counted_register(dest.class());
+                }
+            }
+            for drained in self.store_queue.drain_committed(boundary_seq) {
+                self.memory.store_commit(drained.addr);
+            }
+            self.checkpoints.pop_front();
+        }
+        // End of program: the final checkpoint interval has no successor, so
+        // commit it once everything in flight has completed.
+        if self.checkpoints.len() == 1
+            && self.oracle_done
+            && self.fetch_queue.is_empty()
+            && !self.window.is_empty()
+            && self.window.iter().all(|i| i.status == Status::Done)
+        {
+            while self.window.front().is_some() {
+                self.retire_front();
+            }
+            for drained in self.store_queue.drain_committed(u64::MAX) {
+                self.memory.store_commit(drained.addr);
+            }
+        }
+    }
+
+    fn commit_msp(&mut self) {
+        let lcs = match &mut self.backend {
+            Backend::Msp { manager, .. } => manager.clock_commit().lcs,
+            Backend::Counted { .. } => unreachable!("MSP commit with a counted backend"),
+        };
+        // Retire every correct-path instruction older than the LCS from the
+        // window head (bulk commit: no retire-width limit, Table I).
+        let mut retired_any = false;
+        while let Some(front) = self.window.front() {
+            let state = front.msp_state.unwrap_or(StateId::ZERO);
+            if state < lcs && front.status == Status::Done {
+                self.retire_front();
+                retired_any = true;
+            } else {
+                break;
+            }
+        }
+        // Scanning the (potentially huge) store queue is only needed when the
+        // commit point actually moved.
+        if retired_any {
+            for drained in self.store_queue.drain_committed(lcs.as_u64()) {
+                self.memory.store_commit(drained.addr);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn issue_stage(&mut self) {
+        let mut issued = 0;
+        let mut int_used = 0;
+        let mut fp_used = 0;
+        let mut mem_used = 0;
+        let mut picked: Vec<u64> = Vec::new();
+        // Oldest-first selection.
+        let mut candidates: Vec<u64> = self.waiting.clone();
+        candidates.sort_unstable();
+        for seq in candidates {
+            if issued >= self.config.frontend.issue_width {
+                break;
+            }
+            let Some(idx) = self.window_index(seq) else { continue };
+            if self.window[idx].status != Status::Waiting {
+                continue;
+            }
+            // Operand readiness.
+            let deps_ready = self.window[idx]
+                .deps
+                .iter()
+                .flatten()
+                .all(|producer| self.is_seq_done(*producer));
+            if !deps_ready {
+                continue;
+            }
+            // Functional-unit availability.
+            let class = self.window[idx].rec.inst.fu_class();
+            let (pool_used, pool_size) = match class {
+                FuClass::IntAlu | FuClass::IntMul | FuClass::Branch => {
+                    (&mut int_used, self.config.resources.int_units)
+                }
+                FuClass::FpAlu | FuClass::FpMul | FuClass::FpDiv => {
+                    (&mut fp_used, self.config.resources.fp_units)
+                }
+                FuClass::Mem => (&mut mem_used, self.config.resources.ldst_units),
+            };
+            if *pool_used >= pool_size {
+                continue;
+            }
+            // MSP read-port arbitration: one read port per bank per cycle.
+            // An instruction never needs two operands from the same bank
+            // (both would be the same physical register), so deduplicate the
+            // banks before requesting ports.
+            if self.config.arbitration {
+                if let Backend::Msp { arbiter, .. } = &mut self.backend {
+                    let mut banks: Vec<usize> = self.window[idx]
+                        .msp_source_bits
+                        .iter()
+                        .map(|(phys, _)| phys.bank())
+                        .collect();
+                    banks.sort_unstable();
+                    banks.dedup();
+                    let mut all_granted = true;
+                    for bank in banks {
+                        if !arbiter.request_read(bank).is_granted() {
+                            all_granted = false;
+                        }
+                    }
+                    if !all_granted {
+                        self.stats.port_conflicts += 1;
+                        continue;
+                    }
+                }
+            }
+            *pool_used += 1;
+            issued += 1;
+            picked.push(seq);
+            self.issue_instruction(idx);
+        }
+        self.waiting.retain(|seq| !picked.contains(seq));
+    }
+
+    fn issue_instruction(&mut self, idx: usize) {
+        let seq = self.window[idx].seq;
+        let class = self.window[idx].rec.inst.fu_class();
+        let mut latency = self.config.latency.for_class(class);
+        let rec = self.window[idx].rec;
+        if rec.inst.is_load() {
+            let addr = rec
+                .mem_addr
+                .unwrap_or_else(|| Self::wrong_path_address(rec.pc));
+            let fwd = self
+                .store_queue
+                .forward(addr, rec.inst.width().bytes(), seq);
+            if fwd.is_hit() {
+                self.stats.store_forwards += 1;
+                latency += fwd.latency() + 1;
+            } else {
+                let mem_latency = self.memory.load_latency(addr);
+                if mem_latency > self.memory.config().dl1.hit_latency {
+                    self.stats.dcache_misses += 1;
+                }
+                latency += fwd.latency() + mem_latency;
+            }
+        }
+        // Executed-instruction accounting (Fig. 9): counted at issue.
+        match self.window[idx].oracle_idx {
+            Some(oidx) => {
+                let oidx = oidx as usize;
+                if self.executed_once.len() <= oidx {
+                    self.executed_once.resize(oidx + 1, false);
+                }
+                if self.executed_once[oidx] {
+                    self.stats.executed.correct_path_reexecuted += 1;
+                } else {
+                    self.executed_once[oidx] = true;
+                    self.stats.executed.correct_path += 1;
+                }
+            }
+            None => self.stats.executed.wrong_path += 1,
+        }
+        // Free the issue-queue entry and clear the source use bits.
+        self.iq_occupancy -= 1;
+        let source_bits = std::mem::take(&mut self.window[idx].msp_source_bits);
+        if let Backend::Msp { manager, .. } = &mut self.backend {
+            for (phys, slot) in &source_bits {
+                manager.clear_use(*phys, *slot);
+            }
+        }
+        // Keep the IQ slot reserved for anchor tracking of non-allocating
+        // instructions until completion; others release it now.
+        if self.window[idx].msp_anchor_bit.is_none() {
+            if let Some(slot) = self.window[idx].iq_slot.take() {
+                self.iq_free.push(slot);
+            }
+        }
+        // Decrement producer reference counts (CPR release tracking).
+        let deps = self.window[idx].deps;
+        for producer in deps.iter().flatten() {
+            if let Some(pidx) = self.window_index(*producer) {
+                self.window[pidx].pending_consumers =
+                    self.window[pidx].pending_consumers.saturating_sub(1);
+            }
+        }
+        self.window[idx].status = Status::Executing;
+        self.window[idx].complete_cycle = self.cycle + latency.max(1);
+        self.executing.push(seq);
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    fn dispatch_stage(&mut self) {
+        let width = self.config.frontend.rename_width;
+        let mut dispatched = 0;
+        // Per-cycle same-logical-register rename limit (MSP, Section 3.3).
+        let mut renames_this_cycle: Vec<(ArchReg, usize)> = Vec::new();
+        while dispatched < width {
+            let Some(front) = self.fetch_queue.front() else {
+                self.stats.stalls.frontend_empty += 1;
+                break;
+            };
+            if front.ready_cycle > self.cycle {
+                self.stats.stalls.frontend_empty += 1;
+                break;
+            }
+            // MSP same-register-per-cycle admission.
+            if self.config.machine.is_msp() {
+                if let Some(dest) = front.rec.inst.dest() {
+                    let count = renames_this_cycle
+                        .iter()
+                        .find(|(r, _)| *r == dest)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0);
+                    if count >= self.config.max_same_reg_renames {
+                        self.stats.stalls.same_reg_limit += 1;
+                        break;
+                    }
+                }
+            }
+            if !self.structural_resources_available() {
+                break;
+            }
+            if !self.cpr_checkpoint_admission() {
+                break;
+            }
+            let dest = self.fetch_queue.front().and_then(|f| f.rec.inst.dest());
+            if !self.rename_and_dispatch_front() {
+                break;
+            }
+            if let Some(dest) = dest {
+                match renames_this_cycle.iter_mut().find(|(r, _)| *r == dest) {
+                    Some((_, c)) => *c += 1,
+                    None => renames_this_cycle.push((dest, 1)),
+                }
+            }
+            dispatched += 1;
+        }
+    }
+
+    /// Checks machine-independent structural resources for the instruction at
+    /// the head of the fetch queue, recording stall causes.
+    fn structural_resources_available(&mut self) -> bool {
+        let front = self
+            .fetch_queue
+            .front()
+            .expect("caller checked the fetch queue is non-empty");
+        let is_load = front.rec.inst.is_load();
+        let is_store = front.rec.inst.is_store();
+        let dest = front.rec.inst.dest();
+        if self.iq_free.is_empty() || self.iq_occupancy >= self.config.resources.iq_size {
+            self.stats.stalls.iq_full += 1;
+            return false;
+        }
+        if matches!(self.config.machine, MachineKind::Baseline)
+            && self.window.len() >= self.config.resources.rob_size
+        {
+            self.stats.stalls.rob_full += 1;
+            return false;
+        }
+        if is_load && self.load_queue.is_full() {
+            self.load_queue.record_full_stall();
+            self.stats.stalls.lq_full += 1;
+            return false;
+        }
+        if is_store && self.store_queue.is_full() {
+            self.stats.stalls.sq_full += 1;
+            return false;
+        }
+        // Register availability for the counted backends.
+        if let (Backend::Counted { int_free, fp_free }, Some(dest)) = (&self.backend, dest) {
+            let free = match dest.class() {
+                RegClass::Int => *int_free,
+                RegClass::Fp => *fp_free,
+            };
+            if free == 0 {
+                self.stats.stalls.regs_full += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Handles CPR checkpoint allocation for the instruction at the head of
+    /// the fetch queue. Returns false if dispatch must stall this cycle.
+    fn cpr_checkpoint_admission(&mut self) -> bool {
+        if !matches!(self.config.machine, MachineKind::Cpr { .. }) {
+            return true;
+        }
+        let front = self
+            .fetch_queue
+            .front()
+            .expect("caller checked the fetch queue is non-empty");
+        let correct_path = front.oracle_idx.is_some();
+        let wants_checkpoint = correct_path
+            && ((front.rec.inst.is_conditional_branch() && front.low_confidence)
+                || front.rec.inst.is_indirect());
+        let forced =
+            self.insts_since_checkpoint >= self.config.resources.max_insts_per_checkpoint;
+        if !wants_checkpoint && !forced {
+            return true;
+        }
+        if self.checkpoints.len() >= self.config.resources.checkpoints {
+            if forced {
+                self.stats.stalls.checkpoints_full += 1;
+                return false;
+            }
+            // Low-confidence branch but no free checkpoint: proceed without
+            // one (recovery will be imprecise).
+            return true;
+        }
+        if let Some(oracle_idx) = front.oracle_idx {
+            self.checkpoints.push_back(Checkpoint {
+                oracle_idx,
+                start_seq: self.next_seq,
+            });
+            self.stats.checkpoints_allocated += 1;
+            self.insts_since_checkpoint = 0;
+        }
+        true
+    }
+
+    /// Renames and dispatches the head of the fetch queue. Returns false on a
+    /// rename stall (MSP bank full).
+    fn rename_and_dispatch_front(&mut self) -> bool {
+        let front = self
+            .fetch_queue
+            .front()
+            .expect("caller checked the fetch queue is non-empty")
+            .clone();
+        let inst = front.rec.inst;
+        let dest = inst.dest();
+
+        // Backend renaming.
+        let (msp_state, msp_dest, msp_source_bits, msp_anchor_bit) = match &mut self.backend {
+            Backend::Msp { manager, .. } => {
+                let sources: Vec<ArchReg> = inst.sources().collect();
+                let request = RenameRequest::new(dest, &sources);
+                match manager.rename_group(&[request]) {
+                    Ok(outcome) => {
+                        let renamed = &outcome.renamed[0];
+                        let slot = *self.iq_free.last().expect("IQ capacity checked earlier");
+                        let mut source_bits = Vec::with_capacity(renamed.sources.len());
+                        for mapping in &renamed.sources {
+                            manager.note_use(mapping.phys, slot);
+                            source_bits.push((mapping.phys, slot));
+                        }
+                        let anchor = if renamed.dest.is_none() {
+                            manager.note_use(renamed.anchor, slot);
+                            Some((renamed.anchor, slot))
+                        } else {
+                            None
+                        };
+                        (
+                            Some(renamed.state_id),
+                            renamed.dest.map(|d| d.phys),
+                            source_bits,
+                            anchor,
+                        )
+                    }
+                    Err(err) => {
+                        match err {
+                            msp_state::RenameError::BankFull(reg) => {
+                                *self.stats.stalls.bank_full.entry(reg).or_insert(0) += 1;
+                            }
+                            msp_state::RenameError::SameRegisterLimit(_) => {
+                                self.stats.stalls.same_reg_limit += 1;
+                            }
+                            msp_state::RenameError::WidthLimit => {}
+                        }
+                        return false;
+                    }
+                }
+            }
+            Backend::Counted { int_free, fp_free } => {
+                if let Some(d) = dest {
+                    match d.class() {
+                        RegClass::Int => *int_free -= 1,
+                        RegClass::Fp => *fp_free -= 1,
+                    }
+                }
+                (None, None, Vec::new(), None)
+            }
+        };
+
+        let front = self
+            .fetch_queue
+            .pop_front()
+            .expect("front inspected above");
+        let iq_slot = self.iq_free.pop().expect("IQ capacity checked earlier");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.iq_occupancy += 1;
+        self.insts_since_checkpoint += 1;
+
+        // Generic dependence tracking against the youngest in-flight writer.
+        let mut deps = [None, None];
+        for (i, src) in inst.sources().enumerate().take(2) {
+            if let Some(writer) = self.last_writer[src.flat_index()] {
+                if !self.is_seq_done(writer) {
+                    deps[i] = Some(writer);
+                    if let Some(widx) = self.window_index(writer) {
+                        self.window[widx].pending_consumers += 1;
+                    }
+                }
+            }
+        }
+        // Mark the previous writer of this destination as superseded (CPR
+        // aggressive release). Only correct-path supersessions count, so a
+        // squashed wrong path cannot strand the release accounting.
+        if let (Some(d), Some(_)) = (dest, front.oracle_idx) {
+            if let Some(prev) = self.last_writer[d.flat_index()] {
+                if let Some(pidx) = self.window_index(prev) {
+                    self.window[pidx].superseded_by = Some(seq);
+                }
+            }
+        }
+        if let Some(d) = dest {
+            self.last_writer[d.flat_index()] = Some(seq);
+        }
+
+        // Memory-queue occupancy.
+        if inst.is_load() {
+            self.load_queue.insert(seq);
+        }
+        if inst.is_store() {
+            let addr = front
+                .rec
+                .mem_addr
+                .unwrap_or_else(|| Self::wrong_path_address(front.rec.pc));
+            let tag = match msp_state {
+                Some(state) => state.as_u64(),
+                None => seq,
+            };
+            self.store_queue.insert(StoreQueueEntry {
+                seq,
+                tag,
+                addr,
+                width: inst.width().bytes(),
+                value: front.rec.store_value.unwrap_or(0),
+            });
+        }
+
+        // Branch statistics are counted at dispatch of correct-path branches.
+        if front.oracle_idx.is_some() && (inst.is_conditional_branch() || inst.is_indirect()) {
+            self.stats.branches += 1;
+            if front.mispredicted {
+                self.stats.mispredictions += 1;
+            }
+        }
+
+        self.window.push_back(InFlight {
+            seq,
+            oracle_idx: front.oracle_idx,
+            rec: front.rec,
+            status: Status::Waiting,
+            complete_cycle: 0,
+            deps,
+            iq_slot: Some(iq_slot),
+            dest,
+            mispredicted: front.mispredicted,
+            msp_state,
+            msp_dest,
+            msp_source_bits,
+            msp_anchor_bit,
+            superseded_by: None,
+            pending_consumers: 0,
+            reg_released: false,
+        });
+        self.waiting.push(seq);
+        true
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch_stage(&mut self) {
+        if self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        // Bound the in-flight front end (fetch/decode buffer).
+        if self.fetch_queue.len() >= 4 * self.config.frontend.fetch_width {
+            return;
+        }
+        let mut fetched = 0;
+        let mut first_pc: Option<u64> = None;
+        while fetched < self.config.frontend.fetch_width {
+            let (rec, oracle_idx) = match self.wrong_path_pc {
+                Some(pc) => (self.synthesize_wrong_path(pc), None),
+                None => {
+                    if self.oracle_done {
+                        break;
+                    }
+                    match self.oracle.get(self.next_oracle_idx) {
+                        Some(rec) => (rec, Some(self.next_oracle_idx)),
+                        None => {
+                            self.oracle_done = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            // Charge the I-cache once per fetch cycle, for the first access.
+            let icache_extra = if first_pc.is_none() {
+                first_pc = Some(rec.pc);
+                let latency = self.memory.fetch_latency(rec.pc);
+                latency.saturating_sub(self.memory.config().il1.hit_latency)
+            } else {
+                0
+            };
+            let ready_cycle = self.cycle + self.config.frontend_delay() + icache_extra;
+
+            let (mispredicted, low_confidence, predicted_next_pc) =
+                self.predict(&rec, oracle_idx);
+
+            self.fetch_queue.push_back(Fetched {
+                oracle_idx,
+                rec,
+                ready_cycle,
+                mispredicted: mispredicted && oracle_idx.is_some(),
+                low_confidence,
+            });
+            fetched += 1;
+
+            // Advance the fetch stream.
+            match self.wrong_path_pc {
+                Some(_) => {
+                    self.wrong_path_pc = Some(predicted_next_pc);
+                }
+                None => {
+                    self.next_oracle_idx += 1;
+                    if mispredicted {
+                        // Subsequent fetch goes down the predicted (wrong)
+                        // path until the branch resolves.
+                        self.wrong_path_pc = Some(predicted_next_pc);
+                    }
+                }
+            }
+            // A predicted-taken control transfer ends the fetch block.
+            if rec.inst.is_control() && predicted_next_pc != rec.pc.wrapping_add(4) {
+                break;
+            }
+        }
+    }
+
+    /// Synthesizes a wrong-path dynamic record for the instruction at `pc`.
+    fn synthesize_wrong_path(&self, pc: u64) -> ExecutedInst {
+        let inst = self.program.fetch_or_halt(pc);
+        ExecutedInst {
+            pc,
+            inst,
+            next_pc: pc.wrapping_add(4),
+            taken: false,
+            mem_addr: if inst.is_mem() {
+                Some(Self::wrong_path_address(pc))
+            } else {
+                None
+            },
+            dest_value: None,
+            store_value: None,
+            halted: false,
+        }
+    }
+
+    /// Produces the branch prediction for a fetched instruction. Returns
+    /// `(mispredicted, low_confidence, predicted_next_pc)`.
+    fn predict(&mut self, rec: &ExecutedInst, oracle_idx: Option<u64>) -> (bool, bool, u64) {
+        let inst = rec.inst;
+        let correct_path = oracle_idx.is_some();
+        let fallthrough = rec.pc.wrapping_add(4);
+        if !inst.is_control() {
+            return (
+                false,
+                false,
+                if correct_path { rec.next_pc } else { fallthrough },
+            );
+        }
+        // A branch whose outcome was already resolved by a previous execution
+        // (CPR re-fetch after rollback) does not re-mispredict: the machine
+        // reuses the recorded outcome.
+        let already_resolved = oracle_idx
+            .map(|idx| self.executed_once.get(idx as usize).copied().unwrap_or(false))
+            .unwrap_or(false);
+        if inst.is_conditional_branch() {
+            let predicted_taken = self.predictor.predict(rec.pc);
+            let low_confidence = !self.confidence.is_high_confidence(rec.pc);
+            let predicted_target = if predicted_taken {
+                inst.target().expect("conditional branches carry a target")
+            } else {
+                fallthrough
+            };
+            if correct_path {
+                let actual = rec.taken;
+                if already_resolved {
+                    // Re-fetched after a checkpoint rollback: the outcome is
+                    // known, and the predictor was already trained by the
+                    // first execution.
+                    return (false, low_confidence, rec.next_pc);
+                }
+                self.predictor.update(rec.pc, actual);
+                self.confidence
+                    .update(rec.pc, predicted_taken == actual, actual);
+                let mispredicted = predicted_taken != actual;
+                let next = if mispredicted {
+                    predicted_target
+                } else {
+                    rec.next_pc
+                };
+                return (mispredicted, low_confidence, next);
+            }
+            return (false, low_confidence, predicted_target);
+        }
+        if inst.is_indirect() {
+            // Returns consult the return stack first, other indirect jumps
+            // the BTB.
+            let predicted = if inst.is_return() {
+                self.ras.pop().or_else(|| self.btb.lookup(rec.pc))
+            } else {
+                self.btb.lookup(rec.pc)
+            };
+            if correct_path {
+                let actual = rec.next_pc;
+                if already_resolved {
+                    return (false, true, actual);
+                }
+                self.btb.update(rec.pc, actual);
+                let mispredicted = predicted != Some(actual);
+                let next = if mispredicted {
+                    predicted.unwrap_or(fallthrough)
+                } else {
+                    actual
+                };
+                return (mispredicted, true, next);
+            }
+            return (false, true, predicted.unwrap_or(fallthrough));
+        }
+        // Direct jumps and calls: target known at fetch.
+        if inst.is_call() {
+            self.ras.push(fallthrough);
+        }
+        let target = inst
+            .target()
+            .expect("direct jumps and calls carry targets");
+        let next = if correct_path { rec.next_pc } else { target };
+        (false, false, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_branch::PredictorKind;
+    use msp_workloads::{by_name, microbenchmark, Variant};
+
+    fn run_machine(program: &Program, machine: MachineKind, max: u64) -> SimResult {
+        let config = SimConfig::machine(machine, PredictorKind::Gshare);
+        Simulator::new(program, config).run(max)
+    }
+
+    #[test]
+    fn microbenchmark_completes_on_every_machine() {
+        let program = microbenchmark();
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let result = run_machine(&program, machine, 10_000);
+            // The microbenchmark has 3 + 64*6 + 1 = 388 dynamic instructions.
+            assert_eq!(
+                result.stats.committed, 388,
+                "{machine:?} must commit the whole program"
+            );
+            assert!(result.ipc() > 0.1, "{machine:?} made no progress");
+            assert!(result.stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn committed_instructions_reach_the_request() {
+        let w = by_name("crafty", Variant::Original).unwrap();
+        let result = run_machine(w.program(), MachineKind::msp(16), 3_000);
+        assert!(result.stats.committed >= 3_000);
+        assert!(result.stats.committed < 3_100);
+    }
+
+    #[test]
+    fn mispredictions_and_wrong_path_work_appear() {
+        let w = by_name("vpr", Variant::Original).unwrap();
+        let result = run_machine(w.program(), MachineKind::msp(16), 5_000);
+        assert!(result.stats.branches > 100);
+        assert!(
+            result.stats.misprediction_rate() > 0.05,
+            "vpr's coin-flip branch must defeat gshare (rate {})",
+            result.stats.misprediction_rate()
+        );
+        assert!(result.stats.executed.wrong_path > 0);
+        assert_eq!(
+            result.stats.executed.correct_path_reexecuted, 0,
+            "precise recovery never re-executes correct-path work"
+        );
+    }
+
+    #[test]
+    fn cpr_reexecutes_correct_path_instructions() {
+        let w = by_name("vpr", Variant::Original).unwrap();
+        let result = run_machine(w.program(), MachineKind::cpr(), 5_000);
+        assert!(result.stats.checkpoints_allocated > 0);
+        assert!(
+            result.stats.executed.correct_path_reexecuted > 0,
+            "checkpoint rollback must re-execute correct-path instructions"
+        );
+        assert!(result.stats.recoveries > 0);
+    }
+
+    #[test]
+    fn baseline_never_reexecutes_correct_path_work() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let result = run_machine(w.program(), MachineKind::Baseline, 4_000);
+        assert_eq!(result.stats.executed.correct_path_reexecuted, 0);
+        assert!(result.stats.committed >= 4_000);
+    }
+
+    #[test]
+    fn msp_bank_stalls_appear_with_tiny_banks() {
+        let w = by_name("swim", Variant::Original).unwrap();
+        let result = run_machine(w.program(), MachineKind::msp(4), 4_000);
+        assert!(
+            result.stats.stalls.bank_full_total() > 0,
+            "4 registers per bank must stall the swim kernel"
+        );
+        // The ideal MSP never stalls on banks.
+        let ideal = run_machine(w.program(), MachineKind::IdealMsp, 4_000);
+        assert_eq!(ideal.stats.stalls.bank_full_total(), 0);
+        assert!(ideal.ipc() >= result.ipc());
+    }
+
+    #[test]
+    fn larger_banks_do_not_hurt_ipc() {
+        let w = by_name("mgrid", Variant::Original).unwrap();
+        let small = run_machine(w.program(), MachineKind::msp(8), 4_000);
+        let large = run_machine(w.program(), MachineKind::msp(64), 4_000);
+        assert!(
+            large.ipc() >= small.ipc() * 0.98,
+            "64-SP ({}) must not be slower than 8-SP ({})",
+            large.ipc(),
+            small.ipc()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let a = run_machine(w.program(), MachineKind::cpr(), 3_000);
+        let b = run_machine(w.program(), MachineKind::cpr(), 3_000);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.executed.total(), b.stats.executed.total());
+    }
+
+    #[test]
+    fn stats_accessors_and_result_fields() {
+        let program = microbenchmark();
+        let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Tage);
+        let mut sim = Simulator::new(&program, config);
+        assert_eq!(sim.stats().cycles, 0);
+        let result = sim.run(1_000);
+        assert_eq!(result.machine, "16-SP");
+        assert_eq!(result.predictor, "TAGE");
+        assert_eq!(sim.config().machine, MachineKind::msp(16));
+    }
+}

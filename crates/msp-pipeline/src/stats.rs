@@ -1,0 +1,196 @@
+//! Simulation statistics: everything needed to regenerate the paper's
+//! figures (IPC, executed-instruction breakdown, stall attribution).
+
+use msp_isa::ArchReg;
+use std::collections::HashMap;
+
+/// Breakdown of executed (issued-to-a-functional-unit) instructions, the
+/// three bars of Fig. 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutedBreakdown {
+    /// Correct-path instructions executed for the first time.
+    pub correct_path: u64,
+    /// Correct-path instructions re-executed after an imprecise (checkpoint)
+    /// recovery squashed them even though they had executed correctly.
+    pub correct_path_reexecuted: u64,
+    /// Wrong-path instructions executed beyond mispredicted branches.
+    pub wrong_path: u64,
+}
+
+impl ExecutedBreakdown {
+    /// Total executed instructions.
+    pub fn total(&self) -> u64 {
+        self.correct_path + self.correct_path_reexecuted + self.wrong_path
+    }
+}
+
+/// Dispatch-stall cycles attributed to their causes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Issue-queue full.
+    pub iq_full: u64,
+    /// Re-order buffer full (baseline only).
+    pub rob_full: u64,
+    /// Load queue full.
+    pub lq_full: u64,
+    /// Store queue full.
+    pub sq_full: u64,
+    /// Out of physical registers (baseline/CPR global file).
+    pub regs_full: u64,
+    /// Out of CPR checkpoints.
+    pub checkpoints_full: u64,
+    /// MSP: a logical register's bank was full, per logical register —
+    /// the stall bars of Figs. 6–8.
+    pub bank_full: HashMap<ArchReg, u64>,
+    /// MSP: rename-group truncated by the same-register-per-cycle limit.
+    pub same_reg_limit: u64,
+    /// Front end had nothing to deliver (empty after a redirect or I-cache
+    /// miss).
+    pub frontend_empty: u64,
+}
+
+impl StallBreakdown {
+    /// Total MSP bank-full stall cycles across all logical registers.
+    pub fn bank_full_total(&self) -> u64 {
+        self.bank_full.values().sum()
+    }
+
+    /// The `n` logical registers with the most bank-full stall cycles,
+    /// largest first (the paper plots the top three for 16-SP).
+    pub fn top_bank_stalls(&self, n: usize) -> Vec<(ArchReg, u64)> {
+        let mut v: Vec<(ArchReg, u64)> = self
+            .bank_full
+            .iter()
+            .map(|(r, c)| (*r, *c))
+            .filter(|(_, c)| *c > 0)
+            .collect();
+        v.sort_by_key(|(r, c)| (std::cmp::Reverse(*c), r.flat_index()));
+        v.truncate(n);
+        v
+    }
+
+    /// Total stall cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.iq_full
+            + self.rob_full
+            + self.lq_full
+            + self.sq_full
+            + self.regs_full
+            + self.checkpoints_full
+            + self.bank_full_total()
+            + self.same_reg_limit
+            + self.frontend_empty
+    }
+}
+
+/// Complete statistics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Simulated clock cycles.
+    pub cycles: u64,
+    /// Correct-path instructions committed (the numerator of IPC).
+    pub committed: u64,
+    /// Executed-instruction breakdown (Fig. 9).
+    pub executed: ExecutedBreakdown,
+    /// Conditional branches resolved on the correct path.
+    pub branches: u64,
+    /// Mispredicted conditional branches (direction or indirect target).
+    pub mispredictions: u64,
+    /// Recoveries performed (equals mispredictions unless coalesced).
+    pub recoveries: u64,
+    /// CPR only: recoveries that had to roll back to a checkpoint older than
+    /// the faulting branch (imprecise recoveries).
+    pub imprecise_recoveries: u64,
+    /// CPR only: checkpoints allocated.
+    pub checkpoints_allocated: u64,
+    /// Dispatch-stall attribution.
+    pub stalls: StallBreakdown,
+    /// Register-file read-port conflicts (MSP arbitration).
+    pub port_conflicts: u64,
+    /// Loads that forwarded from the store queue.
+    pub store_forwards: u64,
+    /// D-cache misses observed by loads.
+    pub dcache_misses: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over resolved correct-path branches.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Executed instructions per committed instruction (>= 1; the overhead
+    /// the MSP reduces in Fig. 9).
+    pub fn execution_overhead(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.executed.total() as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executed_breakdown_totals() {
+        let e = ExecutedBreakdown {
+            correct_path: 100,
+            correct_path_reexecuted: 20,
+            wrong_path: 30,
+        };
+        assert_eq!(e.total(), 150);
+    }
+
+    #[test]
+    fn stall_breakdown_ranking() {
+        let mut s = StallBreakdown::default();
+        s.bank_full.insert(ArchReg::int(3), 50);
+        s.bank_full.insert(ArchReg::int(7), 200);
+        s.bank_full.insert(ArchReg::fp(1), 10);
+        s.bank_full.insert(ArchReg::int(9), 0);
+        assert_eq!(s.bank_full_total(), 260);
+        let top = s.top_bank_stalls(2);
+        assert_eq!(top, vec![(ArchReg::int(7), 200), (ArchReg::int(3), 50)]);
+        s.iq_full = 40;
+        assert_eq!(s.total(), 300);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed: 1500,
+            branches: 200,
+            mispredictions: 20,
+            executed: ExecutedBreakdown {
+                correct_path: 1500,
+                correct_path_reexecuted: 150,
+                wrong_path: 300,
+            },
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 1.5).abs() < 1e-9);
+        assert!((stats.misprediction_rate() - 0.1).abs() < 1e-9);
+        assert!((stats.execution_overhead() - 1.3).abs() < 1e-9);
+        let empty = SimStats::default();
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.misprediction_rate(), 0.0);
+        assert_eq!(empty.execution_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! The Multi-State Processor (MSP) state-management architecture.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (González et al., *A Distributed Processor State Management Architecture
+//! for Large-Window Processors*, MICRO 2008): a register-file and processor
+//! state management scheme for large-instruction-window processors that needs
+//! neither a re-order buffer nor checkpoints, yet recovers *precisely* from
+//! branch mispredictions and exceptions.
+//!
+//! # Concepts
+//!
+//! * [`StateId`] — every instruction that allocates a destination register
+//!   creates a new processor state, identified by a monotonically increasing
+//!   StateId. Instructions that do not write a register (stores, branches)
+//!   share the state of the most recent register-allocating instruction.
+//!   [`CompactStateId`] and [`StateCounter`] model the paper's bounded
+//!   `log2(M)+1`-bit hardware encoding with the saturation-bit overflow scheme
+//!   (Section 3.6).
+//! * [`StateIdRange`] — the range of states in which a physical register is
+//!   the live renaming of its logical register (Fig. 2).
+//! * [`Sct`] — one **State Control Table** per logical register manages a
+//!   private bank of physical registers with in-order allocation (Rename
+//!   Pointer) and in-order release (Release Pointer). Renaming, allocation and
+//!   release are therefore fully distributed (Section 3.2.1).
+//! * [`RelIq`] — the register-use tracking matrix: one bit per (physical
+//!   register, instruction-queue slot). It replaces reference counters
+//!   (Section 3.4).
+//! * [`LcsUnit`] — the global **Last Committed StateId** reduction tree:
+//!   `LCS = min(StateId[RelP_i])` over all banks, with a configurable
+//!   propagation delay (Section 3.2.2).
+//! * [`BankedRegFile`] / [`PortArbiter`] — a banked physical register file
+//!   with a single read and a single write port per bank, plus the port
+//!   arbitration the MSP adds as an extra pipeline stage (Section 5.1).
+//! * [`RenameUnit`] — multi-instruction renaming per cycle, allowing up to a
+//!   configurable number of same-logical-register renamings per cycle
+//!   (Section 3.3).
+//! * [`MspStateManager`] — the facade tying everything together: allocation,
+//!   renaming, use tracking, commit/release driven by the LCS, and precise
+//!   recovery (Section 3.5).
+//!
+//! # Quick example
+//!
+//! ```
+//! use msp_state::{MspConfig, MspStateManager, RenameRequest};
+//! use msp_isa::ArchReg;
+//!
+//! let mut msp = MspStateManager::new(MspConfig::default());
+//! // Rename "add r2, r1, r1" (allocates a new state for r2's new renaming).
+//! let outcome = msp
+//!     .rename_group(&[RenameRequest::new(Some(ArchReg::int(2)), &[ArchReg::int(1), ArchReg::int(1)])])
+//!     .expect("rename group fits");
+//! assert_eq!(outcome.renamed.len(), 1);
+//! let dest = outcome.renamed[0].dest.expect("r2 allocates a register");
+//! assert_eq!(dest.state_id.as_u64(), 1); // first allocated state after the initial one
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lcs;
+mod manager;
+mod physreg;
+mod regfile;
+mod reliq;
+mod rename;
+mod sct;
+mod stateid;
+
+pub use lcs::LcsUnit;
+pub use manager::{
+    CommitOutcome, MspConfig, MspStateManager, MspStats, RecoveryOutcome, RenameError,
+    RenameGroupOutcome, RenameRequest, RenamedDest, RenamedInst, SourceMapping,
+};
+pub use physreg::PhysReg;
+pub use regfile::{BankedRegFile, PortArbiter, PortRequestOutcome};
+pub use reliq::RelIq;
+pub use rename::{RenameUnit, RenameUnitConfig};
+pub use sct::{Sct, SctEntry, SctError};
+pub use stateid::{CompactStateId, StateCounter, StateId, StateIdRange};

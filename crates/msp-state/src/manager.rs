@@ -1,0 +1,808 @@
+//! The MSP state-management facade: distributed renaming, use tracking,
+//! LCS-driven commit and precise recovery (Sections 3.2–3.5).
+
+use crate::lcs::LcsUnit;
+use crate::physreg::PhysReg;
+use crate::reliq::RelIq;
+use crate::rename::{RenameUnit, RenameUnitConfig};
+use crate::sct::Sct;
+use crate::stateid::{StateCounter, StateId};
+use msp_isa::{ArchReg, NUM_LOGICAL_REGS};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of an MSP state manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MspConfig {
+    /// Physical registers per logical-register bank (the `n` in `n-SP`).
+    pub regs_per_bank: usize,
+    /// Instruction-queue size (number of RelIQ columns).
+    pub iq_size: usize,
+    /// Propagation delay of the LCS reduction tree in cycles (Table I: 1 for
+    /// n-SP, 0 for the ideal MSP).
+    pub lcs_delay: usize,
+    /// Per-cycle renaming limits (Section 3.3).
+    pub rename: RenameUnitConfig,
+}
+
+impl Default for MspConfig {
+    fn default() -> Self {
+        MspConfig {
+            regs_per_bank: 16,
+            iq_size: 128,
+            lcs_delay: 1,
+            rename: RenameUnitConfig::default(),
+        }
+    }
+}
+
+impl MspConfig {
+    /// The `n-SP` configuration of the paper: `n` physical registers per
+    /// logical register, 1-cycle LCS propagation.
+    pub fn n_sp(n: usize) -> Self {
+        MspConfig {
+            regs_per_bank: n,
+            ..MspConfig::default()
+        }
+    }
+
+    /// The ideal MSP: an effectively unbounded register file and a 0-cycle
+    /// LCS propagation delay.
+    pub fn ideal() -> Self {
+        MspConfig {
+            regs_per_bank: 4096,
+            lcs_delay: 0,
+            ..MspConfig::default()
+        }
+    }
+
+    /// Total number of physical registers.
+    pub fn total_registers(&self) -> usize {
+        self.regs_per_bank * NUM_LOGICAL_REGS
+    }
+
+    /// The `m` parameter of the compact StateId encoding: `ceil(log2(M))`
+    /// where `M` is the total number of physical registers, clamped to the
+    /// range supported by [`StateCounter`].
+    pub fn state_width(&self) -> u8 {
+        let m = (usize::BITS - (self.total_registers().max(2) - 1).leading_zeros()) as u8;
+        m.clamp(1, 30)
+    }
+}
+
+/// A single instruction's renaming request: its destination logical register
+/// (if any) and up to two source logical registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenameRequest {
+    dest: Option<ArchReg>,
+    sources: [Option<ArchReg>; 2],
+}
+
+impl RenameRequest {
+    /// Creates a request from a destination and a slice of sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two sources are supplied.
+    pub fn new(dest: Option<ArchReg>, sources: &[ArchReg]) -> Self {
+        assert!(sources.len() <= 2, "instructions have at most two register sources");
+        let mut s = [None, None];
+        for (slot, reg) in s.iter_mut().zip(sources.iter()) {
+            *slot = Some(*reg);
+        }
+        RenameRequest { dest, sources: s }
+    }
+
+    /// The destination logical register, if the instruction allocates one.
+    pub fn dest(&self) -> Option<ArchReg> {
+        self.dest
+    }
+
+    /// The source logical registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.sources.iter().flatten().copied()
+    }
+}
+
+/// The physical register a source operand resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceMapping {
+    /// The logical register that was looked up.
+    pub logical: ArchReg,
+    /// The physical register holding its most recent renaming.
+    pub phys: PhysReg,
+    /// Whether the value had already been produced at rename time.
+    pub ready: bool,
+}
+
+/// A newly allocated destination renaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamedDest {
+    /// The allocated physical register.
+    pub phys: PhysReg,
+    /// The new processor state created by this allocation.
+    pub state_id: StateId,
+}
+
+/// The result of renaming one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenamedInst {
+    /// The processor state this instruction belongs to.
+    pub state_id: StateId,
+    /// The allocated destination, if the instruction writes a register.
+    pub dest: Option<RenamedDest>,
+    /// Resolved source operands.
+    pub sources: Vec<SourceMapping>,
+    /// The physical register anchoring this instruction's state: for
+    /// instructions that do not allocate a register (stores, branches) the
+    /// pipeline sets a RelIQ use bit on this row so the state cannot commit
+    /// before the instruction completes (Section 3.4).
+    pub anchor: PhysReg,
+}
+
+/// Why renaming stopped partway through (or before) a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameError {
+    /// The bank of this logical register has no free physical register
+    /// (the register-file stall of Figs. 6–8).
+    BankFull(ArchReg),
+    /// Too many instructions in the group rename the same logical register
+    /// in one cycle (Section 3.3).
+    SameRegisterLimit(ArchReg),
+    /// The group exceeds the per-cycle rename width.
+    WidthLimit,
+}
+
+impl fmt::Display for RenameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenameError::BankFull(r) => write!(f, "no free physical register in bank {r}"),
+            RenameError::SameRegisterLimit(r) => {
+                write!(f, "too many renamings of {r} in one cycle")
+            }
+            RenameError::WidthLimit => write!(f, "rename width exceeded"),
+        }
+    }
+}
+
+impl Error for RenameError {}
+
+/// The result of renaming a decode group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameGroupOutcome {
+    /// The renamed prefix of the group, in program order.
+    pub renamed: Vec<RenamedInst>,
+    /// Why the rest of the group was not renamed, if it was truncated.
+    pub stall: Option<RenameError>,
+}
+
+/// The result of one commit/release cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The LCS visible this cycle; every state strictly older is committed.
+    pub lcs: StateId,
+    /// Number of states that newly became committed this cycle.
+    pub newly_committed_states: u64,
+    /// Physical registers released this cycle.
+    pub released: Vec<PhysReg>,
+}
+
+/// The result of a precise state recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The state execution was restored to.
+    pub recovery_state: StateId,
+    /// Physical registers released because their state was squashed.
+    pub released: Vec<PhysReg>,
+}
+
+/// Aggregate statistics of an [`MspStateManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MspStats {
+    /// Instructions renamed (allocating or not).
+    pub instructions_renamed: u64,
+    /// Processor states (destination registers) allocated.
+    pub states_allocated: u64,
+    /// States committed through the LCS mechanism.
+    pub states_committed: u64,
+    /// Physical registers released by commit.
+    pub registers_released: u64,
+    /// Precise recoveries performed.
+    pub recoveries: u64,
+    /// Physical registers released by recoveries.
+    pub registers_squashed: u64,
+    /// Rename attempts rejected because a bank was full.
+    pub bank_full_stalls: u64,
+    /// Groups truncated by the same-logical-register limit.
+    pub same_reg_truncations: u64,
+    /// Groups truncated by the rename-width limit.
+    pub width_truncations: u64,
+    /// Saturation-bit epoch resets of the hardware StateId counter.
+    pub epoch_resets: u64,
+}
+
+/// The complete MSP state-management mechanism: one SCT and RelIQ matrix per
+/// logical register, the global StateId counter and the LCS unit.
+///
+/// See the crate-level documentation for an overview and the paper mapping.
+#[derive(Debug, Clone)]
+pub struct MspStateManager {
+    config: MspConfig,
+    scts: Vec<Sct>,
+    reliqs: Vec<RelIq>,
+    counter: StateCounter,
+    lcs: LcsUnit,
+    rename_unit: RenameUnit,
+    last_allocated: PhysReg,
+    committed_floor: StateId,
+    stats: MspStats,
+}
+
+impl MspStateManager {
+    /// Creates a manager for the given configuration.
+    pub fn new(config: MspConfig) -> Self {
+        let scts = (0..NUM_LOGICAL_REGS)
+            .map(|bank| Sct::new(bank, config.regs_per_bank))
+            .collect();
+        let reliqs = (0..NUM_LOGICAL_REGS)
+            .map(|_| RelIq::new(config.regs_per_bank, config.iq_size))
+            .collect();
+        MspStateManager {
+            scts,
+            reliqs,
+            counter: StateCounter::new(config.state_width()),
+            lcs: LcsUnit::new(config.lcs_delay),
+            rename_unit: RenameUnit::new(config.rename),
+            last_allocated: PhysReg::new(0, 0),
+            committed_floor: StateId::ZERO,
+            stats: MspStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration this manager was built with.
+    pub fn config(&self) -> &MspConfig {
+        &self.config
+    }
+
+    /// The current processor state (the StateId Counter value).
+    pub fn current_state(&self) -> StateId {
+        self.counter.current()
+    }
+
+    /// The Last Committed StateId visible this cycle: every state strictly
+    /// older is committed.
+    pub fn lcs(&self) -> StateId {
+        self.lcs.current()
+    }
+
+    /// Total number of physical registers managed.
+    pub fn total_registers(&self) -> usize {
+        self.config.total_registers()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> MspStats {
+        let mut stats = self.stats;
+        stats.same_reg_truncations = self.rename_unit.same_reg_truncations();
+        stats.width_truncations = self.rename_unit.width_truncations();
+        stats.epoch_resets = self.counter.epoch_resets();
+        stats
+    }
+
+    /// Rename stalls caused by a specific logical register's bank being full
+    /// (the per-register stall bars of Figs. 6–8).
+    pub fn bank_full_stalls(&self, reg: ArchReg) -> u64 {
+        self.scts[reg.flat_index()].full_stalls()
+    }
+
+    /// Stall counts for every bank, largest first.
+    pub fn bank_full_stalls_ranked(&self) -> Vec<(ArchReg, u64)> {
+        let mut v: Vec<(ArchReg, u64)> = ArchReg::all()
+            .map(|r| (r, self.bank_full_stalls(r)))
+            .collect();
+        v.sort_by_key(|(_, stalls)| std::cmp::Reverse(*stalls));
+        v
+    }
+
+    /// Number of free physical registers remaining in a logical register's
+    /// bank.
+    pub fn free_registers(&self, reg: ArchReg) -> usize {
+        self.scts[reg.flat_index()].free_entries()
+    }
+
+    /// The current mapping of a logical register (the renaming a newly
+    /// decoded consumer would source).
+    pub fn source_mapping(&self, reg: ArchReg) -> SourceMapping {
+        let sct = &self.scts[reg.flat_index()];
+        let slot = sct.current_mapping();
+        SourceMapping {
+            logical: reg,
+            phys: PhysReg::new(reg.flat_index(), slot),
+            ready: sct.is_ready(slot),
+        }
+    }
+
+    /// Renames a decode group (in program order).
+    ///
+    /// The group is renamed as far as the per-cycle limits and bank capacity
+    /// allow. Source lookups within the group observe earlier renamings of
+    /// the same cycle (RAW resolution of Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the *first* instruction of the group cannot be
+    /// renamed — a full rename stall; the group must be retried next cycle.
+    pub fn rename_group(
+        &mut self,
+        group: &[RenameRequest],
+    ) -> Result<RenameGroupOutcome, RenameError> {
+        // First apply the per-cycle admission limits (width, same-register).
+        let dests: Vec<Option<ArchReg>> = group.iter().map(|r| r.dest()).collect();
+        let admissible = self.rename_unit.admissible_prefix(&dests);
+        let admission_stall = if admissible < group.len() {
+            // Identify which limit truncated the group for reporting.
+            let reg = dests[admissible];
+            Some(match reg {
+                Some(r) if self.count_same_dest(&dests[..admissible], r)
+                    >= self.config.rename.max_same_logical =>
+                {
+                    RenameError::SameRegisterLimit(r)
+                }
+                _ => RenameError::WidthLimit,
+            })
+        } else {
+            None
+        };
+
+        let mut renamed = Vec::with_capacity(admissible);
+        let mut stall = admission_stall;
+        for request in &group[..admissible] {
+            // Resolve sources against the *current* mappings, which already
+            // include renamings performed earlier in this same group.
+            let sources: Vec<SourceMapping> =
+                request.sources().map(|r| self.source_mapping(r)).collect();
+
+            let dest = match request.dest() {
+                Some(reg) => {
+                    let bank = reg.flat_index();
+                    if self.scts[bank].is_full() {
+                        self.scts[bank].record_full_stall();
+                        self.stats.bank_full_stalls += 1;
+                        stall = Some(RenameError::BankFull(reg));
+                        break;
+                    }
+                    let (state, _reset) = self.counter.allocate();
+                    let slot = self.scts[bank]
+                        .allocate(state)
+                        .expect("bank fullness checked above");
+                    self.stats.states_allocated += 1;
+                    let phys = PhysReg::new(bank, slot);
+                    self.last_allocated = phys;
+                    Some(RenamedDest {
+                        phys,
+                        state_id: state,
+                    })
+                }
+                None => None,
+            };
+
+            self.stats.instructions_renamed += 1;
+            renamed.push(RenamedInst {
+                state_id: self.counter.current(),
+                dest,
+                sources,
+                anchor: self.last_allocated,
+            });
+        }
+
+        if renamed.is_empty() {
+            Err(stall.expect("an empty rename outcome always carries a stall reason"))
+        } else {
+            Ok(RenameGroupOutcome { renamed, stall })
+        }
+    }
+
+    fn count_same_dest(&self, dests: &[Option<ArchReg>], reg: ArchReg) -> usize {
+        dests.iter().filter(|d| **d == Some(reg)).count()
+    }
+
+    /// Records that the instruction in IQ slot `iq_slot` uses (or belongs to
+    /// the state of) physical register `reg`.
+    pub fn note_use(&mut self, reg: PhysReg, iq_slot: usize) {
+        self.reliqs[reg.bank()].set_use(reg.slot(), iq_slot);
+    }
+
+    /// Clears a previously recorded use (the consumer issued / completed).
+    pub fn clear_use(&mut self, reg: PhysReg, iq_slot: usize) {
+        self.reliqs[reg.bank()].clear_use(reg.slot(), iq_slot);
+    }
+
+    /// Clears every use bit of an IQ slot across all banks (the slot was
+    /// squashed by a recovery).
+    pub fn clear_iq_slot(&mut self, iq_slot: usize) {
+        for reliq in &mut self.reliqs {
+            reliq.clear_column(iq_slot);
+        }
+    }
+
+    /// Marks a physical register as produced (writeback).
+    pub fn mark_ready(&mut self, reg: PhysReg) {
+        self.scts[reg.bank()].mark_ready(reg.slot());
+    }
+
+    /// Whether a physical register's value has been produced.
+    pub fn is_ready(&self, reg: PhysReg) -> bool {
+        self.scts[reg.bank()].is_ready(reg.slot())
+    }
+
+    /// Whether any in-flight instruction still uses `reg` (the RelIQ row OR).
+    pub fn has_outstanding_uses(&self, reg: PhysReg) -> bool {
+        self.reliqs[reg.bank()].any_use(reg.slot())
+    }
+
+    /// Performs one commit/release cycle (Section 3.2.2): advances every
+    /// bank's Release Pointer, recomputes the LCS, commits every state older
+    /// than it and releases the corresponding physical registers.
+    pub fn clock_commit(&mut self) -> CommitOutcome {
+        // 1. Advance the per-bank Release Pointers.
+        for bank in 0..NUM_LOGICAL_REGS {
+            let reliq = &self.reliqs[bank];
+            self.scts[bank].advance_release_pointer(|slot| reliq.any_use(slot));
+        }
+        // 2. Reduce the per-bank contributions to the LCS.
+        let fallback = self.counter.current().next();
+        let contributions: Vec<Option<StateId>> =
+            self.scts.iter().map(|s| s.lcs_contribution()).collect();
+        let lcs = self.lcs.clock(contributions, fallback);
+        // 3. Release committed registers in every bank.
+        let mut released = Vec::new();
+        for bank in 0..NUM_LOGICAL_REGS {
+            for slot in self.scts[bank].release_committed(lcs) {
+                self.reliqs[bank].clear_row(slot);
+                released.push(PhysReg::new(bank, slot));
+            }
+        }
+        let newly_committed = lcs.as_u64().saturating_sub(self.committed_floor.as_u64());
+        if lcs > self.committed_floor {
+            self.committed_floor = lcs;
+        }
+        self.stats.states_committed += newly_committed;
+        self.stats.registers_released += released.len() as u64;
+        CommitOutcome {
+            lcs,
+            newly_committed_states: newly_committed,
+            released,
+        }
+    }
+
+    /// Performs a precise state recovery to `recovery_state` (Section 3.5):
+    /// every physical register whose StateId is newer is released, the
+    /// StateId counter is restored, and the LCS pipeline is flushed.
+    ///
+    /// The caller (the pipeline) is responsible for squashing the younger
+    /// instructions in the instruction queue and clearing their RelIQ columns
+    /// via [`MspStateManager::clear_iq_slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recovery_state` is older than the committed floor (states
+    /// that have committed can never be recovered) or newer than the current
+    /// state.
+    pub fn recover(&mut self, recovery_state: StateId) -> RecoveryOutcome {
+        assert!(
+            recovery_state >= self.committed_floor.as_u64().saturating_sub(1).into(),
+            "cannot recover into already committed states"
+        );
+        let mut released = Vec::new();
+        for bank in 0..NUM_LOGICAL_REGS {
+            for slot in self.scts[bank].recover(recovery_state) {
+                self.reliqs[bank].clear_row(slot);
+                released.push(PhysReg::new(bank, slot));
+            }
+        }
+        self.counter.recover_to(recovery_state);
+        // Restore the anchor for subsequently decoded non-allocating
+        // instructions to the surviving renaming of the recovery state.
+        self.last_allocated = self.anchor_for_current_state();
+        let clamped = StateId::new(self.lcs.current().as_u64().min(recovery_state.as_u64() + 1));
+        self.lcs.flush(clamped);
+        self.stats.recoveries += 1;
+        self.stats.registers_squashed += released.len() as u64;
+        RecoveryOutcome {
+            recovery_state,
+            released,
+        }
+    }
+
+    /// The physical register that anchors the current processor state: the
+    /// youngest renaming that is not newer than the current state.
+    fn anchor_for_current_state(&self) -> PhysReg {
+        let state = self.counter.current();
+        let mut best: Option<(StateId, PhysReg)> = None;
+        for (bank, sct) in self.scts.iter().enumerate() {
+            let slot = sct.current_mapping();
+            let s = sct.current_mapping_state();
+            if s <= state && best.map_or(true, |(bs, _)| s > bs) {
+                best = Some((s, PhysReg::new(bank, slot)));
+            }
+        }
+        best.map(|(_, p)| p).unwrap_or(PhysReg::new(0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: usize) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    /// Renames the dynamic sequence of Fig. 1 and checks the assigned
+    /// StateIds, the Fig. 2 register ranges, and the recovery at instruction
+    /// 7 releasing only R1.2.
+    #[test]
+    fn paper_fig1_fig2_walkthrough() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(8));
+        // 1: store r2 -> state 0 (no allocation)
+        // 2: add  -> r2, state 1
+        // 3: bne  -> state 1
+        // 4: sub  -> r2, state 2
+        // 5: mov  -> r1, state 3
+        // 6: add  -> r2, state 4
+        // 7: bne  -> state 4
+        // 8: add  -> r1, state 5
+        let reqs = [
+            RenameRequest::new(None, &[int(2)]),            // store
+            RenameRequest::new(Some(int(2)), &[int(1), int(2)]),
+            RenameRequest::new(None, &[int(2)]),            // bne
+            RenameRequest::new(Some(int(2)), &[int(2)]),
+            RenameRequest::new(Some(int(1)), &[int(2)]),
+            RenameRequest::new(Some(int(2)), &[int(1), int(2)]),
+            RenameRequest::new(None, &[int(3)]),            // bne
+            RenameRequest::new(Some(int(1)), &[int(1), int(2)]),
+        ];
+        let mut states = Vec::new();
+        for chunk in reqs.chunks(2) {
+            let out = msp.rename_group(chunk).expect("no stalls with n=8");
+            assert!(out.stall.is_none());
+            for inst in out.renamed {
+                states.push(inst.state_id.as_u64());
+            }
+        }
+        assert_eq!(states, vec![0, 1, 1, 2, 3, 4, 4, 5], "StateIds of Fig. 1");
+        assert_eq!(msp.current_state(), StateId::new(5));
+
+        // Fig. 2 mappings: r2's current renaming was allocated at state 4,
+        // r1's at state 5.
+        assert_eq!(
+            msp.source_mapping(int(2)).phys,
+            PhysReg::new(2, 3),
+            "r2 has been renamed three times (R2.3)"
+        );
+        assert_eq!(msp.source_mapping(int(1)).phys, PhysReg::new(1, 2));
+
+        // Branch misprediction at instruction 7 (state 4): only R1.2
+        // (allocated at state 5) is released.
+        let recovery = msp.recover(StateId::new(4));
+        assert_eq!(recovery.released, vec![PhysReg::new(1, 2)]);
+        assert_eq!(msp.current_state(), StateId::new(4));
+        assert_eq!(msp.source_mapping(int(1)).phys, PhysReg::new(1, 1));
+        assert_eq!(msp.source_mapping(int(2)).phys, PhysReg::new(2, 3));
+        assert_eq!(msp.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn commit_releases_old_renamings_and_keeps_architectural_mapping() {
+        let mut msp = MspStateManager::new(MspConfig {
+            lcs_delay: 0,
+            ..MspConfig::n_sp(8)
+        });
+        // Three successive renamings of r3.
+        for _ in 0..3 {
+            let out = msp
+                .rename_group(&[RenameRequest::new(Some(int(3)), &[int(3)])])
+                .unwrap();
+            let dest = out.renamed[0].dest.unwrap();
+            msp.mark_ready(dest.phys);
+        }
+        // Nothing uses the values; all banks become idle so the LCS jumps to
+        // current + 1 and the two older renamings are released.
+        let commit = msp.clock_commit();
+        assert_eq!(commit.lcs, StateId::new(4));
+        assert_eq!(commit.newly_committed_states, 4);
+        // The initial architectural entry plus the two superseded renamings
+        // are released; the youngest committed renaming survives.
+        assert_eq!(commit.released.len(), 3);
+        assert!(commit.released.iter().all(|p| p.bank() == 3));
+        assert_eq!(msp.source_mapping(int(3)).phys.slot(), 3);
+        assert_eq!(msp.stats().states_committed, 4);
+        assert_eq!(msp.stats().registers_released, 3);
+    }
+
+    #[test]
+    fn outstanding_uses_block_commit() {
+        let mut msp = MspStateManager::new(MspConfig {
+            lcs_delay: 0,
+            ..MspConfig::n_sp(8)
+        });
+        let out = msp
+            .rename_group(&[RenameRequest::new(Some(int(5)), &[])])
+            .unwrap();
+        let dest = out.renamed[0].dest.unwrap();
+        msp.mark_ready(dest.phys);
+        // A consumer in IQ slot 9 still needs the value.
+        msp.note_use(dest.phys, 9);
+        let commit = msp.clock_commit();
+        assert_eq!(commit.lcs, StateId::new(1), "state 1 cannot commit yet");
+        assert_eq!(commit.newly_committed_states, 1);
+        assert!(commit.released.is_empty());
+        // Once the consumer issues, the state commits.
+        msp.clear_use(dest.phys, 9);
+        let commit = msp.clock_commit();
+        assert_eq!(commit.lcs, StateId::new(2));
+    }
+
+    #[test]
+    fn unready_destination_blocks_commit() {
+        let mut msp = MspStateManager::new(MspConfig {
+            lcs_delay: 0,
+            ..MspConfig::n_sp(8)
+        });
+        msp.rename_group(&[RenameRequest::new(Some(int(4)), &[])])
+            .unwrap();
+        let commit = msp.clock_commit();
+        assert_eq!(commit.lcs, StateId::new(1));
+        assert!(commit.released.is_empty());
+    }
+
+    #[test]
+    fn lcs_delay_postpones_commit_visibility() {
+        let mut msp = MspStateManager::new(MspConfig {
+            lcs_delay: 2,
+            ..MspConfig::n_sp(8)
+        });
+        let out = msp
+            .rename_group(&[RenameRequest::new(Some(int(2)), &[])])
+            .unwrap();
+        msp.mark_ready(out.renamed[0].dest.unwrap().phys);
+        // With a 2-cycle propagation delay the new minimum becomes visible on
+        // the third clock.
+        assert_eq!(msp.clock_commit().lcs, StateId::ZERO);
+        assert_eq!(msp.clock_commit().lcs, StateId::ZERO);
+        assert_eq!(msp.clock_commit().lcs, StateId::new(2));
+    }
+
+    #[test]
+    fn bank_full_stall_is_reported_and_counted() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(2));
+        // One free slot besides the architectural mapping: second rename stalls.
+        msp.rename_group(&[RenameRequest::new(Some(int(7)), &[])])
+            .unwrap();
+        let err = msp
+            .rename_group(&[RenameRequest::new(Some(int(7)), &[])])
+            .unwrap_err();
+        assert_eq!(err, RenameError::BankFull(int(7)));
+        assert_eq!(msp.bank_full_stalls(int(7)), 1);
+        assert_eq!(msp.stats().bank_full_stalls, 1);
+        assert_eq!(msp.free_registers(int(7)), 0);
+        assert_eq!(
+            err.to_string(),
+            "no free physical register in bank r7"
+        );
+        let ranked = msp.bank_full_stalls_ranked();
+        assert_eq!(ranked[0], (int(7), 1));
+    }
+
+    #[test]
+    fn partial_group_on_mid_group_bank_full() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(2));
+        let group = [
+            RenameRequest::new(Some(int(1)), &[]),
+            RenameRequest::new(Some(int(1)), &[]), // bank r1 now full
+            RenameRequest::new(Some(int(2)), &[]),
+        ];
+        let out = msp.rename_group(&group).unwrap();
+        assert_eq!(out.renamed.len(), 1);
+        assert_eq!(out.stall, Some(RenameError::BankFull(int(1))));
+    }
+
+    #[test]
+    fn same_register_limit_truncates_group() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(16));
+        let group = [
+            RenameRequest::new(Some(int(9)), &[]),
+            RenameRequest::new(Some(int(9)), &[]),
+            RenameRequest::new(Some(int(9)), &[]),
+        ];
+        let out = msp.rename_group(&group).unwrap();
+        assert_eq!(out.renamed.len(), 2);
+        assert_eq!(out.stall, Some(RenameError::SameRegisterLimit(int(9))));
+        assert_eq!(msp.stats().same_reg_truncations, 1);
+    }
+
+    #[test]
+    fn same_cycle_raw_dependency_sees_new_renaming() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(8));
+        let group = [
+            RenameRequest::new(Some(int(2)), &[int(1)]),
+            RenameRequest::new(Some(int(3)), &[int(2)]), // must see the new r2
+        ];
+        let out = msp.rename_group(&group).unwrap();
+        let first_dest = out.renamed[0].dest.unwrap().phys;
+        assert_eq!(out.renamed[1].sources[0].phys, first_dest);
+        assert!(!out.renamed[1].sources[0].ready);
+    }
+
+    #[test]
+    fn anchor_tracks_latest_allocation() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(8));
+        let out = msp
+            .rename_group(&[
+                RenameRequest::new(Some(int(4)), &[]),
+                RenameRequest::new(None, &[int(4)]), // store: anchored to r4's renaming
+            ])
+            .unwrap();
+        let dest = out.renamed[0].dest.unwrap().phys;
+        assert_eq!(out.renamed[1].anchor, dest);
+        assert_eq!(out.renamed[1].state_id, out.renamed[0].state_id);
+    }
+
+    #[test]
+    fn recovery_restores_anchor_and_counter() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(8));
+        let out = msp
+            .rename_group(&[
+                RenameRequest::new(Some(int(1)), &[]),
+                RenameRequest::new(Some(int(2)), &[]),
+            ])
+            .unwrap();
+        let first = out.renamed[0].dest.unwrap();
+        msp.recover(first.state_id);
+        assert_eq!(msp.current_state(), first.state_id);
+        // New non-allocating instructions anchor to r1's surviving renaming.
+        let out = msp
+            .rename_group(&[RenameRequest::new(None, &[int(1)])])
+            .unwrap();
+        assert_eq!(out.renamed[0].anchor, first.phys);
+    }
+
+    #[test]
+    fn ideal_configuration_never_stalls_on_banks() {
+        let mut msp = MspStateManager::new(MspConfig::ideal());
+        for _ in 0..1000 {
+            msp.rename_group(&[RenameRequest::new(Some(int(3)), &[int(3)])])
+                .unwrap();
+        }
+        assert_eq!(msp.stats().bank_full_stalls, 0);
+        assert_eq!(msp.stats().states_allocated, 1000);
+    }
+
+    #[test]
+    fn config_helpers() {
+        assert_eq!(MspConfig::n_sp(16).regs_per_bank, 16);
+        assert_eq!(MspConfig::n_sp(16).total_registers(), 16 * NUM_LOGICAL_REGS);
+        assert_eq!(MspConfig::ideal().lcs_delay, 0);
+        // 16 regs/bank * 64 banks = 1024 registers -> 10-bit StateIds.
+        assert_eq!(MspConfig::n_sp(16).state_width(), 10);
+        assert!(MspConfig::default() == MspConfig::n_sp(16));
+    }
+
+    #[test]
+    fn is_ready_and_outstanding_uses_queries() {
+        let mut msp = MspStateManager::new(MspConfig::n_sp(8));
+        let out = msp
+            .rename_group(&[RenameRequest::new(Some(int(6)), &[])])
+            .unwrap();
+        let phys = out.renamed[0].dest.unwrap().phys;
+        assert!(!msp.is_ready(phys));
+        msp.mark_ready(phys);
+        assert!(msp.is_ready(phys));
+        assert!(!msp.has_outstanding_uses(phys));
+        msp.note_use(phys, 3);
+        assert!(msp.has_outstanding_uses(phys));
+        msp.clear_iq_slot(3);
+        assert!(!msp.has_outstanding_uses(phys));
+    }
+}

@@ -1,0 +1,443 @@
+//! Processor state identifiers (Sections 2.1 and 3.6 of the paper).
+//!
+//! Each instruction that allocates a destination register creates a new
+//! processor state. States are totally ordered by program order; the MSP
+//! commits and recovers by comparing StateIds.
+//!
+//! The software model uses an unbounded 64-bit [`StateId`] for clarity. The
+//! hardware only needs `log2(M) + 1` bits (`M` = physical register file size)
+//! because at most `M` states are in flight; [`CompactStateId`] and
+//! [`StateCounter`] model that bounded encoding, including the saturation-bit
+//! overflow reset from Section 3.6, and are property-tested against the
+//! unbounded ordering.
+
+use std::fmt;
+
+/// An unbounded processor state identifier.
+///
+/// StateId 0 is the initial processor state (before any instruction has
+/// allocated a register). Instructions that allocate a register receive the
+/// next StateId; all other instructions share the StateId of the most recent
+/// allocating instruction (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StateId(u64);
+
+impl StateId {
+    /// The initial processor state.
+    pub const ZERO: StateId = StateId(0);
+
+    /// Creates a StateId from its numeric value.
+    pub fn new(value: u64) -> Self {
+        StateId(value)
+    }
+
+    /// The numeric value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The state created immediately after this one.
+    pub fn next(self) -> StateId {
+        StateId(self.0 + 1)
+    }
+
+    /// The state immediately preceding this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`StateId::ZERO`].
+    pub fn prev(self) -> StateId {
+        assert!(self.0 > 0, "state 0 has no predecessor");
+        StateId(self.0 - 1)
+    }
+
+    /// Offsets this state by `n` later allocations (used when several
+    /// instructions are renamed in the same cycle, Section 3.3).
+    pub fn offset(self, n: u64) -> StateId {
+        StateId(self.0 + n)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u64> for StateId {
+    fn from(value: u64) -> Self {
+        StateId(value)
+    }
+}
+
+/// The range of consecutive states in which one physical register holds the
+/// live renaming of its logical register (Fig. 2 of the paper).
+///
+/// The *lower* StateId is the state of the instruction that allocated the
+/// register. The *upper* StateId is the state of the instruction preceding
+/// the next renaming of the same logical register; it is `None` (open) while
+/// the register is still the most recent renaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateIdRange {
+    lower: StateId,
+    upper: Option<StateId>,
+}
+
+impl StateIdRange {
+    /// Creates a still-open range starting at `lower`.
+    pub fn open(lower: StateId) -> Self {
+        StateIdRange { lower, upper: None }
+    }
+
+    /// Creates a closed range `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper < lower`.
+    pub fn closed(lower: StateId, upper: StateId) -> Self {
+        assert!(upper >= lower, "upper bound below lower bound");
+        StateIdRange {
+            lower,
+            upper: Some(upper),
+        }
+    }
+
+    /// The state that allocated the register.
+    pub fn lower(&self) -> StateId {
+        self.lower
+    }
+
+    /// The last state in which the register is the live renaming, if the next
+    /// renaming has already happened.
+    pub fn upper(&self) -> Option<StateId> {
+        self.upper
+    }
+
+    /// Whether the range is still open (the register is the latest renaming).
+    pub fn is_open(&self) -> bool {
+        self.upper.is_none()
+    }
+
+    /// Closes the range at `upper` (the state preceding the next renaming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is already closed or `upper < lower`.
+    pub fn close(&mut self, upper: StateId) {
+        assert!(self.upper.is_none(), "range already closed");
+        assert!(upper >= self.lower, "upper bound below lower bound");
+        self.upper = Some(upper);
+    }
+
+    /// Whether `state` falls inside this range, i.e. whether an instruction
+    /// in `state` reading the logical register would source this physical
+    /// register.
+    pub fn contains(&self, state: StateId) -> bool {
+        state >= self.lower && self.upper.map_or(true, |u| state <= u)
+    }
+}
+
+impl fmt::Display for StateIdRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.upper {
+            Some(u) => write!(f, "[{}, {}]", self.lower, u),
+            None => write!(f, "[{}, ..)", self.lower),
+        }
+    }
+}
+
+/// A bounded `m + 1`-bit state identifier as stored in hardware (Section 3.6).
+///
+/// `m = log2(M)` where `M` is the number of physical registers; the extra most
+/// significant bit is the *saturation bit* used to disambiguate ordering
+/// across counter overflow. Because at most `M` states can be in flight, two
+/// in-flight CompactStateIds always differ by less than `M`, which makes the
+/// modular comparison in [`CompactStateId::cmp_in_window`] exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompactStateId {
+    bits: u32,
+    width: u8,
+}
+
+impl CompactStateId {
+    /// Encodes an unbounded [`StateId`] into `m + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or greater than 30.
+    pub fn encode(id: StateId, m: u8) -> Self {
+        assert!(m > 0 && m <= 30, "state id width must be in 1..=30 bits");
+        let mask = (1u64 << (m + 1)) - 1;
+        CompactStateId {
+            bits: (id.as_u64() & mask) as u32,
+            width: m,
+        }
+    }
+
+    /// The raw `m + 1`-bit pattern.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The saturation (most significant) bit.
+    pub fn saturation_bit(self) -> bool {
+        (self.bits >> self.width) & 1 == 1
+    }
+
+    /// Number of storage bits (`m + 1`).
+    pub fn storage_bits(self) -> u8 {
+        self.width + 1
+    }
+
+    /// Compares two compact ids that are known to be within the in-flight
+    /// window (less than `2^m` states apart), returning the ordering of the
+    /// states they encode.
+    ///
+    /// This is the comparison the StateId Range Comparators and the LCS tree
+    /// perform in hardware.
+    pub fn cmp_in_window(self, other: CompactStateId) -> std::cmp::Ordering {
+        assert_eq!(self.width, other.width, "mismatched state id widths");
+        let modulus = 1u32 << (self.width + 1);
+        let half = 1u32 << self.width;
+        let diff = self.bits.wrapping_sub(other.bits) & (modulus - 1);
+        if diff == 0 {
+            std::cmp::Ordering::Equal
+        } else if diff < half {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Less
+        }
+    }
+}
+
+/// The global StateId Counter (SC) with the saturation-bit overflow protocol
+/// of Section 3.6.
+///
+/// The counter is incremented for every decoded instruction that allocates a
+/// logical register. When it reaches the all-ones pattern every in-flight
+/// state must have its saturation bit set, so the hardware clears the stored
+/// saturation bits and restarts the counter at `M + 1`. [`StateCounter`]
+/// reports when that *epoch reset* happens so storage structures (the SCTs)
+/// can apply it; the unbounded [`StateId`] value is tracked alongside so the
+/// software model can validate the encoding.
+#[derive(Debug, Clone)]
+pub struct StateCounter {
+    unbounded: StateId,
+    m: u8,
+    epoch_resets: u64,
+}
+
+impl StateCounter {
+    /// Creates a counter for a machine with `2^m` physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or greater than 30.
+    pub fn new(m: u8) -> Self {
+        assert!(m > 0 && m <= 30, "state id width must be in 1..=30 bits");
+        StateCounter {
+            unbounded: StateId::ZERO,
+            m,
+            epoch_resets: 0,
+        }
+    }
+
+    /// The current processor state (the state of the most recently decoded
+    /// allocating instruction).
+    pub fn current(&self) -> StateId {
+        self.unbounded
+    }
+
+    /// The current state in its compact hardware encoding.
+    pub fn current_compact(&self) -> CompactStateId {
+        CompactStateId::encode(self.unbounded, self.m)
+    }
+
+    /// Allocates the next state, returning it. Also reports whether the
+    /// hardware counter overflowed and performed an epoch reset of the stored
+    /// saturation bits.
+    pub fn allocate(&mut self) -> (StateId, bool) {
+        self.unbounded = self.unbounded.next();
+        let modulus = 1u64 << (self.m + 1);
+        let reset = self.unbounded.as_u64() % modulus == 0;
+        if reset {
+            self.epoch_resets += 1;
+        }
+        (self.unbounded, reset)
+    }
+
+    /// Restores the counter to `state` after a recovery (Section 3.5: "After
+    /// the recovery is complete, the SC is set to the Recovery StateId").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is newer than the current state.
+    pub fn recover_to(&mut self, state: StateId) {
+        assert!(
+            state <= self.unbounded,
+            "cannot recover forwards to a state that was never allocated"
+        );
+        self.unbounded = state;
+    }
+
+    /// Number of saturation-bit epoch resets that have occurred.
+    pub fn epoch_resets(&self) -> u64 {
+        self.epoch_resets
+    }
+
+    /// The `m` parameter (StateIds are `m + 1` bits in hardware).
+    pub fn width(&self) -> u8 {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn stateid_basic_ordering() {
+        let a = StateId::new(4);
+        assert_eq!(a.next(), StateId::new(5));
+        assert_eq!(a.prev(), StateId::new(3));
+        assert_eq!(a.offset(3), StateId::new(7));
+        assert!(StateId::ZERO < a);
+        assert_eq!(a.to_string(), "S4");
+        assert_eq!(StateId::from(9u64).as_u64(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn stateid_zero_has_no_prev() {
+        let _ = StateId::ZERO.prev();
+    }
+
+    #[test]
+    fn range_paper_fig2_example() {
+        // Fig. 2: R2.2 is valid in states [2, 3]; R2.3 in [4, ..) until closed.
+        let r2_2 = StateIdRange::closed(StateId::new(2), StateId::new(3));
+        assert!(r2_2.contains(StateId::new(2)));
+        assert!(r2_2.contains(StateId::new(3)));
+        assert!(!r2_2.contains(StateId::new(4)));
+        assert!(!r2_2.contains(StateId::new(1)));
+
+        let mut r2_3 = StateIdRange::open(StateId::new(4));
+        assert!(r2_3.is_open());
+        assert!(r2_3.contains(StateId::new(100)));
+        r2_3.close(StateId::new(5));
+        assert!(!r2_3.is_open());
+        assert!(r2_3.contains(StateId::new(5)));
+        assert!(!r2_3.contains(StateId::new(6)));
+        assert_eq!(r2_3.to_string(), "[S4, S5]");
+    }
+
+    #[test]
+    #[should_panic(expected = "already closed")]
+    fn range_double_close_panics() {
+        let mut r = StateIdRange::closed(StateId::new(1), StateId::new(2));
+        r.close(StateId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "below lower bound")]
+    fn range_inverted_bounds_panic() {
+        let _ = StateIdRange::closed(StateId::new(3), StateId::new(2));
+    }
+
+    #[test]
+    fn compact_encoding_and_saturation_bit() {
+        // m = 3: ids are 4 bits; saturation bit is bit 3.
+        let a = CompactStateId::encode(StateId::new(5), 3);
+        assert_eq!(a.bits(), 5);
+        assert!(!a.saturation_bit());
+        assert_eq!(a.storage_bits(), 4);
+        let b = CompactStateId::encode(StateId::new(13), 3);
+        assert_eq!(b.bits(), 13);
+        assert!(b.saturation_bit());
+    }
+
+    #[test]
+    fn compact_comparison_across_overflow() {
+        let m = 3; // window of 8 in-flight states, 4-bit encoding
+        // States 14 and 17 straddle the 4-bit overflow at 16 but are within
+        // the window, so the modular comparison must still order them.
+        let old = CompactStateId::encode(StateId::new(14), m);
+        let new = CompactStateId::encode(StateId::new(17), m);
+        assert_eq!(new.cmp_in_window(old), Ordering::Greater);
+        assert_eq!(old.cmp_in_window(new), Ordering::Less);
+        assert_eq!(old.cmp_in_window(old), Ordering::Equal);
+    }
+
+    #[test]
+    fn counter_allocation_and_reset() {
+        let mut sc = StateCounter::new(2); // 3-bit ids, modulus 8
+        assert_eq!(sc.current(), StateId::ZERO);
+        let mut resets = 0;
+        for _ in 0..16 {
+            let (_, reset) = sc.allocate();
+            if reset {
+                resets += 1;
+            }
+        }
+        assert_eq!(sc.current(), StateId::new(16));
+        assert_eq!(resets, 2); // at 8 and at 16
+        assert_eq!(sc.epoch_resets(), 2);
+        assert_eq!(sc.width(), 2);
+    }
+
+    #[test]
+    fn counter_recovery_moves_backwards_only() {
+        let mut sc = StateCounter::new(4);
+        for _ in 0..10 {
+            sc.allocate();
+        }
+        sc.recover_to(StateId::new(4));
+        assert_eq!(sc.current(), StateId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "recover forwards")]
+    fn counter_forward_recovery_panics() {
+        let mut sc = StateCounter::new(4);
+        sc.recover_to(StateId::new(1));
+    }
+
+    proptest! {
+        /// The compact (m+1)-bit comparison matches the unbounded ordering for
+        /// any two states less than 2^m apart — the invariant that makes the
+        /// saturation-bit scheme of Section 3.6 sound.
+        #[test]
+        fn compact_ordering_matches_unbounded(base in 0u64..1_000_000, delta in 0u64..255, m in 1u8..=12) {
+            let window = 1u64 << m;
+            prop_assume!(delta < window);
+            let a = StateId::new(base);
+            let b = StateId::new(base + delta);
+            let ca = CompactStateId::encode(a, m);
+            let cb = CompactStateId::encode(b, m);
+            prop_assert_eq!(cb.cmp_in_window(ca), b.cmp(&a));
+            prop_assert_eq!(ca.cmp_in_window(cb), a.cmp(&b));
+        }
+
+        /// Ranges contain exactly the states between their bounds.
+        #[test]
+        fn range_contains_is_interval(lower in 0u64..1000, len in 0u64..1000, probe in 0u64..3000) {
+            let r = StateIdRange::closed(StateId::new(lower), StateId::new(lower + len));
+            let expected = probe >= lower && probe <= lower + len;
+            prop_assert_eq!(r.contains(StateId::new(probe)), expected);
+        }
+
+        /// The state counter's compact view always equals the direct encoding
+        /// of its unbounded view, across arbitrarily many overflows.
+        #[test]
+        fn counter_compact_matches_encoding(steps in 1usize..2000, m in 1u8..=6) {
+            let mut sc = StateCounter::new(m);
+            for _ in 0..steps {
+                sc.allocate();
+            }
+            let direct = CompactStateId::encode(sc.current(), m);
+            prop_assert_eq!(sc.current_compact(), direct);
+        }
+    }
+}

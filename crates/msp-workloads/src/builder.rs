@@ -1,0 +1,258 @@
+//! A tiny label-resolving assembler for constructing synthetic programs.
+
+use msp_isa::{ArchReg, BranchCond, Instruction, Program, TEXT_BASE};
+use std::collections::HashMap;
+
+/// One yet-to-be-resolved instruction.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A fully formed instruction.
+    Ready(Instruction),
+    /// A conditional branch to a label.
+    Branch {
+        cond: BranchCond,
+        src1: ArchReg,
+        src2: ArchReg,
+        label: String,
+    },
+    /// An unconditional jump to a label.
+    Jump { label: String },
+    /// A call to a label.
+    Call { link: ArchReg, label: String },
+}
+
+/// Builds [`Program`]s with symbolic branch targets.
+///
+/// ```
+/// use msp_workloads::ProgramBuilder;
+/// use msp_isa::{ArchReg, Instruction};
+/// let r = ArchReg::int;
+/// let mut b = ProgramBuilder::new("count");
+/// b.inst(Instruction::li(r(1), 3));
+/// b.label("loop");
+/// b.inst(Instruction::addi(r(1), r(1), -1));
+/// b.bne(r(1), ArchReg::ZERO, "loop");
+/// b.inst(Instruction::halt());
+/// let program = b.build();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    slots: Vec<Slot>,
+    labels: HashMap<String, usize>,
+    data: Vec<(u64, u64)>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            slots: Vec::new(),
+            labels: HashMap::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends a concrete instruction.
+    pub fn inst(&mut self, inst: Instruction) -> &mut Self {
+        self.slots.push(Slot::Ready(inst));
+        self
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let previous = self.labels.insert(name.clone(), self.slots.len());
+        assert!(previous.is_none(), "label {name:?} defined twice");
+        self
+    }
+
+    /// Appends a conditional branch to a label.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        src1: ArchReg,
+        src2: ArchReg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.slots.push(Slot::Branch {
+            cond,
+            src1,
+            src2,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// `beq src1, src2, label`.
+    pub fn beq(&mut self, src1: ArchReg, src2: ArchReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, src1, src2, label)
+    }
+
+    /// `bne src1, src2, label`.
+    pub fn bne(&mut self, src1: ArchReg, src2: ArchReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, src1, src2, label)
+    }
+
+    /// `blt src1, src2, label` (signed).
+    pub fn blt(&mut self, src1: ArchReg, src2: ArchReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Lt, src1, src2, label)
+    }
+
+    /// `bge src1, src2, label` (signed).
+    pub fn bge(&mut self, src1: ArchReg, src2: ArchReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ge, src1, src2, label)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Jump {
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Call to a label, storing the return address in `link`.
+    pub fn call(&mut self, link: ArchReg, label: impl Into<String>) -> &mut Self {
+        self.slots.push(Slot::Call {
+            link,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Adds an initial 8-byte data word.
+    pub fn data(&mut self, addr: u64, value: u64) -> &mut Self {
+        self.data.push((addr, value));
+        self
+    }
+
+    /// Adds an initial floating-point data word.
+    pub fn data_f64(&mut self, addr: u64, value: f64) -> &mut Self {
+        self.data.push((addr, value.to_bits()));
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never defined.
+    pub fn build(&self) -> Program {
+        let resolve = |label: &str| -> u64 {
+            let index = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label {label:?}"));
+            TEXT_BASE + 4 * index as u64
+        };
+        let text: Vec<Instruction> = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Ready(i) => *i,
+                Slot::Branch {
+                    cond,
+                    src1,
+                    src2,
+                    label,
+                } => Instruction::branch(*cond, *src1, *src2, resolve(label)),
+                Slot::Jump { label } => Instruction::jump(resolve(label)),
+                Slot::Call { link, label } => Instruction::call(*link, resolve(label)),
+            })
+            .collect();
+        let mut program = Program::with_name(self.name.clone(), text);
+        for &(addr, value) in &self.data {
+            program.add_data(addr, value);
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_isa::{execute_step, ArchState};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let r = ArchReg::int;
+        let mut b = ProgramBuilder::new("t");
+        b.inst(Instruction::li(r(1), 2));
+        b.label("top");
+        b.inst(Instruction::addi(r(1), r(1), -1));
+        b.beq(r(1), ArchReg::ZERO, "done"); // forward reference
+        b.jump("top"); // backward reference
+        b.label("done");
+        b.inst(Instruction::halt());
+        let p = b.build();
+        let mut s = ArchState::new(&p);
+        let mut n = 0;
+        while !s.is_halted() && n < 100 {
+            execute_step(&mut s, &p).unwrap();
+            n += 1;
+        }
+        assert!(s.is_halted());
+        assert_eq!(s.read_int(1), 0);
+    }
+
+    #[test]
+    fn calls_resolve_to_label_addresses() {
+        let r = ArchReg::int;
+        let mut b = ProgramBuilder::new("t");
+        b.call(r(31), "fn");
+        b.inst(Instruction::halt());
+        b.label("fn");
+        b.inst(Instruction::li(r(5), 7));
+        b.inst(Instruction::ret(r(31)));
+        let p = b.build();
+        let mut s = ArchState::new(&p);
+        while !s.is_halted() {
+            execute_step(&mut s, &p).unwrap();
+        }
+        assert_eq!(s.read_int(5), 7);
+    }
+
+    #[test]
+    fn data_is_attached_to_the_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.inst(Instruction::halt());
+        b.data(0x8000, 42).data_f64(0x8008, 1.5);
+        let p = b.build();
+        assert_eq!(p.initial_data().len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics_at_build() {
+        let mut b = ProgramBuilder::new("t");
+        b.jump("nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.label("x");
+    }
+}

@@ -1,0 +1,311 @@
+//! Synthetic SPECfp-like kernels (Fig. 8 of the paper).
+//!
+//! Floating-point codes in the paper are memory-streaming loops with highly
+//! predictable branches; their performance on a large-window machine is
+//! limited by how many loop iterations can be kept in flight while loads miss
+//! the caches. Because the original loops recycle a small set of
+//! floating-point registers (one renaming per register per iteration, like
+//! compiled code), they are exactly the programs whose MSP bank stalls
+//! dominate Fig. 8 — and exactly the ones Table II fixes by unrolling with
+//! rotated register allocation (`swim`, `mgrid`, `equake`).
+//!
+//! The array contents do not influence control flow (loops are counted), so
+//! the kernels leave the large arrays zero-initialised: the timing behaviour
+//! comes from the access pattern, not the values.
+
+use crate::builder::ProgramBuilder;
+use crate::workload::{BenchCategory, Variant, Workload};
+use msp_isa::{ArchReg, Instruction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const R: fn(usize) -> ArchReg = ArchReg::int;
+const F: fn(usize) -> ArchReg = ArchReg::fp;
+const ZERO: ArchReg = ArchReg::ZERO;
+
+/// Base of the first streaming array (2 MB each, larger than the 1 MB L2).
+const ARRAY_U: u64 = 0x100_0000;
+/// Base of the second streaming array.
+const ARRAY_V: u64 = 0x140_0000;
+/// Base of the result array.
+const ARRAY_W: u64 = 0x180_0000;
+/// Number of 8-byte elements per streaming array.
+const ELEMS: i64 = 256 * 1024;
+
+fn workload(name: &str, variant: Variant, description: &str, b: &ProgramBuilder) -> Workload {
+    Workload::new(name, BenchCategory::SpecFp, variant, description, b.build())
+}
+
+/// Emits the standard streaming-loop prologue: array base pointers in
+/// r27/r28/r29 and the element index in r20.
+fn stream_prologue(b: &mut ProgramBuilder) {
+    b.inst(Instruction::li(R(27), ARRAY_U as i64));
+    b.inst(Instruction::li(R(28), ARRAY_V as i64));
+    b.inst(Instruction::li(R(29), ARRAY_W as i64));
+    b.inst(Instruction::li(R(20), 0));
+}
+
+/// Emits the standard streaming-loop epilogue: advance the index by
+/// `stride` elements, wrap at the array size and loop forever.
+fn stream_epilogue(b: &mut ProgramBuilder, stride: i64) {
+    b.inst(Instruction::addi(R(20), R(20), stride));
+    b.inst(Instruction::slti(R(21), R(20), ELEMS));
+    b.bne(R(21), ZERO, "loop");
+    b.inst(Instruction::li(R(20), 0));
+    b.inst(Instruction::addi(R(22), R(22), 1)); // outer sweep counter
+    b.jump("loop");
+}
+
+/// `swim`-like (Table II: `calc3`): a two-array shallow-water stencil whose
+/// original form funnels every iteration through `f1`–`f4`.
+pub(crate) fn swim(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("swim");
+    stream_prologue(&mut b);
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27)));
+    b.inst(Instruction::add(R(4), R(2), R(28)));
+    b.inst(Instruction::add(R(5), R(2), R(29)));
+    match variant {
+        Variant::Original => {
+            // One renaming of f1..f4 per iteration: with n registers per bank
+            // at most n iterations can be in flight behind a missing load.
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(4), 0));
+            b.inst(Instruction::fadd(F(3), F(1), F(2)));
+            b.inst(Instruction::fmul(F(4), F(3), F(2)));
+            b.inst(Instruction::store(F(4), R(5), 0));
+            stream_epilogue(&mut b, 1);
+        }
+        Variant::Modified => {
+            // Section 4.3: the loop is unrolled 4x and each copy uses its own
+            // registers, spreading renamings across four times as many banks.
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(4), 0));
+            b.inst(Instruction::fadd(F(3), F(1), F(2)));
+            b.inst(Instruction::fmul(F(4), F(3), F(2)));
+            b.inst(Instruction::store(F(4), R(5), 0));
+            b.inst(Instruction::load(F(5), R(3), 8));
+            b.inst(Instruction::load(F(6), R(4), 8));
+            b.inst(Instruction::fadd(F(7), F(5), F(6)));
+            b.inst(Instruction::fmul(F(8), F(7), F(6)));
+            b.inst(Instruction::store(F(8), R(5), 8));
+            b.inst(Instruction::load(F(9), R(3), 16));
+            b.inst(Instruction::load(F(10), R(4), 16));
+            b.inst(Instruction::fadd(F(11), F(9), F(10)));
+            b.inst(Instruction::fmul(F(12), F(11), F(10)));
+            b.inst(Instruction::store(F(12), R(5), 16));
+            b.inst(Instruction::load(F(13), R(3), 24));
+            b.inst(Instruction::load(F(14), R(4), 24));
+            b.inst(Instruction::fadd(F(15), F(13), F(14)));
+            b.inst(Instruction::fmul(F(16), F(15), F(14)));
+            b.inst(Instruction::store(F(16), R(5), 24));
+            stream_epilogue(&mut b, 4);
+        }
+    }
+    workload(
+        "swim",
+        variant,
+        "shallow-water stencil (calc3); streaming arrays, tight fp register reuse",
+        &b,
+    )
+}
+
+/// `mgrid`-like (Table II: `resid`): a three-point residual stencil.
+pub(crate) fn mgrid(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("mgrid");
+    stream_prologue(&mut b);
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27)));
+    b.inst(Instruction::add(R(5), R(2), R(29)));
+    match variant {
+        Variant::Original => {
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(3), 8));
+            b.inst(Instruction::load(F(3), R(3), 16));
+            b.inst(Instruction::fadd(F(4), F(1), F(3)));
+            b.inst(Instruction::fmul(F(5), F(4), F(2)));
+            b.inst(Instruction::fsub(F(6), F(2), F(5)));
+            b.inst(Instruction::store(F(6), R(5), 8));
+            stream_epilogue(&mut b, 1);
+        }
+        Variant::Modified => {
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(3), 8));
+            b.inst(Instruction::load(F(3), R(3), 16));
+            b.inst(Instruction::fadd(F(4), F(1), F(3)));
+            b.inst(Instruction::fmul(F(5), F(4), F(2)));
+            b.inst(Instruction::fsub(F(6), F(2), F(5)));
+            b.inst(Instruction::store(F(6), R(5), 8));
+            b.inst(Instruction::load(F(7), R(3), 24));
+            b.inst(Instruction::load(F(8), R(3), 32));
+            b.inst(Instruction::fadd(F(9), F(3), F(8)));
+            b.inst(Instruction::fmul(F(10), F(9), F(7)));
+            b.inst(Instruction::fsub(F(11), F(7), F(10)));
+            b.inst(Instruction::store(F(11), R(5), 24));
+            stream_epilogue(&mut b, 2);
+        }
+    }
+    workload(
+        "mgrid",
+        variant,
+        "multigrid residual stencil (resid); streaming, small fp register set",
+        &b,
+    )
+}
+
+/// `applu`-like: an SSOR sweep with a longer loop body that naturally uses
+/// more registers (not part of Table II).
+pub(crate) fn applu(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("applu");
+    stream_prologue(&mut b);
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27)));
+    b.inst(Instruction::add(R(4), R(2), R(28)));
+    b.inst(Instruction::add(R(5), R(2), R(29)));
+    b.inst(Instruction::load(F(1), R(3), 0));
+    b.inst(Instruction::load(F(2), R(3), 8));
+    b.inst(Instruction::load(F(3), R(4), 0));
+    b.inst(Instruction::load(F(4), R(4), 8));
+    b.inst(Instruction::fmul(F(5), F(1), F(3)));
+    b.inst(Instruction::fmul(F(6), F(2), F(4)));
+    b.inst(Instruction::fadd(F(7), F(5), F(6)));
+    b.inst(Instruction::fsub(F(8), F(1), F(7)));
+    b.inst(Instruction::fmul(F(9), F(8), F(3)));
+    b.inst(Instruction::fadd(F(10), F(9), F(4)));
+    b.inst(Instruction::store(F(10), R(5), 0));
+    b.inst(Instruction::store(F(7), R(5), 8));
+    stream_epilogue(&mut b, 2);
+    workload(
+        "applu",
+        variant,
+        "SSOR sweep; long loop body spreading work over many fp registers",
+        &b,
+    )
+}
+
+/// `equake`-like (Table II: `smvp`): sparse matrix-vector product with
+/// indirect loads through a column-index array.
+pub(crate) fn equake(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("equake");
+    stream_prologue(&mut b);
+    b.inst(Instruction::li(R(26), 0x200_0000)); // column index array
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27))); // matrix values
+    b.inst(Instruction::andi(R(6), R(20), 0x3fff));
+    b.inst(Instruction::slli(R(7), R(6), 3));
+    b.inst(Instruction::add(R(8), R(7), R(26)));
+    b.inst(Instruction::load(R(9), R(8), 0)); // column index
+    b.inst(Instruction::slli(R(10), R(9), 3));
+    b.inst(Instruction::add(R(11), R(10), R(28))); // &x[col]
+    match variant {
+        Variant::Original => {
+            // Two fp registers carry the whole recurrence; the gather load
+            // frequently misses.
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(11), 0));
+            b.inst(Instruction::fmul(F(3), F(1), F(2)));
+            b.inst(Instruction::fadd(F(4), F(4), F(3)));
+            b.inst(Instruction::store(F(4), R(29), 0));
+            stream_epilogue(&mut b, 1);
+        }
+        Variant::Modified => {
+            // Unrolled with three independent partial sums.
+            b.inst(Instruction::load(F(1), R(3), 0));
+            b.inst(Instruction::load(F(2), R(11), 0));
+            b.inst(Instruction::fmul(F(3), F(1), F(2)));
+            b.inst(Instruction::fadd(F(4), F(4), F(3)));
+            b.inst(Instruction::load(F(5), R(3), 8));
+            b.inst(Instruction::load(F(6), R(11), 8));
+            b.inst(Instruction::fmul(F(7), F(5), F(6)));
+            b.inst(Instruction::fadd(F(8), F(8), F(7)));
+            b.inst(Instruction::load(F(9), R(3), 16));
+            b.inst(Instruction::load(F(10), R(11), 16));
+            b.inst(Instruction::fmul(F(11), F(9), F(10)));
+            b.inst(Instruction::fadd(F(12), F(12), F(11)));
+            b.inst(Instruction::fadd(F(13), F(4), F(8)));
+            b.inst(Instruction::fadd(F(14), F(13), F(12)));
+            b.inst(Instruction::store(F(14), R(29), 0));
+            stream_epilogue(&mut b, 3);
+        }
+    }
+    // Column indices: random gather pattern over the x vector.
+    let mut rng = SmallRng::seed_from_u64(31);
+    for i in 0..16 * 1024u64 {
+        b.data(0x200_0000 + 8 * i, rng.gen_range(0..ELEMS as u64));
+    }
+    workload(
+        "equake",
+        variant,
+        "sparse matrix-vector product (smvp); indirect gathers, single fp accumulator",
+        &b,
+    )
+}
+
+/// `art`-like: neural-network F1 layer — long streaming multiply-accumulate
+/// sweeps with two partial sums and very high miss rates.
+pub(crate) fn art(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("art");
+    stream_prologue(&mut b);
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27)));
+    b.inst(Instruction::add(R(4), R(2), R(28)));
+    b.inst(Instruction::load(F(1), R(3), 0));
+    b.inst(Instruction::load(F(2), R(4), 0));
+    b.inst(Instruction::fmul(F(3), F(1), F(2)));
+    b.inst(Instruction::fadd(F(4), F(4), F(3)));
+    b.inst(Instruction::load(F(5), R(3), 8));
+    b.inst(Instruction::load(F(6), R(4), 8));
+    b.inst(Instruction::fmul(F(7), F(5), F(6)));
+    b.inst(Instruction::fadd(F(8), F(8), F(7)));
+    b.inst(Instruction::fcmplt(R(6), F(4), F(8)));
+    b.beq(R(6), ZERO, "no_winner");
+    b.inst(Instruction::addi(R(7), R(7), 1));
+    b.label("no_winner");
+    stream_epilogue(&mut b, 2);
+    workload(
+        "art",
+        variant,
+        "neural-net match sweep; streaming multiply-accumulate, mild register reuse",
+        &b,
+    )
+}
+
+/// `fma3d`-like: element-wise solid-mechanics update using many distinct
+/// registers per iteration — the fp benchmark with almost no MSP stalls
+/// (Section 4.2 singles it out).
+pub(crate) fn fma3d(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("fma3d");
+    stream_prologue(&mut b);
+    b.label("loop");
+    b.inst(Instruction::slli(R(2), R(20), 3));
+    b.inst(Instruction::add(R(3), R(2), R(27)));
+    b.inst(Instruction::add(R(4), R(2), R(28)));
+    b.inst(Instruction::add(R(5), R(2), R(29)));
+    b.inst(Instruction::load(F(1), R(3), 0));
+    b.inst(Instruction::load(F(2), R(3), 8));
+    b.inst(Instruction::load(F(3), R(3), 16));
+    b.inst(Instruction::load(F(4), R(4), 0));
+    b.inst(Instruction::load(F(5), R(4), 8));
+    b.inst(Instruction::load(F(6), R(4), 16));
+    b.inst(Instruction::fmul(F(7), F(1), F(4)));
+    b.inst(Instruction::fmul(F(8), F(2), F(5)));
+    b.inst(Instruction::fmul(F(9), F(3), F(6)));
+    b.inst(Instruction::fadd(F(10), F(7), F(8)));
+    b.inst(Instruction::fadd(F(11), F(10), F(9)));
+    b.inst(Instruction::fsub(F(12), F(11), F(1)));
+    b.inst(Instruction::fmul(F(13), F(12), F(4)));
+    b.inst(Instruction::store(F(11), R(5), 0));
+    b.inst(Instruction::store(F(13), R(5), 8));
+    stream_epilogue(&mut b, 3);
+    workload(
+        "fma3d",
+        variant,
+        "solid-mechanics element update; wide fp register usage, few stalls",
+        &b,
+    )
+}

@@ -1,0 +1,709 @@
+//! Synthetic SPECint-like kernels (Figs. 6, 7 and 9 of the paper).
+//!
+//! Each kernel imitates the *behavioural profile* of one SPEC CPU2000 integer
+//! program as far as the paper's evaluation cares: branch-misprediction rate
+//! under gshare vs TAGE, cache-miss exposure, call/indirect-branch density,
+//! and how aggressively the hot loop reuses logical registers (which is what
+//! produces the MSP bank-full stalls of Figs. 6 and 7).
+//!
+//! Register discipline mirrors compiled code: within one loop iteration every
+//! temporary gets its own register, so a logical register is renamed about
+//! once per iteration; bank pressure then comes from the number of iterations
+//! in flight, exactly the effect Section 4.3 describes.
+//!
+//! Register conventions used by every kernel:
+//!
+//! * `r23` — hoisted LCG multiplier constant,
+//! * `r24`–`r26` — linear-congruential states for data-dependent control flow,
+//! * `r27`/`r28` — data-region base pointers,
+//! * `r31` — link register,
+//! * low registers — loop-local temporaries and accumulators.
+
+use crate::builder::ProgramBuilder;
+use crate::workload::{BenchCategory, Variant, Workload};
+use msp_isa::{ArchReg, Instruction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const R: fn(usize) -> ArchReg = ArchReg::int;
+const ZERO: ArchReg = ArchReg::ZERO;
+
+/// Base address of the first data region used by the kernels.
+const REGION_A: u64 = 0x10_0000;
+/// Base address of the second data region.
+const REGION_B: u64 = 0x80_0000;
+
+/// Emits the loop-invariant LCG multiplier into `r23` (done once, outside the
+/// hot loops, the way a compiler would hoist it) and seeds `r26`.
+fn lcg_init(b: &mut ProgramBuilder, seed: i64) {
+    b.inst(Instruction::li(R(23), 6364136223846793005u64 as i64));
+    b.inst(Instruction::li(R(26), seed));
+}
+
+/// Advances the LCG state in `state` using `tmp` as the single-use product
+/// temporary: `tmp = state * r23; state = tmp + C`. One write per register.
+fn lcg_step(b: &mut ProgramBuilder, state: ArchReg, tmp: ArchReg) {
+    b.inst(Instruction::mul(tmp, state, R(23)));
+    b.inst(Instruction::addi(state, tmp, 1442695040888963407u64 as i64));
+}
+
+/// Extracts `bits` pseudo-random bits of `state` into `dst`, using `tmp` for
+/// the intermediate shift so each register is written exactly once.
+fn lcg_bits(b: &mut ProgramBuilder, dst: ArchReg, tmp: ArchReg, state: ArchReg, bits: u32) {
+    b.inst(Instruction::srli(tmp, state, 33));
+    b.inst(Instruction::andi(dst, tmp, ((1u64 << bits) - 1) as i64));
+}
+
+/// Fills `words` 8-byte words starting at `base` with seeded pseudo-random
+/// values in `0..modulus` (full 64-bit values when `modulus` is zero).
+fn fill_random(b: &mut ProgramBuilder, base: u64, words: usize, modulus: u64, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..words {
+        let value = if modulus == 0 {
+            rng.gen::<u64>()
+        } else {
+            rng.gen_range(0..modulus)
+        };
+        b.data(base + 8 * i as u64, value);
+    }
+}
+
+fn workload(name: &str, variant: Variant, description: &str, b: &ProgramBuilder) -> Workload {
+    Workload::new(name, BenchCategory::SpecInt, variant, description, b.build())
+}
+
+/// `gzip`-like: LZ-style hashing over a pseudo-random input window with a
+/// data-dependent match branch and a short, predictable block-boundary loop.
+pub(crate) fn gzip(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("gzip");
+    b.inst(Instruction::li(R(28), REGION_A as i64)); // input window
+    b.inst(Instruction::li(R(27), REGION_B as i64)); // hash table
+    lcg_init(&mut b, 0x9e37_79b9);
+    b.inst(Instruction::li(R(9), 0));
+    b.label("top");
+    // Pick a pseudo-random input word.
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 12); // 4096-word input window (32 KB)
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    b.inst(Instruction::load(R(5), R(4), 0));
+    // Hash it and probe the hash table.
+    b.inst(Instruction::andi(R(6), R(5), 0x7ff));
+    b.inst(Instruction::slli(R(7), R(6), 3));
+    b.inst(Instruction::add(R(8), R(7), R(27)));
+    b.inst(Instruction::load(R(10), R(8), 0));
+    // Match check: data-dependent, hard to predict.
+    b.beq(R(10), R(5), "match");
+    b.inst(Instruction::store(R(5), R(8), 0));
+    b.inst(Instruction::addi(R(11), R(11), 1)); // literal count
+    b.jump("emit");
+    b.label("match");
+    b.inst(Instruction::addi(R(12), R(12), 1)); // match count
+    b.label("emit");
+    b.inst(Instruction::addi(R(9), R(9), 1));
+    b.inst(Instruction::andi(R(13), R(9), 63));
+    b.bne(R(13), ZERO, "top"); // taken 63/64: block boundary
+    b.inst(Instruction::addi(R(14), R(14), 1));
+    b.jump("top");
+    fill_random(&mut b, REGION_A, 4096, 2048, 11);
+    workload(
+        "gzip",
+        variant,
+        "LZ-style hashing; data-dependent match branch, small working set",
+        &b,
+    )
+}
+
+/// `vpr`-like: simulated-annealing placement with a 75%-biased accept branch
+/// and random-access swaps over an array larger than the D-cache.
+pub(crate) fn vpr(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("vpr");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    lcg_init(&mut b, 0x1234_5678);
+    b.inst(Instruction::li(R(25), 0x5555));
+    b.inst(Instruction::li(R(24), 0xaaaa));
+    b.label("top");
+    // Pick two pseudo-random cells using independent LCG streams.
+    lcg_step(&mut b, R(25), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(25), 14); // 16K cells (128 KB, larger than DL1)
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    lcg_step(&mut b, R(24), R(5));
+    lcg_bits(&mut b, R(6), R(22), R(24), 14);
+    b.inst(Instruction::slli(R(7), R(6), 3));
+    b.inst(Instruction::add(R(8), R(7), R(28)));
+    b.inst(Instruction::load(R(9), R(4), 0));
+    b.inst(Instruction::load(R(10), R(8), 0));
+    // Cost delta and accept/reject: rejected 25% of the time, data-dependent.
+    b.inst(Instruction::sub(R(11), R(9), R(10)));
+    lcg_step(&mut b, R(26), R(12));
+    lcg_bits(&mut b, R(13), R(16), R(26), 2);
+    b.beq(R(13), ZERO, "reject");
+    // Accept: swap the two cells.
+    b.inst(Instruction::store(R(10), R(4), 0));
+    b.inst(Instruction::store(R(9), R(8), 0));
+    b.inst(Instruction::addi(R(14), R(14), 1));
+    b.jump("top");
+    b.label("reject");
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.jump("top");
+    fill_random(&mut b, REGION_A, 16 * 1024, 1 << 20, 12);
+    workload(
+        "vpr",
+        variant,
+        "annealing placement; 25% unpredictable reject branch, random swaps",
+        &b,
+    )
+}
+
+/// `gcc`-like: a branchy traversal with many differently biased branches and
+/// an indirect jump modelling a switch over expression kinds.
+pub(crate) fn gcc(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("gcc");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    b.inst(Instruction::li(R(27), REGION_B as i64)); // dispatch table
+    lcg_init(&mut b, 0xfeed_beef);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 13); // 8K nodes
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    b.inst(Instruction::load(R(5), R(4), 0)); // node kind
+    // Case-2 stores mutate node kinds over time; mask so the dispatch index
+    // always stays within the 4-entry jump table.
+    b.inst(Instruction::andi(R(6), R(5), 3));
+    // Switch dispatch through a jump table: a hard indirect branch.
+    b.inst(Instruction::slli(R(7), R(6), 3));
+    b.inst(Instruction::add(R(8), R(7), R(27)));
+    b.inst(Instruction::load(R(9), R(8), 0));
+    b.inst(Instruction::jump_indirect(R(9)));
+    // Case 0: arithmetic fold (moderately biased branch).
+    b.label("case0");
+    b.inst(Instruction::andi(R(10), R(5), 15));
+    b.bne(R(10), ZERO, "join");
+    b.inst(Instruction::addi(R(11), R(11), 1));
+    b.jump("join");
+    // Case 1: comparison chain.
+    b.label("case1");
+    b.inst(Instruction::slti(R(12), R(5), 2));
+    b.beq(R(12), ZERO, "join");
+    b.inst(Instruction::addi(R(13), R(13), 1));
+    b.jump("join");
+    // Case 2: store to the node.
+    b.label("case2");
+    b.inst(Instruction::addi(R(14), R(14), 3));
+    b.inst(Instruction::store(R(14), R(4), 0));
+    b.jump("join");
+    // Case 3: call a small helper.
+    b.label("case3");
+    b.call(R(31), "helper");
+    b.jump("join");
+    b.label("helper");
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.inst(Instruction::xor(R(16), R(15), R(5)));
+    b.inst(Instruction::ret(R(31)));
+    b.label("join");
+    b.inst(Instruction::addi(R(17), R(17), 1));
+    b.inst(Instruction::andi(R(18), R(17), 7));
+    b.bne(R(18), ZERO, "top");
+    b.inst(Instruction::addi(R(19), R(19), 1));
+    b.jump("top");
+    // Node kinds 0..4 drive the indirect branch.
+    fill_random(&mut b, REGION_A, 8 * 1024, 4, 13);
+    // Fill the dispatch table with the resolved addresses of the four case
+    // labels: emit never-executed probe jumps (the infinite loop above ends
+    // in `jump top`), build once, and read the resolved targets back.
+    b.label("table_probe");
+    b.jump("case0");
+    b.jump("case1");
+    b.jump("case2");
+    b.jump("case3");
+    let built = b.build();
+    let n = built.len();
+    let probes: Vec<u64> = (n - 4..n)
+        .map(|i| {
+            built
+                .fetch(built.address_of(i))
+                .expect("probe index is in range")
+                .target()
+                .expect("probe jumps are direct")
+        })
+        .collect();
+    for (i, target) in probes.iter().enumerate() {
+        b.data(REGION_B + 8 * i as u64, *target);
+    }
+    workload(
+        "gcc",
+        variant,
+        "branchy IR walk; indirect switch dispatch, calls, mixed branch biases",
+        &b,
+    )
+}
+
+/// `mcf`-like: dependent pointer chasing over a region larger than the L2
+/// cache — the memory-latency-bound benchmark large windows love.
+pub(crate) fn mcf(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("mcf");
+    let nodes: u64 = 256 * 1024; // 16-byte nodes, 4 MB total, > 1 MB L2
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    b.inst(Instruction::li(R(1), REGION_A as i64)); // current node pointer
+    b.label("top");
+    // Chase the next pointer (dependent load, frequent L2 miss).
+    b.inst(Instruction::load(R(1), R(1), 0));
+    // A little arc-cost arithmetic per node.
+    b.inst(Instruction::load(R(2), R(1), 8));
+    b.inst(Instruction::add(R(3), R(3), R(2)));
+    b.inst(Instruction::slti(R(4), R(2), 1 << 19));
+    // Mostly-taken branch.
+    b.beq(R(4), ZERO, "expensive");
+    b.inst(Instruction::addi(R(5), R(5), 1));
+    b.jump("next");
+    b.label("expensive");
+    b.inst(Instruction::addi(R(6), R(6), 1));
+    b.inst(Instruction::store(R(3), R(1), 8));
+    b.label("next");
+    b.inst(Instruction::addi(R(7), R(7), 1));
+    b.inst(Instruction::andi(R(8), R(7), 255));
+    b.bne(R(8), ZERO, "top");
+    b.inst(Instruction::addi(R(9), R(9), 1));
+    b.jump("top");
+    // Build one long random cycle of next pointers over the node array.
+    let mut rng = SmallRng::seed_from_u64(14);
+    let mut order: Vec<u64> = (0..nodes).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..i);
+        order.swap(i, j);
+    }
+    for i in 0..order.len() {
+        let node = order[i];
+        let next = order[(i + 1) % order.len()];
+        b.data(REGION_A + node * 16, REGION_A + next * 16);
+        b.data(REGION_A + node * 16 + 8, rng.gen_range(0..(1 << 20)));
+    }
+    workload(
+        "mcf",
+        variant,
+        "pointer chasing over a 4 MB graph; memory-latency bound, predictable branches",
+        &b,
+    )
+}
+
+/// `crafty`-like: bitboard manipulation — long dependence chains of logical
+/// operations, well-predicted branches, tiny working set.
+pub(crate) fn crafty(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("crafty");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    lcg_init(&mut b, 0x0f0f_f0f0);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    // Bitboard mashing: rotates, masks, population-count-ish folding.
+    b.inst(Instruction::srli(R(2), R(26), 7));
+    b.inst(Instruction::xor(R(3), R(26), R(2)));
+    b.inst(Instruction::slli(R(4), R(3), 13));
+    b.inst(Instruction::or(R(5), R(3), R(4)));
+    b.inst(Instruction::andi(R(6), R(5), 0x5555));
+    b.inst(Instruction::srli(R(7), R(5), 1));
+    b.inst(Instruction::andi(R(8), R(7), 0x5555));
+    b.inst(Instruction::add(R(9), R(6), R(8)));
+    b.inst(Instruction::add(R(10), R(10), R(9)));
+    // Attack-table lookup in a small, cache-resident table.
+    b.inst(Instruction::andi(R(11), R(9), 0xff));
+    b.inst(Instruction::slli(R(12), R(11), 3));
+    b.inst(Instruction::add(R(13), R(12), R(28)));
+    b.inst(Instruction::load(R(14), R(13), 0));
+    b.inst(Instruction::add(R(15), R(15), R(14)));
+    // Rarely taken branch: "winning move found".
+    b.inst(Instruction::andi(R(16), R(9), 127));
+    b.beq(R(16), ZERO, "found");
+    b.label("cont");
+    b.inst(Instruction::addi(R(17), R(17), 1));
+    b.inst(Instruction::andi(R(18), R(17), 31));
+    b.bne(R(18), ZERO, "top");
+    b.inst(Instruction::addi(R(19), R(19), 1));
+    b.jump("top");
+    b.label("found");
+    b.inst(Instruction::addi(R(20), R(20), 1));
+    b.jump("cont");
+    fill_random(&mut b, REGION_A, 256, 0, 15);
+    workload(
+        "crafty",
+        variant,
+        "bitboard logic chains; highly predictable branches, cache-resident",
+        &b,
+    )
+}
+
+/// `parser`-like: byte-wise dictionary matching with calls/returns and
+/// moderately unpredictable comparisons.
+pub(crate) fn parser(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("parser");
+    b.inst(Instruction::li(R(28), REGION_A as i64)); // token stream
+    b.inst(Instruction::li(R(27), REGION_B as i64)); // dictionary
+    lcg_init(&mut b, 0x7777);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 12);
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    b.inst(Instruction::load(R(5), R(4), 0)); // token in 0..256
+    b.call(R(31), "lookup");
+    b.inst(Instruction::addi(R(6), R(6), 1));
+    b.inst(Instruction::andi(R(7), R(6), 15));
+    b.bne(R(7), ZERO, "top");
+    b.inst(Instruction::addi(R(8), R(8), 1));
+    b.jump("top");
+    // Dictionary lookup: compare against two dictionary slots, branch on
+    // match (token distribution makes this moderately unpredictable).
+    b.label("lookup");
+    b.inst(Instruction::andi(R(9), R(5), 0x1ff));
+    b.inst(Instruction::slli(R(10), R(9), 3));
+    b.inst(Instruction::add(R(11), R(10), R(27)));
+    b.inst(Instruction::load(R(12), R(11), 0));
+    b.beq(R(12), R(5), "hit");
+    b.inst(Instruction::load(R(13), R(11), 8));
+    b.beq(R(13), R(5), "hit");
+    b.inst(Instruction::addi(R(14), R(14), 1)); // miss path
+    b.inst(Instruction::ret(R(31)));
+    b.label("hit");
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.inst(Instruction::ret(R(31)));
+    fill_random(&mut b, REGION_A, 4096, 256, 16);
+    fill_random(&mut b, REGION_B, 1024, 256, 17);
+    workload(
+        "parser",
+        variant,
+        "dictionary matching with calls/returns; mixed-bias compare branches",
+        &b,
+    )
+}
+
+/// `eon`-like: arithmetic-heavy ray-intersection style code with multiplies
+/// and very predictable control flow.
+pub(crate) fn eon(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("eon");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    b.label("top");
+    // Fixed-point dot products and a conditional select.
+    b.inst(Instruction::load(R(1), R(28), 0));
+    b.inst(Instruction::load(R(2), R(28), 8));
+    b.inst(Instruction::load(R(3), R(28), 16));
+    b.inst(Instruction::mul(R(4), R(1), R(2)));
+    b.inst(Instruction::mul(R(5), R(2), R(3)));
+    b.inst(Instruction::mul(R(6), R(1), R(3)));
+    b.inst(Instruction::add(R(7), R(4), R(5)));
+    b.inst(Instruction::add(R(8), R(7), R(6)));
+    b.inst(Instruction::srli(R(9), R(8), 16));
+    b.inst(Instruction::add(R(10), R(10), R(9)));
+    b.inst(Instruction::slt(R(11), R(9), R(10)));
+    b.bne(R(11), ZERO, "near"); // almost always taken after warm-up
+    b.inst(Instruction::addi(R(12), R(12), 1));
+    b.label("near");
+    b.inst(Instruction::store(R(10), R(28), 24));
+    b.inst(Instruction::addi(R(13), R(13), 1));
+    b.inst(Instruction::andi(R(14), R(13), 127));
+    b.bne(R(14), ZERO, "top");
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.jump("top");
+    fill_random(&mut b, REGION_A, 64, 1 << 16, 18);
+    workload(
+        "eon",
+        variant,
+        "fixed-point geometry; multiply-heavy, highly predictable branches",
+        &b,
+    )
+}
+
+/// `perlbmk`-like: interpreter dispatch — an indirect branch that is hard to
+/// predict plus hash-table accesses and frequent calls.
+pub(crate) fn perlbmk(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("perlbmk");
+    b.inst(Instruction::li(R(28), REGION_A as i64)); // bytecode stream
+    b.inst(Instruction::li(R(27), REGION_B as i64)); // handler table
+    lcg_init(&mut b, 0x5151);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 11);
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    b.inst(Instruction::load(R(5), R(4), 0)); // opcode
+    // op_store mutates the bytecode stream; mask so the dispatch index stays
+    // within the 4-entry handler table.
+    b.inst(Instruction::andi(R(6), R(5), 3));
+    b.inst(Instruction::slli(R(7), R(6), 3));
+    b.inst(Instruction::add(R(8), R(7), R(27)));
+    b.inst(Instruction::load(R(9), R(8), 0));
+    b.inst(Instruction::jump_indirect(R(9))); // interpreter dispatch
+    b.label("op_add");
+    b.inst(Instruction::add(R(10), R(10), R(6)));
+    b.jump("next");
+    b.label("op_hash");
+    b.inst(Instruction::andi(R(11), R(10), 0x3ff));
+    b.inst(Instruction::slli(R(12), R(11), 3));
+    b.inst(Instruction::add(R(13), R(12), R(28)));
+    b.inst(Instruction::load(R(14), R(13), 0));
+    b.inst(Instruction::add(R(10), R(10), R(14)));
+    b.jump("next");
+    b.label("op_call");
+    b.call(R(31), "sub");
+    b.jump("next");
+    b.label("op_store");
+    b.inst(Instruction::store(R(10), R(4), 0));
+    b.jump("next");
+    b.label("sub");
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.inst(Instruction::ret(R(31)));
+    b.label("next");
+    b.inst(Instruction::addi(R(16), R(16), 1));
+    b.inst(Instruction::andi(R(17), R(16), 31));
+    b.bne(R(17), ZERO, "top");
+    b.inst(Instruction::addi(R(18), R(18), 1));
+    b.jump("top");
+    // Probe jumps to learn handler addresses for the dispatch table.
+    b.label("probe");
+    b.jump("op_add");
+    b.jump("op_hash");
+    b.jump("op_call");
+    b.jump("op_store");
+    let built = b.build();
+    let n = built.len();
+    let probes: Vec<u64> = (n - 4..n)
+        .map(|i| {
+            built
+                .fetch(built.address_of(i))
+                .expect("probe index is in range")
+                .target()
+                .expect("probe jumps are direct")
+        })
+        .collect();
+    for (i, target) in probes.iter().enumerate() {
+        b.data(REGION_B + 8 * i as u64, *target);
+    }
+    fill_random(&mut b, REGION_A, 2048, 4, 19);
+    workload(
+        "perlbmk",
+        variant,
+        "interpreter dispatch; unpredictable indirect branches, calls, hashing",
+        &b,
+    )
+}
+
+/// `gap`-like: group-theory style modular arithmetic over mid-sized vectors
+/// with mostly predictable branches.
+pub(crate) fn gap(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("gap");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    b.inst(Instruction::li(R(20), 0)); // element counter
+    b.label("top");
+    b.inst(Instruction::andi(R(1), R(20), 0x3fff)); // 16K-element vector
+    b.inst(Instruction::slli(R(2), R(1), 3));
+    b.inst(Instruction::add(R(3), R(2), R(28)));
+    b.inst(Instruction::load(R(4), R(3), 0));
+    b.inst(Instruction::mul(R(5), R(4), R(4)));
+    b.inst(Instruction::srli(R(6), R(5), 5));
+    b.inst(Instruction::sub(R(7), R(5), R(6)));
+    b.inst(Instruction::store(R(7), R(3), 0));
+    b.inst(Instruction::add(R(8), R(8), R(7)));
+    // Occasional normalisation branch.
+    b.inst(Instruction::andi(R(9), R(7), 31));
+    b.beq(R(9), ZERO, "norm");
+    b.label("cont");
+    b.inst(Instruction::addi(R(20), R(20), 1));
+    b.inst(Instruction::andi(R(10), R(20), 255));
+    b.bne(R(10), ZERO, "top");
+    b.inst(Instruction::addi(R(11), R(11), 1));
+    b.jump("top");
+    b.label("norm");
+    b.inst(Instruction::srli(R(12), R(8), 1));
+    b.inst(Instruction::add(R(8), R(12), ZERO));
+    b.jump("cont");
+    fill_random(&mut b, REGION_A, 16 * 1024, 1 << 24, 20);
+    workload(
+        "gap",
+        variant,
+        "modular arithmetic sweeps; multiplies, mostly predictable branches",
+        &b,
+    )
+}
+
+/// `vortex`-like: object-database traversal — load/store heavy, call heavy,
+/// well-predicted branches, working set around the L2 size.
+pub(crate) fn vortex(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("vortex");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    lcg_init(&mut b, 0x4444);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 15); // 32K objects of 32 bytes (1 MB)
+    b.inst(Instruction::slli(R(3), R(2), 5));
+    b.inst(Instruction::add(R(2), R(3), R(28)));
+    b.call(R(31), "read_object");
+    b.call(R(31), "update_object");
+    b.inst(Instruction::addi(R(10), R(10), 1));
+    b.inst(Instruction::andi(R(11), R(10), 63));
+    b.bne(R(11), ZERO, "top");
+    b.inst(Instruction::addi(R(12), R(12), 1));
+    b.jump("top");
+    b.label("read_object");
+    b.inst(Instruction::load(R(4), R(2), 0));
+    b.inst(Instruction::load(R(5), R(2), 8));
+    b.inst(Instruction::load(R(6), R(2), 16));
+    b.inst(Instruction::add(R(7), R(4), R(5)));
+    b.inst(Instruction::add(R(8), R(7), R(6)));
+    b.inst(Instruction::ret(R(31)));
+    b.label("update_object");
+    b.inst(Instruction::addi(R(9), R(8), 1));
+    b.inst(Instruction::store(R(9), R(2), 24));
+    b.inst(Instruction::slt(R(13), R(9), R(4)));
+    b.beq(R(13), ZERO, "no_reindex");
+    b.inst(Instruction::addi(R(14), R(14), 1));
+    b.label("no_reindex");
+    b.inst(Instruction::ret(R(31)));
+    fill_random(&mut b, REGION_A, 4 * 32 * 1024, 1 << 22, 21);
+    workload(
+        "vortex",
+        variant,
+        "object database; call- and memory-heavy, predictable branches",
+        &b,
+    )
+}
+
+/// `bzip2`-like (Table II: `generateMTFValues`): a tight move-to-front scan
+/// with a data-dependent trip count whose small register footprint limits how
+/// many scan iterations the MSP can keep in flight (Section 4.3).
+pub(crate) fn bzip2(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("bzip2");
+    b.inst(Instruction::li(R(28), REGION_A as i64)); // symbol buffer
+    b.inst(Instruction::li(R(27), REGION_B as i64)); // MTF table
+    lcg_init(&mut b, 0x6666);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 10);
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    b.inst(Instruction::load(R(5), R(4), 0)); // symbol in 0..32
+    match variant {
+        Variant::Original => {
+            // Move-to-front scan: a 6-instruction loop whose registers are
+            // each renamed once per scan iteration; the data-dependent exit
+            // iterates up to 32 times.
+            b.inst(Instruction::li(R(6), 0)); // scan position
+            b.label("mtf");
+            b.inst(Instruction::slli(R(7), R(6), 3));
+            b.inst(Instruction::add(R(8), R(7), R(27)));
+            b.inst(Instruction::load(R(9), R(8), 0));
+            b.inst(Instruction::addi(R(6), R(6), 1));
+            b.bne(R(9), R(5), "mtf");
+            b.inst(Instruction::add(R(10), R(10), R(6)));
+        }
+        Variant::Modified => {
+            // Section 4.3 transformation: the scan is unrolled 4x and each
+            // unrolled copy uses distinct registers, spreading renamings over
+            // four times as many banks.
+            b.inst(Instruction::li(R(6), 0));
+            b.label("mtf");
+            b.inst(Instruction::slli(R(7), R(6), 3));
+            b.inst(Instruction::add(R(8), R(7), R(27)));
+            b.inst(Instruction::load(R(9), R(8), 0));
+            b.beq(R(9), R(5), "mtf_done");
+            b.inst(Instruction::load(R(12), R(8), 8));
+            b.beq(R(12), R(5), "mtf_done");
+            b.inst(Instruction::load(R(13), R(8), 16));
+            b.beq(R(13), R(5), "mtf_done");
+            b.inst(Instruction::load(R(14), R(8), 24));
+            b.inst(Instruction::addi(R(6), R(6), 4));
+            b.bne(R(14), R(5), "mtf");
+            b.label("mtf_done");
+            b.inst(Instruction::add(R(10), R(10), R(6)));
+        }
+    }
+    // Emit the MTF code and update the block counters.
+    b.inst(Instruction::store(R(10), R(4), 0));
+    b.inst(Instruction::addi(R(15), R(15), 1));
+    b.inst(Instruction::andi(R(16), R(15), 127));
+    b.bne(R(16), ZERO, "top");
+    b.inst(Instruction::addi(R(17), R(17), 1));
+    b.jump("top");
+    // Symbols follow a skewed (geometric-like) distribution, as move-to-front
+    // coding assumes: most scans terminate after a couple of iterations.
+    {
+        let mut rng = SmallRng::seed_from_u64(22);
+        for i in 0..1024u64 {
+            let value = u64::from(rng.gen::<u32>().trailing_zeros().min(31));
+            b.data(REGION_A + 8 * i, value);
+        }
+    }
+    // MTF table holds the values 0..32 repeated so the scan terminates.
+    for i in 0..64u64 {
+        b.data(REGION_B + 8 * i, i % 32);
+    }
+    workload(
+        "bzip2",
+        variant,
+        "move-to-front scan (generateMTFValues); tight loop, few registers",
+        &b,
+    )
+}
+
+/// `twolf`-like (Table II: `new_dbox_a`): a placement cost loop with a short
+/// body, unpredictable branches and a small register footprint.
+pub(crate) fn twolf(variant: Variant) -> Workload {
+    let mut b = ProgramBuilder::new("twolf");
+    b.inst(Instruction::li(R(28), REGION_A as i64));
+    lcg_init(&mut b, 0x8888);
+    b.label("top");
+    lcg_step(&mut b, R(26), R(1));
+    lcg_bits(&mut b, R(2), R(21), R(26), 12);
+    b.inst(Instruction::slli(R(3), R(2), 3));
+    b.inst(Instruction::add(R(4), R(3), R(28)));
+    match variant {
+        Variant::Original => {
+            // Net-cost accumulation: 7-instruction body with an unpredictable
+            // direction branch, registers renamed once per terminal.
+            b.inst(Instruction::li(R(5), 8)); // terminals in this net
+            b.label("net");
+            b.inst(Instruction::load(R(6), R(4), 0));
+            b.inst(Instruction::add(R(7), R(7), R(6)));
+            b.inst(Instruction::andi(R(8), R(6), 1));
+            b.bne(R(8), ZERO, "skip");
+            b.inst(Instruction::addi(R(7), R(7), 3));
+            b.label("skip");
+            b.inst(Instruction::addi(R(4), R(4), 8));
+            b.inst(Instruction::addi(R(5), R(5), -1));
+            b.bne(R(5), ZERO, "net");
+        }
+        Variant::Modified => {
+            // Unrolled twice with rotated temporaries and split accumulators.
+            b.inst(Instruction::li(R(5), 4));
+            b.label("net");
+            b.inst(Instruction::load(R(6), R(4), 0));
+            b.inst(Instruction::add(R(7), R(7), R(6)));
+            b.inst(Instruction::andi(R(8), R(6), 1));
+            b.bne(R(8), ZERO, "skip0");
+            b.inst(Instruction::addi(R(7), R(7), 3));
+            b.label("skip0");
+            b.inst(Instruction::load(R(12), R(4), 8));
+            b.inst(Instruction::add(R(13), R(13), R(12)));
+            b.inst(Instruction::andi(R(14), R(12), 1));
+            b.bne(R(14), ZERO, "skip1");
+            b.inst(Instruction::addi(R(13), R(13), 3));
+            b.label("skip1");
+            b.inst(Instruction::addi(R(4), R(4), 16));
+            b.inst(Instruction::addi(R(5), R(5), -1));
+            b.bne(R(5), ZERO, "net");
+            b.inst(Instruction::add(R(7), R(7), R(13)));
+        }
+    }
+    b.inst(Instruction::store(R(7), R(28), 0));
+    b.inst(Instruction::addi(R(9), R(9), 1));
+    b.inst(Instruction::andi(R(10), R(9), 63));
+    b.bne(R(10), ZERO, "top");
+    b.inst(Instruction::addi(R(11), R(11), 1));
+    b.jump("top");
+    fill_random(&mut b, REGION_A, 4096 + 16, 1 << 16, 23);
+    workload(
+        "twolf",
+        variant,
+        "placement cost loop (new_dbox_a); short body, unpredictable branches, register reuse",
+        &b,
+    )
+}

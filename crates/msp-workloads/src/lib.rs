@@ -1,0 +1,188 @@
+//! Synthetic SPEC CPU2000-like workloads for the MSP reproduction.
+//!
+//! The paper evaluates on SPEC CPU2000 (Alpha binaries, Compaq compiler,
+//! 300M-instruction SimPoints). Those binaries are unavailable, so this crate
+//! generates **synthetic kernels** — one per SPEC program referenced in the
+//! evaluation — that reproduce the properties the results actually hinge on:
+//!
+//! * branch-misprediction behaviour (how much precise recovery matters),
+//! * memory-level parallelism and cache-miss exposure (how much a large
+//!   window matters),
+//! * logical-register reuse in hot loops (how much an `n`-register MSP bank
+//!   stalls), and
+//! * call/return and indirect-branch density.
+//!
+//! Table II's hand-modified programs are reproduced as `Variant::Modified`
+//! kernels whose hot loops are unrolled with rotated register allocation,
+//! exactly the transformation described in Section 4.3.
+//!
+//! ```
+//! use msp_workloads::{spec_int_like, Variant};
+//! let suite = spec_int_like(Variant::Original);
+//! assert_eq!(suite.len(), 12);
+//! assert!(suite.iter().any(|w| w.name() == "bzip2"));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod kernels_fp;
+mod kernels_int;
+mod workload;
+
+pub use builder::ProgramBuilder;
+pub use workload::{BenchCategory, Variant, Workload};
+
+use msp_isa::Program;
+
+/// The twelve SPECint-like kernels of Figs. 6, 7 and 9, in the paper's order.
+pub fn spec_int_like(variant: Variant) -> Vec<Workload> {
+    vec![
+        kernels_int::gzip(variant),
+        kernels_int::vpr(variant),
+        kernels_int::gcc(variant),
+        kernels_int::mcf(variant),
+        kernels_int::crafty(variant),
+        kernels_int::parser(variant),
+        kernels_int::eon(variant),
+        kernels_int::perlbmk(variant),
+        kernels_int::gap(variant),
+        kernels_int::vortex(variant),
+        kernels_int::bzip2(variant),
+        kernels_int::twolf(variant),
+    ]
+}
+
+/// The SPECfp-like kernels of Fig. 8.
+pub fn spec_fp_like(variant: Variant) -> Vec<Workload> {
+    vec![
+        kernels_fp::swim(variant),
+        kernels_fp::mgrid(variant),
+        kernels_fp::applu(variant),
+        kernels_fp::equake(variant),
+        kernels_fp::art(variant),
+        kernels_fp::fma3d(variant),
+    ]
+}
+
+/// The five benchmarks of Table II (those whose hot loops were hand-modified
+/// in the paper), as `(original, modified)` pairs.
+pub fn table2_pairs() -> Vec<(Workload, Workload)> {
+    let names = ["bzip2", "twolf", "swim", "mgrid", "equake"];
+    names
+        .iter()
+        .map(|n| {
+            (
+                by_name(n, Variant::Original).expect("table 2 benchmark exists"),
+                by_name(n, Variant::Modified).expect("table 2 benchmark exists"),
+            )
+        })
+        .collect()
+}
+
+/// Looks up a single workload by its SPEC-style short name.
+pub fn by_name(name: &str, variant: Variant) -> Option<Workload> {
+    spec_int_like(variant)
+        .into_iter()
+        .chain(spec_fp_like(variant))
+        .find(|w| w.name() == name)
+}
+
+/// A tiny deterministic microbenchmark used by examples and tests: a counted
+/// loop with a store, a reasonably predictable branch and a small amount of
+/// pointer arithmetic.
+pub fn microbenchmark() -> Program {
+    use msp_isa::{ArchReg, Instruction};
+    let r = ArchReg::int;
+    let mut b = ProgramBuilder::new("micro");
+    b.inst(Instruction::li(r(1), 64)); // loop counter
+    b.inst(Instruction::li(r(2), 0x8000)); // data pointer
+    b.inst(Instruction::li(r(3), 0)); // accumulator
+    b.label("loop");
+    b.inst(Instruction::load(r(4), r(2), 0));
+    b.inst(Instruction::add(r(3), r(3), r(4)));
+    b.inst(Instruction::store(r(3), r(2), 8));
+    b.inst(Instruction::addi(r(2), r(2), 16));
+    b.inst(Instruction::addi(r(1), r(1), -1));
+    b.bne(r(1), ArchReg::ZERO, "loop");
+    b.inst(Instruction::halt());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_isa::{execute_step, ArchState};
+
+    #[test]
+    fn suites_have_the_papers_benchmarks() {
+        let ints = spec_int_like(Variant::Original);
+        assert_eq!(ints.len(), 12);
+        let fps = spec_fp_like(Variant::Original);
+        assert_eq!(fps.len(), 6);
+        for w in ints.iter() {
+            assert_eq!(w.category(), BenchCategory::SpecInt);
+        }
+        for w in fps.iter() {
+            assert_eq!(w.category(), BenchCategory::SpecFp);
+        }
+        assert!(by_name("mcf", Variant::Original).is_some());
+        assert!(by_name("swim", Variant::Modified).is_some());
+        assert!(by_name("nonexistent", Variant::Original).is_none());
+    }
+
+    #[test]
+    fn table2_has_five_pairs_with_distinct_programs() {
+        let pairs = table2_pairs();
+        assert_eq!(pairs.len(), 5);
+        for (orig, modified) in &pairs {
+            assert_eq!(orig.name(), modified.name());
+            assert_ne!(
+                orig.program().len(),
+                modified.program().len(),
+                "{}: the modified variant must differ (unrolled loops)",
+                orig.name()
+            );
+        }
+    }
+
+    /// Every workload must run functionally for a long stretch without
+    /// halting or leaving the text segment — the timing simulators rely on
+    /// this to gather enough dynamic instructions.
+    #[test]
+    fn every_workload_executes_100k_instructions() {
+        for w in spec_int_like(Variant::Original)
+            .into_iter()
+            .chain(spec_fp_like(Variant::Original))
+            .chain(spec_int_like(Variant::Modified))
+            .chain(spec_fp_like(Variant::Modified))
+        {
+            let program = w.program();
+            let mut state = ArchState::new(program);
+            for i in 0..100_000u64 {
+                match execute_step(&mut state, program) {
+                    Ok(rec) => assert!(
+                        !rec.halted,
+                        "{} halted after only {i} instructions",
+                        w.name()
+                    ),
+                    Err(e) => panic!("{} failed functionally at instruction {i}: {e}", w.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microbenchmark_halts() {
+        let p = microbenchmark();
+        let mut state = ArchState::new(&p);
+        let mut steps = 0;
+        while !state.is_halted() && steps < 10_000 {
+            execute_step(&mut state, &p).unwrap();
+            steps += 1;
+        }
+        assert!(state.is_halted());
+        assert!(steps > 64 * 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Workload metadata.
+
+use msp_isa::Program;
+use std::fmt;
+
+/// Which SPEC CPU2000 suite a kernel imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchCategory {
+    /// Integer suite (Figs. 6, 7 and 9).
+    SpecInt,
+    /// Floating-point suite (Fig. 8).
+    SpecFp,
+}
+
+impl fmt::Display for BenchCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchCategory::SpecInt => write!(f, "SPECint"),
+            BenchCategory::SpecFp => write!(f, "SPECfp"),
+        }
+    }
+}
+
+/// Whether a kernel's hot loops are in their original form or hand-modified
+/// as in Table II (unrolled, with rotated register allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The unmodified kernel.
+    Original,
+    /// The kernel with Section 4.3's loop transformations applied.
+    Modified,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Original => write!(f, "original"),
+            Variant::Modified => write!(f, "modified"),
+        }
+    }
+}
+
+/// A synthetic benchmark kernel plus its metadata.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    category: BenchCategory,
+    variant: Variant,
+    description: String,
+    program: Program,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(
+        name: impl Into<String>,
+        category: BenchCategory,
+        variant: Variant,
+        description: impl Into<String>,
+        program: Program,
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            category,
+            variant,
+            description: description.into(),
+            program,
+        }
+    }
+
+    /// SPEC-style short name (e.g. `"bzip2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite the kernel belongs to.
+    pub fn category(&self) -> BenchCategory {
+        self.category
+    }
+
+    /// Original or Table II-modified variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// What the kernel models and which behaviours it stresses.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The synthetic program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, {} static instructions)",
+            self.name,
+            self.category,
+            self.variant,
+            self.program.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_isa::Instruction;
+
+    #[test]
+    fn accessors_and_display() {
+        let program = Program::new(vec![Instruction::halt()]);
+        let w = Workload::new(
+            "demo",
+            BenchCategory::SpecInt,
+            Variant::Original,
+            "a demo",
+            program,
+        );
+        assert_eq!(w.name(), "demo");
+        assert_eq!(w.category(), BenchCategory::SpecInt);
+        assert_eq!(w.variant(), Variant::Original);
+        assert_eq!(w.description(), "a demo");
+        assert_eq!(w.program().len(), 1);
+        assert!(w.to_string().contains("demo"));
+        assert_eq!(BenchCategory::SpecFp.to_string(), "SPECfp");
+        assert_eq!(Variant::Modified.to_string(), "modified");
+    }
+}

@@ -1,0 +1,64 @@
+//! Facade crate for the Multi-State Processor (MSP) reproduction.
+//!
+//! This crate re-exports the whole public API of the reproduction of
+//! González et al., *A Distributed Processor State Management Architecture
+//! for Large-Window Processors* (MICRO 2008), so applications can depend on a
+//! single crate:
+//!
+//! * [`isa`] — the RISC ISA, programs and the functional executor,
+//! * [`workloads`] — synthetic SPEC CPU2000-like kernels,
+//! * [`branch`] — gshare, TAGE, the confidence estimator, BTB and RAS,
+//! * [`mem`] — the cache hierarchy and (hierarchical) store queues,
+//! * [`state`] — the paper's contribution: StateIds, SCTs, the LCS unit,
+//!   the RelIQ matrix, the banked register file and precise recovery,
+//! * [`pipeline`] — the cycle-level timing simulator with Baseline, CPR and
+//!   MSP back ends,
+//! * [`power`] — the analytical register-file power/area model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msp::prelude::*;
+//!
+//! let workload = msp::workloads::by_name("crafty", Variant::Original).expect("kernel exists");
+//! let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare);
+//! let mut simulator = Simulator::new(workload.program(), config);
+//! let result = simulator.run(2_000);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use msp_branch as branch;
+pub use msp_isa as isa;
+pub use msp_mem as mem;
+pub use msp_pipeline as pipeline;
+pub use msp_power as power;
+pub use msp_state as state;
+pub use msp_workloads as workloads;
+
+/// The most commonly used types, importable with `use msp::prelude::*`.
+pub mod prelude {
+    pub use msp_branch::{DirectionPredictor, PredictorKind};
+    pub use msp_isa::{ArchReg, ArchState, Instruction, Program};
+    pub use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
+    pub use msp_state::{MspConfig, MspStateManager, RenameRequest, StateId};
+    pub use msp_workloads::{BenchCategory, Variant, Workload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let program = crate::workloads::microbenchmark();
+        assert!(program.len() > 0);
+        let config = crate::pipeline::SimConfig::machine(
+            crate::pipeline::MachineKind::msp(16),
+            crate::branch::PredictorKind::Gshare,
+        );
+        assert!(config.arbitration);
+        let _ = crate::power::RegFileConfig::msp_16sp();
+        let _ = crate::state::MspConfig::default();
+    }
+}

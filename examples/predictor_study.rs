@@ -1,0 +1,43 @@
+//! Studies how the branch predictor changes the CPR-vs-MSP comparison
+//! (the paper's Figs. 6 and 7): with a simple gshare the MSP's precise
+//! recovery matters much more than with an aggressive TAGE.
+//!
+//! Run with `cargo run --release -p msp --example predictor_study`.
+
+use msp::prelude::*;
+
+fn main() {
+    let budget = 15_000;
+    let names = ["gzip", "vpr", "gcc", "twolf"];
+    for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
+        println!("== predictor: {predictor}");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>12}",
+            "benchmark", "CPR IPC", "16-SP IPC", "16/CPR", "mispredict%"
+        );
+        for name in names {
+            let workload = msp::workloads::by_name(name, Variant::Original).expect("kernel exists");
+            let cpr = Simulator::new(
+                workload.program(),
+                SimConfig::machine(MachineKind::cpr(), predictor),
+            )
+            .run(budget);
+            let sp16 = Simulator::new(
+                workload.program(),
+                SimConfig::machine(MachineKind::msp(16), predictor),
+            )
+            .run(budget);
+            println!(
+                "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>11.1}%",
+                name,
+                cpr.ipc(),
+                sp16.ipc(),
+                sp16.ipc() / cpr.ipc().max(1e-9),
+                100.0 * sp16.stats.misprediction_rate()
+            );
+        }
+        println!();
+    }
+    println!("The paper reports a 14% average MSP advantage over CPR with gshare that");
+    println!("shrinks to ~1-3% with TAGE: better prediction leaves less recovery work to save.");
+}

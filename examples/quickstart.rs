@@ -1,0 +1,36 @@
+//! Quickstart: simulate one synthetic kernel on the 16-SP Multi-State
+//! Processor and print the headline statistics.
+//!
+//! Run with `cargo run --release -p msp --example quickstart`.
+
+use msp::prelude::*;
+
+fn main() {
+    let workload = msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists");
+    println!("workload: {workload}");
+
+    let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare);
+    let mut simulator = Simulator::new(workload.program(), config);
+    let result = simulator.run(20_000);
+    let stats = &result.stats;
+
+    println!("machine            : {} with {}", result.machine, result.predictor);
+    println!("cycles             : {}", stats.cycles);
+    println!("committed          : {}", stats.committed);
+    println!("IPC                : {:.3}", result.ipc());
+    println!("branch mispredicts : {} ({:.1}% of branches)", stats.mispredictions, 100.0 * stats.misprediction_rate());
+    println!("executed / committed: {:.3}", stats.execution_overhead());
+    println!(
+        "executed breakdown : correct {} + re-executed {} + wrong-path {}",
+        stats.executed.correct_path, stats.executed.correct_path_reexecuted, stats.executed.wrong_path
+    );
+    let top = stats.stalls.top_bank_stalls(3);
+    if top.is_empty() {
+        println!("register-bank stalls: none");
+    } else {
+        println!("register-bank stalls (top 3):");
+        for (reg, cycles) in top {
+            println!("  {reg}: {cycles} stall cycles");
+        }
+    }
+}

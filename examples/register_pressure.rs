@@ -1,0 +1,35 @@
+//! Explores the MSP's per-logical-register bank pressure: sweeps the bank
+//! size for one of the paper's Table II benchmarks and shows how the
+//! hand-modified (unrolled) loop recovers the lost performance.
+//!
+//! Run with `cargo run --release -p msp --example register_pressure`.
+
+use msp::prelude::*;
+
+fn main() {
+    let budget = 15_000;
+    println!(
+        "{:<10} {:<9} {:>6} {:>8} {:>16}",
+        "benchmark", "variant", "n", "IPC", "bank stalls"
+    );
+    for name in ["bzip2", "swim"] {
+        for variant in [Variant::Original, Variant::Modified] {
+            let workload = msp::workloads::by_name(name, variant).expect("kernel exists");
+            for n in [8, 16, 64] {
+                let config = SimConfig::machine(MachineKind::msp(n), PredictorKind::Tage);
+                let result = Simulator::new(workload.program(), config).run(budget);
+                println!(
+                    "{:<10} {:<9} {:>6} {:>8.2} {:>16}",
+                    name,
+                    variant.to_string(),
+                    n,
+                    result.ipc(),
+                    result.stats.stalls.bank_full_total()
+                );
+            }
+        }
+    }
+    println!();
+    println!("Section 4.3 of the paper: unrolling the hot loop and rotating its register");
+    println!("allocation spreads renamings over more banks, removing most 8/16-SP stalls.");
+}

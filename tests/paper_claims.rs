@@ -1,0 +1,115 @@
+//! Cross-crate integration tests that check the paper's qualitative claims
+//! end-to-end: precise vs imprecise recovery, register-bank pressure and the
+//! effect of Table II's loop modifications, executed-instruction overhead,
+//! and the register-file power comparison.
+
+use msp::prelude::*;
+use msp_pipeline::{SimConfig, Simulator};
+
+const BUDGET: u64 = 6_000;
+
+fn run(workload: &Workload, machine: MachineKind, predictor: PredictorKind) -> msp_pipeline::SimResult {
+    let config = SimConfig::machine(machine, predictor);
+    Simulator::new(workload.program(), config).run(BUDGET)
+}
+
+/// Section 2 / Fig. 9: CPR re-executes correctly executed instructions after
+/// rollback, the MSP never does, and the MSP therefore executes fewer
+/// instructions per committed instruction on a misprediction-heavy workload.
+#[test]
+fn msp_executes_fewer_instructions_than_cpr() {
+    let workload = msp::workloads::by_name("vpr", Variant::Original).unwrap();
+    let cpr = run(&workload, MachineKind::cpr(), PredictorKind::Gshare);
+    let sp16 = run(&workload, MachineKind::msp(16), PredictorKind::Gshare);
+    assert!(cpr.stats.executed.correct_path_reexecuted > 0);
+    assert_eq!(sp16.stats.executed.correct_path_reexecuted, 0);
+    assert!(
+        sp16.stats.execution_overhead() < cpr.stats.execution_overhead(),
+        "MSP overhead {} must be below CPR overhead {}",
+        sp16.stats.execution_overhead(),
+        cpr.stats.execution_overhead()
+    );
+}
+
+/// Figs. 6-8: increasing the per-logical-register bank size monotonically
+/// approaches the ideal MSP, and the ideal MSP never stalls on banks.
+#[test]
+fn bank_size_sweep_approaches_ideal() {
+    let workload = msp::workloads::by_name("swim", Variant::Original).unwrap();
+    let ipc8 = run(&workload, MachineKind::msp(8), PredictorKind::Tage).ipc();
+    let ipc64 = run(&workload, MachineKind::msp(64), PredictorKind::Tage).ipc();
+    let ideal = run(&workload, MachineKind::IdealMsp, PredictorKind::Tage);
+    assert!(ipc8 <= ipc64 * 1.02, "8-SP ({ipc8}) must not beat 64-SP ({ipc64})");
+    assert!(ipc64 <= ideal.ipc() * 1.02);
+    assert_eq!(ideal.stats.stalls.bank_full_total(), 0);
+}
+
+/// Table II / Section 4.3: the hand-modified (unrolled, register-rotated)
+/// loops reduce 16-SP register stalls and do not slow the kernel down.
+#[test]
+fn table2_modification_relieves_register_pressure() {
+    for name in ["bzip2", "swim"] {
+        let original = msp::workloads::by_name(name, Variant::Original).unwrap();
+        let modified = msp::workloads::by_name(name, Variant::Modified).unwrap();
+        let orig = run(&original, MachineKind::msp(16), PredictorKind::Tage);
+        let modi = run(&modified, MachineKind::msp(16), PredictorKind::Tage);
+        assert!(
+            modi.ipc() >= orig.ipc() * 0.95,
+            "{name}: modified IPC {} must not regress below original {}",
+            modi.ipc(),
+            orig.ipc()
+        );
+        assert!(
+            modi.stats.stalls.bank_full_total() < orig.stats.stalls.bank_full_total(),
+            "{name}: modified variant must stall less on register banks"
+        );
+    }
+}
+
+/// The baseline ROB machine and the MSP both recover precisely; only CPR
+/// performs imprecise (checkpoint) recoveries.
+#[test]
+fn only_cpr_recovers_imprecisely() {
+    let workload = msp::workloads::by_name("gzip", Variant::Original).unwrap();
+    for machine in [MachineKind::Baseline, MachineKind::msp(16), MachineKind::IdealMsp] {
+        let result = run(&workload, machine, PredictorKind::Gshare);
+        assert_eq!(result.stats.imprecise_recoveries, 0, "{machine:?}");
+        assert_eq!(result.stats.executed.correct_path_reexecuted, 0, "{machine:?}");
+    }
+    let cpr = run(&workload, MachineKind::cpr(), PredictorKind::Gshare);
+    assert!(cpr.stats.imprecise_recoveries > 0);
+}
+
+/// Every machine commits the same architectural work: committed instruction
+/// counts are identical for a finite program regardless of the machine.
+#[test]
+fn all_machines_commit_identical_instruction_counts() {
+    let program = msp::workloads::microbenchmark();
+    let mut committed = Vec::new();
+    for machine in [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(8),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ] {
+        let config = SimConfig::machine(machine, PredictorKind::Tage);
+        let result = Simulator::new(&program, config).run(1_000_000);
+        committed.push(result.stats.committed);
+    }
+    assert!(committed.windows(2).all(|w| w[0] == w[1]), "{committed:?}");
+}
+
+/// Table III: the MSP's larger but 1R/1W-banked register file beats CPR's
+/// fully ported file on both access power and access time at both nodes.
+#[test]
+fn banked_register_file_wins_on_power_and_latency() {
+    use msp::power::{RegFileConfig, TechNode};
+    for node in TechNode::ALL {
+        let msp_file = RegFileConfig::msp_16sp();
+        let cpr_file = RegFileConfig::cpr_4_banks();
+        assert!(msp_file.read_power_mw(node) < cpr_file.read_power_mw(node));
+        assert!(msp_file.read_time_fo4(node) < cpr_file.read_time_fo4(node));
+        assert!(msp_file.area_mm2(node) < cpr_file.area_mm2(node) * 4.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration tests exercising the MSP state-management crate against the
+//! ISA crate the way the timing simulator does: renaming real instruction
+//! sequences, tracking uses, committing through the LCS and recovering.
+
+use msp::prelude::*;
+use msp_isa::{execute_step, ArchState};
+use msp_state::{RenameError, StateId};
+
+/// Renames a real dynamic instruction stream (the functional execution of the
+/// microbenchmark) through the MSP manager, marking destinations ready
+/// immediately: the LCS must eventually commit every allocated state and the
+/// number of allocated states must equal the number of register-writing
+/// instructions.
+#[test]
+fn full_program_renames_and_commits_through_the_manager() {
+    let program = msp::workloads::microbenchmark();
+    let mut arch = ArchState::new(&program);
+    let mut manager = MspStateManager::new(MspConfig::n_sp(16));
+    let mut writes = 0u64;
+    while !arch.is_halted() {
+        let record = execute_step(&mut arch, &program).expect("program is well formed");
+        let sources: Vec<ArchReg> = record.inst.sources().collect();
+        let request = RenameRequest::new(record.inst.dest(), &sources);
+        let outcome = loop {
+            match manager.rename_group(&[request]) {
+                Ok(outcome) => break outcome,
+                Err(RenameError::BankFull(_)) => {
+                    // Let the commit machinery free registers and retry.
+                    manager.clock_commit();
+                }
+                Err(other) => panic!("unexpected rename error: {other}"),
+            }
+        };
+        if let Some(dest) = outcome.renamed[0].dest {
+            writes += 1;
+            manager.mark_ready(dest.phys);
+        }
+        manager.clock_commit();
+    }
+    assert_eq!(manager.stats().states_allocated, writes);
+    // Drain the commit pipeline (the configured LCS delay is one cycle).
+    for _ in 0..4 {
+        manager.clock_commit();
+    }
+    assert_eq!(
+        manager.lcs(),
+        StateId::new(writes + 1),
+        "every allocated state must commit once the program is done"
+    );
+}
+
+/// A misprediction-style recovery in the middle of a renamed stream restores
+/// the mappings the paper's Fig. 1 / Fig. 2 example expects, and the
+/// recovered registers can be re-allocated immediately.
+#[test]
+fn recovery_releases_and_reuses_registers() {
+    let mut manager = MspStateManager::new(MspConfig::n_sp(4));
+    let r = ArchReg::int;
+    // Fill r5's bank completely (3 renamings + architectural entry).
+    for _ in 0..3 {
+        manager
+            .rename_group(&[RenameRequest::new(Some(r(5)), &[])])
+            .expect("bank has room");
+    }
+    assert!(matches!(
+        manager.rename_group(&[RenameRequest::new(Some(r(5)), &[])]),
+        Err(RenameError::BankFull(_))
+    ));
+    // Recover to the first renaming: two registers come back.
+    let recovery = manager.recover(StateId::new(1));
+    assert_eq!(recovery.released.len(), 2);
+    // The bank can immediately absorb new renamings again.
+    assert!(manager
+        .rename_group(&[RenameRequest::new(Some(r(5)), &[])])
+        .is_ok());
+    assert_eq!(manager.stats().recoveries, 1);
+}
+
+/// The compact hardware StateId encoding stays consistent with the unbounded
+/// software ordering across counter overflows while a simulator-sized window
+/// of states is in flight.
+#[test]
+fn compact_state_ids_survive_overflow() {
+    use msp_state::{CompactStateId, StateCounter};
+    let m = 6; // 64-state window, 7-bit hardware counter
+    let mut counter = StateCounter::new(m);
+    let mut window: Vec<StateId> = Vec::new();
+    for step in 0..1_000u64 {
+        let (state, _) = counter.allocate();
+        window.push(state);
+        if window.len() > 32 {
+            window.remove(0);
+        }
+        // Every pair of in-flight states must order identically in both
+        // representations.
+        if step % 50 == 0 {
+            for a in &window {
+                for b in &window {
+                    let ca = CompactStateId::encode(*a, m);
+                    let cb = CompactStateId::encode(*b, m);
+                    assert_eq!(ca.cmp_in_window(cb), a.cmp(b));
+                }
+            }
+        }
+    }
+    assert!(counter.epoch_resets() > 0, "the 7-bit counter must have wrapped");
+}
+
+/// End-to-end determinism across the facade: two simulations of the same
+/// workload and configuration produce bit-identical statistics.
+#[test]
+fn facade_simulations_are_deterministic() {
+    let workload = msp::workloads::by_name("parser", Variant::Original).unwrap();
+    let run = || {
+        let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Tage);
+        Simulator::new(workload.program(), config).run(3_000).stats
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.mispredictions, b.mispredictions);
+}
