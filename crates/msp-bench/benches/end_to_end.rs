@@ -13,7 +13,11 @@ fn bench_machines(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_crafty");
     group.throughput(Throughput::Elements(instructions));
     group.sample_size(10);
-    for machine in [MachineKind::Baseline, MachineKind::cpr(), MachineKind::msp(16)] {
+    for machine in [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(machine.label()),
             &machine,

@@ -1,0 +1,141 @@
+//! Simulation-throughput benchmark: wall-clock and simulated MIPS for the
+//! standard experiment sweep, recorded to `BENCH_pipeline.json` at the
+//! workspace root so future performance work has a trajectory to compare
+//! against.
+//!
+//! The measured sweep is the `table1` sweep: the four Table I machine
+//! columns (Baseline, CPR, 16-SP, ideal MSP) on three reference kernels
+//! (gzip, vpr, swim) with the gshare predictor, at the configured
+//! `MSP_BENCH_INSTRUCTIONS` budget. It is run once sequentially
+//! (`MSP_BENCH_THREADS=1`) and once with the default worker count.
+//!
+//! Run with:
+//!
+//! ```text
+//! MSP_BENCH_INSTRUCTIONS=200000 cargo bench -p msp-bench --bench pipeline
+//! ```
+
+use msp_bench::{instruction_budget, run_matrix, sweep_threads};
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimResult};
+use msp_workloads::{by_name, Variant, Workload};
+use std::time::Instant;
+
+/// Seed-implementation baseline for the same sweep at 200,000 instructions,
+/// measured once on the original O(n)-scan simulator (before the indexed
+/// window refactor) on the reference machine. Only comparable when the
+/// current run also uses a 200,000-instruction budget.
+const SEED_TABLE1_SWEEP_WALL_S: f64 = 30.947;
+/// Seed baseline for the 24-simulation stats_dump matrix (both predictors).
+const SEED_STATS_MATRIX_WALL_S: f64 = 47.979;
+
+struct SweepMeasurement {
+    wall_s: f64,
+    committed: u64,
+    cycles: u64,
+    sims: usize,
+}
+
+fn measure_sweep(workloads: &[Workload], machines: &[MachineKind]) -> SweepMeasurement {
+    let start = Instant::now();
+    let rows = run_matrix(
+        workloads,
+        machines,
+        PredictorKind::Gshare,
+        instruction_budget(),
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+    let results: Vec<&SimResult> = rows.iter().flatten().collect();
+    SweepMeasurement {
+        wall_s,
+        committed: results.iter().map(|r| r.stats.committed).sum(),
+        cycles: results.iter().map(|r| r.stats.cycles).sum(),
+        sims: results.len(),
+    }
+}
+
+fn main() {
+    let machines = [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ];
+    let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
+        .iter()
+        .map(|name| by_name(name, Variant::Original).expect("reference kernel exists"))
+        .collect();
+    let budget = instruction_budget();
+
+    // Sequential pass.
+    std::env::set_var("MSP_BENCH_THREADS", "1");
+    let seq = measure_sweep(&workloads, &machines);
+    // Parallel pass with the host's default worker count.
+    std::env::remove_var("MSP_BENCH_THREADS");
+    let threads = sweep_threads();
+    let par = measure_sweep(&workloads, &machines);
+
+    let seq_mips = seq.committed as f64 / seq.wall_s / 1e6;
+    let par_mips = par.committed as f64 / par.wall_s / 1e6;
+    let parallel_speedup = seq.wall_s / par.wall_s;
+    let comparable = budget == 200_000;
+    let seed_speedup = if comparable {
+        SEED_TABLE1_SWEEP_WALL_S / par.wall_s
+    } else {
+        0.0
+    };
+
+    println!(
+        "table1_sweep/sequential{:28} time: [{:.3} s]  {:>8.3} simulated MIPS ({} sims)",
+        "", seq.wall_s, seq_mips, seq.sims
+    );
+    println!(
+        "table1_sweep/parallel x{threads:<25} time: [{:.3} s]  {:>8.3} simulated MIPS ({} sims)",
+        par.wall_s, par_mips, par.sims
+    );
+    if comparable {
+        println!(
+            "table1_sweep speedup vs seed implementation: {seed_speedup:.1}x \
+             (seed {SEED_TABLE1_SWEEP_WALL_S:.3} s sequential)"
+        );
+    } else {
+        println!("(seed-baseline comparison skipped: budget {budget} != 200000)");
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "table1_sweep",
+  "description": "4 Table I machines x 3 reference kernels (gzip, vpr, swim), gshare",
+  "instructions_per_sim": {budget},
+  "sims": {sims},
+  "threads": {threads},
+  "seed_baseline": {{
+    "table1_sweep_sequential_wall_s": {SEED_TABLE1_SWEEP_WALL_S},
+    "stats_matrix_24sims_wall_s": {SEED_STATS_MATRIX_WALL_S},
+    "note": "seed (pre-refactor) implementation, measured at 200000 instructions per sim"
+  }},
+  "after": {{
+    "sequential_wall_s": {seq_wall:.3},
+    "sequential_simulated_mips": {seq_mips:.3},
+    "parallel_wall_s": {par_wall:.3},
+    "parallel_simulated_mips": {par_mips:.3},
+    "parallel_speedup": {parallel_speedup:.2},
+    "committed_instructions": {committed},
+    "simulated_cycles": {cycles}
+  }},
+  "speedup_vs_seed": {seed_speedup:.2},
+  "comparable_to_seed_baseline": {comparable}
+}}
+"#,
+        sims = par.sims,
+        seq_wall = seq.wall_s,
+        par_wall = par.wall_s,
+        committed = par.committed,
+        cycles = par.cycles,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

@@ -2,7 +2,9 @@
 //! throughput for gshare and TAGE) and the confidence estimator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use msp_branch::{ConfidenceEstimator, DirectionPredictor, GsharePredictor, TageConfig, TagePredictor};
+use msp_branch::{
+    ConfidenceEstimator, DirectionPredictor, GsharePredictor, TageConfig, TagePredictor,
+};
 use std::hint::black_box;
 
 fn synthetic_stream(len: usize) -> Vec<(u64, bool)> {

@@ -1,29 +1,42 @@
 //! Ablation A3 (Section 4.3): CPR with larger register files. The paper
 //! reports that growing CPR's register file from 192 to 256 or 512 entries
 //! gains only about 1-1.3% IPC, showing the MSP's advantage is not simply
-//! its larger register file.
+//! its larger register file. The machine matrix is simulated in parallel.
 
-use msp_bench::{fmt_ipc, geometric_mean, run_workload, TextTable};
+use msp_bench::{fmt_ipc, geometric_mean, instruction_budget, run_matrix, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{spec_int_like, Variant};
 
 fn main() {
     let machines = [
-        MachineKind::Cpr { regs_per_class: 192 },
-        MachineKind::Cpr { regs_per_class: 256 },
-        MachineKind::Cpr { regs_per_class: 512 },
+        MachineKind::Cpr {
+            regs_per_class: 192,
+        },
+        MachineKind::Cpr {
+            regs_per_class: 256,
+        },
+        MachineKind::Cpr {
+            regs_per_class: 512,
+        },
         MachineKind::msp(16),
     ];
+    let workloads = spec_int_like(Variant::Original);
+    let rows = run_matrix(
+        &workloads,
+        &machines,
+        PredictorKind::Tage,
+        instruction_budget(),
+    );
+
     let mut header = vec!["benchmark"];
     let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
     header.extend(labels.iter().map(|s| s.as_str()));
     let mut table = TextTable::new(&header);
     let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
-    for workload in spec_int_like(Variant::Original) {
+    for (workload, row) in workloads.iter().zip(&rows) {
         let mut cells = vec![workload.name().to_string()];
-        for (i, machine) in machines.iter().enumerate() {
-            let result = run_workload(&workload, *machine, PredictorKind::Tage);
+        for (i, result) in row.iter().enumerate() {
             per_machine[i].push(result.ipc());
             cells.push(fmt_ipc(result.ipc()));
         }

@@ -1,30 +1,41 @@
 //! Ablation A2 (Section 3.2.2): sensitivity of the MSP to the LCS
 //! propagation delay. The paper reports that even a 4-cycle LCS computation
-//! costs less than 1% IPC versus a 1-cycle one.
+//! costs less than 1% IPC versus a 1-cycle one. All (workload, delay) cells
+//! are simulated in parallel.
 
-use msp_bench::{fmt_ipc, geometric_mean, instruction_budget, run_workload_with, TextTable};
+use msp_bench::{
+    fmt_ipc, geometric_mean, instruction_budget, parallel_map, run_workload_with, TextTable,
+};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{spec_int_like, Variant};
 
 fn main() {
     let delays = [0usize, 1, 2, 4];
+    let workloads = spec_int_like(Variant::Original);
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..delays.len()).map(move |d| (w, d)))
+        .collect();
+    let results = parallel_map(&cells, |&(w, d)| {
+        run_workload_with(
+            &workloads[w],
+            MachineKind::msp(16),
+            PredictorKind::Tage,
+            instruction_budget(),
+            |config| config.lcs_delay = Some(delays[d]),
+        )
+    });
+
     let mut table = TextTable::new(&["benchmark", "0 cycles", "1 cycle", "2 cycles", "4 cycles"]);
     let mut per_delay: Vec<Vec<f64>> = vec![Vec::new(); delays.len()];
-    for workload in spec_int_like(Variant::Original) {
-        let mut cells = vec![workload.name().to_string()];
-        for (i, delay) in delays.iter().enumerate() {
-            let result = run_workload_with(
-                &workload,
-                MachineKind::msp(16),
-                PredictorKind::Tage,
-                instruction_budget(),
-                |config| config.lcs_delay = Some(*delay),
-            );
-            per_delay[i].push(result.ipc());
-            cells.push(fmt_ipc(result.ipc()));
+    for (w, workload) in workloads.iter().enumerate() {
+        let mut row = vec![workload.name().to_string()];
+        for (d, per) in per_delay.iter_mut().enumerate() {
+            let ipc = results[w * delays.len() + d].ipc();
+            per.push(ipc);
+            row.push(fmt_ipc(ipc));
         }
-        table.row(cells);
+        table.row(row);
     }
     let mut avg = vec!["geo. mean".to_string()];
     avg.extend(per_delay.iter().map(|v| fmt_ipc(geometric_mean(v))));

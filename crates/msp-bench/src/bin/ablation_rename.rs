@@ -1,30 +1,41 @@
 //! Ablation A1 (Section 3.3): how many same-logical-register renamings per
 //! cycle are needed. The paper reports that two are sufficient and that
-//! allowing only one costs about 5% IPC.
+//! allowing only one costs about 5% IPC. All (workload, limit) cells are
+//! simulated in parallel.
 
-use msp_bench::{fmt_ipc, geometric_mean, instruction_budget, run_workload_with, TextTable};
+use msp_bench::{
+    fmt_ipc, geometric_mean, instruction_budget, parallel_map, run_workload_with, TextTable,
+};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{spec_int_like, Variant};
 
 fn main() {
     let limits = [1usize, 2, 4];
+    let workloads = spec_int_like(Variant::Original);
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..limits.len()).map(move |l| (w, l)))
+        .collect();
+    let results = parallel_map(&cells, |&(w, l)| {
+        run_workload_with(
+            &workloads[w],
+            MachineKind::msp(16),
+            PredictorKind::Tage,
+            instruction_budget(),
+            |config| config.max_same_reg_renames = limits[l],
+        )
+    });
+
     let mut table = TextTable::new(&["benchmark", "1/cycle", "2/cycle", "4/cycle"]);
     let mut per_limit: Vec<Vec<f64>> = vec![Vec::new(); limits.len()];
-    for workload in spec_int_like(Variant::Original) {
-        let mut cells = vec![workload.name().to_string()];
-        for (i, limit) in limits.iter().enumerate() {
-            let result = run_workload_with(
-                &workload,
-                MachineKind::msp(16),
-                PredictorKind::Tage,
-                instruction_budget(),
-                |config| config.max_same_reg_renames = *limit,
-            );
-            per_limit[i].push(result.ipc());
-            cells.push(fmt_ipc(result.ipc()));
+    for (w, workload) in workloads.iter().enumerate() {
+        let mut row = vec![workload.name().to_string()];
+        for (l, per) in per_limit.iter_mut().enumerate() {
+            let ipc = results[w * limits.len() + l].ipc();
+            per.push(ipc);
+            row.push(fmt_ipc(ipc));
         }
-        table.row(cells);
+        table.row(row);
     }
     let mut avg = vec!["geo. mean".to_string()];
     avg.extend(per_limit.iter().map(|v| fmt_ipc(geometric_mean(v))));

@@ -1,49 +1,19 @@
-//! Reproduces Fig. 8: SPECfp IPC with the TAGE predictor, including the 16-SP register-bank stall summary the
-//! figure overlays (stall cycles of the three most-stalled logical registers).
+//! Reproduces Fig. 8: SPECfp IPC with the TAGE predictor, including the
+//! 16-SP register-bank stall summary the figure overlays (stall cycles of
+//! the three most-stalled logical registers). The machine sweep runs in
+//! parallel (`MSP_BENCH_THREADS` controls the worker count).
 
-use msp_bench::{figure_machines, fmt_ipc, geometric_mean, run_workload, TextTable};
+use msp_bench::render_ipc_figure;
 use msp_branch::PredictorKind;
-use msp_pipeline::MachineKind;
 use msp_workloads::{spec_fp_like, Variant};
 
 fn main() {
-    let predictor = PredictorKind::Tage;
-    let machines = figure_machines();
-    let mut header: Vec<&str> = vec!["benchmark"];
-    let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
-    header.extend(labels.iter().map(|s| s.as_str()));
-    let mut table = TextTable::new(&header);
-    let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
-    let mut stall_report = Vec::new();
-    for workload in spec_fp_like(Variant::Original) {
-        let mut cells = vec![workload.name().to_string()];
-        for (i, machine) in machines.iter().enumerate() {
-            let result = run_workload(&workload, *machine, predictor);
-            per_machine[i].push(result.ipc());
-            cells.push(fmt_ipc(result.ipc()));
-            if *machine == MachineKind::msp(16) {
-                let top = result.stats.stalls.top_bank_stalls(3);
-                let cycles = result.stats.cycles.max(1);
-                let text: Vec<String> = top
-                    .iter()
-                    .map(|(r, c)| format!("{r}: {:.1}%", 100.0 * *c as f64 / cycles as f64))
-                    .collect();
-                stall_report.push(format!(
-                    "  {:10} {}",
-                    workload.name(),
-                    if text.is_empty() { "none".to_string() } else { text.join("  ") }
-                ));
-            }
-        }
-        table.row(cells);
-    }
-    let mut avg = vec!["geo. mean".to_string()];
-    avg.extend(per_machine.iter().map(|v| fmt_ipc(geometric_mean(v))));
-    table.row(avg);
-    println!("Fig. 8: SPECfp IPC with the TAGE predictor");
-    println!("{}", table.render());
-    println!("16-SP stall cycles due to lack of registers (top 3 logical registers, % of cycles):");
-    for line in stall_report {
-        println!("{line}");
-    }
+    print!(
+        "{}",
+        render_ipc_figure(
+            "Fig. 8: SPECfp IPC with the TAGE predictor",
+            &spec_fp_like(Variant::Original),
+            PredictorKind::Tage,
+        )
+    );
 }

@@ -1,8 +1,9 @@
 //! Reproduces Fig. 9: the total number of executed instructions for the
 //! SPECint suite, split into correct-path, correct-path re-executed and
-//! wrong-path work, for CPR and 16-SP under both predictors.
+//! wrong-path work, for CPR and 16-SP under both predictors. All
+//! (workload, machine, predictor) cells are simulated in parallel.
 
-use msp_bench::{run_workload, TextTable};
+use msp_bench::{instruction_budget, parallel_map, run_workload_for, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{spec_int_like, Variant};
@@ -14,30 +15,46 @@ fn main() {
         (MachineKind::cpr(), PredictorKind::Tage),
         (MachineKind::msp(16), PredictorKind::Tage),
     ];
+    let workloads = spec_int_like(Variant::Original);
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let results = parallel_map(&cells, |&(w, c)| {
+        let (machine, predictor) = configs[c];
+        run_workload_for(&workloads[w], machine, predictor, instruction_budget())
+    });
+
     let mut table = TextTable::new(&[
-        "benchmark", "machine", "predictor", "correct", "re-executed", "wrong-path", "total",
+        "benchmark",
+        "machine",
+        "predictor",
+        "correct",
+        "re-executed",
+        "wrong-path",
+        "total",
         "per committed",
     ]);
     let mut totals = vec![(0u64, 0u64, 0u64, 0u64); configs.len()];
-    for workload in spec_int_like(Variant::Original) {
-        for (i, (machine, predictor)) in configs.iter().enumerate() {
-            let result = run_workload(&workload, *machine, *predictor);
-            let e = result.stats.executed;
-            totals[i].0 += e.correct_path;
-            totals[i].1 += e.correct_path_reexecuted;
-            totals[i].2 += e.wrong_path;
-            totals[i].3 += result.stats.committed;
-            table.row(vec![
-                workload.name().to_string(),
-                machine.label(),
-                predictor.label().to_string(),
-                e.correct_path.to_string(),
-                e.correct_path_reexecuted.to_string(),
-                e.wrong_path.to_string(),
-                e.total().to_string(),
-                format!("{:.3}", e.total() as f64 / result.stats.committed.max(1) as f64),
-            ]);
-        }
+    for (&(w, c), result) in cells.iter().zip(&results) {
+        let (machine, predictor) = configs[c];
+        let e = result.stats.executed;
+        totals[c].0 += e.correct_path;
+        totals[c].1 += e.correct_path_reexecuted;
+        totals[c].2 += e.wrong_path;
+        totals[c].3 += result.stats.committed;
+        table.row(vec![
+            workloads[w].name().to_string(),
+            machine.label(),
+            predictor.label().to_string(),
+            e.correct_path.to_string(),
+            e.correct_path_reexecuted.to_string(),
+            e.wrong_path.to_string(),
+            e.total().to_string(),
+            format!(
+                "{:.3}",
+                e.total() as f64 / result.stats.committed.max(1) as f64
+            ),
+        ]);
     }
     println!("Fig. 9: executed instructions (SPECint suite)");
     println!("{}", table.render());

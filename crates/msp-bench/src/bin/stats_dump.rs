@@ -1,0 +1,45 @@
+//! Dumps the canonical statistics of a reference machine x workload matrix.
+//!
+//! The output is one line per simulation in a stable order, so two builds of
+//! the simulator can be diffed for bit-identical behaviour:
+//!
+//! ```text
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin stats_dump > before.txt
+//! # ... change the simulator ...
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin stats_dump | diff before.txt -
+//! ```
+
+use msp_bench::{instruction_budget, run_workload, TextTable};
+use msp_branch::PredictorKind;
+use msp_pipeline::MachineKind;
+use msp_workloads::{by_name, Variant};
+
+fn main() {
+    let machines = [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ];
+    let workloads = ["gzip", "vpr", "swim"];
+    let mut table = TextTable::new(&["workload", "machine", "predictor", "canonical stats"]);
+    for name in workloads {
+        let workload = by_name(name, Variant::Original).expect("reference kernel exists");
+        for machine in machines {
+            for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
+                let result = run_workload(&workload, machine, predictor);
+                table.row(vec![
+                    name.to_string(),
+                    machine.label(),
+                    predictor.label().to_string(),
+                    result.stats.canonical_string(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "canonical stats at {} instructions per run",
+        instruction_budget()
+    );
+    print!("{}", table.render());
+}

@@ -1,8 +1,12 @@
-//! Reproduces Table I: the configuration of every simulated machine.
+//! Reproduces Table I: the configuration of every simulated machine, plus a
+//! measured-IPC sanity row: every column is simulated (in parallel) on three
+//! reference kernels at the configured instruction budget, so the table
+//! doubles as the harness's standard sweep benchmark.
 
-use msp_bench::TextTable;
+use msp_bench::{fmt_ipc, instruction_budget, run_matrix, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig};
+use msp_workloads::{by_name, Variant, Workload};
 
 fn main() {
     let machines = [
@@ -11,23 +15,23 @@ fn main() {
         MachineKind::msp(16),
         MachineKind::IdealMsp,
     ];
-    let mut table = TextTable::new(&[
-        "parameter", "Baseline", "CPR", "n-SP (n=16)", "ideal MSP",
-    ]);
+    let mut table = TextTable::new(&["parameter", "Baseline", "CPR", "n-SP (n=16)", "ideal MSP"]);
     let configs: Vec<SimConfig> = machines
         .iter()
         .map(|m| SimConfig::machine(*m, PredictorKind::Gshare))
         .collect();
     let row = |name: &str, f: &dyn Fn(&SimConfig) -> String| {
         let mut cells = vec![name.to_string()];
-        cells.extend(configs.iter().map(|c| f(c)));
+        cells.extend(configs.iter().map(f));
         cells
     };
     table.row(row("reorder buffer", &|c| match c.machine {
         MachineKind::Baseline => c.resources.rob_size.to_string(),
         _ => "-".into(),
     }));
-    table.row(row("instruction queue", &|c| c.resources.iq_size.to_string()));
+    table.row(row("instruction queue", &|c| {
+        c.resources.iq_size.to_string()
+    }));
     table.row(row("checkpoints", &|c| match c.machine {
         MachineKind::Cpr { .. } => format!("{} (out-of-order release)", c.resources.checkpoints),
         _ => "-".into(),
@@ -55,7 +59,11 @@ fn main() {
             "{}|{}|{}",
             c.resources.lq_size,
             c.resources.sq_l1_size,
-            if c.resources.sq_l2_size == 0 { "-".into() } else { c.resources.sq_l2_size.to_string() }
+            if c.resources.sq_l2_size == 0 {
+                "-".into()
+            } else {
+                c.resources.sq_l2_size.to_string()
+            }
         )
     }));
     table.row(row("confidence estimator", &|c| match c.machine {
@@ -67,9 +75,18 @@ fn main() {
         MachineKind::IdealMsp => "0 cycles".into(),
         _ => "-".into(),
     }));
-    table.row(row("arbitration stage", &|c| if c.arbitration { "yes".into() } else { "-".into() }));
+    table.row(row("arbitration stage", &|c| {
+        if c.arbitration {
+            "yes".into()
+        } else {
+            "-".into()
+        }
+    }));
     table.row(row("int|fp|ldst units", &|c| {
-        format!("{}|{}|{}", c.resources.int_units, c.resources.fp_units, c.resources.ldst_units)
+        format!(
+            "{}|{}|{}",
+            c.resources.int_units, c.resources.fp_units, c.resources.ldst_units
+        )
     }));
     table.row(row("memory", &|c| {
         format!(
@@ -80,6 +97,23 @@ fn main() {
             c.memory.memory_latency
         )
     }));
+    // The measured sweep: all four columns on three reference kernels.
+    let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
+        .iter()
+        .map(|name| by_name(name, Variant::Original).expect("reference kernel exists"))
+        .collect();
+    let rows = run_matrix(
+        &workloads,
+        &machines,
+        PredictorKind::Gshare,
+        instruction_budget(),
+    );
+    for (workload, row) in workloads.iter().zip(&rows) {
+        let mut cells = vec![format!("measured IPC ({}, gshare)", workload.name())];
+        cells.extend(row.iter().map(|r| fmt_ipc(r.ipc())));
+        table.row(cells);
+    }
+
     println!("Table I: processor configurations");
     println!("{}", table.render());
 }

@@ -1,11 +1,11 @@
 //! Reproduces Table II: IPC of the original vs hand-modified (unrolled,
 //! register-rotated) hot loops for the five register-pressure benchmarks,
-//! with the TAGE predictor.
+//! with the TAGE predictor. All cells are simulated in parallel.
 
-use msp_bench::{fmt_ipc, run_workload, TextTable};
+use msp_bench::{fmt_ipc, instruction_budget, parallel_map, run_workload_for, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
-use msp_workloads::table2_pairs;
+use msp_workloads::{table2_pairs, Workload};
 
 fn main() {
     let machines = [
@@ -14,22 +14,33 @@ fn main() {
         MachineKind::msp(16),
         MachineKind::IdealMsp,
     ];
+    let workloads: Vec<Workload> = table2_pairs()
+        .into_iter()
+        .flat_map(|(original, modified)| [original, modified])
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..machines.len()).map(move |m| (w, m)))
+        .collect();
+    let results = parallel_map(&cells, |&(w, m)| {
+        run_workload_for(
+            &workloads[w],
+            machines[m],
+            PredictorKind::Tage,
+            instruction_budget(),
+        )
+    });
+
     let mut header = vec!["benchmark", "version"];
     let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
     header.extend(labels.iter().map(|s| s.as_str()));
     let mut table = TextTable::new(&header);
-    for (original, modified) in table2_pairs() {
-        for workload in [&original, &modified] {
-            let mut cells = vec![
-                workload.name().to_string(),
-                workload.variant().to_string(),
-            ];
-            for machine in machines {
-                let result = run_workload(workload, machine, PredictorKind::Tage);
-                cells.push(fmt_ipc(result.ipc()));
-            }
-            table.row(cells);
+    for (w, workload) in workloads.iter().enumerate() {
+        let mut cells_row = vec![workload.name().to_string(), workload.variant().to_string()];
+        for m in 0..machines.len() {
+            let result = &results[w * machines.len() + m];
+            cells_row.push(fmt_ipc(result.ipc()));
         }
+        table.row(cells_row);
     }
     println!("Table II: IPC for modified benchmarks with the TAGE branch predictor");
     println!("{}", table.render());

@@ -6,7 +6,12 @@ use msp_power::{table3_rows, RegFileConfig, TechNode};
 
 fn main() {
     let mut table = TextTable::new(&[
-        "technology", "configuration", "write mW", "write FO4", "read mW", "read FO4",
+        "technology",
+        "configuration",
+        "write mW",
+        "write FO4",
+        "read mW",
+        "read FO4",
     ]);
     for row in table3_rows() {
         table.row(vec![

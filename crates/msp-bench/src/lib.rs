@@ -3,12 +3,20 @@
 //! Every table and figure of the paper's evaluation has a corresponding
 //! binary in `src/bin` (see DESIGN.md's experiment index); this library holds
 //! the shared machinery: which machine configurations to sweep, how many
-//! instructions to simulate, and plain-text table formatting.
+//! instructions to simulate, parallel sweep execution, and plain-text table
+//! formatting.
 //!
 //! The instruction budget per simulation defaults to 20,000 committed
 //! instructions and can be overridden with the `MSP_BENCH_INSTRUCTIONS`
 //! environment variable (the paper simulated 300M-instruction SimPoints; the
 //! synthetic kernels reach steady state much sooner).
+//!
+//! Sweeps run their simulations concurrently through [`parallel_map`] /
+//! [`run_sweep`] / [`run_matrix`]: each simulation is an independent
+//! `Simulator`, so a sweep parallelises perfectly across worker threads
+//! (`MSP_BENCH_THREADS` overrides the default of one worker per hardware
+//! thread) while producing exactly the same [`SimResult`]s in exactly the
+//! same order as a sequential loop.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,6 +24,7 @@
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
 use msp_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of committed instructions per simulation.
 pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
@@ -46,7 +55,11 @@ pub fn figure_machines() -> Vec<MachineKind> {
 
 /// Runs one workload on one machine with one predictor for the configured
 /// instruction budget.
-pub fn run_workload(workload: &Workload, machine: MachineKind, predictor: PredictorKind) -> SimResult {
+pub fn run_workload(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+) -> SimResult {
     run_workload_for(workload, machine, predictor, instruction_budget())
 }
 
@@ -73,6 +86,167 @@ pub fn run_workload_with(
     let mut config = SimConfig::machine(machine, predictor);
     adjust(&mut config);
     Simulator::new(workload.program(), config).run(instructions)
+}
+
+/// Number of worker threads a sweep uses: the `MSP_BENCH_THREADS`
+/// environment variable when set (and non-zero), otherwise one worker per
+/// available hardware thread.
+pub fn sweep_threads() -> usize {
+    std::env::var("MSP_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item, running up to [`sweep_threads`] invocations
+/// concurrently, and returns the results **in input order**. Work is
+/// distributed dynamically (an atomic cursor), so long and short simulations
+/// mix freely without load imbalance. With one thread (or one item) this
+/// degenerates to a plain sequential map — the results are identical either
+/// way, which the determinism tests rely on.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = sweep_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        produced.push((index, f(&items[index])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("sweep worker panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Runs one workload across several machine configurations in parallel,
+/// returning the results in machine order.
+pub fn run_sweep(
+    workload: &Workload,
+    machines: &[MachineKind],
+    predictor: PredictorKind,
+    instructions: u64,
+) -> Vec<SimResult> {
+    parallel_map(machines, |machine| {
+        run_workload_for(workload, *machine, predictor, instructions)
+    })
+}
+
+/// Runs a full workload x machine matrix in parallel (the shape of
+/// Figs. 6-8), returning one row of machine results per workload. The whole
+/// cross product is flattened into a single work list so the threads stay
+/// busy across row boundaries.
+pub fn run_matrix(
+    workloads: &[Workload],
+    machines: &[MachineKind],
+    predictor: PredictorKind,
+    instructions: u64,
+) -> Vec<Vec<SimResult>> {
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..machines.len()).map(move |m| (w, m)))
+        .collect();
+    let mut flat = parallel_map(&cells, |&(w, m)| {
+        run_workload_for(&workloads[w], machines[m], predictor, instructions)
+    })
+    .into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            (0..machines.len())
+                .map(|_| flat.next().expect("one result per cell"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders one of the paper's IPC figures (the Figs. 6-8 shape): every
+/// workload on every [`figure_machines`] configuration — simulated in
+/// parallel — as an IPC table with a geometric-mean row, followed by the
+/// 16-SP register-bank stall overlay (top three most-stalled logical
+/// registers, % of cycles).
+pub fn render_ipc_figure(title: &str, workloads: &[Workload], predictor: PredictorKind) -> String {
+    let machines = figure_machines();
+    let rows = run_matrix(workloads, &machines, predictor, instruction_budget());
+
+    let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
+    let mut header: Vec<&str> = vec!["benchmark"];
+    header.extend(labels.iter().map(|s| s.as_str()));
+    let mut table = TextTable::new(&header);
+    let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
+    let mut stall_report = Vec::new();
+    for (workload, row) in workloads.iter().zip(&rows) {
+        let mut cells = vec![workload.name().to_string()];
+        for (i, (machine, result)) in machines.iter().zip(row).enumerate() {
+            per_machine[i].push(result.ipc());
+            cells.push(fmt_ipc(result.ipc()));
+            if *machine == MachineKind::msp(16) {
+                let top = result.stats.stalls.top_bank_stalls(3);
+                let cycles = result.stats.cycles.max(1);
+                let text: Vec<String> = top
+                    .iter()
+                    .map(|(r, c)| format!("{r}: {:.1}%", 100.0 * *c as f64 / cycles as f64))
+                    .collect();
+                stall_report.push(format!(
+                    "  {:10} {}",
+                    workload.name(),
+                    if text.is_empty() {
+                        "none".to_string()
+                    } else {
+                        text.join("  ")
+                    }
+                ));
+            }
+        }
+        table.row(cells);
+    }
+    let mut avg = vec!["geo. mean".to_string()];
+    avg.extend(per_machine.iter().map(|v| fmt_ipc(geometric_mean(v))));
+    table.row(avg);
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&table.render());
+    out.push_str(
+        "16-SP stall cycles due to lack of registers (top 3 logical registers, % of cycles):\n",
+    );
+    for line in stall_report {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
 }
 
 /// A plain-text table printer with right-aligned numeric columns.
@@ -187,6 +361,43 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("bench"));
         assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(parallel_map::<u64, u64, _>(&[], |x| *x).is_empty());
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let machines = [MachineKind::Baseline, MachineKind::msp(16)];
+        let swept = run_sweep(&w, &machines, PredictorKind::Gshare, 2_000);
+        assert_eq!(swept.len(), 2);
+        for (machine, result) in machines.iter().zip(&swept) {
+            let sequential = run_workload_for(&w, *machine, PredictorKind::Gshare, 2_000);
+            assert_eq!(result.machine, machine.label());
+            assert_eq!(result.stats, sequential.stats, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_shape_and_contents() {
+        let workloads = vec![
+            by_name("gzip", Variant::Original).unwrap(),
+            by_name("vpr", Variant::Original).unwrap(),
+        ];
+        let machines = [MachineKind::cpr(), MachineKind::msp(8)];
+        let rows = run_matrix(&workloads, &machines, PredictorKind::Tage, 1_500);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[0].machine, "CPR");
+            assert_eq!(row[1].machine, "8-SP");
+        }
     }
 
     #[test]

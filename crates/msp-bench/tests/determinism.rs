@@ -1,0 +1,86 @@
+//! Determinism regression tests guarding the indexed-window refactor: the
+//! simulator must produce bit-identical `SimStats` run-to-run, and the
+//! parallel sweep harness must produce exactly the sequential results.
+
+use msp_bench::{parallel_map, run_sweep, run_workload_for};
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimStats};
+use msp_workloads::{by_name, Variant};
+
+const BUDGET: u64 = 4_000;
+
+fn reference_machines() -> [MachineKind; 4] {
+    [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ]
+}
+
+fn assert_identical(a: &SimStats, b: &SimStats, context: &str) {
+    assert_eq!(a, b, "{context}: stats diverged");
+    // The canonical rendering is what cross-process golden comparisons use;
+    // it must agree with structural equality.
+    assert_eq!(a.canonical_string(), b.canonical_string(), "{context}");
+}
+
+/// Two sequential runs of every machine kind produce bit-identical
+/// statistics on several workloads.
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for name in ["gzip", "vpr", "swim"] {
+        let workload = by_name(name, Variant::Original).unwrap();
+        for machine in reference_machines() {
+            for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
+                let a = run_workload_for(&workload, machine, predictor, BUDGET);
+                let b = run_workload_for(&workload, machine, predictor, BUDGET);
+                assert_identical(&a.stats, &b.stats, &format!("{name}/{machine:?}"));
+            }
+        }
+    }
+}
+
+/// Forces real sweep concurrency regardless of the host's CPU count.
+///
+/// `MSP_BENCH_THREADS` is process-global and re-read by every
+/// `parallel_map` call, and the tests in this binary run concurrently —
+/// so every test must force the *same* value, or a sweep meant to run at
+/// one width could silently run at another.
+fn force_parallel_workers() {
+    std::env::set_var("MSP_BENCH_THREADS", "4");
+}
+
+/// The parallel sweep produces exactly the sequential per-machine results,
+/// in order, even with many more workers than items.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    force_parallel_workers();
+    let machines = reference_machines();
+    for name in ["gzip", "vpr", "swim"] {
+        let workload = by_name(name, Variant::Original).unwrap();
+        let swept = run_sweep(&workload, &machines, PredictorKind::Gshare, BUDGET);
+        assert_eq!(swept.len(), machines.len());
+        for (machine, result) in machines.iter().zip(&swept) {
+            let sequential = run_workload_for(&workload, *machine, PredictorKind::Gshare, BUDGET);
+            assert_eq!(result.machine, machine.label());
+            assert_identical(
+                &result.stats,
+                &sequential.stats,
+                &format!("{name}/{machine:?} via sweep"),
+            );
+        }
+    }
+}
+
+/// Dynamic work distribution never reorders or drops results.
+#[test]
+fn parallel_map_is_order_stable_under_contention() {
+    force_parallel_workers();
+    let items: Vec<usize> = (0..500).collect();
+    let squares = parallel_map(&items, |&x| x * x);
+    assert_eq!(squares.len(), 500);
+    for (i, sq) in squares.iter().enumerate() {
+        assert_eq!(*sq, i * i);
+    }
+}

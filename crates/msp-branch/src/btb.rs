@@ -31,7 +31,10 @@ impl Btb {
     ///
     /// Panics if `sets` is not a power of two or either dimension is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a non-zero power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a non-zero power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         Btb {
             sets,

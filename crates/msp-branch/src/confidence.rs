@@ -30,8 +30,14 @@ impl ConfidenceEstimator {
     /// Panics if `index_bits` is not in `1..=24`, `counter_bits` not in
     /// `1..=8`, or the threshold does not fit in the counter.
     pub fn new(index_bits: u32, counter_bits: u32, threshold: u8) -> Self {
-        assert!(index_bits > 0 && index_bits <= 24, "index bits must be in 1..=24");
-        assert!(counter_bits > 0 && counter_bits <= 8, "counter bits must be in 1..=8");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "index bits must be in 1..=24"
+        );
+        assert!(
+            counter_bits > 0 && counter_bits <= 8,
+            "counter bits must be in 1..=8"
+        );
         assert!(
             u32::from(threshold) < (1 << counter_bits),
             "threshold must fit in the counter"
@@ -114,7 +120,10 @@ mod tests {
     #[test]
     fn repeatedly_correct_branch_becomes_high_confidence() {
         let mut c = ConfidenceEstimator::paper();
-        assert!(!c.is_high_confidence(0x1000), "cold counters are low confidence");
+        assert!(
+            !c.is_high_confidence(0x1000),
+            "cold counters are low confidence"
+        );
         // The estimator's history register changes the indexed counter for
         // the first few updates; once the history saturates to all-taken the
         // same counter is trained repeatedly and reaches the threshold.

@@ -38,7 +38,10 @@ impl BimodalPredictor {
     ///
     /// Panics if `index_bits` is 0 or greater than 24.
     pub fn new(index_bits: u32) -> Self {
-        assert!(index_bits > 0 && index_bits <= 24, "index bits must be in 1..=24");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "index bits must be in 1..=24"
+        );
         BimodalPredictor {
             table: vec![Counter2::WEAKLY_TAKEN; 1 << index_bits],
             index_bits,
@@ -87,7 +90,10 @@ impl GsharePredictor {
     ///
     /// Panics if `index_bits` is 0 or greater than 24.
     pub fn new(index_bits: u32) -> Self {
-        assert!(index_bits > 0 && index_bits <= 24, "index bits must be in 1..=24");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "index bits must be in 1..=24"
+        );
         GsharePredictor {
             pht: vec![Counter2::WEAKLY_TAKEN; 1 << index_bits],
             history: 0,

@@ -151,8 +151,14 @@ mod tests {
         let mut gshare = GsharePredictor::new(14);
         let mut tage = TagePredictor::new(TageConfig::paper());
         let mut bimodal = BimodalPredictor::new(12);
-        assert!(accuracy(&mut gshare) > 0.95, "gshare should learn alternation");
+        assert!(
+            accuracy(&mut gshare) > 0.95,
+            "gshare should learn alternation"
+        );
         assert!(accuracy(&mut tage) > 0.95, "TAGE should learn alternation");
-        assert!(accuracy(&mut bimodal) < 0.7, "bimodal cannot learn alternation");
+        assert!(
+            accuracy(&mut bimodal) < 0.7,
+            "bimodal cannot learn alternation"
+        );
     }
 }

@@ -62,8 +62,8 @@ impl Default for TageConfig {
 #[derive(Debug, Clone, Copy)]
 struct TaggedEntry {
     tag: u16,
-    ctr: i8,     // 3-bit signed counter in [-4, 3]; >= 0 predicts taken
-    useful: u8,  // 2-bit useful counter
+    ctr: i8,    // 3-bit signed counter in [-4, 3]; >= 0 predicts taken
+    useful: u8, // 2-bit useful counter
 }
 
 impl TaggedEntry {
@@ -133,7 +133,11 @@ impl TaggedTable {
 
     fn tag(&self, pc: u64, history: &[bool]) -> u16 {
         let folded = Self::fold(history, self.history_length, self.tag_bits);
-        let folded2 = Self::fold(history, self.history_length, self.tag_bits.saturating_sub(1).max(1));
+        let folded2 = Self::fold(
+            history,
+            self.history_length,
+            self.tag_bits.saturating_sub(1).max(1),
+        );
         let mask = (1u64 << self.tag_bits) - 1;
         (((pc >> 2) ^ folded ^ (folded2 << 1)) & mask) as u16
     }
@@ -330,7 +334,7 @@ impl DirectionPredictor for TagePredictor {
 
         // Periodic graceful reset of useful counters.
         self.reset_tick += 1;
-        if self.reset_tick % (256 * 1024) == 0 {
+        if self.reset_tick.is_multiple_of(256 * 1024) {
             for table in &mut self.tables {
                 for entry in &mut table.entries {
                     entry.useful >>= 1;

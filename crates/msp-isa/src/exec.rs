@@ -89,9 +89,7 @@ fn execute_core(
     let inst = program.fetch(pc).ok_or(ExecError::OutOfRange(pc))?;
     let fallthrough = pc.wrapping_add(4);
 
-    let ri = |r: Option<ArchReg>| -> u64 {
-        r.map(|r| state.read_reg_bits(r)).unwrap_or(0)
-    };
+    let ri = |r: Option<ArchReg>| -> u64 { r.map(|r| state.read_reg_bits(r)).unwrap_or(0) };
     let rf = |r: Option<ArchReg>| -> f64 { f64::from_bits(ri(r)) };
 
     let mut rec = ExecutedInst {
@@ -186,7 +184,9 @@ fn execute_core(
             state.write_reg_bits(dest, value);
         }
         if let (Some(addr), Some(value)) = (rec.mem_addr, rec.store_value) {
-            state.memory_mut().write_le(addr, value, inst.width().bytes());
+            state
+                .memory_mut()
+                .write_le(addr, value, inst.width().bytes());
         }
         state.set_pc(rec.next_pc);
         state.count_retired();
@@ -221,7 +221,11 @@ pub fn execute_step(state: &mut ArchState, program: &Program) -> Result<Executed
 /// # Errors
 ///
 /// Returns [`ExecError::OutOfRange`] if `pc` is outside the text segment.
-pub fn execute_at(state: &ArchState, program: &Program, pc: u64) -> Result<ExecutedInst, ExecError> {
+pub fn execute_at(
+    state: &ArchState,
+    program: &Program,
+    pc: u64,
+) -> Result<ExecutedInst, ExecError> {
     // `execute_core` only mutates state when `commit` is true, so the clone is
     // cheap-ish and keeps the public signature immutable.
     let mut scratch = state.clone();

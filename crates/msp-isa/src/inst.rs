@@ -194,7 +194,11 @@ impl Instruction {
     }
 
     fn alu_rr(opcode: Opcode, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Int, "integer ALU dest must be an int register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Int,
+            "integer ALU dest must be an int register"
+        );
         let mut i = Instruction::raw(opcode);
         i.dest = Some(dest);
         i.src1 = Some(src1);
@@ -203,7 +207,11 @@ impl Instruction {
     }
 
     fn alu_ri(opcode: Opcode, dest: ArchReg, src1: ArchReg, imm: i64) -> Self {
-        assert_eq!(dest.class(), RegClass::Int, "integer ALU dest must be an int register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Int,
+            "integer ALU dest must be an int register"
+        );
         let mut i = Instruction::raw(opcode);
         i.dest = Some(dest);
         i.src1 = Some(src1);
@@ -212,8 +220,16 @@ impl Instruction {
     }
 
     fn fp_rr(opcode: Opcode, dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(src1.class(), RegClass::Fp, "fp source must be an fp register");
-        assert_eq!(src2.class(), RegClass::Fp, "fp source must be an fp register");
+        assert_eq!(
+            src1.class(),
+            RegClass::Fp,
+            "fp source must be an fp register"
+        );
+        assert_eq!(
+            src2.class(),
+            RegClass::Fp,
+            "fp source must be an fp register"
+        );
         let mut i = Instruction::raw(opcode);
         i.dest = Some(dest);
         i.src1 = Some(src1);
@@ -304,27 +320,47 @@ impl Instruction {
 
     /// `dest = src1 + src2` (all fp registers).
     pub fn fadd(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Fp, "fadd dest must be an fp register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Fp,
+            "fadd dest must be an fp register"
+        );
         Self::fp_rr(Opcode::FAdd, dest, src1, src2)
     }
     /// `dest = src1 - src2` (all fp registers).
     pub fn fsub(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Fp, "fsub dest must be an fp register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Fp,
+            "fsub dest must be an fp register"
+        );
         Self::fp_rr(Opcode::FSub, dest, src1, src2)
     }
     /// `dest = src1 * src2` (all fp registers).
     pub fn fmul(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Fp, "fmul dest must be an fp register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Fp,
+            "fmul dest must be an fp register"
+        );
         Self::fp_rr(Opcode::FMul, dest, src1, src2)
     }
     /// `dest = src1 / src2` (all fp registers).
     pub fn fdiv(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Fp, "fdiv dest must be an fp register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Fp,
+            "fdiv dest must be an fp register"
+        );
         Self::fp_rr(Opcode::FDiv, dest, src1, src2)
     }
     /// Integer `dest = (src1 < src2)` comparing fp sources.
     pub fn fcmplt(dest: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        assert_eq!(dest.class(), RegClass::Int, "fcmplt dest must be an int register");
+        assert_eq!(
+            dest.class(),
+            RegClass::Int,
+            "fcmplt dest must be an int register"
+        );
         Self::fp_rr(Opcode::FCmpLt, dest, src1, src2)
     }
     /// Convert the integer in `src1` into the fp register `dest`.
@@ -356,7 +392,11 @@ impl Instruction {
 
     /// `dest = mem[base + offset]` with an explicit access width.
     pub fn load_w(dest: ArchReg, base: ArchReg, offset: i64, width: MemWidth) -> Self {
-        assert_eq!(base.class(), RegClass::Int, "load base must be an int register");
+        assert_eq!(
+            base.class(),
+            RegClass::Int,
+            "load base must be an int register"
+        );
         let mut i = Instruction::raw(Opcode::Load);
         i.dest = Some(dest);
         i.src1 = Some(base);
@@ -373,7 +413,11 @@ impl Instruction {
 
     /// `mem[base + offset] = value` with an explicit access width.
     pub fn store_w(value: ArchReg, base: ArchReg, offset: i64, width: MemWidth) -> Self {
-        assert_eq!(base.class(), RegClass::Int, "store base must be an int register");
+        assert_eq!(
+            base.class(),
+            RegClass::Int,
+            "store base must be an int register"
+        );
         let mut i = Instruction::raw(Opcode::Store);
         i.src1 = Some(base);
         i.src2 = Some(value);
@@ -416,7 +460,11 @@ impl Instruction {
     }
     /// Indirect jump to the address held in `src1`.
     pub fn jump_indirect(src1: ArchReg) -> Self {
-        assert_eq!(src1.class(), RegClass::Int, "indirect jump target register must be int");
+        assert_eq!(
+            src1.class(),
+            RegClass::Int,
+            "indirect jump target register must be int"
+        );
         let mut i = Instruction::raw(Opcode::JumpIndirect);
         i.src1 = Some(src1);
         i
@@ -431,7 +479,11 @@ impl Instruction {
     }
     /// Return through the address held in `src1`.
     pub fn ret(src1: ArchReg) -> Self {
-        assert_eq!(src1.class(), RegClass::Int, "return address register must be int");
+        assert_eq!(
+            src1.class(),
+            RegClass::Int,
+            "return address register must be int"
+        );
         let mut i = Instruction::raw(Opcode::Ret);
         i.src1 = Some(src1);
         i
@@ -583,9 +635,11 @@ impl Instruction {
             Opcode::FMul => FuClass::FpMul,
             Opcode::FDiv => FuClass::FpDiv,
             Opcode::Load | Opcode::Store => FuClass::Mem,
-            Opcode::Branch(_) | Opcode::Jump | Opcode::JumpIndirect | Opcode::Call | Opcode::Ret => {
-                FuClass::Branch
-            }
+            Opcode::Branch(_)
+            | Opcode::Jump
+            | Opcode::JumpIndirect
+            | Opcode::Call
+            | Opcode::Ret => FuClass::Branch,
         }
     }
 }
@@ -594,20 +648,8 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = |r: Option<ArchReg>| r.map(|r| r.to_string()).unwrap_or_else(|| "-".into());
         match self.opcode {
-            Opcode::Load => write!(
-                f,
-                "load {}, {}({})",
-                d(self.dest),
-                self.imm,
-                d(self.src1)
-            ),
-            Opcode::Store => write!(
-                f,
-                "store {}, {}({})",
-                d(self.src2),
-                self.imm,
-                d(self.src1)
-            ),
+            Opcode::Load => write!(f, "load {}, {}({})", d(self.dest), self.imm, d(self.src1)),
+            Opcode::Store => write!(f, "store {}, {}({})", d(self.src2), self.imm, d(self.src1)),
             Opcode::Branch(cond) => write!(
                 f,
                 "b{:?} {}, {}, {:#x}",

@@ -69,7 +69,7 @@ impl Memory {
     ///
     /// Panics if `n == 0` or `n > 8`.
     pub fn read_le(&self, addr: u64, n: u64) -> u64 {
-        assert!(n >= 1 && n <= 8, "access width must be 1..=8 bytes");
+        assert!((1..=8).contains(&n), "access width must be 1..=8 bytes");
         let mut value = 0u64;
         for i in 0..n {
             value |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
@@ -84,7 +84,7 @@ impl Memory {
     ///
     /// Panics if `n == 0` or `n > 8`.
     pub fn write_le(&mut self, addr: u64, value: u64, n: u64) {
-        assert!(n >= 1 && n <= 8, "access width must be 1..=8 bytes");
+        assert!((1..=8).contains(&n), "access width must be 1..=8 bytes");
         for i in 0..n {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }

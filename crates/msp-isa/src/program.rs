@@ -99,7 +99,7 @@ impl Program {
 
     /// Whether `pc` falls inside the text segment on a 4-byte boundary.
     pub fn contains(&self, pc: u64) -> bool {
-        pc >= TEXT_BASE && pc % 4 == 0 && ((pc - TEXT_BASE) / 4) < self.text.len() as u64
+        pc >= TEXT_BASE && pc.is_multiple_of(4) && ((pc - TEXT_BASE) / 4) < self.text.len() as u64
     }
 
     /// Fetches the instruction at `pc`, or `None` if `pc` is outside the text
@@ -134,7 +134,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} ({} instructions)", self.name, self.text.len())?;
+        writeln!(
+            f,
+            "program {} ({} instructions)",
+            self.name,
+            self.text.len()
+        )?;
         for (addr, inst) in self.iter() {
             writeln!(f, "  {addr:#06x}: {inst}")?;
         }

@@ -150,23 +150,33 @@ impl Cache {
 
     /// Accesses `addr`, allocating the line on a miss. Returns `true` on a
     /// hit. Reads and writes are treated identically (write-allocate).
+    ///
+    /// A single pass over the set finds the hit way or, failing that, the
+    /// LRU victim (first-minimal tie-break, invalid lines counting as
+    /// infinitely old — the same victim the two-pass `find` + `min_by_key`
+    /// formulation picked).
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = set * self.config.ways;
         let ways = &mut self.lines[base..base + self.config.ways];
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.tick;
-            self.stats.hits += 1;
-            return true;
+        let mut victim = 0;
+        let mut victim_age = u64::MAX;
+        for (way, line) in ways.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            let age = if line.valid { line.lru } else { 0 };
+            if age < victim_age {
+                victim_age = age;
+                victim = way;
+            }
         }
         self.stats.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways is non-zero");
-        *victim = Line {
+        ways[victim] = Line {
             tag,
             lru: self.tick,
             valid: true,
@@ -295,13 +305,16 @@ mod tests {
             let mut lru: Vec<u64> = Vec::new(); // most recent last
             for a in addrs {
                 let line = a / 16;
-                let expect_hit = lru.contains(&line);
-                prop_assert_eq!(c.access(a), expect_hit);
-                lru.retain(|l| *l != line);
-                lru.push(line);
-                if lru.len() > ways {
+                // Move-to-front by position (the list never exceeds `ways`
+                // entries, and a line occurs at most once).
+                let pos = lru.iter().position(|l| *l == line);
+                prop_assert_eq!(c.access(a), pos.is_some());
+                if let Some(pos) = pos {
+                    lru.remove(pos);
+                } else if lru.len() == ways {
                     lru.remove(0);
                 }
+                lru.push(line);
             }
         }
     }

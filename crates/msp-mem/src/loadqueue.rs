@@ -67,9 +67,13 @@ impl LoadQueue {
         true
     }
 
-    /// Removes a completed load.
+    /// Removes a completed load. The occupancy list is unordered (loads
+    /// complete out of order anyway), so this is a find + `swap_remove`
+    /// rather than a full compacting scan.
     pub fn remove(&mut self, seq: u64) {
-        self.entries.retain(|&s| s != seq);
+        if let Some(pos) = self.entries.iter().position(|&s| s == seq) {
+            self.entries.swap_remove(pos);
+        }
     }
 
     /// Removes every load with a sequence number greater than `seq`

@@ -9,6 +9,19 @@
 //! fast; overflow entries spill to a large level-2 queue whose associative
 //! scan costs extra cycles — the cost the paper calls out for CPR roll-back
 //! and forwarding.
+//!
+//! # Ordering invariant
+//!
+//! Stores are inserted in program order: strictly increasing `seq` and
+//! nondecreasing `tag` (StateIds are assigned in program order, and a
+//! recovery removes every younger store before dispatch resumes). The queues
+//! exploit this: entries live in ordered deques, commit drains are prefix
+//! truncations, recovery squashes are suffix truncations, and forwarding
+//! scans backwards from the youngest store so it can stop at the first
+//! overlap. Inserting out of order is a logic error (checked by
+//! `debug_assert!`).
+
+use std::collections::VecDeque;
 
 /// One store held in a store queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +84,8 @@ impl ForwardResult {
 /// Common interface of the store-queue organisations.
 pub trait StoreQueue {
     /// Inserts a store at dispatch. Returns `false` (and does not insert)
-    /// when the queue is full; dispatch must stall.
+    /// when the queue is full; dispatch must stall. Stores must arrive in
+    /// program order (strictly increasing `seq`, nondecreasing `tag`).
     fn insert(&mut self, entry: StoreQueueEntry) -> bool;
 
     /// Searches for the youngest store older than `seq` whose footprint
@@ -80,7 +94,16 @@ pub trait StoreQueue {
 
     /// Removes and returns (in program order) every store whose tag is
     /// strictly below `tag_limit`; the caller writes them to memory.
-    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry>;
+    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry> {
+        let mut drained = Vec::new();
+        self.drain_committed_with(tag_limit, &mut |e| drained.push(e));
+        drained
+    }
+
+    /// Allocation-free variant of [`StoreQueue::drain_committed`]: feeds the
+    /// drained stores to `sink` in program order. This is the commit-path
+    /// the timing simulator uses every cycle.
+    fn drain_committed_with(&mut self, tag_limit: u64, sink: &mut dyn FnMut(StoreQueueEntry));
 
     /// Removes every store with a sequence number greater than `seq`
     /// (recovery). Returns how many were removed.
@@ -101,11 +124,69 @@ pub trait StoreQueue {
     fn capacity(&self) -> usize;
 }
 
+/// Searches an ordered run of stores backwards (youngest first) for the
+/// youngest entry older than `seq` that overlaps the load's footprint.
+/// Because entries are in ascending `seq` order, the first match from the
+/// back is the forwarding store and the scan can stop there.
+fn search_youngest_older(
+    entries: &VecDeque<StoreQueueEntry>,
+    addr: u64,
+    width: u64,
+    seq: u64,
+) -> Option<StoreQueueEntry> {
+    entries
+        .iter()
+        .rev()
+        .skip_while(|e| e.seq >= seq)
+        .find(|e| e.overlaps(addr, width))
+        .copied()
+}
+
+/// Pops every leading entry with `tag < tag_limit` into `sink`. Tags are
+/// nondecreasing in program order, so the committed set is a prefix.
+fn drain_prefix(
+    entries: &mut VecDeque<StoreQueueEntry>,
+    tag_limit: u64,
+    sink: &mut dyn FnMut(StoreQueueEntry),
+) {
+    while let Some(front) = entries.front() {
+        if front.tag >= tag_limit {
+            break;
+        }
+        sink(entries.pop_front().expect("front exists"));
+    }
+}
+
+/// Pops every trailing entry with `seq > seq_limit`. The squashed set is a
+/// suffix because entries are in ascending `seq` order.
+fn squash_suffix(entries: &mut VecDeque<StoreQueueEntry>, seq_limit: u64) -> usize {
+    let mut removed = 0;
+    while entries.back().map(|e| e.seq > seq_limit).unwrap_or(false) {
+        entries.pop_back();
+        removed += 1;
+    }
+    removed
+}
+
+fn debug_check_insert_order(entries: &VecDeque<StoreQueueEntry>, entry: &StoreQueueEntry) {
+    if let Some(back) = entries.back() {
+        debug_assert!(
+            back.seq < entry.seq && back.tag <= entry.tag,
+            "stores must be inserted in program order \
+             (got seq {} tag {} after seq {} tag {})",
+            entry.seq,
+            entry.tag,
+            back.seq,
+            back.tag
+        );
+    }
+}
+
 /// The baseline's single-level store queue (Table I: 24 entries).
 #[derive(Debug, Clone)]
 pub struct SimpleStoreQueue {
     capacity: usize,
-    entries: Vec<StoreQueueEntry>,
+    entries: VecDeque<StoreQueueEntry>,
 }
 
 impl SimpleStoreQueue {
@@ -118,7 +199,7 @@ impl SimpleStoreQueue {
         assert!(capacity > 0, "store queue capacity must be non-zero");
         SimpleStoreQueue {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            entries: VecDeque::with_capacity(capacity),
         }
     }
 }
@@ -128,17 +209,13 @@ impl StoreQueue for SimpleStoreQueue {
         if self.entries.len() == self.capacity {
             return false;
         }
-        self.entries.push(entry);
+        debug_check_insert_order(&self.entries, &entry);
+        self.entries.push_back(entry);
         true
     }
 
     fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
-        let hit = self
-            .entries
-            .iter()
-            .filter(|e| e.seq < seq && e.overlaps(addr, width))
-            .max_by_key(|e| e.seq);
-        match hit {
+        match search_youngest_older(&self.entries, addr, width, seq) {
             Some(e) => ForwardResult::Hit {
                 value: e.value,
                 latency: 0,
@@ -147,22 +224,12 @@ impl StoreQueue for SimpleStoreQueue {
         }
     }
 
-    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry> {
-        let mut drained: Vec<StoreQueueEntry> = self
-            .entries
-            .iter()
-            .copied()
-            .filter(|e| e.tag < tag_limit)
-            .collect();
-        self.entries.retain(|e| e.tag >= tag_limit);
-        drained.sort_by_key(|e| e.seq);
-        drained
+    fn drain_committed_with(&mut self, tag_limit: u64, sink: &mut dyn FnMut(StoreQueueEntry)) {
+        drain_prefix(&mut self.entries, tag_limit, sink);
     }
 
     fn squash_younger(&mut self, seq: u64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.seq <= seq);
-        before - self.entries.len()
+        squash_suffix(&mut self.entries, seq)
     }
 
     fn len(&self) -> usize {
@@ -189,8 +256,11 @@ pub struct HierarchicalStoreQueue {
     l1_capacity: usize,
     l2_capacity: usize,
     l2_scan_latency: u64,
-    l1: Vec<StoreQueueEntry>,
-    l2: Vec<StoreQueueEntry>,
+    /// The young stores. Every L1 entry is younger than every L2 entry
+    /// (spills move the oldest L1 entry), so both deques are in ascending
+    /// `seq` order and the queue as a whole is the concatenation `l2 ++ l1`.
+    l1: VecDeque<StoreQueueEntry>,
+    l2: VecDeque<StoreQueueEntry>,
     l2_scans: u64,
 }
 
@@ -201,13 +271,18 @@ impl HierarchicalStoreQueue {
     ///
     /// Panics if either capacity is zero.
     pub fn new(l1_capacity: usize, l2_capacity: usize, l2_scan_latency: u64) -> Self {
-        assert!(l1_capacity > 0 && l2_capacity > 0, "store queue capacities must be non-zero");
+        assert!(
+            l1_capacity > 0 && l2_capacity > 0,
+            "store queue capacities must be non-zero"
+        );
         HierarchicalStoreQueue {
             l1_capacity,
             l2_capacity,
             l2_scan_latency,
-            l1: Vec::with_capacity(l1_capacity),
-            l2: Vec::with_capacity(l2_capacity),
+            // Cap the eager reservation: the "unbounded" ideal configuration
+            // declares 2^20-entry levels that stay almost empty in practice.
+            l1: VecDeque::with_capacity(l1_capacity.min(1024)),
+            l2: VecDeque::new(),
             l2_scans: 0,
         }
     }
@@ -244,29 +319,19 @@ impl StoreQueue for HierarchicalStoreQueue {
         if self.is_full() {
             return false;
         }
+        debug_check_insert_order(&self.l1, &entry);
         if self.l1.len() == self.l1_capacity {
-            // Spill the oldest L1 entry into the L2 queue.
-            let oldest_idx = self
-                .l1
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.seq)
-                .map(|(i, _)| i)
-                .expect("L1 is full, hence non-empty");
-            let spilled = self.l1.swap_remove(oldest_idx);
-            self.l2.push(spilled);
+            // Spill the oldest L1 entry (the front) into the L2 queue.
+            let spilled = self.l1.pop_front().expect("L1 is full, hence non-empty");
+            debug_check_insert_order(&self.l2, &spilled);
+            self.l2.push_back(spilled);
         }
-        self.l1.push(entry);
+        self.l1.push_back(entry);
         true
     }
 
     fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
-        let l1_hit = self
-            .l1
-            .iter()
-            .filter(|e| e.seq < seq && e.overlaps(addr, width))
-            .max_by_key(|e| e.seq);
-        if let Some(e) = l1_hit {
+        if let Some(e) = search_youngest_older(&self.l1, addr, width, seq) {
             return ForwardResult::Hit {
                 value: e.value,
                 latency: 0,
@@ -277,12 +342,7 @@ impl StoreQueue for HierarchicalStoreQueue {
         }
         // Have to scan the large second-level queue.
         self.l2_scans += 1;
-        let l2_hit = self
-            .l2
-            .iter()
-            .filter(|e| e.seq < seq && e.overlaps(addr, width))
-            .max_by_key(|e| e.seq);
-        match l2_hit {
+        match search_youngest_older(&self.l2, addr, width, seq) {
             Some(e) => ForwardResult::Hit {
                 value: e.value,
                 latency: self.l2_scan_latency,
@@ -293,25 +353,21 @@ impl StoreQueue for HierarchicalStoreQueue {
         }
     }
 
-    fn drain_committed(&mut self, tag_limit: u64) -> Vec<StoreQueueEntry> {
-        let mut drained: Vec<StoreQueueEntry> = self
-            .l1
-            .iter()
-            .chain(self.l2.iter())
-            .copied()
-            .filter(|e| e.tag < tag_limit)
-            .collect();
-        self.l1.retain(|e| e.tag >= tag_limit);
-        self.l2.retain(|e| e.tag >= tag_limit);
-        drained.sort_by_key(|e| e.seq);
-        drained
+    fn drain_committed_with(&mut self, tag_limit: u64, sink: &mut dyn FnMut(StoreQueueEntry)) {
+        // Every L2 entry is older than every L1 entry, so draining L2 first
+        // keeps the sink in program order.
+        drain_prefix(&mut self.l2, tag_limit, sink);
+        if self.l2.is_empty() {
+            drain_prefix(&mut self.l1, tag_limit, sink);
+        }
     }
 
     fn squash_younger(&mut self, seq: u64) -> usize {
-        let before = self.l1.len() + self.l2.len();
-        self.l1.retain(|e| e.seq <= seq);
-        self.l2.retain(|e| e.seq <= seq);
-        before - (self.l1.len() + self.l2.len())
+        let mut removed = squash_suffix(&mut self.l1, seq);
+        if self.l1.is_empty() {
+            removed += squash_suffix(&mut self.l2, seq);
+        }
+        removed
     }
 
     fn len(&self) -> usize {
@@ -419,7 +475,10 @@ mod tests {
         );
         assert_eq!(hsq.l2_scans(), 1);
         // A miss that had to scan the L2 also pays the scan latency.
-        assert_eq!(hsq.forward(0x999000, 8, 100), ForwardResult::Miss { latency: 3 });
+        assert_eq!(
+            hsq.forward(0x999000, 8, 100),
+            ForwardResult::Miss { latency: 3 }
+        );
     }
 
     #[test]
@@ -440,7 +499,10 @@ mod tests {
             hsq.insert(entry(seq, seq * 8, seq));
         }
         let drained = hsq.drain_committed(3);
-        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            drained.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         assert_eq!(hsq.len(), 4);
         assert_eq!(hsq.squash_younger(4), 2);
         assert_eq!(hsq.len(), 2);

@@ -30,7 +30,9 @@ pub enum MachineKind {
 impl MachineKind {
     /// The paper's CPR configuration (192 integer + 192 fp registers).
     pub fn cpr() -> Self {
-        MachineKind::Cpr { regs_per_class: 192 }
+        MachineKind::Cpr {
+            regs_per_class: 192,
+        }
     }
 
     /// The `n-SP` MSP configuration.
@@ -332,7 +334,13 @@ mod tests {
     fn labels_match_the_papers_names() {
         assert_eq!(MachineKind::Baseline.label(), "Baseline");
         assert_eq!(MachineKind::cpr().label(), "CPR");
-        assert_eq!(MachineKind::Cpr { regs_per_class: 256 }.label(), "CPR-256");
+        assert_eq!(
+            MachineKind::Cpr {
+                regs_per_class: 256
+            }
+            .label(),
+            "CPR-256"
+        );
         assert_eq!(MachineKind::msp(16).label(), "16-SP");
         assert_eq!(MachineKind::IdealMsp.label(), "ideal MSP");
         assert!(MachineKind::IdealMsp.is_msp());

@@ -18,7 +18,8 @@ use msp_mem::{
     StoreQueueEntry,
 };
 use msp_state::{MspStateManager, PhysReg, PortArbiter, RenameRequest, StateId};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ enum Status {
 }
 
 /// One in-flight dynamic instruction.
+///
+/// The struct is fully inline (no heap indirection): the at-most-two MSP
+/// source use bits live in a fixed array, so pushing, squashing and
+/// retiring window entries never allocates.
 #[derive(Debug, Clone)]
 struct InFlight {
     seq: u64,
@@ -65,7 +70,7 @@ struct InFlight {
     // MSP bookkeeping.
     msp_state: Option<StateId>,
     msp_dest: Option<PhysReg>,
-    msp_source_bits: Vec<(PhysReg, usize)>,
+    msp_source_bits: [Option<(PhysReg, usize)>; 2],
     msp_anchor_bit: Option<(PhysReg, usize)>,
     // CPR aggressive-release bookkeeping.
     superseded_by: Option<u64>,
@@ -118,9 +123,26 @@ pub struct Simulator<'p> {
     fetch_stalled_until: u64,
     oracle_done: bool,
     // Back end.
+    //
+    // The window holds a *contiguous* run of sequence numbers (recoveries
+    // rewind `next_seq` to the squash point), so locating an instruction is
+    // a constant-time `seq - head_seq` offset instead of a binary search.
     window: VecDeque<InFlight>,
+    /// Dispatched-but-not-issued sequence numbers. Dispatch appends in
+    /// program order and squashes truncate a suffix, so the list is always
+    /// sorted: the issue stage walks it directly, oldest first.
     waiting: Vec<u64>,
-    executing: Vec<u64>,
+    /// Pending completion events as `Reverse((complete_cycle, seq))`:
+    /// writeback pops due events instead of scanning every executing
+    /// instruction. Events whose instruction was squashed or rescheduled
+    /// (write-port conflict) are dropped lazily when popped.
+    completion_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// CPR aggressive-release candidates: completed instructions with a
+    /// younger same-register writer, waiting for their last consumer to
+    /// issue. Replaces a full window scan per cycle.
+    cpr_release_pending: Vec<u64>,
+    /// Per-cycle scratch for the same-logical-register rename limit.
+    rename_scratch: Vec<(ArchReg, usize)>,
     iq_free: Vec<usize>,
     iq_occupancy: usize,
     last_writer: [Option<u64>; msp_isa::NUM_LOGICAL_REGS],
@@ -186,7 +208,9 @@ impl<'p> Simulator<'p> {
             oracle_done: false,
             window: VecDeque::new(),
             waiting: Vec::new(),
-            executing: Vec::new(),
+            completion_events: BinaryHeap::new(),
+            cpr_release_pending: Vec::new(),
+            rename_scratch: Vec::new(),
             iq_free: (0..config.resources.iq_size).rev().collect(),
             iq_occupancy: 0,
             last_writer: [None; msp_isa::NUM_LOGICAL_REGS],
@@ -258,8 +282,17 @@ impl<'p> Simulator<'p> {
 
     // ----------------------------------------------------------------- util
 
+    /// Locates an in-flight instruction in O(1): the window is a contiguous
+    /// run of sequence numbers, so the index is the offset from the head.
     fn window_index(&self, seq: u64) -> Option<usize> {
-        self.window.binary_search_by_key(&seq, |i| i.seq).ok()
+        let head = self.window.front()?.seq;
+        let idx = seq.checked_sub(head)? as usize;
+        if idx < self.window.len() {
+            debug_assert_eq!(self.window[idx].seq, seq, "window must stay seq-contiguous");
+            Some(idx)
+        } else {
+            None
+        }
     }
 
     fn is_seq_done(&self, seq: u64) -> bool {
@@ -294,24 +327,26 @@ impl<'p> Simulator<'p> {
     // ------------------------------------------------------------ writeback
 
     fn writeback_stage(&mut self) {
-        // Collect instructions finishing this cycle (oldest first).
-        let mut finished: Vec<u64> = self
-            .executing
-            .iter()
-            .copied()
-            .filter(|seq| {
-                self.window_index(*seq)
-                    .map(|idx| self.window[idx].complete_cycle <= self.cycle)
-                    .unwrap_or(false)
-            })
-            .collect();
-        finished.sort_unstable();
+        // Pop the completion events due this cycle. The heap orders by
+        // (cycle, seq), and no event survives past its cycle (a write-port
+        // conflict re-schedules to the next cycle), so completions are
+        // processed oldest-seq first exactly as a full sort would.
         let mut recovery: Option<u64> = None;
-        let mut completed: Vec<u64> = Vec::with_capacity(finished.len());
-        for seq in finished {
-            let idx = self
-                .window_index(seq)
-                .expect("finishing instruction is in flight");
+        while let Some(&Reverse((event_cycle, seq))) = self.completion_events.peek() {
+            if event_cycle > self.cycle {
+                break;
+            }
+            self.completion_events.pop();
+            // Lazy deletion: squashed instructions and stale (rescheduled)
+            // events simply fall through.
+            let Some(idx) = self.window_index(seq) else {
+                continue;
+            };
+            if self.window[idx].status != Status::Executing
+                || self.window[idx].complete_cycle != event_cycle
+            {
+                continue;
+            }
             // MSP write-port arbitration: a completion may be delayed a cycle
             // when its bank's single write port is already taken.
             if self.config.arbitration {
@@ -321,13 +356,13 @@ impl<'p> Simulator<'p> {
                     if !arbiter.request_write(dest.bank()).is_granted() {
                         self.stats.port_conflicts += 1;
                         self.window[idx].complete_cycle = self.cycle + 1;
+                        self.completion_events.push(Reverse((self.cycle + 1, seq)));
                         continue;
                     }
                 }
             }
             self.window[idx].status = Status::Done;
-            completed.push(seq);
-            let (msp_dest, anchor, oracle_idx, mispredicted, is_load) = {
+            let (msp_dest, anchor, oracle_idx, mispredicted, is_load, superseded) = {
                 let i = &self.window[idx];
                 (
                     i.msp_dest,
@@ -335,6 +370,7 @@ impl<'p> Simulator<'p> {
                     i.oracle_idx,
                     i.mispredicted,
                     i.rec.inst.is_load(),
+                    i.superseded_by.is_some(),
                 )
             };
             // Backend-specific completion bookkeeping.
@@ -344,6 +380,11 @@ impl<'p> Simulator<'p> {
                 } else if let Some((phys, slot)) = anchor {
                     manager.clear_use(phys, slot);
                 }
+            }
+            // A completed instruction that already has a younger writer of
+            // its destination becomes a CPR release candidate.
+            if superseded && matches!(self.config.machine, MachineKind::Cpr { .. }) {
+                self.cpr_release_pending.push(seq);
             }
             // A non-allocating instruction keeps its IQ slot for anchor
             // tracking until completion; release it now.
@@ -359,7 +400,6 @@ impl<'p> Simulator<'p> {
                 recovery = Some(seq);
             }
         }
-        self.executing.retain(|seq| !completed.contains(seq));
         self.release_cpr_registers();
         if let Some(branch_seq) = recovery {
             self.recover_from(branch_seq);
@@ -370,27 +410,38 @@ impl<'p> Simulator<'p> {
     /// instruction's destination register returns to the pool once the value
     /// has been produced, all its known consumers have issued, and a younger
     /// correct-path instruction writing the same logical register exists.
+    ///
+    /// Candidates enter `cpr_release_pending` the moment they are both
+    /// completed and superseded (at writeback or at the superseding
+    /// dispatch), so only the handful of instructions still waiting on a
+    /// consumer are rescanned each cycle — not the whole window.
     fn release_cpr_registers(&mut self) {
-        if !matches!(self.config.machine, MachineKind::Cpr { .. }) {
+        if self.cpr_release_pending.is_empty() {
             return;
         }
-        let mut released: Vec<(usize, RegClass)> = Vec::new();
-        for (idx, inst) in self.window.iter().enumerate() {
-            if inst.reg_released
-                || inst.status != Status::Done
-                || inst.pending_consumers > 0
-                || inst.superseded_by.is_none()
-            {
+        let mut kept = 0;
+        for i in 0..self.cpr_release_pending.len() {
+            let seq = self.cpr_release_pending[i];
+            // Dropped from the window (committed or squashed): the commit or
+            // recovery path owns the register now.
+            let Some(idx) = self.window_index(seq) else {
+                continue;
+            };
+            let inst = &self.window[idx];
+            if inst.reg_released {
+                continue;
+            }
+            if inst.pending_consumers > 0 {
+                self.cpr_release_pending[kept] = seq;
+                kept += 1;
                 continue;
             }
             if let Some(dest) = inst.dest {
-                released.push((idx, dest.class()));
+                self.window[idx].reg_released = true;
+                self.free_counted_register(dest.class());
             }
         }
-        for (idx, class) in released {
-            self.window[idx].reg_released = true;
-            self.free_counted_register(class);
-        }
+        self.cpr_release_pending.truncate(kept);
     }
 
     // -------------------------------------------------------------- recover
@@ -437,17 +488,15 @@ impl<'p> Simulator<'p> {
         // MSP: the precise Recovery StateId is the state of the branch.
         let msp_recovery_state = self.window[branch_idx].msp_state;
 
-        // Squash every in-flight instruction at or beyond the squash point.
-        let mut squashed: Vec<InFlight> = Vec::new();
+        // Squash every in-flight instruction at or beyond the squash point
+        // (youngest first), processing each entry as it is popped.
         while self
             .window
             .back()
             .map(|i| i.seq >= squash_from_seq)
             .unwrap_or(false)
         {
-            squashed.push(self.window.pop_back().expect("back checked above"));
-        }
-        for inst in &squashed {
+            let inst = self.window.pop_back().expect("back checked above");
             if inst.status == Status::Waiting {
                 self.iq_occupancy -= 1;
             }
@@ -463,8 +512,17 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
-        self.waiting.retain(|seq| *seq < squash_from_seq);
-        self.executing.retain(|seq| *seq < squash_from_seq);
+        // Rewind the sequence counter so the window stays contiguous: the
+        // squashed numbers are reassigned to the re-fetched instructions.
+        // Every structure keyed by a squashed seq is purged here so a stale
+        // entry can never alias a reassigned number.
+        self.next_seq = squash_from_seq;
+        self.waiting
+            .truncate(self.waiting.partition_point(|seq| *seq < squash_from_seq));
+        self.completion_events
+            .retain(|&Reverse((_, seq))| seq < squash_from_seq);
+        self.cpr_release_pending
+            .retain(|seq| *seq < squash_from_seq);
         let youngest_surviving_seq = squash_from_seq.saturating_sub(1);
         self.load_queue.squash_younger(youngest_surviving_seq);
         self.store_queue.squash_younger(youngest_surviving_seq);
@@ -530,9 +588,11 @@ impl<'p> Simulator<'p> {
             if let (Some(dest), false) = (inst.dest, inst.reg_released) {
                 self.free_counted_register(dest.class());
             }
-            for drained in self.store_queue.drain_committed(seq + 1) {
-                self.memory.store_commit(drained.addr);
-            }
+            let memory = &mut self.memory;
+            self.store_queue
+                .drain_committed_with(seq + 1, &mut |drained| {
+                    memory.store_commit(drained.addr);
+                });
             retired += 1;
         }
     }
@@ -564,9 +624,11 @@ impl<'p> Simulator<'p> {
                     self.free_counted_register(dest.class());
                 }
             }
-            for drained in self.store_queue.drain_committed(boundary_seq) {
-                self.memory.store_commit(drained.addr);
-            }
+            let memory = &mut self.memory;
+            self.store_queue
+                .drain_committed_with(boundary_seq, &mut |drained| {
+                    memory.store_commit(drained.addr);
+                });
             self.checkpoints.pop_front();
         }
         // End of program: the final checkpoint interval has no successor, so
@@ -580,15 +642,17 @@ impl<'p> Simulator<'p> {
             while self.window.front().is_some() {
                 self.retire_front();
             }
-            for drained in self.store_queue.drain_committed(u64::MAX) {
-                self.memory.store_commit(drained.addr);
-            }
+            let memory = &mut self.memory;
+            self.store_queue
+                .drain_committed_with(u64::MAX, &mut |drained| {
+                    memory.store_commit(drained.addr);
+                });
         }
     }
 
     fn commit_msp(&mut self) {
         let lcs = match &mut self.backend {
-            Backend::Msp { manager, .. } => manager.clock_commit().lcs,
+            Backend::Msp { manager, .. } => manager.clock_commit_lcs(),
             Backend::Counted { .. } => unreachable!("MSP commit with a counted backend"),
         };
         // Retire every correct-path instruction older than the LCS from the
@@ -603,12 +667,14 @@ impl<'p> Simulator<'p> {
                 break;
             }
         }
-        // Scanning the (potentially huge) store queue is only needed when the
-        // commit point actually moved.
+        // Draining the (potentially huge) store queue is only needed when
+        // the commit point actually moved.
         if retired_any {
-            for drained in self.store_queue.drain_committed(lcs.as_u64()) {
-                self.memory.store_commit(drained.addr);
-            }
+            let memory = &mut self.memory;
+            self.store_queue
+                .drain_committed_with(lcs.as_u64(), &mut |drained| {
+                    memory.store_commit(drained.addr);
+                });
         }
     }
 
@@ -619,15 +685,20 @@ impl<'p> Simulator<'p> {
         let mut int_used = 0;
         let mut fp_used = 0;
         let mut mem_used = 0;
-        let mut picked: Vec<u64> = Vec::new();
-        // Oldest-first selection.
-        let mut candidates: Vec<u64> = self.waiting.clone();
-        candidates.sort_unstable();
-        for seq in candidates {
+        // Oldest-first selection: the waiting list is sorted by construction
+        // (dispatch appends ascending seqs; squashes truncate a suffix), so
+        // it is walked in place. Issued entries are marked with a sentinel
+        // and compacted in one pass afterwards.
+        const ISSUED: u64 = u64::MAX;
+        let mut picked_any = false;
+        for i in 0..self.waiting.len() {
             if issued >= self.config.frontend.issue_width {
                 break;
             }
-            let Some(idx) = self.window_index(seq) else { continue };
+            let seq = self.waiting[i];
+            let Some(idx) = self.window_index(seq) else {
+                continue;
+            };
             if self.window[idx].status != Status::Waiting {
                 continue;
             }
@@ -656,19 +727,17 @@ impl<'p> Simulator<'p> {
             }
             // MSP read-port arbitration: one read port per bank per cycle.
             // An instruction never needs two operands from the same bank
-            // (both would be the same physical register), so deduplicate the
-            // banks before requesting ports.
+            // (both would be the same physical register), so request each
+            // distinct bank once.
             if self.config.arbitration {
                 if let Backend::Msp { arbiter, .. } = &mut self.backend {
-                    let mut banks: Vec<usize> = self.window[idx]
-                        .msp_source_bits
-                        .iter()
+                    let bits = &self.window[idx].msp_source_bits;
+                    let first = bits[0].map(|(phys, _)| phys.bank());
+                    let second = bits[1]
                         .map(|(phys, _)| phys.bank())
-                        .collect();
-                    banks.sort_unstable();
-                    banks.dedup();
+                        .filter(|bank| Some(*bank) != first);
                     let mut all_granted = true;
-                    for bank in banks {
+                    for bank in [first, second].into_iter().flatten() {
                         if !arbiter.request_read(bank).is_granted() {
                             all_granted = false;
                         }
@@ -681,10 +750,13 @@ impl<'p> Simulator<'p> {
             }
             *pool_used += 1;
             issued += 1;
-            picked.push(seq);
+            self.waiting[i] = ISSUED;
+            picked_any = true;
             self.issue_instruction(idx);
         }
-        self.waiting.retain(|seq| !picked.contains(seq));
+        if picked_any {
+            self.waiting.retain(|seq| *seq != ISSUED);
+        }
     }
 
     fn issue_instruction(&mut self, idx: usize) {
@@ -730,8 +802,8 @@ impl<'p> Simulator<'p> {
         self.iq_occupancy -= 1;
         let source_bits = std::mem::take(&mut self.window[idx].msp_source_bits);
         if let Backend::Msp { manager, .. } = &mut self.backend {
-            for (phys, slot) in &source_bits {
-                manager.clear_use(*phys, *slot);
+            for (phys, slot) in source_bits.into_iter().flatten() {
+                manager.clear_use(phys, slot);
             }
         }
         // Keep the IQ slot reserved for anchor tracking of non-allocating
@@ -750,8 +822,9 @@ impl<'p> Simulator<'p> {
             }
         }
         self.window[idx].status = Status::Executing;
-        self.window[idx].complete_cycle = self.cycle + latency.max(1);
-        self.executing.push(seq);
+        let complete_cycle = self.cycle + latency.max(1);
+        self.window[idx].complete_cycle = complete_cycle;
+        self.completion_events.push(Reverse((complete_cycle, seq)));
     }
 
     // ------------------------------------------------------------- dispatch
@@ -760,7 +833,9 @@ impl<'p> Simulator<'p> {
         let width = self.config.frontend.rename_width;
         let mut dispatched = 0;
         // Per-cycle same-logical-register rename limit (MSP, Section 3.3).
-        let mut renames_this_cycle: Vec<(ArchReg, usize)> = Vec::new();
+        // The tracking list is a reusable scratch buffer on the simulator
+        // (at most `rename_width` entries per cycle).
+        self.rename_scratch.clear();
         while dispatched < width {
             let Some(front) = self.fetch_queue.front() else {
                 self.stats.stalls.frontend_empty += 1;
@@ -773,7 +848,8 @@ impl<'p> Simulator<'p> {
             // MSP same-register-per-cycle admission.
             if self.config.machine.is_msp() {
                 if let Some(dest) = front.rec.inst.dest() {
-                    let count = renames_this_cycle
+                    let count = self
+                        .rename_scratch
                         .iter()
                         .find(|(r, _)| *r == dest)
                         .map(|(_, c)| *c)
@@ -795,9 +871,9 @@ impl<'p> Simulator<'p> {
                 break;
             }
             if let Some(dest) = dest {
-                match renames_this_cycle.iter_mut().find(|(r, _)| *r == dest) {
+                match self.rename_scratch.iter_mut().find(|(r, _)| *r == dest) {
                     Some((_, c)) => *c += 1,
-                    None => renames_this_cycle.push((dest, 1)),
+                    None => self.rename_scratch.push((dest, 1)),
                 }
             }
             dispatched += 1;
@@ -861,8 +937,7 @@ impl<'p> Simulator<'p> {
         let wants_checkpoint = correct_path
             && ((front.rec.inst.is_conditional_branch() && front.low_confidence)
                 || front.rec.inst.is_indirect());
-        let forced =
-            self.insts_since_checkpoint >= self.config.resources.max_insts_per_checkpoint;
+        let forced = self.insts_since_checkpoint >= self.config.resources.max_insts_per_checkpoint;
         if !wants_checkpoint && !forced {
             return true;
         }
@@ -897,19 +972,27 @@ impl<'p> Simulator<'p> {
         let inst = front.rec.inst;
         let dest = inst.dest();
 
-        // Backend renaming.
+        // Backend renaming (the allocation-free `rename_one` path: sources
+        // are gathered into a fixed two-element buffer and the returned
+        // mappings stay inline).
         let (msp_state, msp_dest, msp_source_bits, msp_anchor_bit) = match &mut self.backend {
             Backend::Msp { manager, .. } => {
-                let sources: Vec<ArchReg> = inst.sources().collect();
-                let request = RenameRequest::new(dest, &sources);
-                match manager.rename_group(&[request]) {
-                    Ok(outcome) => {
-                        let renamed = &outcome.renamed[0];
+                let mut sources = [ArchReg::ZERO; 2];
+                let mut source_count = 0;
+                for src in inst.sources().take(2) {
+                    sources[source_count] = src;
+                    source_count += 1;
+                }
+                let request = RenameRequest::new(dest, &sources[..source_count]);
+                match manager.rename_one(&request) {
+                    Ok(renamed) => {
                         let slot = *self.iq_free.last().expect("IQ capacity checked earlier");
-                        let mut source_bits = Vec::with_capacity(renamed.sources.len());
-                        for mapping in &renamed.sources {
+                        let mut source_bits = [None, None];
+                        for (bit, mapping) in
+                            source_bits.iter_mut().zip(renamed.sources.iter().flatten())
+                        {
                             manager.note_use(mapping.phys, slot);
-                            source_bits.push((mapping.phys, slot));
+                            *bit = Some((mapping.phys, slot));
                         }
                         let anchor = if renamed.dest.is_none() {
                             manager.note_use(renamed.anchor, slot);
@@ -945,14 +1028,11 @@ impl<'p> Simulator<'p> {
                         RegClass::Fp => *fp_free -= 1,
                     }
                 }
-                (None, None, Vec::new(), None)
+                (None, None, [None, None], None)
             }
         };
 
-        let front = self
-            .fetch_queue
-            .pop_front()
-            .expect("front inspected above");
+        let front = self.fetch_queue.pop_front().expect("front inspected above");
         let iq_slot = self.iq_free.pop().expect("IQ capacity checked earlier");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -978,6 +1058,14 @@ impl<'p> Simulator<'p> {
             if let Some(prev) = self.last_writer[d.flat_index()] {
                 if let Some(pidx) = self.window_index(prev) {
                     self.window[pidx].superseded_by = Some(seq);
+                    // An already-completed previous writer becomes a CPR
+                    // release candidate right away (writeback handles the
+                    // completes-after-supersede order).
+                    if self.window[pidx].status == Status::Done
+                        && matches!(self.config.machine, MachineKind::Cpr { .. })
+                    {
+                        self.cpr_release_pending.push(prev);
+                    }
                 }
             }
         }
@@ -1015,6 +1103,10 @@ impl<'p> Simulator<'p> {
             }
         }
 
+        debug_assert!(
+            self.window.back().map(|b| b.seq + 1 == seq).unwrap_or(true),
+            "dispatch must keep the window seq-contiguous"
+        );
         self.window.push_back(InFlight {
             seq,
             oracle_idx: front.oracle_idx,
@@ -1075,8 +1167,7 @@ impl<'p> Simulator<'p> {
             };
             let ready_cycle = self.cycle + self.config.frontend_delay() + icache_extra;
 
-            let (mispredicted, low_confidence, predicted_next_pc) =
-                self.predict(&rec, oracle_idx);
+            let (mispredicted, low_confidence, predicted_next_pc) = self.predict(&rec, oracle_idx);
 
             self.fetch_queue.push_back(Fetched {
                 oracle_idx,
@@ -1137,14 +1228,23 @@ impl<'p> Simulator<'p> {
             return (
                 false,
                 false,
-                if correct_path { rec.next_pc } else { fallthrough },
+                if correct_path {
+                    rec.next_pc
+                } else {
+                    fallthrough
+                },
             );
         }
         // A branch whose outcome was already resolved by a previous execution
         // (CPR re-fetch after rollback) does not re-mispredict: the machine
         // reuses the recorded outcome.
         let already_resolved = oracle_idx
-            .map(|idx| self.executed_once.get(idx as usize).copied().unwrap_or(false))
+            .map(|idx| {
+                self.executed_once
+                    .get(idx as usize)
+                    .copied()
+                    .unwrap_or(false)
+            })
             .unwrap_or(false);
         if inst.is_conditional_branch() {
             let predicted_taken = self.predictor.predict(rec.pc);
@@ -1203,9 +1303,7 @@ impl<'p> Simulator<'p> {
         if inst.is_call() {
             self.ras.push(fallthrough);
         }
-        let target = inst
-            .target()
-            .expect("direct jumps and calls carry targets");
+        let target = inst.target().expect("direct jumps and calls carry targets");
         let next = if correct_path { rec.next_pc } else { target };
         (false, false, next)
     }

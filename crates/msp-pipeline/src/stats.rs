@@ -84,7 +84,7 @@ impl StallBreakdown {
 }
 
 /// Complete statistics of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated clock cycles.
     pub cycles: u64,
@@ -140,6 +140,53 @@ impl SimStats {
         } else {
             self.executed.total() as f64 / self.committed as f64
         }
+    }
+
+    /// A canonical, order-stable text rendering of every counter (the
+    /// `bank_full` map is emitted in flat-index order). Two runs produced
+    /// bit-identical statistics if and only if their canonical strings are
+    /// equal, which makes this the currency of the determinism regression
+    /// tests and of cross-process golden-stats comparisons.
+    pub fn canonical_string(&self) -> String {
+        let mut bank_full: Vec<(&ArchReg, &u64)> = self
+            .stalls
+            .bank_full
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .collect();
+        bank_full.sort_by_key(|(r, _)| r.flat_index());
+        let bank_full: Vec<String> = bank_full
+            .iter()
+            .map(|(r, c)| format!("{}:{c}", r.flat_index()))
+            .collect();
+        format!(
+            "cycles={} committed={} exec_correct={} exec_reexec={} exec_wrong={} \
+             branches={} mispred={} recoveries={} imprecise={} checkpoints={} \
+             iq={} rob={} lq={} sq={} regs={} chk={} same_reg={} fe={} \
+             bank_full=[{}] ports={} fwd={} dmiss={}",
+            self.cycles,
+            self.committed,
+            self.executed.correct_path,
+            self.executed.correct_path_reexecuted,
+            self.executed.wrong_path,
+            self.branches,
+            self.mispredictions,
+            self.recoveries,
+            self.imprecise_recoveries,
+            self.checkpoints_allocated,
+            self.stalls.iq_full,
+            self.stalls.rob_full,
+            self.stalls.lq_full,
+            self.stalls.sq_full,
+            self.stalls.regs_full,
+            self.stalls.checkpoints_full,
+            self.stalls.same_reg_limit,
+            self.stalls.frontend_empty,
+            bank_full.join(","),
+            self.port_conflicts,
+            self.store_forwards,
+            self.dcache_misses,
+        )
     }
 }
 

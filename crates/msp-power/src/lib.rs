@@ -344,7 +344,6 @@ mod tests {
             banks: 4,
             read_ports: 8,
             write_ports: 4,
-            ..RegFileConfig::cpr_4_banks()
         };
         let area = cpr256.area_mm2(TechNode::Nm45);
         assert!((0.1..0.4).contains(&area), "cpr area {area}");

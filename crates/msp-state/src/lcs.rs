@@ -61,14 +61,12 @@ impl LcsUnit {
         fallback: StateId,
     ) -> StateId {
         let mut min: Option<StateId> = None;
-        for c in contributions {
-            if let Some(s) = c {
-                self.comparisons += 1;
-                min = Some(match min {
-                    Some(m) if m <= s => m,
-                    _ => s,
-                });
-            }
+        for s in contributions.into_iter().flatten() {
+            self.comparisons += 1;
+            min = Some(match min {
+                Some(m) if m <= s => m,
+                _ => s,
+            });
         }
         let computed = min.unwrap_or(fallback);
         if self.delay == 0 {
@@ -100,7 +98,10 @@ mod tests {
     #[test]
     fn zero_delay_is_immediately_visible() {
         let mut lcs = LcsUnit::new(0);
-        let v = lcs.clock([Some(StateId::new(7)), Some(StateId::new(3))], StateId::ZERO);
+        let v = lcs.clock(
+            [Some(StateId::new(7)), Some(StateId::new(3))],
+            StateId::ZERO,
+        );
         assert_eq!(v, StateId::new(3));
         assert_eq!(lcs.current(), StateId::new(3));
     }
@@ -108,11 +109,23 @@ mod tests {
     #[test]
     fn delay_postpones_visibility() {
         let mut lcs = LcsUnit::new(2);
-        assert_eq!(lcs.clock([Some(StateId::new(5))], StateId::ZERO), StateId::ZERO);
-        assert_eq!(lcs.clock([Some(StateId::new(6))], StateId::ZERO), StateId::ZERO);
+        assert_eq!(
+            lcs.clock([Some(StateId::new(5))], StateId::ZERO),
+            StateId::ZERO
+        );
+        assert_eq!(
+            lcs.clock([Some(StateId::new(6))], StateId::ZERO),
+            StateId::ZERO
+        );
         // The value computed two cycles ago (5) becomes visible now.
-        assert_eq!(lcs.clock([Some(StateId::new(7))], StateId::ZERO), StateId::new(5));
-        assert_eq!(lcs.clock([Some(StateId::new(8))], StateId::ZERO), StateId::new(6));
+        assert_eq!(
+            lcs.clock([Some(StateId::new(7))], StateId::ZERO),
+            StateId::new(5)
+        );
+        assert_eq!(
+            lcs.clock([Some(StateId::new(8))], StateId::ZERO),
+            StateId::new(6)
+        );
     }
 
     #[test]
@@ -133,13 +146,19 @@ mod tests {
         lcs.flush(StateId::new(4));
         assert_eq!(lcs.current(), StateId::new(4));
         // The next computed value goes through a fresh pipeline.
-        assert_eq!(lcs.clock([Some(StateId::new(50))], StateId::ZERO), StateId::new(4));
+        assert_eq!(
+            lcs.clock([Some(StateId::new(50))], StateId::ZERO),
+            StateId::new(4)
+        );
     }
 
     #[test]
     fn comparisons_are_counted() {
         let mut lcs = LcsUnit::new(0);
-        lcs.clock([Some(StateId::new(1)), Some(StateId::new(2)), None], StateId::ZERO);
+        lcs.clock(
+            [Some(StateId::new(1)), Some(StateId::new(2)), None],
+            StateId::ZERO,
+        );
         lcs.clock([Some(StateId::new(3))], StateId::ZERO);
         assert_eq!(lcs.comparisons(), 3);
         assert_eq!(lcs.delay(), 0);

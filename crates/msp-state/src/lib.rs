@@ -69,7 +69,7 @@ mod stateid;
 pub use lcs::LcsUnit;
 pub use manager::{
     CommitOutcome, MspConfig, MspStateManager, MspStats, RecoveryOutcome, RenameError,
-    RenameGroupOutcome, RenameRequest, RenamedDest, RenamedInst, SourceMapping,
+    RenameGroupOutcome, RenameRequest, RenamedDest, RenamedInst, RenamedInstInline, SourceMapping,
 };
 pub use physreg::PhysReg;
 pub use regfile::{BankedRegFile, PortArbiter, PortRequestOutcome};

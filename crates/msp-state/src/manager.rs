@@ -85,7 +85,10 @@ impl RenameRequest {
     ///
     /// Panics if more than two sources are supplied.
     pub fn new(dest: Option<ArchReg>, sources: &[ArchReg]) -> Self {
-        assert!(sources.len() <= 2, "instructions have at most two register sources");
+        assert!(
+            sources.len() <= 2,
+            "instructions have at most two register sources"
+        );
         let mut s = [None, None];
         for (slot, reg) in s.iter_mut().zip(sources.iter()) {
             *slot = Some(*reg);
@@ -137,6 +140,22 @@ pub struct RenamedInst {
     /// instructions that do not allocate a register (stores, branches) the
     /// pipeline sets a RelIQ use bit on this row so the state cannot commit
     /// before the instruction completes (Section 3.4).
+    pub anchor: PhysReg,
+}
+
+/// The result of renaming one instruction through the allocation-free
+/// [`MspStateManager::rename_one`] path: identical to [`RenamedInst`] except
+/// that the (at most two) source mappings are stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamedInstInline {
+    /// The processor state this instruction belongs to.
+    pub state_id: StateId,
+    /// The allocated destination, if the instruction writes a register.
+    pub dest: Option<RenamedDest>,
+    /// Resolved source operands (program order, `None`-padded).
+    pub sources: [Option<SourceMapping>; 2],
+    /// The physical register anchoring this instruction's state (see
+    /// [`RenamedInst::anchor`]).
     pub anchor: PhysReg,
 }
 
@@ -230,6 +249,12 @@ pub struct MspStateManager {
     config: MspConfig,
     scts: Vec<Sct>,
     reliqs: Vec<RelIq>,
+    /// The (bank, row) use bits each IQ slot currently has set: an
+    /// instruction sets at most two source bits plus one anchor bit, so
+    /// squashing a slot clears just those entries instead of sweeping a
+    /// whole RelIQ column across every bank (which is quadratic in the
+    /// register-file size and dominated ideal-MSP recoveries).
+    slot_uses: Vec<Vec<(usize, usize)>>,
     counter: StateCounter,
     lcs: LcsUnit,
     rename_unit: RenameUnit,
@@ -250,6 +275,7 @@ impl MspStateManager {
         MspStateManager {
             scts,
             reliqs,
+            slot_uses: vec![Vec::new(); config.iq_size],
             counter: StateCounter::new(config.state_width()),
             lcs: LcsUnit::new(config.lcs_delay),
             rename_unit: RenameUnit::new(config.rename),
@@ -344,8 +370,9 @@ impl MspStateManager {
             // Identify which limit truncated the group for reporting.
             let reg = dests[admissible];
             Some(match reg {
-                Some(r) if self.count_same_dest(&dests[..admissible], r)
-                    >= self.config.rename.max_same_logical =>
+                Some(r)
+                    if self.count_same_dest(&dests[..admissible], r)
+                        >= self.config.rename.max_same_logical =>
                 {
                     RenameError::SameRegisterLimit(r)
                 }
@@ -403,6 +430,55 @@ impl MspStateManager {
         }
     }
 
+    /// Renames a single instruction without heap allocation — the per-cycle
+    /// hot path of the timing simulator. Behaves exactly like
+    /// `rename_group(&[request])` observed through `renamed[0]`: a
+    /// single-instruction group can never be truncated by the per-cycle
+    /// width or same-register admission limits, so only a full bank stalls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenameError::BankFull`] when the destination register's
+    /// bank has no free entry.
+    pub fn rename_one(
+        &mut self,
+        request: &RenameRequest,
+    ) -> Result<RenamedInstInline, RenameError> {
+        let mut sources = [None, None];
+        for (slot, reg) in sources.iter_mut().zip(request.sources()) {
+            *slot = Some(self.source_mapping(reg));
+        }
+        let dest = match request.dest() {
+            Some(reg) => {
+                let bank = reg.flat_index();
+                if self.scts[bank].is_full() {
+                    self.scts[bank].record_full_stall();
+                    self.stats.bank_full_stalls += 1;
+                    return Err(RenameError::BankFull(reg));
+                }
+                let (state, _reset) = self.counter.allocate();
+                let slot = self.scts[bank]
+                    .allocate(state)
+                    .expect("bank fullness checked above");
+                self.stats.states_allocated += 1;
+                let phys = PhysReg::new(bank, slot);
+                self.last_allocated = phys;
+                Some(RenamedDest {
+                    phys,
+                    state_id: state,
+                })
+            }
+            None => None,
+        };
+        self.stats.instructions_renamed += 1;
+        Ok(RenamedInstInline {
+            state_id: self.counter.current(),
+            dest,
+            sources,
+            anchor: self.last_allocated,
+        })
+    }
+
     fn count_same_dest(&self, dests: &[Option<ArchReg>], reg: ArchReg) -> usize {
         dests.iter().filter(|d| **d == Some(reg)).count()
     }
@@ -411,19 +487,31 @@ impl MspStateManager {
     /// the state of) physical register `reg`.
     pub fn note_use(&mut self, reg: PhysReg, iq_slot: usize) {
         self.reliqs[reg.bank()].set_use(reg.slot(), iq_slot);
+        self.slot_uses[iq_slot].push((reg.bank(), reg.slot()));
     }
 
     /// Clears a previously recorded use (the consumer issued / completed).
     pub fn clear_use(&mut self, reg: PhysReg, iq_slot: usize) {
         self.reliqs[reg.bank()].clear_use(reg.slot(), iq_slot);
+        let uses = &mut self.slot_uses[iq_slot];
+        if let Some(pos) = uses
+            .iter()
+            .position(|&(bank, row)| bank == reg.bank() && row == reg.slot())
+        {
+            uses.swap_remove(pos);
+        }
     }
 
     /// Clears every use bit of an IQ slot across all banks (the slot was
-    /// squashed by a recovery).
+    /// squashed by a recovery). Only the bits the slot actually set are
+    /// touched — at most two sources and one anchor.
     pub fn clear_iq_slot(&mut self, iq_slot: usize) {
-        for reliq in &mut self.reliqs {
-            reliq.clear_column(iq_slot);
+        let mut uses = std::mem::take(&mut self.slot_uses[iq_slot]);
+        for (bank, row) in uses.drain(..) {
+            self.reliqs[bank].clear_use(row, iq_slot);
         }
+        // Hand the (empty) buffer back so the capacity is reused.
+        self.slot_uses[iq_slot] = uses;
     }
 
     /// Marks a physical register as produced (writeback).
@@ -445,6 +533,24 @@ impl MspStateManager {
     /// bank's Release Pointer, recomputes the LCS, commits every state older
     /// than it and releases the corresponding physical registers.
     pub fn clock_commit(&mut self) -> CommitOutcome {
+        let mut released = Vec::new();
+        let (lcs, newly_committed) = self.clock_commit_core(&mut |phys| released.push(phys));
+        CommitOutcome {
+            lcs,
+            newly_committed_states: newly_committed,
+            released,
+        }
+    }
+
+    /// Allocation-free variant of [`MspStateManager::clock_commit`] for the
+    /// simulator's per-cycle loop: performs exactly the same commit/release
+    /// work but only returns the visible LCS instead of materialising the
+    /// list of released physical registers.
+    pub fn clock_commit_lcs(&mut self) -> StateId {
+        self.clock_commit_core(&mut |_| {}).0
+    }
+
+    fn clock_commit_core(&mut self, on_release: &mut dyn FnMut(PhysReg)) -> (StateId, u64) {
         // 1. Advance the per-bank Release Pointers.
         for bank in 0..NUM_LOGICAL_REGS {
             let reliq = &self.reliqs[bank];
@@ -452,28 +558,26 @@ impl MspStateManager {
         }
         // 2. Reduce the per-bank contributions to the LCS.
         let fallback = self.counter.current().next();
-        let contributions: Vec<Option<StateId>> =
-            self.scts.iter().map(|s| s.lcs_contribution()).collect();
-        let lcs = self.lcs.clock(contributions, fallback);
+        let lcs = self
+            .lcs
+            .clock(self.scts.iter().map(|s| s.lcs_contribution()), fallback);
         // 3. Release committed registers in every bank.
-        let mut released = Vec::new();
-        for bank in 0..NUM_LOGICAL_REGS {
-            for slot in self.scts[bank].release_committed(lcs) {
-                self.reliqs[bank].clear_row(slot);
-                released.push(PhysReg::new(bank, slot));
-            }
+        let mut released_count = 0u64;
+        let reliqs = &mut self.reliqs;
+        for (bank, sct) in self.scts.iter_mut().enumerate() {
+            sct.release_committed_with(lcs, |slot| {
+                reliqs[bank].clear_row(slot);
+                released_count += 1;
+                on_release(PhysReg::new(bank, slot));
+            });
         }
         let newly_committed = lcs.as_u64().saturating_sub(self.committed_floor.as_u64());
         if lcs > self.committed_floor {
             self.committed_floor = lcs;
         }
         self.stats.states_committed += newly_committed;
-        self.stats.registers_released += released.len() as u64;
-        CommitOutcome {
-            lcs,
-            newly_committed_states: newly_committed,
-            released,
-        }
+        self.stats.registers_released += released_count;
+        (lcs, newly_committed)
     }
 
     /// Performs a precise state recovery to `recovery_state` (Section 3.5):
@@ -523,7 +627,7 @@ impl MspStateManager {
         for (bank, sct) in self.scts.iter().enumerate() {
             let slot = sct.current_mapping();
             let s = sct.current_mapping_state();
-            if s <= state && best.map_or(true, |(bs, _)| s > bs) {
+            if s <= state && best.is_none_or(|(bs, _)| s > bs) {
                 best = Some((s, PhysReg::new(bank, slot)));
             }
         }
@@ -554,13 +658,13 @@ mod tests {
         // 7: bne  -> state 4
         // 8: add  -> r1, state 5
         let reqs = [
-            RenameRequest::new(None, &[int(2)]),            // store
+            RenameRequest::new(None, &[int(2)]), // store
             RenameRequest::new(Some(int(2)), &[int(1), int(2)]),
-            RenameRequest::new(None, &[int(2)]),            // bne
+            RenameRequest::new(None, &[int(2)]), // bne
             RenameRequest::new(Some(int(2)), &[int(2)]),
             RenameRequest::new(Some(int(1)), &[int(2)]),
             RenameRequest::new(Some(int(2)), &[int(1), int(2)]),
-            RenameRequest::new(None, &[int(3)]),            // bne
+            RenameRequest::new(None, &[int(3)]), // bne
             RenameRequest::new(Some(int(1)), &[int(1), int(2)]),
         ];
         let mut states = Vec::new();
@@ -687,10 +791,7 @@ mod tests {
         assert_eq!(msp.bank_full_stalls(int(7)), 1);
         assert_eq!(msp.stats().bank_full_stalls, 1);
         assert_eq!(msp.free_registers(int(7)), 0);
-        assert_eq!(
-            err.to_string(),
-            "no free physical register in bank r7"
-        );
+        assert_eq!(err.to_string(), "no free physical register in bank r7");
         let ranked = msp.bank_full_stalls_ranked();
         assert_eq!(ranked[0], (int(7), 1));
     }
@@ -787,6 +888,57 @@ mod tests {
         // 16 regs/bank * 64 banks = 1024 registers -> 10-bit StateIds.
         assert_eq!(MspConfig::n_sp(16).state_width(), 10);
         assert!(MspConfig::default() == MspConfig::n_sp(16));
+    }
+
+    /// The allocation-free single-instruction paths must be observationally
+    /// identical to the general group APIs the tests above exercise.
+    #[test]
+    fn rename_one_and_clock_commit_lcs_match_group_apis() {
+        let mut group = MspStateManager::new(MspConfig::n_sp(8));
+        let mut single = MspStateManager::new(MspConfig::n_sp(8));
+        let requests = [
+            RenameRequest::new(Some(int(1)), &[]),
+            RenameRequest::new(Some(int(2)), &[int(1)]),
+            RenameRequest::new(None, &[int(1), int(2)]),
+            RenameRequest::new(Some(int(1)), &[int(2), int(1)]),
+        ];
+        for request in &requests {
+            let a = group.rename_group(&[*request]).unwrap();
+            let b = single.rename_one(request).unwrap();
+            let a0 = &a.renamed[0];
+            assert_eq!(a0.state_id, b.state_id);
+            assert_eq!(a0.dest, b.dest);
+            assert_eq!(a0.anchor, b.anchor);
+            let inline_sources: Vec<SourceMapping> = b.sources.iter().flatten().copied().collect();
+            assert_eq!(a0.sources, inline_sources);
+            if let Some(dest) = b.dest {
+                group.mark_ready(dest.phys);
+                single.mark_ready(dest.phys);
+            }
+            let outcome = group.clock_commit();
+            let lcs = single.clock_commit_lcs();
+            assert_eq!(outcome.lcs, lcs);
+        }
+        assert_eq!(group.stats(), single.stats());
+        assert_eq!(group.lcs(), single.lcs());
+        // A full bank stalls identically through both paths.
+        let fill = |m: &mut MspStateManager| loop {
+            if m.rename_one(&RenameRequest::new(Some(int(7)), &[]))
+                .is_err()
+            {
+                break;
+            }
+        };
+        fill(&mut group);
+        fill(&mut single);
+        assert_eq!(
+            group.rename_group(&[RenameRequest::new(Some(int(7)), &[])]),
+            Err(RenameError::BankFull(int(7)))
+        );
+        assert_eq!(
+            single.rename_one(&RenameRequest::new(Some(int(7)), &[])),
+            Err(RenameError::BankFull(int(7)))
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ impl BankedRegFile {
     ///
     /// Panics if either dimension is zero.
     pub fn new(banks: usize, regs_per_bank: usize) -> Self {
-        assert!(banks > 0 && regs_per_bank > 0, "register file dimensions must be non-zero");
+        assert!(
+            banks > 0 && regs_per_bank > 0,
+            "register file dimensions must be non-zero"
+        );
         BankedRegFile {
             regs_per_bank,
             values: vec![0; banks * regs_per_bank],
@@ -188,7 +191,10 @@ mod tests {
         assert!(arb.request_read(1).is_granted());
         assert_eq!(arb.request_read(1), PortRequestOutcome::Conflict);
         assert!(arb.request_read(2).is_granted());
-        assert!(arb.request_write(1).is_granted(), "read and write ports are independent");
+        assert!(
+            arb.request_write(1).is_granted(),
+            "read and write ports are independent"
+        );
         assert_eq!(arb.request_write(1), PortRequestOutcome::Conflict);
         assert_eq!(arb.read_conflicts(), 1);
         assert_eq!(arb.write_conflicts(), 1);

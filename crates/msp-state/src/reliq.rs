@@ -213,9 +213,9 @@ mod tests {
                     reference[row].remove(&col);
                 }
             }
-            for row in 0..6 {
-                prop_assert_eq!(m.any_use(row), !reference[row].is_empty());
-                prop_assert_eq!(m.count_uses(row), reference[row].len());
+            for (row, expected) in reference.iter().enumerate() {
+                prop_assert_eq!(m.any_use(row), !expected.is_empty());
+                prop_assert_eq!(m.count_uses(row), expected.len());
             }
         }
     }

@@ -106,7 +106,10 @@ impl Sct {
     /// Panics if `capacity < 2` (one slot holds the architectural mapping, so
     /// at least one more is needed to rename at all).
     pub fn new(bank: usize, capacity: usize) -> Self {
-        assert!(capacity >= 2, "a bank needs at least two physical registers");
+        assert!(
+            capacity >= 2,
+            "a bank needs at least two physical registers"
+        );
         let mut entries = vec![SctEntry::INVALID; capacity];
         entries[0] = SctEntry {
             state_id: StateId::ZERO,
@@ -192,7 +195,10 @@ impl Sct {
     ///
     /// Panics if the slot is not valid.
     pub fn range_of(&self, slot: usize) -> StateIdRange {
-        assert!(self.entries[slot].valid, "slot does not hold a live register");
+        assert!(
+            self.entries[slot].valid,
+            "slot does not hold a live register"
+        );
         if slot == self.current_mapping() {
             StateIdRange::open(self.entries[slot].state_id)
         } else {
@@ -241,7 +247,10 @@ impl Sct {
     ///
     /// Panics if the slot is not valid.
     pub fn mark_ready(&mut self, slot: usize) {
-        assert!(self.entries[slot].valid, "slot does not hold a live register");
+        assert!(
+            self.entries[slot].valid,
+            "slot does not hold a live register"
+        );
         self.entries[slot].ready = true;
     }
 
@@ -305,6 +314,14 @@ impl Sct {
     /// released slots, oldest first.
     pub fn release_committed(&mut self, lcs: StateId) -> Vec<usize> {
         let mut released = Vec::new();
+        self.release_committed_with(lcs, |slot| released.push(slot));
+        released
+    }
+
+    /// Allocation-free variant of [`Sct::release_committed`]: invokes
+    /// `on_release` for each released slot, oldest first. This is the
+    /// per-cycle path of the timing simulator.
+    pub fn release_committed_with(&mut self, lcs: StateId, mut on_release: impl FnMut(usize)) {
         // Count how many of the oldest entries are older than the LCS.
         let mut committed = 0;
         for i in 0..self.live {
@@ -320,12 +337,11 @@ impl Sct {
             let slot = self.oldest;
             debug_assert!(self.entries[slot].valid);
             self.entries[slot] = SctEntry::INVALID;
-            released.push(slot);
+            on_release(slot);
             self.oldest = (self.oldest + 1) % self.capacity;
             self.live -= 1;
             committed -= 1;
         }
-        released
     }
 
     /// Precise state recovery (Section 3.5): releases every physical register
@@ -395,7 +411,10 @@ mod tests {
         assert_eq!(sct.current_mapping(), 0);
         assert_eq!(sct.current_mapping_state(), StateId::ZERO);
         assert!(sct.is_ready(0));
-        assert!(sct.lcs_contribution().is_none(), "idle bank excluded from LCS");
+        assert!(
+            sct.lcs_contribution().is_none(),
+            "idle bank excluded from LCS"
+        );
     }
 
     #[test]
@@ -408,7 +427,10 @@ mod tests {
         assert!(sct.is_full());
         assert_eq!(sct.allocate(StateId::new(4)), Err(SctError::BankFull));
         assert_eq!(sct.current_mapping(), 3);
-        assert_eq!(SctError::BankFull.to_string(), "no free physical register in the bank");
+        assert_eq!(
+            SctError::BankFull.to_string(),
+            "no free physical register in the bank"
+        );
     }
 
     #[test]
@@ -419,7 +441,10 @@ mod tests {
         let r2_2 = sct.allocate(StateId::new(2)).unwrap();
         let r2_3 = sct.allocate(StateId::new(4)).unwrap();
         // R2.0 valid in [0,0], R2.1 in [1,1], R2.2 in [2,3], R2.3 open at 4.
-        assert_eq!(sct.range_of(0), StateIdRange::closed(StateId::new(0), StateId::new(0)));
+        assert_eq!(
+            sct.range_of(0),
+            StateIdRange::closed(StateId::new(0), StateId::new(0))
+        );
         assert_eq!(
             sct.range_of(r2_1),
             StateIdRange::closed(StateId::new(1), StateId::new(1))
@@ -450,7 +475,10 @@ mod tests {
         r2.allocate(StateId::new(2)).unwrap();
         r2.allocate(StateId::new(4)).unwrap();
         let released = r2.recover(StateId::new(4));
-        assert!(released.is_empty(), "no R2 renaming is younger than state 4");
+        assert!(
+            released.is_empty(),
+            "no R2 renaming is younger than state 4"
+        );
     }
 
     #[test]
@@ -459,12 +487,15 @@ mod tests {
         sct.allocate(StateId::new(1)).unwrap();
         sct.allocate(StateId::new(3)).unwrap();
         sct.allocate(StateId::new(9)).unwrap(); // still speculative
-        // LCS = 5: states 0, 1, 3 are committed; entry for state 3 must stay
-        // as the architectural mapping, entries 0 and 1 are released.
+                                                // LCS = 5: states 0, 1, 3 are committed; entry for state 3 must stay
+                                                // as the architectural mapping, entries 0 and 1 are released.
         let released = sct.release_committed(StateId::new(5));
         assert_eq!(released.len(), 2);
         assert_eq!(sct.live_entries(), 2);
-        let states: Vec<u64> = sct.iter_live().map(|(_, e)| e.state_id().as_u64()).collect();
+        let states: Vec<u64> = sct
+            .iter_live()
+            .map(|(_, e)| e.state_id().as_u64())
+            .collect();
         assert_eq!(states, vec![3, 9]);
     }
 
@@ -544,7 +575,10 @@ mod tests {
         }
         assert!(sct.is_full());
         assert_eq!(sct.current_mapping_state(), StateId::new(13));
-        let states: Vec<u64> = sct.iter_live().map(|(_, e)| e.state_id().as_u64()).collect();
+        let states: Vec<u64> = sct
+            .iter_live()
+            .map(|(_, e)| e.state_id().as_u64())
+            .collect();
         assert_eq!(states, vec![3, 11, 12, 13]);
     }
 

@@ -133,7 +133,7 @@ impl StateIdRange {
     /// in `state` reading the logical register would source this physical
     /// register.
     pub fn contains(&self, state: StateId) -> bool {
-        state >= self.lower && self.upper.map_or(true, |u| state <= u)
+        state >= self.lower && self.upper.is_none_or(|u| state <= u)
     }
 }
 
@@ -259,7 +259,7 @@ impl StateCounter {
     pub fn allocate(&mut self) -> (StateId, bool) {
         self.unbounded = self.unbounded.next();
         let modulus = 1u64 << (self.m + 1);
-        let reset = self.unbounded.as_u64() % modulus == 0;
+        let reset = self.unbounded.as_u64().is_multiple_of(modulus);
         if reset {
             self.epoch_resets += 1;
         }
@@ -361,8 +361,8 @@ mod tests {
     #[test]
     fn compact_comparison_across_overflow() {
         let m = 3; // window of 8 in-flight states, 4-bit encoding
-        // States 14 and 17 straddle the 4-bit overflow at 16 but are within
-        // the window, so the modular comparison must still order them.
+                   // States 14 and 17 straddle the 4-bit overflow at 16 but are within
+                   // the window, so the modular comparison must still order them.
         let old = CompactStateId::encode(StateId::new(14), m);
         let new = CompactStateId::encode(StateId::new(17), m);
         assert_eq!(new.cmp_in_window(old), Ordering::Greater);

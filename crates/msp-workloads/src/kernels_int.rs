@@ -69,7 +69,13 @@ fn fill_random(b: &mut ProgramBuilder, base: u64, words: usize, modulus: u64, se
 }
 
 fn workload(name: &str, variant: Variant, description: &str, b: &ProgramBuilder) -> Workload {
-    Workload::new(name, BenchCategory::SpecInt, variant, description, b.build())
+    Workload::new(
+        name,
+        BenchCategory::SpecInt,
+        variant,
+        description,
+        b.build(),
+    )
 }
 
 /// `gzip`-like: LZ-style hashing over a pseudo-random input window with a
@@ -169,8 +175,8 @@ pub(crate) fn gcc(variant: Variant) -> Workload {
     b.inst(Instruction::slli(R(3), R(2), 3));
     b.inst(Instruction::add(R(4), R(3), R(28)));
     b.inst(Instruction::load(R(5), R(4), 0)); // node kind
-    // Case-2 stores mutate node kinds over time; mask so the dispatch index
-    // always stays within the 4-entry jump table.
+                                              // Case-2 stores mutate node kinds over time; mask so the dispatch index
+                                              // always stays within the 4-entry jump table.
     b.inst(Instruction::andi(R(6), R(5), 3));
     // Switch dispatch through a jump table: a hard indirect branch.
     b.inst(Instruction::slli(R(7), R(6), 3));
@@ -426,8 +432,8 @@ pub(crate) fn perlbmk(variant: Variant) -> Workload {
     b.inst(Instruction::slli(R(3), R(2), 3));
     b.inst(Instruction::add(R(4), R(3), R(28)));
     b.inst(Instruction::load(R(5), R(4), 0)); // opcode
-    // op_store mutates the bytecode stream; mask so the dispatch index stays
-    // within the 4-entry handler table.
+                                              // op_store mutates the bytecode stream; mask so the dispatch index stays
+                                              // within the 4-entry handler table.
     b.inst(Instruction::andi(R(6), R(5), 3));
     b.inst(Instruction::slli(R(7), R(6), 3));
     b.inst(Instruction::add(R(8), R(7), R(27)));

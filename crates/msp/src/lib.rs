@@ -52,7 +52,7 @@ mod tests {
     #[test]
     fn facade_reexports_are_wired() {
         let program = crate::workloads::microbenchmark();
-        assert!(program.len() > 0);
+        assert!(!program.is_empty());
         let config = crate::pipeline::SimConfig::machine(
             crate::pipeline::MachineKind::msp(16),
             crate::branch::PredictorKind::Gshare,

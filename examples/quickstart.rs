@@ -14,15 +14,24 @@ fn main() {
     let result = simulator.run(20_000);
     let stats = &result.stats;
 
-    println!("machine            : {} with {}", result.machine, result.predictor);
+    println!(
+        "machine            : {} with {}",
+        result.machine, result.predictor
+    );
     println!("cycles             : {}", stats.cycles);
     println!("committed          : {}", stats.committed);
     println!("IPC                : {:.3}", result.ipc());
-    println!("branch mispredicts : {} ({:.1}% of branches)", stats.mispredictions, 100.0 * stats.misprediction_rate());
+    println!(
+        "branch mispredicts : {} ({:.1}% of branches)",
+        stats.mispredictions,
+        100.0 * stats.misprediction_rate()
+    );
     println!("executed / committed: {:.3}", stats.execution_overhead());
     println!(
         "executed breakdown : correct {} + re-executed {} + wrong-path {}",
-        stats.executed.correct_path, stats.executed.correct_path_reexecuted, stats.executed.wrong_path
+        stats.executed.correct_path,
+        stats.executed.correct_path_reexecuted,
+        stats.executed.wrong_path
     );
     let top = stats.stalls.top_bank_stalls(3);
     if top.is_empty() {

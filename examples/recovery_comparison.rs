@@ -14,7 +14,11 @@ fn main() {
         "machine", "predictor", "IPC", "recoveries", "correct", "re-executed", "wrong-path"
     );
     for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
-        for machine in [MachineKind::cpr(), MachineKind::msp(16), MachineKind::IdealMsp] {
+        for machine in [
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
             let config = SimConfig::machine(machine, predictor);
             let result = Simulator::new(workload.program(), config).run(20_000);
             let e = result.stats.executed;

@@ -8,7 +8,11 @@ use msp_pipeline::{SimConfig, Simulator};
 
 const BUDGET: u64 = 6_000;
 
-fn run(workload: &Workload, machine: MachineKind, predictor: PredictorKind) -> msp_pipeline::SimResult {
+fn run(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+) -> msp_pipeline::SimResult {
     let config = SimConfig::machine(machine, predictor);
     Simulator::new(workload.program(), config).run(BUDGET)
 }
@@ -39,7 +43,10 @@ fn bank_size_sweep_approaches_ideal() {
     let ipc8 = run(&workload, MachineKind::msp(8), PredictorKind::Tage).ipc();
     let ipc64 = run(&workload, MachineKind::msp(64), PredictorKind::Tage).ipc();
     let ideal = run(&workload, MachineKind::IdealMsp, PredictorKind::Tage);
-    assert!(ipc8 <= ipc64 * 1.02, "8-SP ({ipc8}) must not beat 64-SP ({ipc64})");
+    assert!(
+        ipc8 <= ipc64 * 1.02,
+        "8-SP ({ipc8}) must not beat 64-SP ({ipc64})"
+    );
     assert!(ipc64 <= ideal.ipc() * 1.02);
     assert_eq!(ideal.stats.stalls.bank_full_total(), 0);
 }
@@ -71,10 +78,17 @@ fn table2_modification_relieves_register_pressure() {
 #[test]
 fn only_cpr_recovers_imprecisely() {
     let workload = msp::workloads::by_name("gzip", Variant::Original).unwrap();
-    for machine in [MachineKind::Baseline, MachineKind::msp(16), MachineKind::IdealMsp] {
+    for machine in [
+        MachineKind::Baseline,
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ] {
         let result = run(&workload, machine, PredictorKind::Gshare);
         assert_eq!(result.stats.imprecise_recoveries, 0, "{machine:?}");
-        assert_eq!(result.stats.executed.correct_path_reexecuted, 0, "{machine:?}");
+        assert_eq!(
+            result.stats.executed.correct_path_reexecuted, 0,
+            "{machine:?}"
+        );
     }
     let cpr = run(&workload, MachineKind::cpr(), PredictorKind::Gshare);
     assert!(cpr.stats.imprecise_recoveries > 0);

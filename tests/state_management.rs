@@ -103,7 +103,10 @@ fn compact_state_ids_survive_overflow() {
             }
         }
     }
-    assert!(counter.epoch_resets() > 0, "the 7-bit counter must have wrapped");
+    assert!(
+        counter.epoch_resets() > 0,
+        "the 7-bit counter must have wrapped"
+    );
 }
 
 /// End-to-end determinism across the facade: two simulations of the same

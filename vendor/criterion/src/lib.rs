@@ -1,0 +1,282 @@
+//! A vendored, dependency-free mini benchmark harness exposing the subset of
+//! the `criterion` crate surface this workspace uses (the build environment
+//! has no network access to crates.io).
+//!
+//! Each benchmark is timed with `std::time::Instant`: after a short warm-up,
+//! `sample_size` samples are taken, each long enough to be measurable, and
+//! the per-iteration mean/min/max are printed. When a throughput is
+//! configured the element rate is reported as well. There are no plots, no
+//! statistics beyond min/mean/max, and no saved baselines — wall-clock
+//! trajectories belong in `BENCH_pipeline.json` (see the msp-bench crate).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target duration of a single measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Warm-up duration before sampling.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Measurement throughput annotation: per-iteration work, used to report a
+/// rate next to the raw time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, measuring its mean execution time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm up and estimate the cost of one iteration.
+        let warmup_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warmup_start.elapsed() / iters_done.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1024
+        } else {
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(2) {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = bencher.mean();
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} time: [{} {} {}]{rate}",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+    );
+}
+
+/// A named collection of related benchmarks sharing throughput/sample
+/// configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = throughput_validated(throughput);
+        self
+    }
+
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+fn throughput_validated(t: Throughput) -> Option<Throughput> {
+    match t {
+        Throughput::Elements(0) | Throughput::Bytes(0) => None,
+        other => Some(other),
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size(),
+        };
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    fn sample_size(&self) -> usize {
+        if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        }
+    }
+}
+
+/// Defines a benchmark group function calling each target with a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("CPR").id, "CPR");
+    }
+
+    #[test]
+    fn zero_throughput_is_ignored() {
+        assert!(throughput_validated(Throughput::Elements(0)).is_none());
+        assert!(throughput_validated(Throughput::Bytes(7)).is_some());
+    }
+}

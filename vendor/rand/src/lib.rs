@@ -1,0 +1,173 @@
+//! A vendored, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses (the build environment has no network access to
+//! crates.io).
+//!
+//! [`rngs::SmallRng`] is a xoshiro256++ generator seeded through SplitMix64,
+//! exactly like the real `SmallRng` on 64-bit platforms, exposed through the
+//! same [`Rng`] / [`SeedableRng`] trait surface. Only the methods the
+//! workloads use are provided: `gen::<u32/u64>()` and `gen_range(low..high)`
+//! for the unsigned integer types.
+//!
+//! The generator is fully deterministic: the same seed always yields the
+//! same stream on every platform, which is what the synthetic workload
+//! builders rely on.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Seeding support (the subset of `rand::SeedableRng` the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be produced uniformly at random by an [`Rng`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// A half-open range that can be sampled (the subset of
+/// `rand::distributions::uniform::SampleRange` the workspace uses). The
+/// sampled type `T` is a trait parameter, as in the real crate, so the
+/// return-type context drives integer-literal inference at call sites.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut rngs::SmallRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Draws one uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+/// Small, fast generators (the subset of `rand::rngs` the workspace uses).
+pub mod rngs {
+    use super::{Rng, SampleRange, SeedableRng, Standard};
+
+    /// A xoshiro256++ generator, matching `rand`'s 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Produces the next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as rand_core does for seed_from_u64.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn gen<T: Standard>(&mut self) -> T {
+            T::draw(self)
+        }
+
+        fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = rng.gen_range(5u64..5);
+    }
+}
