@@ -3,7 +3,7 @@
 //! wrong-path work, for CPR and 16-SP under both predictors. All
 //! (workload, machine, predictor) cells are simulated in parallel.
 
-use msp_bench::{instruction_budget, parallel_map, run_workload_for, TextTable};
+use msp_bench::{instruction_budget, parallel_map, run_workload_traced, shared_trace, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{spec_int_like, Variant};
@@ -15,13 +15,16 @@ fn main() {
         (MachineKind::cpr(), PredictorKind::Tage),
         (MachineKind::msp(16), PredictorKind::Tage),
     ];
+    let budget = instruction_budget();
     let workloads = spec_int_like(Variant::Original);
+    // One functional execution per workload; all four configurations share it.
+    let traces: Vec<_> = workloads.iter().map(|w| shared_trace(w, budget)).collect();
     let cells: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
     let results = parallel_map(&cells, |&(w, c)| {
         let (machine, predictor) = configs[c];
-        run_workload_for(&workloads[w], machine, predictor, instruction_budget())
+        run_workload_traced(&workloads[w], machine, predictor, budget, &traces[w])
     });
 
     let mut table = TextTable::new(&[

@@ -8,38 +8,15 @@
 //! # ... change the simulator ...
 //! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin stats_dump | diff before.txt -
 //! ```
+//!
+//! The checked-in golden `tests/golden/stats_dump_20k.txt` pins the
+//! 20,000-instruction rendering; the `golden_stats` test and the CI
+//! bench-smoke job both diff against it. The matrix itself is produced by
+//! [`msp_bench::run_stats_matrix`], so all machines and predictors share one
+//! functional trace per workload.
 
-use msp_bench::{instruction_budget, run_workload, TextTable};
-use msp_branch::PredictorKind;
-use msp_pipeline::MachineKind;
-use msp_workloads::{by_name, Variant};
+use msp_bench::{instruction_budget, stats_dump_report};
 
 fn main() {
-    let machines = [
-        MachineKind::Baseline,
-        MachineKind::cpr(),
-        MachineKind::msp(16),
-        MachineKind::IdealMsp,
-    ];
-    let workloads = ["gzip", "vpr", "swim"];
-    let mut table = TextTable::new(&["workload", "machine", "predictor", "canonical stats"]);
-    for name in workloads {
-        let workload = by_name(name, Variant::Original).expect("reference kernel exists");
-        for machine in machines {
-            for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
-                let result = run_workload(&workload, machine, predictor);
-                table.row(vec![
-                    name.to_string(),
-                    machine.label(),
-                    predictor.label().to_string(),
-                    result.stats.canonical_string(),
-                ]);
-            }
-        }
-    }
-    println!(
-        "canonical stats at {} instructions per run",
-        instruction_budget()
-    );
-    print!("{}", table.render());
+    print!("{}", stats_dump_report(instruction_budget()));
 }

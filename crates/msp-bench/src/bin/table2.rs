@@ -2,7 +2,7 @@
 //! register-rotated) hot loops for the five register-pressure benchmarks,
 //! with the TAGE predictor. All cells are simulated in parallel.
 
-use msp_bench::{fmt_ipc, instruction_budget, parallel_map, run_workload_for, TextTable};
+use msp_bench::{fmt_ipc, instruction_budget, run_matrix, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{table2_pairs, Workload};
@@ -18,17 +18,15 @@ fn main() {
         .into_iter()
         .flat_map(|(original, modified)| [original, modified])
         .collect();
-    let cells: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..machines.len()).map(move |m| (w, m)))
-        .collect();
-    let results = parallel_map(&cells, |&(w, m)| {
-        run_workload_for(
-            &workloads[w],
-            machines[m],
-            PredictorKind::Tage,
-            instruction_budget(),
-        )
-    });
+    // run_matrix executes each workload variant functionally once and shares
+    // the trace across the four machine columns.
+    let rows = run_matrix(
+        &workloads,
+        &machines,
+        PredictorKind::Tage,
+        instruction_budget(),
+    );
+    let results: Vec<_> = rows.into_iter().flatten().collect();
 
     let mut header = vec!["benchmark", "version"];
     let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();

@@ -12,19 +12,33 @@
 //! synthetic kernels reach steady state much sooner).
 //!
 //! Sweeps run their simulations concurrently through [`parallel_map`] /
-//! [`run_sweep`] / [`run_matrix`]: each simulation is an independent
-//! `Simulator`, so a sweep parallelises perfectly across worker threads
-//! (`MSP_BENCH_THREADS` overrides the default of one worker per hardware
-//! thread) while producing exactly the same [`SimResult`]s in exactly the
-//! same order as a sequential loop.
+//! [`run_sweep`] / [`run_matrix`] / [`run_stats_matrix`]: each simulation is
+//! an independent `Simulator`, so a sweep parallelises perfectly across
+//! worker threads (`MSP_BENCH_THREADS` overrides the default of one worker
+//! per hardware thread) while producing exactly the same [`SimResult`]s in
+//! exactly the same order as a sequential loop.
+//!
+//! # The shared trace layer
+//!
+//! Every sweep consults a process-wide **trace cache** ([`shared_trace`]):
+//! the committed-path [`Trace`] of a `(workload, instruction budget)` pair is
+//! materialised by one functional execution and then shared read-only — as
+//! an `Arc<Trace>` — by every machine configuration, predictor and worker
+//! thread simulating that workload. A 4-machine × 3-kernel sweep therefore
+//! performs 3 functional executions instead of 12, and repeated sweeps in
+//! the same process perform none at all.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use msp_branch::PredictorKind;
+use msp_isa::Trace;
 use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
-use msp_workloads::Workload;
+use msp_workloads::{Variant, Workload};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of committed instructions per simulation.
 pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
@@ -54,16 +68,20 @@ pub fn figure_machines() -> Vec<MachineKind> {
 }
 
 /// Runs one workload on one machine with one predictor for the configured
-/// instruction budget.
+/// instruction budget, sharing the cached functional trace.
 pub fn run_workload(
     workload: &Workload,
     machine: MachineKind,
     predictor: PredictorKind,
 ) -> SimResult {
-    run_workload_for(workload, machine, predictor, instruction_budget())
+    let instructions = instruction_budget();
+    let trace = shared_trace(workload, instructions);
+    run_workload_traced(workload, machine, predictor, instructions, &trace)
 }
 
-/// Runs one workload on one machine with an explicit instruction budget.
+/// Runs one workload on one machine with an explicit instruction budget and
+/// a **private** oracle (no trace sharing). This is the reference path the
+/// determinism tests compare the shared-trace sweeps against.
 pub fn run_workload_for(
     workload: &Workload,
     machine: MachineKind,
@@ -74,8 +92,25 @@ pub fn run_workload_for(
     Simulator::new(workload.program(), config).run(instructions)
 }
 
+/// Runs one workload on one machine against a shared functional trace.
+///
+/// The statistics are bit-identical to [`run_workload_for`]: the trace holds
+/// exactly the records a private oracle would produce, the simulator merely
+/// skips re-deriving them.
+pub fn run_workload_traced(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+    instructions: u64,
+    trace: &Arc<Trace>,
+) -> SimResult {
+    let config = SimConfig::machine(machine, predictor);
+    Simulator::with_trace(workload.program(), config, Arc::clone(trace)).run(instructions)
+}
+
 /// Runs one workload on one machine with a custom configuration hook applied
-/// before simulation (used by the ablation binaries).
+/// before simulation (used by the ablation binaries), against a shared
+/// functional trace.
 pub fn run_workload_with(
     workload: &Workload,
     machine: MachineKind,
@@ -85,7 +120,79 @@ pub fn run_workload_with(
 ) -> SimResult {
     let mut config = SimConfig::machine(machine, predictor);
     adjust(&mut config);
-    Simulator::new(workload.program(), config).run(instructions)
+    let trace = shared_trace(workload, instructions);
+    Simulator::with_trace(workload.program(), config, trace).run(instructions)
+}
+
+// ------------------------------------------------------------- trace cache
+
+/// Extra records a cached trace materialises beyond the requested budget.
+///
+/// A simulator's front end fetches ahead of commit by at most the in-flight
+/// window (issue queue + fetch buffer, a few hundred instructions), so this
+/// margin keeps the overfetch inside the shared prefix; anything beyond it
+/// falls back to the oracle's (bit-identical) lazy extension.
+const TRACE_MARGIN: u64 = 4_096;
+
+/// Cache key: workload identity plus a structural fingerprint of the program
+/// (so a hand-built `Workload` reusing a SPEC name can never alias a cached
+/// kernel), plus the instruction budget.
+type TraceKey = (String, Variant, u64, u64);
+
+fn trace_cache() -> &'static Mutex<HashMap<TraceKey, Arc<Trace>>> {
+    static CACHE: OnceLock<Mutex<HashMap<TraceKey, Arc<Trace>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Structural fingerprint of a program: every instruction plus the initial
+/// data image. Cheap (programs are a few hundred static instructions) and
+/// computed once per cache probe, not per record.
+fn program_fingerprint(workload: &Workload) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let program = workload.program();
+    program.entry().hash(&mut hasher);
+    for (pc, inst) in program.iter() {
+        pc.hash(&mut hasher);
+        inst.hash(&mut hasher);
+    }
+    program.initial_data().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The shared functional trace of `(workload, instructions)`: materialised
+/// once per process by [`Trace::capture`] (with a small overfetch margin)
+/// and served as a cheap `Arc` clone afterwards.
+///
+/// Concurrent first requests for the same key may both capture; the traces
+/// are identical (functional execution is deterministic) so either insert
+/// order yields the same cache contents.
+pub fn shared_trace(workload: &Workload, instructions: u64) -> Arc<Trace> {
+    let key = (
+        workload.name().to_string(),
+        workload.variant(),
+        program_fingerprint(workload),
+        instructions,
+    );
+    if let Some(trace) = trace_cache()
+        .lock()
+        .expect("trace cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(trace);
+    }
+    // Capture outside the lock: a 200k-instruction capture takes tens of
+    // milliseconds and must not serialise other workloads' cache hits.
+    let trace = Arc::new(Trace::capture(
+        workload.program(),
+        instructions.saturating_add(TRACE_MARGIN),
+    ));
+    let mut cache = trace_cache().lock().expect("trace cache poisoned");
+    Arc::clone(cache.entry(key).or_insert(trace))
+}
+
+/// Number of traces currently cached (diagnostics).
+pub fn cached_trace_count() -> usize {
+    trace_cache().lock().expect("trace cache poisoned").len()
 }
 
 /// Number of worker threads a sweep uses: the `MSP_BENCH_THREADS`
@@ -152,33 +259,47 @@ where
 }
 
 /// Runs one workload across several machine configurations in parallel,
-/// returning the results in machine order.
+/// returning the results in machine order. The workload is functionally
+/// executed **once** ([`shared_trace`]); every machine simulates against the
+/// shared trace.
 pub fn run_sweep(
     workload: &Workload,
     machines: &[MachineKind],
     predictor: PredictorKind,
     instructions: u64,
 ) -> Vec<SimResult> {
+    let trace = shared_trace(workload, instructions);
     parallel_map(machines, |machine| {
-        run_workload_for(workload, *machine, predictor, instructions)
+        run_workload_traced(workload, *machine, predictor, instructions, &trace)
     })
 }
 
 /// Runs a full workload x machine matrix in parallel (the shape of
 /// Figs. 6-8), returning one row of machine results per workload. The whole
 /// cross product is flattened into a single work list so the threads stay
-/// busy across row boundaries.
+/// busy across row boundaries, and each workload is functionally executed
+/// only once — all machines (and worker threads) share its cached trace.
 pub fn run_matrix(
     workloads: &[Workload],
     machines: &[MachineKind],
     predictor: PredictorKind,
     instructions: u64,
 ) -> Vec<Vec<SimResult>> {
+    let traces: Vec<Arc<Trace>> = workloads
+        .iter()
+        .map(|w| shared_trace(w, instructions))
+        .collect();
     let cells: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..machines.len()).map(move |m| (w, m)))
         .collect();
     let mut flat = parallel_map(&cells, |&(w, m)| {
-        run_workload_for(&workloads[w], machines[m], predictor, instructions)
+        run_workload_traced(
+            &workloads[w],
+            machines[m],
+            predictor,
+            instructions,
+            &traces[w],
+        )
     })
     .into_iter();
     workloads
@@ -189,6 +310,90 @@ pub fn run_matrix(
                 .collect()
         })
         .collect()
+}
+
+/// Runs the full workload × machine × predictor statistics matrix in
+/// parallel, one functional execution per workload, returning
+/// `result[workload][machine][predictor]` in input order. This is the shape
+/// of the `stats_dump` golden comparison and of Fig. 9's breakdown.
+pub fn run_stats_matrix(
+    workloads: &[Workload],
+    machines: &[MachineKind],
+    predictors: &[PredictorKind],
+    instructions: u64,
+) -> Vec<Vec<Vec<SimResult>>> {
+    let traces: Vec<Arc<Trace>> = workloads
+        .iter()
+        .map(|w| shared_trace(w, instructions))
+        .collect();
+    let cells: Vec<(usize, usize, usize)> = (0..workloads.len())
+        .flat_map(|w| {
+            (0..machines.len()).flat_map(move |m| (0..predictors.len()).map(move |p| (w, m, p)))
+        })
+        .collect();
+    let mut flat = parallel_map(&cells, |&(w, m, p)| {
+        run_workload_traced(
+            &workloads[w],
+            machines[m],
+            predictors[p],
+            instructions,
+            &traces[w],
+        )
+    })
+    .into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            machines
+                .iter()
+                .map(|_| {
+                    predictors
+                        .iter()
+                        .map(|_| flat.next().expect("one result per cell"))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The reference machine × workload × predictor statistics report: one line
+/// of [`msp_pipeline::SimStats::canonical_string`] per simulation in a
+/// stable order. This is the payload of the `stats_dump` binary, the golden
+/// regression test and the CI bench-smoke diff — all three must render the
+/// matrix identically, so they all call this.
+pub fn stats_dump_report(instructions: u64) -> String {
+    let machines = [
+        MachineKind::Baseline,
+        MachineKind::cpr(),
+        MachineKind::msp(16),
+        MachineKind::IdealMsp,
+    ];
+    let predictors = [PredictorKind::Gshare, PredictorKind::Tage];
+    let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
+        .iter()
+        .map(|name| {
+            msp_workloads::by_name(name, Variant::Original).expect("reference kernel exists")
+        })
+        .collect();
+    let rows = run_stats_matrix(&workloads, &machines, &predictors, instructions);
+    let mut table = TextTable::new(&["workload", "machine", "predictor", "canonical stats"]);
+    for (workload, per_machine) in workloads.iter().zip(&rows) {
+        for (machine, per_predictor) in machines.iter().zip(per_machine) {
+            for (predictor, result) in predictors.iter().zip(per_predictor) {
+                table.row(vec![
+                    workload.name().to_string(),
+                    machine.label(),
+                    predictor.label().to_string(),
+                    result.stats.canonical_string(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "canonical stats at {instructions} instructions per run\n{}",
+        table.render()
+    )
 }
 
 /// Renders one of the paper's IPC figures (the Figs. 6-8 shape): every

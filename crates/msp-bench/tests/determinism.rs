@@ -1,11 +1,15 @@
-//! Determinism regression tests guarding the indexed-window refactor: the
-//! simulator must produce bit-identical `SimStats` run-to-run, and the
-//! parallel sweep harness must produce exactly the sequential results.
+//! Determinism regression tests guarding the indexed-window refactor and
+//! the shared-trace layer: the simulator must produce bit-identical
+//! `SimStats` run-to-run, a shared-trace simulation must produce exactly a
+//! private-oracle simulation's statistics, and the parallel sweep harness
+//! must produce exactly the sequential results.
 
-use msp_bench::{parallel_map, run_sweep, run_workload_for};
+use msp_bench::{parallel_map, run_sweep, run_workload_for, run_workload_traced, shared_trace};
 use msp_branch::PredictorKind;
-use msp_pipeline::{MachineKind, SimStats};
+use msp_isa::Trace;
+use msp_pipeline::{MachineKind, SimConfig, SimStats, Simulator};
 use msp_workloads::{by_name, Variant};
+use std::sync::Arc;
 
 const BUDGET: u64 = 4_000;
 
@@ -71,6 +75,67 @@ fn parallel_sweep_matches_sequential() {
             );
         }
     }
+}
+
+/// A simulator fed the shared cached trace produces bit-identical
+/// statistics to one that functionally executes privately, on every machine
+/// kind and both predictors.
+#[test]
+fn shared_trace_sim_matches_private_oracle_sim() {
+    for name in ["gzip", "vpr", "swim"] {
+        let workload = by_name(name, Variant::Original).unwrap();
+        let trace = shared_trace(&workload, BUDGET);
+        for machine in reference_machines() {
+            for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
+                let private = run_workload_for(&workload, machine, predictor, BUDGET);
+                let shared = run_workload_traced(&workload, machine, predictor, BUDGET, &trace);
+                assert_identical(
+                    &private.stats,
+                    &shared.stats,
+                    &format!("{name}/{machine:?}/{predictor:?} shared trace"),
+                );
+            }
+        }
+    }
+}
+
+/// A trace shorter than the simulation budget forces the oracle's lazy
+/// extension past the materialised end; the statistics must still be
+/// bit-identical to private functional execution.
+#[test]
+fn truncated_trace_lazy_extension_is_bit_identical() {
+    let workload = by_name("vpr", Variant::Original).unwrap();
+    // Far too short on purpose: most of the run extends past the trace.
+    let short = Arc::new(Trace::capture(workload.program(), BUDGET / 8));
+    assert!(!short.is_complete());
+    for machine in reference_machines() {
+        let config = SimConfig::machine(machine, PredictorKind::Gshare);
+        let private = Simulator::new(workload.program(), config.clone()).run(BUDGET);
+        let shared =
+            Simulator::with_trace(workload.program(), config, Arc::clone(&short)).run(BUDGET);
+        assert_identical(
+            &private.stats,
+            &shared.stats,
+            &format!("{machine:?} lazy extension"),
+        );
+    }
+}
+
+/// The trace cache hands back the same shared trace (no re-execution), and
+/// sweeps through it match the reference path.
+#[test]
+fn trace_cache_shares_one_capture() {
+    let workload = by_name("swim", Variant::Original).unwrap();
+    let a = shared_trace(&workload, 2_000);
+    let b = shared_trace(&workload, 2_000);
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "same key must share one materialisation"
+    );
+    // Different budgets are distinct materialisations.
+    let c = shared_trace(&workload, 1_000);
+    assert!(!Arc::ptr_eq(&a, &c));
+    assert!(c.len() >= 1_000);
 }
 
 /// Dynamic work distribution never reorders or drops results.

@@ -1,0 +1,85 @@
+//! Golden statistics regression: the canonical `stats_dump` rendering of
+//! the reference machine × workload × predictor matrix is pinned byte-for-
+//! byte by a checked-in golden file, so a performance PR can never silently
+//! change simulated behaviour.
+//!
+//! Two fences share the golden under `tests/golden/`:
+//!
+//! * this test (via [`msp_bench::stats_dump_report`], the same code path as
+//!   the `stats_dump` binary), and
+//! * the CI bench-smoke job, which diffs the release binary's stdout
+//!   against the same file.
+//!
+//! Regenerating the golden after an *intentional* statistics change:
+//!
+//! ```text
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin stats_dump \
+//!     > crates/msp-bench/tests/golden/stats_dump_20k.txt
+//! MSP_BENCH_INSTRUCTIONS=200000 cargo run --release -p msp-bench --bin stats_dump \
+//!     > crates/msp-bench/tests/golden/stats_dump_200k.txt
+//! ```
+
+use msp_bench::stats_dump_report;
+
+const GOLDEN_20K: &str = include_str!("golden/stats_dump_20k.txt");
+const GOLDEN_200K: &str = include_str!("golden/stats_dump_200k.txt");
+
+/// The 20k-instruction golden. The full matrix is 24 simulations of 20,000
+/// instructions each — quick in release, a couple of minutes under an
+/// unoptimised debug build, so the byte-exact comparison runs in release
+/// only; debug builds fall back to the (cheap) self-consistency fence in
+/// `report_is_deterministic`.
+#[cfg(not(debug_assertions))]
+#[test]
+fn stats_dump_matches_checked_in_golden_20k() {
+    let report = stats_dump_report(20_000);
+    assert_eq!(
+        report, GOLDEN_20K,
+        "canonical statistics diverged from tests/golden/stats_dump_20k.txt; \
+         if the change is intentional, regenerate the golden (see module docs)"
+    );
+}
+
+/// The 200k-instruction golden: the budget the recorded performance
+/// baselines use. Expensive, so `#[ignore]`d by default — run explicitly
+/// with `cargo test --release -p msp-bench --test golden -- --ignored`.
+#[test]
+#[ignore = "24 simulations x 200k instructions; run in release via --ignored"]
+fn stats_dump_matches_checked_in_golden_200k() {
+    let report = stats_dump_report(200_000);
+    assert_eq!(
+        report, GOLDEN_200K,
+        "canonical statistics diverged from tests/golden/stats_dump_200k.txt; \
+         if the change is intentional, regenerate the golden (see module docs)"
+    );
+}
+
+/// The report itself is deterministic call-to-call (shared traces, parallel
+/// workers and all) and structurally sane. Cheap enough for debug builds.
+#[test]
+fn report_is_deterministic() {
+    let a = stats_dump_report(1_500);
+    let b = stats_dump_report(1_500);
+    assert_eq!(a, b);
+    // 3 workloads x 4 machines x 2 predictors = 24 data lines, plus the
+    // budget line, the header and the separator.
+    assert_eq!(a.lines().count(), 27);
+    assert!(a.starts_with("canonical stats at 1500 instructions per run"));
+    assert!(!a.contains("WATCHDOG"), "reference configs must not wedge");
+}
+
+/// The golden files themselves have the expected shape (guards against a
+/// truncated regeneration being committed unnoticed).
+#[test]
+fn golden_files_are_well_formed() {
+    for (golden, budget) in [(GOLDEN_20K, "20000"), (GOLDEN_200K, "200000")] {
+        assert_eq!(golden.lines().count(), 27);
+        assert!(golden.starts_with(&format!("canonical stats at {budget} instructions per run")));
+        assert_eq!(
+            golden.matches("gshare").count(),
+            12,
+            "12 gshare rows per golden"
+        );
+        assert!(!golden.contains("WATCHDOG"));
+    }
+}

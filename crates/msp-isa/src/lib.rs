@@ -42,6 +42,7 @@ mod memory;
 mod program;
 mod reg;
 mod state;
+mod trace;
 
 pub use exec::{execute_at, execute_step, ExecError, ExecutedInst};
 pub use inst::{BranchCond, FuClass, Instruction, MemWidth, Opcode};
@@ -49,3 +50,4 @@ pub use memory::Memory;
 pub use program::{Program, TEXT_BASE};
 pub use reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS, NUM_LOGICAL_REGS};
 pub use state::ArchState;
+pub use trace::{Trace, TraceBuilder};

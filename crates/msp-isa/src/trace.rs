@@ -1,0 +1,352 @@
+//! Materialised functional traces: execute a workload once, simulate it
+//! everywhere.
+//!
+//! A [`Trace`] is the committed-path [`ExecutedInst`] stream of a
+//! `(program, max_instructions)` pair, materialised once by the functional
+//! executor and then shared **read-only** across any number of timing
+//! simulators, predictors and sweep threads (typically as an
+//! `Arc<Trace>`). Reading a record is a bounds-checked slice access; no
+//! functional re-execution and no per-consumer copies are involved.
+//!
+//! Because a timing simulator may fetch slightly past the materialised end
+//! (its front end runs ahead of commit), a trace also snapshots the
+//! [`ArchState`] *after its last record*. A consumer that needs more records
+//! clones that end state once and continues functional execution privately —
+//! the lazy-extension invariant: **extending past a trace's end from its end
+//! state yields exactly the records a longer capture would have produced**,
+//! because functional execution is deterministic.
+//!
+//! ```
+//! use msp_isa::{ArchReg, Instruction, Program, Trace};
+//!
+//! let r = ArchReg::int;
+//! let program = Program::new(vec![
+//!     Instruction::li(r(1), 3),
+//!     Instruction::addi(r(1), r(1), -1),
+//!     Instruction::bne(r(1), ArchReg::ZERO, msp_isa::TEXT_BASE + 4),
+//!     Instruction::halt(),
+//! ]);
+//! let trace = Trace::capture(&program, 1_000);
+//! assert_eq!(trace.len(), 8); // li + 3*(addi+bne) + halt
+//! assert!(trace.is_complete());
+//! assert_eq!(trace.get(0).unwrap().pc, program.entry());
+//! ```
+
+use crate::exec::{execute_step, ExecError, ExecutedInst};
+use crate::program::Program;
+use crate::state::ArchState;
+
+/// An immutable, fully materialised committed-path execution trace.
+///
+/// See the [module documentation](self) for the sharing model.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: Vec<ExecutedInst>,
+    end_state: ArchState,
+    complete: bool,
+}
+
+impl Trace {
+    /// Materialises the trace of `program`, stopping after `max_instructions`
+    /// dynamic instructions or at program completion (halt / PC leaving the
+    /// text segment), whichever comes first.
+    pub fn capture(program: &Program, max_instructions: u64) -> Trace {
+        let mut builder = TraceBuilder::new(program);
+        builder.extend_to(max_instructions);
+        builder.finish()
+    }
+
+    /// An empty trace positioned at `program`'s initial state: zero records,
+    /// not complete. Consumers extend it lazily from the start — this is how
+    /// a private (non-shared) oracle is expressed in trace terms.
+    pub fn empty(program: &Program) -> Trace {
+        Trace {
+            records: Vec::new(),
+            end_state: ArchState::new(program),
+            complete: false,
+        }
+    }
+
+    /// The materialised records, in dynamic program order.
+    pub fn records(&self) -> &[ExecutedInst] {
+        &self.records
+    }
+
+    /// The record at dynamic index `index`, if materialised.
+    #[inline]
+    pub fn get(&self, index: u64) -> Option<&ExecutedInst> {
+        self.records.get(index as usize)
+    }
+
+    /// Number of materialised records.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the program finished (halted or left the text segment) within
+    /// the materialised records. A complete trace can never be extended:
+    /// indices at or past [`Trace::len`] hold no instruction.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The functional state immediately after the last materialised record —
+    /// the starting point for lazy extension past the trace's end.
+    pub fn end_state(&self) -> &ArchState {
+        &self.end_state
+    }
+
+    /// Approximate resident size of the trace in bytes: the record storage
+    /// plus the end-state snapshot's data memory.
+    pub fn footprint_bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<ExecutedInst>()
+            + std::mem::size_of::<Self>()
+            + self.end_state.memory().resident_bytes()
+    }
+}
+
+/// Incremental constructor of a [`Trace`] on top of [`execute_step`].
+///
+/// The builder owns a private [`ArchState`] and appends one record per
+/// functional step, with exactly the stopping semantics of the timing
+/// simulator's oracle: a `halt` record is materialised (and ends the trace),
+/// and a PC leaving the text segment ends the trace without a record.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder<'p> {
+    program: &'p Program,
+    state: ArchState,
+    records: Vec<ExecutedInst>,
+    complete: bool,
+}
+
+impl<'p> TraceBuilder<'p> {
+    /// Creates a builder positioned at `program`'s initial state.
+    pub fn new(program: &'p Program) -> Self {
+        TraceBuilder {
+            state: ArchState::new(program),
+            program,
+            records: Vec::new(),
+            complete: false,
+        }
+    }
+
+    /// Number of records materialised so far.
+    pub fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Whether no records have been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the program finished within the materialised records.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Executes one more dynamic instruction and appends its record. Returns
+    /// `false` (and does nothing) once the program has finished.
+    pub fn step(&mut self) -> bool {
+        if self.complete {
+            return false;
+        }
+        match execute_step(&mut self.state, self.program) {
+            Ok(rec) => {
+                if rec.halted {
+                    self.complete = true;
+                }
+                self.records.push(rec);
+                true
+            }
+            Err(ExecError::Halted) | Err(ExecError::OutOfRange(_)) => {
+                self.complete = true;
+                false
+            }
+        }
+    }
+
+    /// Materialises records until the trace holds `n` of them or the program
+    /// finishes.
+    pub fn extend_to(&mut self, n: u64) {
+        self.records.reserve(n.saturating_sub(self.len()) as usize);
+        while self.len() < n && self.step() {}
+    }
+
+    /// Finalises the builder into an immutable [`Trace`].
+    pub fn finish(self) -> Trace {
+        let mut records = self.records;
+        records.shrink_to_fit();
+        Trace {
+            records,
+            end_state: self.state,
+            complete: self.complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+    use crate::reg::ArchReg;
+    use crate::TEXT_BASE;
+    use proptest::prelude::*;
+
+    fn counted_loop(n: i64) -> Program {
+        let r = ArchReg::int;
+        Program::new(vec![
+            Instruction::li(r(1), n),
+            Instruction::addi(r(1), r(1), -1),
+            Instruction::bne(r(1), ArchReg::ZERO, TEXT_BASE + 4),
+            Instruction::halt(),
+        ])
+    }
+
+    #[test]
+    fn capture_stops_at_halt() {
+        let p = counted_loop(3);
+        let trace = Trace::capture(&p, 1_000);
+        assert_eq!(trace.len(), 8);
+        assert!(trace.is_complete());
+        assert!(!trace.is_empty());
+        assert!(trace.records().last().unwrap().halted);
+        assert!(trace.get(8).is_none());
+        assert!(trace.end_state().is_halted());
+    }
+
+    #[test]
+    fn capture_stops_at_budget() {
+        let p = counted_loop(1_000_000);
+        let trace = Trace::capture(&p, 100);
+        assert_eq!(trace.len(), 100);
+        assert!(!trace.is_complete());
+        // The end state is positioned exactly after record 99: extending
+        // from it reproduces what a longer capture yields.
+        let longer = Trace::capture(&p, 150);
+        let mut tail_state = trace.end_state().clone();
+        for i in 100..150 {
+            let rec = execute_step(&mut tail_state, &p).unwrap();
+            assert_eq!(&rec, longer.get(i).unwrap(), "lazy-extension invariant");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_extension_ready() {
+        let p = counted_loop(2);
+        let trace = Trace::empty(&p);
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        assert!(!trace.is_complete());
+        assert_eq!(trace.end_state().pc(), p.entry());
+        assert_eq!(trace.end_state().retired(), 0);
+    }
+
+    #[test]
+    fn builder_step_by_step_matches_capture() {
+        let p = counted_loop(5);
+        let mut builder = TraceBuilder::new(&p);
+        assert!(builder.is_empty());
+        while builder.step() {}
+        assert!(builder.is_complete());
+        assert!(!builder.step(), "stepping a complete builder is a no-op");
+        let n = builder.len();
+        let trace = builder.finish();
+        let reference = Trace::capture(&p, 1_000);
+        assert_eq!(n, reference.len());
+        assert_eq!(trace.records(), reference.records());
+    }
+
+    #[test]
+    fn out_of_range_pc_ends_trace_without_record() {
+        let p = Program::new(vec![
+            Instruction::li(ArchReg::int(1), 1),
+            Instruction::jump(0x9999_0000),
+        ]);
+        let trace = Trace::capture(&p, 100);
+        assert_eq!(trace.len(), 2, "li + jump execute, then the PC escapes");
+        assert!(trace.is_complete());
+    }
+
+    #[test]
+    fn footprint_accounts_for_records() {
+        let p = counted_loop(64);
+        let trace = Trace::capture(&p, 1_000);
+        let per_record = std::mem::size_of::<ExecutedInst>();
+        assert!(trace.footprint_bytes() >= trace.len() as usize * per_record);
+    }
+
+    /// Builds a small but branchy synthetic kernel from raw proptest entropy:
+    /// a counted outer loop wrapping `ops`-selected arithmetic/memory
+    /// instructions plus a data-dependent inner branch. Every generated
+    /// program terminates (the outer counter is finite) and stays inside the
+    /// text segment.
+    fn random_kernel(ops: &[(u8, u8, u8)], iterations: u8) -> Program {
+        let r = ArchReg::int;
+        let mut insts = vec![
+            Instruction::li(r(1), i64::from(iterations.max(1))),
+            Instruction::li(r(2), 0x8000),
+        ];
+        for &(op, reg, imm) in ops {
+            let imm = i64::from(imm);
+            let dst = r(3 + usize::from(reg % 6));
+            let src = r(3 + usize::from((reg / 7) % 6));
+            insts.push(match op % 6 {
+                0 => Instruction::addi(dst, src, imm % 64),
+                1 => Instruction::add(dst, src, r(2)),
+                2 => Instruction::mul(dst, src, src),
+                3 => Instruction::load(dst, r(2), (imm % 8) * 8),
+                4 => Instruction::store(src, r(2), (imm % 8) * 8),
+                _ => Instruction::xor(dst, src, r(1)),
+            });
+        }
+        insts.push(Instruction::addi(r(1), r(1), -1));
+        let loop_top = TEXT_BASE + 8;
+        insts.push(Instruction::bne(r(1), ArchReg::ZERO, loop_top));
+        insts.push(Instruction::halt());
+        Program::new(insts)
+    }
+
+    proptest! {
+        /// Trace replay is exactly step-by-step `execute_step` on random
+        /// kernels: same records, same count, same end state.
+        #[test]
+        fn replay_matches_execute_step(
+            ops in proptest::collection::vec((0u8..8, 0u8..64, 0u8..64), 1..24),
+            iterations in 1u8..40,
+            budget in 1u64..600,
+        ) {
+            let program = random_kernel(&ops, iterations);
+            let trace = Trace::capture(&program, budget);
+
+            let mut state = ArchState::new(&program);
+            let mut reference = Vec::new();
+            while (reference.len() as u64) < budget {
+                match execute_step(&mut state, &program) {
+                    Ok(rec) => {
+                        let halted = rec.halted;
+                        reference.push(rec);
+                        if halted {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            prop_assert_eq!(trace.len(), reference.len() as u64);
+            for (i, rec) in reference.iter().enumerate() {
+                prop_assert_eq!(trace.get(i as u64).unwrap(), rec);
+            }
+            // The end state resumes where the reference stopped.
+            prop_assert_eq!(trace.end_state().pc(), state.pc());
+            prop_assert_eq!(trace.end_state().retired(), state.retired());
+        }
+    }
+}

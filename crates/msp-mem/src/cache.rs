@@ -90,6 +90,12 @@ struct Line {
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
+    /// `log2(line_bytes)`: set/tag extraction uses shifts instead of the
+    /// integer divisions a runtime line size would otherwise cost on every
+    /// access.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
     lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
@@ -114,9 +120,15 @@ impl Cache {
         );
         let sets = config.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             config,
             sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             lines: vec![
                 Line {
                     tag: 0,
@@ -141,11 +153,11 @@ impl Cache {
     }
 
     fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.config.line_bytes as u64) as usize) & (self.sets - 1)
+        ((addr >> self.line_shift) as usize) & (self.sets - 1)
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.config.line_bytes as u64 / self.sets as u64
+        addr >> (self.line_shift + self.set_shift)
     }
 
     /// Accesses `addr`, allocating the line on a miss. Returns `true` on a

@@ -124,6 +124,71 @@ pub trait StoreQueue {
     fn capacity(&self) -> usize;
 }
 
+/// A counting block-presence filter over a store queue level.
+///
+/// Forwarding searches are by far the hottest store-queue operation and the
+/// overwhelmingly common outcome is a miss — which a plain scan can only
+/// prove by visiting *every* entry. The filter maintains, per hashed 8-byte
+/// block, how many resident stores touch that block; a load whose footprint
+/// hits only zero-count slots provably overlaps no store, so the scan is
+/// skipped. Slot collisions only ever cause a harmless fall-through to the
+/// real scan (no false negatives), so hit/miss outcomes, forwarded values
+/// and scan latencies are bit-identical to the unfiltered search.
+#[derive(Debug, Clone)]
+struct BlockFilter {
+    counts: Vec<u32>,
+}
+
+/// Number of filter slots (16 KiB of counters); must be a power of two.
+const BLOCK_FILTER_SLOTS: usize = 4096;
+
+impl BlockFilter {
+    fn new() -> Self {
+        BlockFilter {
+            counts: vec![0; BLOCK_FILTER_SLOTS],
+        }
+    }
+
+    /// Hashes an 8-byte block number to a filter slot.
+    #[inline]
+    fn slot(block: u64) -> usize {
+        (block.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 52) as usize & (BLOCK_FILTER_SLOTS - 1)
+    }
+
+    /// The (at most two) 8-byte blocks a byte range touches. Accesses are at
+    /// most 8 bytes wide, so a range never straddles more than two blocks.
+    #[inline]
+    fn blocks(addr: u64, width: u64) -> (u64, u64) {
+        (addr >> 3, addr.wrapping_add(width - 1) >> 3)
+    }
+
+    #[inline]
+    fn add(&mut self, entry: &StoreQueueEntry) {
+        let (b0, b1) = Self::blocks(entry.addr, entry.width);
+        self.counts[Self::slot(b0)] += 1;
+        if b1 != b0 {
+            self.counts[Self::slot(b1)] += 1;
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, entry: &StoreQueueEntry) {
+        let (b0, b1) = Self::blocks(entry.addr, entry.width);
+        self.counts[Self::slot(b0)] -= 1;
+        if b1 != b0 {
+            self.counts[Self::slot(b1)] -= 1;
+        }
+    }
+
+    /// Whether any resident store *may* overlap `[addr, addr + width)`.
+    /// `false` is definitive; `true` requires the real scan.
+    #[inline]
+    fn may_overlap(&self, addr: u64, width: u64) -> bool {
+        let (b0, b1) = Self::blocks(addr, width);
+        self.counts[Self::slot(b0)] > 0 || (b1 != b0 && self.counts[Self::slot(b1)] > 0)
+    }
+}
+
 /// Searches an ordered run of stores backwards (youngest first) for the
 /// youngest entry older than `seq` that overlaps the load's footprint.
 /// Because entries are in ascending `seq` order, the first match from the
@@ -147,22 +212,30 @@ fn search_youngest_older(
 fn drain_prefix(
     entries: &mut VecDeque<StoreQueueEntry>,
     tag_limit: u64,
+    filter: &mut BlockFilter,
     sink: &mut dyn FnMut(StoreQueueEntry),
 ) {
     while let Some(front) = entries.front() {
         if front.tag >= tag_limit {
             break;
         }
-        sink(entries.pop_front().expect("front exists"));
+        let drained = entries.pop_front().expect("front exists");
+        filter.remove(&drained);
+        sink(drained);
     }
 }
 
 /// Pops every trailing entry with `seq > seq_limit`. The squashed set is a
 /// suffix because entries are in ascending `seq` order.
-fn squash_suffix(entries: &mut VecDeque<StoreQueueEntry>, seq_limit: u64) -> usize {
+fn squash_suffix(
+    entries: &mut VecDeque<StoreQueueEntry>,
+    seq_limit: u64,
+    filter: &mut BlockFilter,
+) -> usize {
     let mut removed = 0;
     while entries.back().map(|e| e.seq > seq_limit).unwrap_or(false) {
-        entries.pop_back();
+        let squashed = entries.pop_back().expect("back exists");
+        filter.remove(&squashed);
         removed += 1;
     }
     removed
@@ -187,6 +260,7 @@ fn debug_check_insert_order(entries: &VecDeque<StoreQueueEntry>, entry: &StoreQu
 pub struct SimpleStoreQueue {
     capacity: usize,
     entries: VecDeque<StoreQueueEntry>,
+    filter: BlockFilter,
 }
 
 impl SimpleStoreQueue {
@@ -200,6 +274,7 @@ impl SimpleStoreQueue {
         SimpleStoreQueue {
             capacity,
             entries: VecDeque::with_capacity(capacity),
+            filter: BlockFilter::new(),
         }
     }
 }
@@ -210,11 +285,15 @@ impl StoreQueue for SimpleStoreQueue {
             return false;
         }
         debug_check_insert_order(&self.entries, &entry);
+        self.filter.add(&entry);
         self.entries.push_back(entry);
         true
     }
 
     fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
+        if !self.filter.may_overlap(addr, width) {
+            return ForwardResult::Miss { latency: 0 };
+        }
         match search_youngest_older(&self.entries, addr, width, seq) {
             Some(e) => ForwardResult::Hit {
                 value: e.value,
@@ -225,11 +304,11 @@ impl StoreQueue for SimpleStoreQueue {
     }
 
     fn drain_committed_with(&mut self, tag_limit: u64, sink: &mut dyn FnMut(StoreQueueEntry)) {
-        drain_prefix(&mut self.entries, tag_limit, sink);
+        drain_prefix(&mut self.entries, tag_limit, &mut self.filter, sink);
     }
 
     fn squash_younger(&mut self, seq: u64) -> usize {
-        squash_suffix(&mut self.entries, seq)
+        squash_suffix(&mut self.entries, seq, &mut self.filter)
     }
 
     fn len(&self) -> usize {
@@ -261,6 +340,8 @@ pub struct HierarchicalStoreQueue {
     /// `seq` order and the queue as a whole is the concatenation `l2 ++ l1`.
     l1: VecDeque<StoreQueueEntry>,
     l2: VecDeque<StoreQueueEntry>,
+    l1_filter: BlockFilter,
+    l2_filter: BlockFilter,
     l2_scans: u64,
 }
 
@@ -283,6 +364,8 @@ impl HierarchicalStoreQueue {
             // declares 2^20-entry levels that stay almost empty in practice.
             l1: VecDeque::with_capacity(l1_capacity.min(1024)),
             l2: VecDeque::new(),
+            l1_filter: BlockFilter::new(),
+            l2_filter: BlockFilter::new(),
             l2_scans: 0,
         }
     }
@@ -324,24 +407,36 @@ impl StoreQueue for HierarchicalStoreQueue {
             // Spill the oldest L1 entry (the front) into the L2 queue.
             let spilled = self.l1.pop_front().expect("L1 is full, hence non-empty");
             debug_check_insert_order(&self.l2, &spilled);
+            self.l1_filter.remove(&spilled);
+            self.l2_filter.add(&spilled);
             self.l2.push_back(spilled);
         }
+        self.l1_filter.add(&entry);
         self.l1.push_back(entry);
         true
     }
 
     fn forward(&mut self, addr: u64, width: u64, seq: u64) -> ForwardResult {
-        if let Some(e) = search_youngest_older(&self.l1, addr, width, seq) {
-            return ForwardResult::Hit {
-                value: e.value,
-                latency: 0,
-            };
+        if self.l1_filter.may_overlap(addr, width) {
+            if let Some(e) = search_youngest_older(&self.l1, addr, width, seq) {
+                return ForwardResult::Hit {
+                    value: e.value,
+                    latency: 0,
+                };
+            }
         }
         if self.l2.is_empty() {
             return ForwardResult::Miss { latency: 0 };
         }
-        // Have to scan the large second-level queue.
+        // Have to scan the large second-level queue. (The architectural scan
+        // and its latency happen regardless; the filter only lets the
+        // simulator skip walking entries that provably cannot match.)
         self.l2_scans += 1;
+        if !self.l2_filter.may_overlap(addr, width) {
+            return ForwardResult::Miss {
+                latency: self.l2_scan_latency,
+            };
+        }
         match search_youngest_older(&self.l2, addr, width, seq) {
             Some(e) => ForwardResult::Hit {
                 value: e.value,
@@ -356,16 +451,16 @@ impl StoreQueue for HierarchicalStoreQueue {
     fn drain_committed_with(&mut self, tag_limit: u64, sink: &mut dyn FnMut(StoreQueueEntry)) {
         // Every L2 entry is older than every L1 entry, so draining L2 first
         // keeps the sink in program order.
-        drain_prefix(&mut self.l2, tag_limit, sink);
+        drain_prefix(&mut self.l2, tag_limit, &mut self.l2_filter, sink);
         if self.l2.is_empty() {
-            drain_prefix(&mut self.l1, tag_limit, sink);
+            drain_prefix(&mut self.l1, tag_limit, &mut self.l1_filter, sink);
         }
     }
 
     fn squash_younger(&mut self, seq: u64) -> usize {
-        let mut removed = squash_suffix(&mut self.l1, seq);
+        let mut removed = squash_suffix(&mut self.l1, seq, &mut self.l1_filter);
         if self.l1.is_empty() {
-            removed += squash_suffix(&mut self.l2, seq);
+            removed += squash_suffix(&mut self.l2, seq, &mut self.l2_filter);
         }
         removed
     }

@@ -1,33 +1,61 @@
-//! The functional oracle: a lazily extended, replayable stream of
-//! correct-path dynamic instructions.
+//! The functional oracle: a replayable stream of correct-path dynamic
+//! instructions backed by a shared, immutable [`Trace`].
 //!
 //! The timing simulator is execution-driven: correct-path instructions carry
 //! the values, branch outcomes and effective addresses the functional
 //! executor produced. Because CPR rolls back to checkpoints and re-dispatches
-//! instructions that already executed, the oracle must be *replayable* — the
-//! records are cached by dynamic index so re-fetching the same index after a
-//! rollback returns the identical record without re-running the functional
-//! model.
+//! instructions that already executed, the oracle must be *replayable* —
+//! asking for the same dynamic index after a rollback returns the identical
+//! record without re-running the functional model.
+//!
+//! Historically every simulator owned a private oracle that functionally
+//! re-executed the whole program into a private `Vec`. The oracle is now a
+//! thin cursor over an [`Arc<Trace>`]: the materialised committed-path prefix
+//! is shared **read-only** across every machine, predictor and sweep thread
+//! simulating the same workload, and [`Oracle::get`] on the hot fetch path is
+//! a bounds-checked slice read returning a reference. Only if the simulator
+//! fetches *past* the materialised end does the oracle lazily extend — it
+//! clones the trace's end state once and continues functional execution into
+//! a small private tail, which by determinism of the functional model yields
+//! exactly the records a longer capture would have produced.
 
-use msp_isa::{execute_step, ArchState, ExecError, ExecutedInst, Program};
+use msp_isa::{execute_step, ArchState, ExecError, ExecutedInst, Program, Trace};
+use std::sync::Arc;
 
-/// A lazily materialised trace of correct-path execution.
+/// A replayable correct-path instruction stream: a shared materialised
+/// prefix plus a lazily executed private tail.
 #[derive(Debug, Clone)]
 pub struct Oracle<'p> {
     program: &'p Program,
-    state: ArchState,
-    records: Vec<ExecutedInst>,
+    /// The shared, immutable committed-path prefix.
+    shared: Arc<Trace>,
+    /// Private records past the shared prefix, lazily materialised.
+    tail: Vec<ExecutedInst>,
+    /// Functional state positioned after the last tail record; cloned from
+    /// the trace's end state on the first extension, `None` before that.
+    state: Option<Box<ArchState>>,
     finished: bool,
 }
 
 impl<'p> Oracle<'p> {
-    /// Creates the oracle for a program, starting from its initial state.
+    /// Creates a private oracle for a program, starting from its initial
+    /// state with nothing materialised (every record is produced lazily).
     pub fn new(program: &'p Program) -> Self {
+        Oracle::with_trace(program, Arc::new(Trace::empty(program)))
+    }
+
+    /// Creates an oracle backed by a shared trace of `program`.
+    ///
+    /// The trace must have been captured from this very program; records are
+    /// served from it without re-execution, and indices past its end are
+    /// materialised lazily from its end state.
+    pub fn with_trace(program: &'p Program, trace: Arc<Trace>) -> Self {
         Oracle {
-            state: ArchState::new(program),
             program,
-            records: Vec::new(),
-            finished: false,
+            finished: trace.is_complete(),
+            shared: trace,
+            tail: Vec::new(),
+            state: None,
         }
     }
 
@@ -37,28 +65,50 @@ impl<'p> Oracle<'p> {
     }
 
     /// Returns the dynamic instruction at `index` (0-based program order),
-    /// executing the functional model as far as needed. Returns `None` once
-    /// the program has halted (or left the text segment) before `index`.
-    pub fn get(&mut self, index: u64) -> Option<ExecutedInst> {
-        while !self.finished && (self.records.len() as u64) <= index {
-            match execute_step(&mut self.state, self.program) {
+    /// extending the functional model past the shared prefix as far as
+    /// needed. Returns `None` once the program has halted (or left the text
+    /// segment) before `index`.
+    #[inline]
+    pub fn get(&mut self, index: u64) -> Option<&ExecutedInst> {
+        // Hot path: the record is in the shared materialised prefix.
+        if index < self.shared.len() {
+            return self.shared.get(index);
+        }
+        self.get_tail(index)
+    }
+
+    /// Cold path of [`Oracle::get`]: the record lies past the shared prefix.
+    fn get_tail(&mut self, index: u64) -> Option<&ExecutedInst> {
+        let tail_index = (index - self.shared.len()) as usize;
+        while !self.finished && self.tail.len() <= tail_index {
+            let state = self
+                .state
+                .get_or_insert_with(|| Box::new(self.shared.end_state().clone()));
+            match execute_step(state, self.program) {
                 Ok(rec) => {
                     if rec.halted {
                         self.finished = true;
                     }
-                    self.records.push(rec);
+                    self.tail.push(rec);
                 }
                 Err(ExecError::Halted) | Err(ExecError::OutOfRange(_)) => {
                     self.finished = true;
                 }
             }
         }
-        self.records.get(index as usize).copied()
+        self.tail.get(tail_index)
     }
 
-    /// Number of dynamic instructions materialised so far.
+    /// Number of dynamic instructions materialised so far (shared prefix
+    /// plus the private tail).
     pub fn materialised(&self) -> u64 {
-        self.records.len() as u64
+        self.shared.len() + self.tail.len() as u64
+    }
+
+    /// Number of records served from the shared trace rather than executed
+    /// privately (diagnostics for the trace-cache hit rate).
+    pub fn shared_len(&self) -> u64 {
+        self.shared.len()
     }
 
     /// Whether the program reached a halt (no more records will appear).
@@ -87,12 +137,12 @@ mod tests {
         let p = counted_loop();
         let mut oracle = Oracle::new(&p);
         assert_eq!(oracle.materialised(), 0);
-        let rec5 = oracle.get(5).unwrap();
+        let rec5 = *oracle.get(5).unwrap();
         assert!(oracle.materialised() >= 6);
         // Replay: asking again returns the identical record.
-        assert_eq!(oracle.get(5).unwrap(), rec5);
+        assert_eq!(*oracle.get(5).unwrap(), rec5);
         // Earlier records are also available without re-execution.
-        let rec0 = oracle.get(0).unwrap();
+        let rec0 = *oracle.get(0).unwrap();
         assert_eq!(rec0.pc, p.entry());
     }
 
@@ -118,5 +168,56 @@ mod tests {
         let mut oracle = Oracle::new(&p);
         assert!(oracle.get(10_000).is_some());
         assert!(!oracle.is_finished());
+    }
+
+    #[test]
+    fn shared_trace_serves_prefix_without_execution() {
+        let p = counted_loop();
+        let trace = Arc::new(Trace::capture(&p, 1_000));
+        let mut a = Oracle::with_trace(&p, Arc::clone(&trace));
+        let mut b = Oracle::with_trace(&p, trace);
+        assert_eq!(a.shared_len(), 8);
+        assert!(a.is_finished(), "a complete trace finishes the oracle");
+        for i in 0..8 {
+            assert_eq!(a.get(i), b.get(i), "index {i}");
+        }
+        assert!(a.get(8).is_none());
+        // Nothing was privately materialised: everything came from the trace.
+        assert_eq!(a.materialised(), a.shared_len());
+    }
+
+    #[test]
+    fn truncated_trace_extends_lazily_and_identically() {
+        let r = ArchReg::int;
+        // An endless loop so the trace is necessarily truncated.
+        let p = Program::new(vec![
+            Instruction::addi(r(1), r(1), 1),
+            Instruction::jump(msp_isa::TEXT_BASE),
+        ]);
+        let short = Arc::new(Trace::capture(&p, 50));
+        assert!(!short.is_complete());
+        let mut shared = Oracle::with_trace(&p, short);
+        let mut private = Oracle::new(&p);
+        for i in 0..200 {
+            assert_eq!(
+                shared.get(i).copied(),
+                private.get(i).copied(),
+                "lazy extension must match private execution at index {i}"
+            );
+        }
+        assert_eq!(shared.shared_len(), 50);
+        assert_eq!(shared.materialised(), 200);
+    }
+
+    #[test]
+    fn private_oracle_matches_shared_trace_everywhere() {
+        let p = counted_loop();
+        let trace = Arc::new(Trace::capture(&p, 4));
+        let mut shared = Oracle::with_trace(&p, trace);
+        let mut private = Oracle::new(&p);
+        for i in 0..10 {
+            assert_eq!(shared.get(i).copied(), private.get(i).copied());
+        }
+        assert_eq!(shared.is_finished(), private.is_finished());
     }
 }

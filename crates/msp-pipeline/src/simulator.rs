@@ -12,7 +12,7 @@ use crate::config::{MachineKind, SimConfig};
 use crate::oracle::Oracle;
 use crate::stats::SimStats;
 use msp_branch::{build_predictor, Btb, ConfidenceEstimator, DirectionPredictor, ReturnStack};
-use msp_isa::{ArchReg, ExecutedInst, FuClass, Program, RegClass};
+use msp_isa::{ArchReg, ExecutedInst, FuClass, Program, RegClass, Trace};
 use msp_mem::{
     HierarchicalStoreQueue, LoadQueue, MemoryHierarchy, SimpleStoreQueue, StoreQueue,
     StoreQueueEntry,
@@ -20,6 +20,7 @@ use msp_mem::{
 use msp_state::{MspStateManager, PhysReg, PortArbiter, RenameRequest, StateId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct SimResult {
     pub machine: String,
     /// The direction predictor used.
     pub predictor: String,
+    /// Whether the run was cut short by the no-forward-progress watchdog
+    /// rather than reaching its instruction budget or the end of the
+    /// program. A truncated result is **not** a valid datapoint: the
+    /// simulated machine wedged.
+    pub truncated_by_watchdog: bool,
     /// All collected statistics.
     pub stats: SimStats,
 }
@@ -63,6 +69,22 @@ struct InFlight {
     status: Status,
     complete_cycle: u64,
     deps: [Option<u64>; 2],
+    /// Sticky operand-readiness flag: once every producer in `deps` has
+    /// completed this can never revert (producers are older than their
+    /// consumers, so any squash that removed a producer removed this
+    /// instruction too), letting the issue stage skip re-deriving readiness
+    /// for instructions it already proved ready.
+    deps_ready: bool,
+    /// Number of producers this instruction is *sleeping* on (it is absent
+    /// from the waiting list and registered in each producer's `waiters`).
+    /// Zero for instructions in the waiting list.
+    deps_pending: u8,
+    /// Seqs of dispatched consumers sleeping on this instruction's
+    /// completion, woken (re-inserted into the waiting list) the moment
+    /// writeback marks it `Done`. Consumers beyond the inline capacity
+    /// simply stay in the waiting list and poll, as all of them used to.
+    waiters: [u64; MAX_WAITERS],
+    waiter_count: u8,
     iq_slot: Option<usize>,
     dest: Option<ArchReg>,
     /// Misprediction discovered at fetch time, resolved at completion.
@@ -77,6 +99,9 @@ struct InFlight {
     pending_consumers: u32,
     reg_released: bool,
 }
+
+/// Inline per-producer wakeup-list capacity (see `InFlight::waiters`).
+const MAX_WAITERS: usize = 4;
 
 /// An instruction waiting in the front end between fetch and rename.
 #[derive(Debug, Clone)]
@@ -128,9 +153,13 @@ pub struct Simulator<'p> {
     // rewind `next_seq` to the squash point), so locating an instruction is
     // a constant-time `seq - head_seq` offset instead of a binary search.
     window: VecDeque<InFlight>,
-    /// Dispatched-but-not-issued sequence numbers. Dispatch appends in
-    /// program order and squashes truncate a suffix, so the list is always
-    /// sorted: the issue stage walks it directly, oldest first.
+    /// Dispatched-but-not-issued sequence numbers the issue stage polls,
+    /// oldest first. Always sorted: dispatch appends ascending seqs,
+    /// squashes truncate a suffix, and wakeups insert at the seq's sorted
+    /// position. Instructions sleeping on in-flight producers
+    /// (`deps_pending > 0`) are *not* listed — writeback re-inserts them in
+    /// the same cycle their last producer completes, which is exactly the
+    /// cycle a poll would first have observed them ready.
     waiting: Vec<u64>,
     /// Pending completion events as `Reverse((complete_cycle, seq))`:
     /// writeback pops due events instead of scanning every executing
@@ -155,13 +184,35 @@ pub struct Simulator<'p> {
     // Progress tracking.
     cycle: u64,
     next_seq: u64,
+    /// Every in-flight instruction with a sequence number below this is
+    /// `Done`. The cursor only moves forward (completion is monotone; a
+    /// recovery clamps it to the squash point before seqs are reassigned),
+    /// so the CPR bulk-commit check resumes where it last stopped instead of
+    /// rescanning the whole checkpoint interval every cycle.
+    done_prefix_seq: u64,
     executed_once: Vec<bool>,
     stats: SimStats,
 }
 
 impl<'p> Simulator<'p> {
-    /// Creates a simulator for `program` with the given configuration.
+    /// Creates a simulator for `program` with the given configuration and a
+    /// private oracle: the functional model executes lazily inside this
+    /// simulator alone.
     pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        Simulator::with_oracle(program, config, Oracle::new(program))
+    }
+
+    /// Creates a simulator whose correct-path instruction stream is served
+    /// from a shared, immutable [`Trace`] of `program` (see
+    /// [`Oracle::with_trace`]). Any number of simulators — across machine
+    /// kinds, predictors and sweep threads — can share one `Arc<Trace>`;
+    /// the timing behaviour and statistics are bit-identical to a private
+    /// oracle because the records themselves are identical.
+    pub fn with_trace(program: &'p Program, config: SimConfig, trace: Arc<Trace>) -> Self {
+        Simulator::with_oracle(program, config, Oracle::with_trace(program, trace))
+    }
+
+    fn with_oracle(program: &'p Program, config: SimConfig, oracle: Oracle<'p>) -> Self {
         let backend = match config.machine {
             MachineKind::Baseline | MachineKind::Cpr { .. } => Backend::Counted {
                 int_free: config
@@ -195,7 +246,7 @@ impl<'p> Simulator<'p> {
             });
         }
         Simulator {
-            oracle: Oracle::new(program),
+            oracle,
             program,
             predictor: build_predictor(config.predictor),
             confidence: ConfidenceEstimator::paper(),
@@ -222,6 +273,7 @@ impl<'p> Simulator<'p> {
             store_queue,
             cycle: 0,
             next_seq: 0,
+            done_prefix_seq: 0,
             executed_once: Vec::new(),
             stats: SimStats::default(),
             config,
@@ -243,12 +295,17 @@ impl<'p> Simulator<'p> {
     pub fn run(&mut self, max_instructions: u64) -> SimResult {
         let mut last_committed = 0;
         let mut idle_cycles = 0u64;
+        let mut truncated = false;
         while self.stats.committed < max_instructions {
             self.step_cycle();
             if self.stats.committed == last_committed {
                 idle_cycles += 1;
                 if idle_cycles > 20_000 {
-                    // Watchdog: no forward progress (should not happen).
+                    // Watchdog: no forward progress (should not happen). The
+                    // break is counted so a wedged configuration cannot
+                    // masquerade as a valid datapoint.
+                    self.stats.watchdog_breaks += 1;
+                    truncated = true;
                     break;
                 }
             } else {
@@ -262,6 +319,7 @@ impl<'p> Simulator<'p> {
         SimResult {
             machine: self.config.machine.label(),
             predictor: self.config.predictor.label().to_string(),
+            truncated_by_watchdog: truncated,
             stats: self.stats.clone(),
         }
     }
@@ -292,6 +350,33 @@ impl<'p> Simulator<'p> {
             Some(idx)
         } else {
             None
+        }
+    }
+
+    /// Wakes every consumer sleeping on the (just completed) instruction at
+    /// window index `idx`: their pending-producer count drops and, when it
+    /// reaches zero, they re-enter the waiting list at their sorted
+    /// position.
+    fn wake_waiters(&mut self, idx: usize) {
+        let count = self.window[idx].waiter_count as usize;
+        if count == 0 {
+            return;
+        }
+        let waiters = self.window[idx].waiters;
+        self.window[idx].waiter_count = 0;
+        for &waiter in &waiters[..count] {
+            let Some(widx) = self.window_index(waiter) else {
+                debug_assert!(false, "sleeping consumers outlive their producers");
+                continue;
+            };
+            let inst = &mut self.window[widx];
+            debug_assert!(inst.deps_pending > 0 && inst.status == Status::Waiting);
+            inst.deps_pending -= 1;
+            if inst.deps_pending == 0 {
+                inst.deps_ready = true;
+                let pos = self.waiting.partition_point(|&s| s < waiter);
+                self.waiting.insert(pos, waiter);
+            }
         }
     }
 
@@ -362,6 +447,7 @@ impl<'p> Simulator<'p> {
                 }
             }
             self.window[idx].status = Status::Done;
+            self.wake_waiters(idx);
             let (msp_dest, anchor, oracle_idx, mispredicted, is_load, superseded) = {
                 let i = &self.window[idx];
                 (
@@ -517,6 +603,7 @@ impl<'p> Simulator<'p> {
         // Every structure keyed by a squashed seq is purged here so a stale
         // entry can never alias a reassigned number.
         self.next_seq = squash_from_seq;
+        self.done_prefix_seq = self.done_prefix_seq.min(squash_from_seq);
         self.waiting
             .truncate(self.waiting.partition_point(|seq| *seq < squash_from_seq));
         self.completion_events
@@ -539,12 +626,23 @@ impl<'p> Simulator<'p> {
         }
 
         // Rebuild the logical-register writer map from surviving
-        // instructions (generic dependence tracking).
+        // instructions (generic dependence tracking), and drop waiter
+        // registrations of squashed consumers — their seqs are about to be
+        // reassigned and must never receive a wakeup meant for a dead
+        // instruction.
         self.last_writer = [None; msp_isa::NUM_LOGICAL_REGS];
-        for inst in self.window.iter() {
+        for inst in self.window.iter_mut() {
             if let Some(dest) = inst.dest {
                 self.last_writer[dest.flat_index()] = Some(inst.seq);
             }
+            let mut kept = 0;
+            for i in 0..inst.waiter_count as usize {
+                if inst.waiters[i] < squash_from_seq {
+                    inst.waiters[kept] = inst.waiters[i];
+                    kept += 1;
+                }
+            }
+            inst.waiter_count = kept as u8;
         }
 
         // Redirect the front end.
@@ -597,6 +695,33 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Advances [`Simulator::done_prefix_seq`] towards `limit_seq` and
+    /// reports whether every in-flight instruction older than `limit_seq`
+    /// has completed. Already-verified seqs are never re-examined.
+    fn window_done_below(&mut self, limit_seq: u64) -> bool {
+        if self.done_prefix_seq >= limit_seq {
+            return true;
+        }
+        let Some(head_seq) = self.window.front().map(|f| f.seq) else {
+            self.done_prefix_seq = self.done_prefix_seq.max(limit_seq);
+            return true;
+        };
+        let mut seq = self.done_prefix_seq.max(head_seq);
+        while seq < limit_seq {
+            match self.window.get((seq - head_seq) as usize) {
+                Some(inst) if inst.status == Status::Done => seq += 1,
+                Some(_) => {
+                    self.done_prefix_seq = seq;
+                    return false;
+                }
+                // Past the window's tail: nothing older remains in flight.
+                None => break,
+            }
+        }
+        self.done_prefix_seq = seq.max(self.done_prefix_seq);
+        true
+    }
+
     fn commit_cpr(&mut self) {
         // The oldest checkpoint interval commits in bulk when every
         // instruction dispatched before the next checkpoint has completed.
@@ -605,12 +730,7 @@ impl<'p> Simulator<'p> {
                 break;
             }
             let boundary_seq = self.checkpoints[1].start_seq;
-            let all_done = self
-                .window
-                .iter()
-                .take_while(|i| i.seq < boundary_seq)
-                .all(|i| i.status == Status::Done);
-            if !all_done {
+            if !self.window_done_below(boundary_seq) {
                 break;
             }
             while self
@@ -702,14 +822,17 @@ impl<'p> Simulator<'p> {
             if self.window[idx].status != Status::Waiting {
                 continue;
             }
-            // Operand readiness.
-            let deps_ready = self.window[idx]
-                .deps
-                .iter()
-                .flatten()
-                .all(|producer| self.is_seq_done(*producer));
-            if !deps_ready {
-                continue;
+            // Operand readiness (cached once proven: see `deps_ready`).
+            if !self.window[idx].deps_ready {
+                let deps_ready = self.window[idx]
+                    .deps
+                    .iter()
+                    .flatten()
+                    .all(|producer| self.is_seq_done(*producer));
+                if !deps_ready {
+                    continue;
+                }
+                self.window[idx].deps_ready = true;
             }
             // Functional-unit availability.
             let class = self.window[idx].rec.inst.fu_class();
@@ -1051,6 +1174,36 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
+        // Sleep/wakeup registration: if every (not-yet-done) producer has a
+        // free inline waiter slot, this instruction sleeps until the last of
+        // them completes instead of polling from the waiting list. All-or-
+        // nothing: with any producer's list full, the instruction polls (a
+        // partial registration would let a wakeup double-insert it). An
+        // instruction whose two sources name the same producer (`r2 * r2`)
+        // registers once — both operands become ready at that single
+        // completion, and a double registration could overflow the slot a
+        // lone capacity check reserved.
+        let distinct_producers = match deps {
+            [Some(a), Some(b)] if a == b => [Some(a), None],
+            other => other,
+        };
+        let mut deps_pending = 0u8;
+        let can_sleep = distinct_producers.iter().flatten().all(|producer| {
+            self.window_index(*producer)
+                .map(|pidx| (self.window[pidx].waiter_count as usize) < MAX_WAITERS)
+                .unwrap_or(false)
+        });
+        if can_sleep {
+            for producer in distinct_producers.iter().flatten() {
+                let pidx = self
+                    .window_index(*producer)
+                    .expect("checked by can_sleep above");
+                let inst = &mut self.window[pidx];
+                inst.waiters[inst.waiter_count as usize] = seq;
+                inst.waiter_count += 1;
+                deps_pending += 1;
+            }
+        }
         // Mark the previous writer of this destination as superseded (CPR
         // aggressive release). Only correct-path supersessions count, so a
         // squashed wrong path cannot strand the release accounting.
@@ -1113,7 +1266,11 @@ impl<'p> Simulator<'p> {
             rec: front.rec,
             status: Status::Waiting,
             complete_cycle: 0,
+            deps_ready: deps == [None, None],
             deps,
+            deps_pending,
+            waiters: [0; MAX_WAITERS],
+            waiter_count: 0,
             iq_slot: Some(iq_slot),
             dest,
             mispredicted: front.mispredicted,
@@ -1125,7 +1282,9 @@ impl<'p> Simulator<'p> {
             pending_consumers: 0,
             reg_released: false,
         });
-        self.waiting.push(seq);
+        if deps_pending == 0 {
+            self.waiting.push(seq);
+        }
         true
     }
 
@@ -1149,7 +1308,7 @@ impl<'p> Simulator<'p> {
                         break;
                     }
                     match self.oracle.get(self.next_oracle_idx) {
-                        Some(rec) => (rec, Some(self.next_oracle_idx)),
+                        Some(&rec) => (rec, Some(self.next_oracle_idx)),
                         None => {
                             self.oracle_done = true;
                             break;
@@ -1419,6 +1578,84 @@ mod tests {
         let b = run_machine(w.program(), MachineKind::cpr(), 3_000);
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.stats.executed.total(), b.stats.executed.total());
+    }
+
+    #[test]
+    fn watchdog_truncation_is_surfaced() {
+        // A machine with no integer units can never issue the first
+        // instruction: no commit ever happens and the watchdog must fire —
+        // and the result must say so instead of posing as a datapoint.
+        let program = microbenchmark();
+        let mut config = SimConfig::machine(MachineKind::Baseline, PredictorKind::Gshare);
+        config.resources.int_units = 0;
+        let result = Simulator::new(&program, config).run(1_000);
+        assert!(result.truncated_by_watchdog);
+        assert_eq!(result.stats.watchdog_breaks, 1);
+        assert_eq!(result.stats.committed, 0);
+        assert!(
+            result
+                .stats
+                .canonical_string()
+                .contains("WATCHDOG_TRUNCATED=1"),
+            "a wedged run must never diff clean against a healthy golden"
+        );
+        // A healthy run reports no truncation and renders no marker.
+        let healthy = run_machine(&program, MachineKind::Baseline, 388);
+        assert!(!healthy.truncated_by_watchdog);
+        assert_eq!(healthy.stats.watchdog_breaks, 0);
+        assert!(!healthy.stats.canonical_string().contains("WATCHDOG"));
+    }
+
+    #[test]
+    fn duplicate_source_producer_does_not_overflow_waiter_slots() {
+        // A long-latency producer (missing load) accrues three sleeping
+        // consumers, then a fourth whose *both* sources name it (`r3 * r3`).
+        // The duplicate dependence must register a single waiter slot; a
+        // double registration would index past the fixed-size waiter array.
+        let r = ArchReg::int;
+        let mut b = msp_workloads::ProgramBuilder::new("dup-dep");
+        b.inst(msp_isa::Instruction::li(r(1), 64));
+        b.inst(msp_isa::Instruction::li(r(2), 0x8000));
+        b.label("loop");
+        b.inst(msp_isa::Instruction::load(r(3), r(2), 0));
+        b.inst(msp_isa::Instruction::add(r(4), r(3), r(1)));
+        b.inst(msp_isa::Instruction::add(r(5), r(3), r(1)));
+        b.inst(msp_isa::Instruction::add(r(6), r(3), r(1)));
+        b.inst(msp_isa::Instruction::mul(r(7), r(3), r(3)));
+        b.inst(msp_isa::Instruction::addi(r(2), r(2), 64));
+        b.inst(msp_isa::Instruction::addi(r(1), r(1), -1));
+        b.bne(r(1), ArchReg::ZERO, "loop");
+        b.inst(msp_isa::Instruction::halt());
+        let program = b.build();
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let result = run_machine(&program, machine, 10_000);
+            // 2 + 64*8 + 1 dynamic instructions.
+            assert_eq!(result.stats.committed, 515, "{machine:?}");
+            assert!(!result.truncated_by_watchdog, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn shared_trace_simulation_is_bit_identical() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let trace = std::sync::Arc::new(Trace::capture(w.program(), 3_500));
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let private = Simulator::new(w.program(), config.clone()).run(3_000);
+            let shared = Simulator::with_trace(w.program(), config, std::sync::Arc::clone(&trace))
+                .run(3_000);
+            assert_eq!(private.stats, shared.stats, "{machine:?}");
+        }
     }
 
     #[test]

@@ -111,6 +111,11 @@ pub struct SimStats {
     pub store_forwards: u64,
     /// D-cache misses observed by loads.
     pub dcache_misses: u64,
+    /// Times the no-forward-progress watchdog fired and truncated the run
+    /// (20,000 consecutive cycles without a commit). Always zero for a
+    /// healthy configuration; a nonzero value marks the statistics as
+    /// untrustworthy — the machine wedged and the run was cut short.
+    pub watchdog_breaks: u64,
 }
 
 impl SimStats {
@@ -159,11 +164,19 @@ impl SimStats {
             .iter()
             .map(|(r, c)| format!("{}:{c}", r.flat_index()))
             .collect();
+        // The watchdog marker is appended only when it fired: healthy runs
+        // keep the historical rendering (and golden files) byte-identical,
+        // while a wedged run can never diff clean against a healthy one.
+        let watchdog = if self.watchdog_breaks > 0 {
+            format!(" WATCHDOG_TRUNCATED={}", self.watchdog_breaks)
+        } else {
+            String::new()
+        };
         format!(
             "cycles={} committed={} exec_correct={} exec_reexec={} exec_wrong={} \
              branches={} mispred={} recoveries={} imprecise={} checkpoints={} \
              iq={} rob={} lq={} sq={} regs={} chk={} same_reg={} fe={} \
-             bank_full=[{}] ports={} fwd={} dmiss={}",
+             bank_full=[{}] ports={} fwd={} dmiss={}{}",
             self.cycles,
             self.committed,
             self.executed.correct_path,
@@ -186,6 +199,7 @@ impl SimStats {
             self.port_conflicts,
             self.store_forwards,
             self.dcache_misses,
+            watchdog,
         )
     }
 }

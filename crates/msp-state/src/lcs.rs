@@ -61,14 +61,31 @@ impl LcsUnit {
         fallback: StateId,
     ) -> StateId {
         let mut min: Option<StateId> = None;
+        let mut active = 0u64;
         for s in contributions.into_iter().flatten() {
-            self.comparisons += 1;
+            active += 1;
             min = Some(match min {
                 Some(m) if m <= s => m,
                 _ => s,
             });
         }
-        let computed = min.unwrap_or(fallback);
+        self.clock_reduced(min, active, fallback)
+    }
+
+    /// Performs one clock cycle from an **externally reduced** minimum: the
+    /// caller computed `min(StateId[RelP_i])` itself (over `active`
+    /// contributing banks) — typically as a branch-free sweep over a flat
+    /// cached array — and this unit only models the comparator tree's energy
+    /// count and propagation delay. Behaves exactly like [`LcsUnit::clock`]
+    /// fed the same contributions.
+    pub fn clock_reduced(
+        &mut self,
+        minimum: Option<StateId>,
+        active: u64,
+        fallback: StateId,
+    ) -> StateId {
+        self.comparisons += active;
+        let computed = minimum.unwrap_or(fallback);
         if self.delay == 0 {
             self.visible = computed;
         } else {

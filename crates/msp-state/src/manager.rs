@@ -260,8 +260,30 @@ pub struct MspStateManager {
     rename_unit: RenameUnit,
     last_allocated: PhysReg,
     committed_floor: StateId,
+    /// Banks whose Release-Pointer inputs (Ready bits, RelIQ use bits,
+    /// allocations, recoveries) changed since the last commit clock, one bit
+    /// per bank. Clean banks provably produce the same LCS contribution as
+    /// last cycle, so the commit clock re-derives only the dirty ones.
+    dirty_banks: u64,
+    /// Cached per-bank LCS contribution (`u64::MAX` encodes an idle bank),
+    /// valid for every clean bank.
+    contrib_cache: Vec<u64>,
+    /// Cached per-bank release gate ([`Sct::second_oldest_state`]), valid
+    /// for every clean bank and refreshed whenever a bank releases.
+    release_gate: Vec<u64>,
     stats: MspStats,
 }
+
+/// Bitmask with one dirty bit for every logical-register bank.
+const ALL_BANKS_DIRTY: u64 = if NUM_LOGICAL_REGS >= 64 {
+    u64::MAX
+} else {
+    (1u64 << NUM_LOGICAL_REGS) - 1
+};
+const _: () = assert!(
+    NUM_LOGICAL_REGS <= 64,
+    "the dirty-bank bitmask packs one bank per bit of a u64"
+);
 
 impl MspStateManager {
     /// Creates a manager for the given configuration.
@@ -281,6 +303,9 @@ impl MspStateManager {
             rename_unit: RenameUnit::new(config.rename),
             last_allocated: PhysReg::new(0, 0),
             committed_floor: StateId::ZERO,
+            dirty_banks: ALL_BANKS_DIRTY,
+            contrib_cache: vec![u64::MAX; NUM_LOGICAL_REGS],
+            release_gate: vec![u64::MAX; NUM_LOGICAL_REGS],
             stats: MspStats::default(),
             config,
         }
@@ -314,6 +339,15 @@ impl MspStateManager {
         stats.width_truncations = self.rename_unit.width_truncations();
         stats.epoch_resets = self.counter.epoch_resets();
         stats
+    }
+
+    /// Marks a bank's commit-clock caches as stale. Every mutation that can
+    /// change a bank's Release-Pointer progress or LCS contribution funnels
+    /// through this, which is what keeps the incremental
+    /// [`MspStateManager::clock_commit`] bit-identical to a full sweep.
+    #[inline]
+    fn mark_bank_dirty(&mut self, bank: usize) {
+        self.dirty_banks |= 1u64 << bank;
     }
 
     /// Rename stalls caused by a specific logical register's bank being full
@@ -404,6 +438,7 @@ impl MspStateManager {
                         .allocate(state)
                         .expect("bank fullness checked above");
                     self.stats.states_allocated += 1;
+                    self.mark_bank_dirty(bank);
                     let phys = PhysReg::new(bank, slot);
                     self.last_allocated = phys;
                     Some(RenamedDest {
@@ -461,6 +496,7 @@ impl MspStateManager {
                     .allocate(state)
                     .expect("bank fullness checked above");
                 self.stats.states_allocated += 1;
+                self.mark_bank_dirty(bank);
                 let phys = PhysReg::new(bank, slot);
                 self.last_allocated = phys;
                 Some(RenamedDest {
@@ -488,6 +524,7 @@ impl MspStateManager {
     pub fn note_use(&mut self, reg: PhysReg, iq_slot: usize) {
         self.reliqs[reg.bank()].set_use(reg.slot(), iq_slot);
         self.slot_uses[iq_slot].push((reg.bank(), reg.slot()));
+        self.mark_bank_dirty(reg.bank());
     }
 
     /// Clears a previously recorded use (the consumer issued / completed).
@@ -500,6 +537,7 @@ impl MspStateManager {
         {
             uses.swap_remove(pos);
         }
+        self.mark_bank_dirty(reg.bank());
     }
 
     /// Clears every use bit of an IQ slot across all banks (the slot was
@@ -509,6 +547,7 @@ impl MspStateManager {
         let mut uses = std::mem::take(&mut self.slot_uses[iq_slot]);
         for (bank, row) in uses.drain(..) {
             self.reliqs[bank].clear_use(row, iq_slot);
+            self.dirty_banks |= 1u64 << bank;
         }
         // Hand the (empty) buffer back so the capacity is reused.
         self.slot_uses[iq_slot] = uses;
@@ -517,6 +556,7 @@ impl MspStateManager {
     /// Marks a physical register as produced (writeback).
     pub fn mark_ready(&mut self, reg: PhysReg) {
         self.scts[reg.bank()].mark_ready(reg.slot());
+        self.mark_bank_dirty(reg.bank());
     }
 
     /// Whether a physical register's value has been produced.
@@ -551,25 +591,57 @@ impl MspStateManager {
     }
 
     fn clock_commit_core(&mut self, on_release: &mut dyn FnMut(PhysReg)) -> (StateId, u64) {
-        // 1. Advance the per-bank Release Pointers.
-        for bank in 0..NUM_LOGICAL_REGS {
+        // 1. Advance the Release Pointer of every *dirty* bank and refresh
+        //    its cached LCS contribution and release gate. A clean bank's
+        //    inputs (Ready bits, RelIQ use bits, Rename Pointer) are
+        //    untouched since its caches were computed, so re-deriving them
+        //    would reproduce the cached values — skipping the other
+        //    `NUM_LOGICAL_REGS - popcount(dirty)` banks is what makes the
+        //    per-cycle commit clock O(changed banks) instead of O(banks).
+        let mut dirty = self.dirty_banks;
+        self.dirty_banks = 0;
+        while dirty != 0 {
+            let bank = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
             let reliq = &self.reliqs[bank];
-            self.scts[bank].advance_release_pointer(|slot| reliq.any_use(slot));
+            let sct = &mut self.scts[bank];
+            sct.advance_release_pointer(|slot| reliq.any_use(slot));
+            self.contrib_cache[bank] = sct.lcs_contribution().map_or(u64::MAX, StateId::as_u64);
+            self.release_gate[bank] = sct.second_oldest_state();
         }
-        // 2. Reduce the per-bank contributions to the LCS.
+        // 2. Reduce the cached per-bank contributions to the LCS with a
+        //    branch-free min over the flat cache (idle banks hold u64::MAX
+        //    and lose every comparison; they are excluded from the active
+        //    count the LCS unit's energy model sees).
         let fallback = self.counter.current().next();
-        let lcs = self
-            .lcs
-            .clock(self.scts.iter().map(|s| s.lcs_contribution()), fallback);
-        // 3. Release committed registers in every bank.
+        let mut min = u64::MAX;
+        let mut active = 0u64;
+        for &v in &self.contrib_cache {
+            active += u64::from(v != u64::MAX);
+            min = min.min(v);
+        }
+        let lcs = self.lcs.clock_reduced(
+            (min != u64::MAX).then_some(StateId::new(min)),
+            active,
+            fallback,
+        );
+        // 3. Release committed registers, visiting only banks whose gate
+        //    shows at least two entries older than the LCS (the exact
+        //    condition under which `release_committed_with` frees anything).
         let mut released_count = 0u64;
-        let reliqs = &mut self.reliqs;
-        for (bank, sct) in self.scts.iter_mut().enumerate() {
-            sct.release_committed_with(lcs, |slot| {
+        let lcs_raw = lcs.as_u64();
+        for bank in 0..NUM_LOGICAL_REGS {
+            if self.release_gate[bank] >= lcs_raw {
+                continue;
+            }
+            let reliqs = &mut self.reliqs;
+            self.scts[bank].release_committed_with(lcs, |slot| {
                 reliqs[bank].clear_row(slot);
                 released_count += 1;
                 on_release(PhysReg::new(bank, slot));
             });
+            self.release_gate[bank] = self.scts[bank].second_oldest_state();
+            self.dirty_banks |= 1u64 << bank;
         }
         let newly_committed = lcs.as_u64().saturating_sub(self.committed_floor.as_u64());
         if lcs > self.committed_floor {
@@ -606,6 +678,7 @@ impl MspStateManager {
             }
         }
         self.counter.recover_to(recovery_state);
+        self.dirty_banks = ALL_BANKS_DIRTY;
         // Restore the anchor for subsequently decoded non-allocating
         // instructions to the surviving renaming of the recovery state.
         self.last_allocated = self.anchor_for_current_state();

@@ -138,6 +138,20 @@ impl Sct {
         self.capacity
     }
 
+    /// Reduces an index in `0..2*capacity` into the bank's slot range.
+    /// Every caller adds at most `capacity` to an in-range slot, so a single
+    /// conditional subtract replaces the integer division a `%` would cost
+    /// on this hot path (bank capacities are runtime values).
+    #[inline]
+    fn wrap(&self, index: usize) -> usize {
+        debug_assert!(index < 2 * self.capacity);
+        if index >= self.capacity {
+            index - self.capacity
+        } else {
+            index
+        }
+    }
+
     /// Number of valid entries (live physical registers).
     pub fn live_entries(&self) -> usize {
         self.live
@@ -166,7 +180,7 @@ impl Sct {
     /// Slot of the most recent renaming (the Rename Pointer, `RenP`). Source
     /// operands of newly renamed instructions read this mapping.
     pub fn current_mapping(&self) -> usize {
-        (self.oldest + self.live - 1) % self.capacity
+        self.wrap(self.oldest + self.live - 1)
     }
 
     /// StateId of the most recent renaming.
@@ -202,7 +216,7 @@ impl Sct {
         if slot == self.current_mapping() {
             StateIdRange::open(self.entries[slot].state_id)
         } else {
-            let next = (slot + 1) % self.capacity;
+            let next = self.wrap(slot + 1);
             StateIdRange::closed(
                 self.entries[slot].state_id,
                 self.entries[next].state_id.prev(),
@@ -230,7 +244,7 @@ impl Sct {
         if self.is_full() {
             return Err(SctError::BankFull);
         }
-        let slot = (self.current_mapping() + 1) % self.capacity;
+        let slot = self.wrap(self.current_mapping() + 1);
         self.entries[slot] = SctEntry {
             state_id,
             valid: true,
@@ -265,7 +279,7 @@ impl Sct {
     pub fn mapping_for_state(&self, state: StateId) -> Option<usize> {
         let mut result = None;
         for i in 0..self.live {
-            let slot = (self.oldest + i) % self.capacity;
+            let slot = self.wrap(self.oldest + i);
             if self.entries[slot].state_id <= state {
                 result = Some(slot);
             } else {
@@ -291,7 +305,7 @@ impl Sct {
         let passable = |entry: &SctEntry, slot: usize| entry.ready && !has_outstanding_uses(slot);
         let ren_p = self.current_mapping();
         while self.rel_p != ren_p && passable(&self.entries[self.rel_p], self.rel_p) {
-            self.rel_p = (self.rel_p + 1) % self.capacity;
+            self.rel_p = self.wrap(self.rel_p + 1);
         }
         self.idle = self.rel_p == ren_p && passable(&self.entries[ren_p], ren_p);
     }
@@ -305,6 +319,24 @@ impl Sct {
             None
         } else {
             Some(self.entries[self.rel_p].state_id)
+        }
+    }
+
+    /// The StateId of the **second-oldest** live entry as a raw `u64`, or
+    /// `u64::MAX` when fewer than two entries are live.
+    ///
+    /// This is the bank's *release gate*: [`Sct::release_committed_with`]
+    /// frees a register exactly when at least two entries are older than the
+    /// LCS (the youngest committed entry always survives as the
+    /// architectural mapping), i.e. exactly when this value is `< lcs`. The
+    /// per-cycle commit loop reads the gate to skip banks with nothing to
+    /// release without touching their entry storage.
+    #[inline]
+    pub fn second_oldest_state(&self) -> u64 {
+        if self.live >= 2 {
+            self.entries[self.wrap(self.oldest + 1)].state_id.as_u64()
+        } else {
+            u64::MAX
         }
     }
 
@@ -325,7 +357,7 @@ impl Sct {
         // Count how many of the oldest entries are older than the LCS.
         let mut committed = 0;
         for i in 0..self.live {
-            let slot = (self.oldest + i) % self.capacity;
+            let slot = self.wrap(self.oldest + i);
             if self.entries[slot].state_id < lcs {
                 committed += 1;
             } else {
@@ -338,7 +370,7 @@ impl Sct {
             debug_assert!(self.entries[slot].valid);
             self.entries[slot] = SctEntry::INVALID;
             on_release(slot);
-            self.oldest = (self.oldest + 1) % self.capacity;
+            self.oldest = self.wrap(self.oldest + 1);
             self.live -= 1;
             committed -= 1;
         }
@@ -377,7 +409,7 @@ impl Sct {
     /// `(slot, entry)` pairs.
     pub fn iter_live(&self) -> impl Iterator<Item = (usize, &SctEntry)> + '_ {
         (0..self.live).map(move |i| {
-            let slot = (self.oldest + i) % self.capacity;
+            let slot = self.wrap(self.oldest + i);
             (slot, &self.entries[slot])
         })
     }

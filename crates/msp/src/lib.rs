@@ -41,7 +41,7 @@ pub use msp_workloads as workloads;
 /// The most commonly used types, importable with `use msp::prelude::*`.
 pub mod prelude {
     pub use msp_branch::{DirectionPredictor, PredictorKind};
-    pub use msp_isa::{ArchReg, ArchState, Instruction, Program};
+    pub use msp_isa::{ArchReg, ArchState, Instruction, Program, Trace};
     pub use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
     pub use msp_state::{MspConfig, MspStateManager, RenameRequest, StateId};
     pub use msp_workloads::{BenchCategory, Variant, Workload};

@@ -5,6 +5,7 @@
 //! Run with `cargo run --release -p msp --example predictor_study`.
 
 use msp::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let budget = 15_000;
@@ -17,14 +18,19 @@ fn main() {
         );
         for name in names {
             let workload = msp::workloads::by_name(name, Variant::Original).expect("kernel exists");
-            let cpr = Simulator::new(
+            // Execute the kernel functionally once; both machines (and both
+            // predictors' runs, via the clone) replay the same shared trace.
+            let trace = Arc::new(Trace::capture(workload.program(), budget + 2_000));
+            let cpr = Simulator::with_trace(
                 workload.program(),
                 SimConfig::machine(MachineKind::cpr(), predictor),
+                Arc::clone(&trace),
             )
             .run(budget);
-            let sp16 = Simulator::new(
+            let sp16 = Simulator::with_trace(
                 workload.program(),
                 SimConfig::machine(MachineKind::msp(16), predictor),
+                trace,
             )
             .run(budget);
             println!(

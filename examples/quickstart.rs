@@ -4,13 +4,24 @@
 //! Run with `cargo run --release -p msp --example quickstart`.
 
 use msp::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let workload = msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists");
     println!("workload: {workload}");
 
+    // Materialise the correct-path trace once, then simulate against it.
+    // With a single simulation this is equivalent to `Simulator::new`; with
+    // several (see the other examples and msp-bench's sweeps) the same
+    // `Arc<Trace>` is shared by every machine, predictor and thread.
+    let trace = Arc::new(Trace::capture(workload.program(), 22_000));
+    println!(
+        "trace              : {} instructions, {:.1} KiB shared",
+        trace.len(),
+        trace.footprint_bytes() as f64 / 1024.0
+    );
     let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare);
-    let mut simulator = Simulator::new(workload.program(), config);
+    let mut simulator = Simulator::with_trace(workload.program(), config, trace);
     let result = simulator.run(20_000);
     let stats = &result.stats;
 

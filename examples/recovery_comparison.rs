@@ -5,10 +5,14 @@
 //! Run with `cargo run --release -p msp --example recovery_comparison`.
 
 use msp::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let workload = msp::workloads::by_name("vpr", Variant::Original).expect("kernel exists");
     println!("workload: {workload}\n");
+    // The kernel executes functionally once; all six machine × predictor
+    // simulations replay the shared trace.
+    let trace = Arc::new(Trace::capture(workload.program(), 22_000));
     println!(
         "{:<10} {:>9} {:>7} {:>11} {:>12} {:>12} {:>12}",
         "machine", "predictor", "IPC", "recoveries", "correct", "re-executed", "wrong-path"
@@ -20,7 +24,8 @@ fn main() {
             MachineKind::IdealMsp,
         ] {
             let config = SimConfig::machine(machine, predictor);
-            let result = Simulator::new(workload.program(), config).run(20_000);
+            let result =
+                Simulator::with_trace(workload.program(), config, Arc::clone(&trace)).run(20_000);
             let e = result.stats.executed;
             println!(
                 "{:<10} {:>9} {:>7.2} {:>11} {:>12} {:>12} {:>12}",

@@ -5,6 +5,7 @@
 //! Run with `cargo run --release -p msp --example register_pressure`.
 
 use msp::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let budget = 15_000;
@@ -15,9 +16,12 @@ fn main() {
     for name in ["bzip2", "swim"] {
         for variant in [Variant::Original, Variant::Modified] {
             let workload = msp::workloads::by_name(name, variant).expect("kernel exists");
+            // One functional execution serves the whole bank-size sweep.
+            let trace = Arc::new(Trace::capture(workload.program(), budget + 2_000));
             for n in [8, 16, 64] {
                 let config = SimConfig::machine(MachineKind::msp(n), PredictorKind::Tage);
-                let result = Simulator::new(workload.program(), config).run(budget);
+                let result = Simulator::with_trace(workload.program(), config, Arc::clone(&trace))
+                    .run(budget);
                 println!(
                     "{:<10} {:<9} {:>6} {:>8.2} {:>16}",
                     name,
