@@ -6,15 +6,17 @@
 //! The measured sweep is the `table1` sweep: the four Table I machine
 //! columns (Baseline, CPR, 16-SP, ideal MSP) on three reference kernels
 //! (gzip, vpr, swim) with the gshare predictor, at the configured
-//! `MSP_BENCH_INSTRUCTIONS` budget. Four measurements are taken:
+//! `MSP_BENCH_INSTRUCTIONS` budget, executed as a `Lab` experiment. Four
+//! measurements are taken:
 //!
-//! 1. a **cold sequential** pass (`MSP_BENCH_THREADS=1`, empty trace cache:
-//!    includes the one functional execution per kernel, like the seed
-//!    implementation's runs did),
+//! 1. a **cold sequential** pass (single-threaded `Lab`, empty trace
+//!    cache: includes the one functional execution per kernel, like the
+//!    seed implementation's runs did),
 //! 2. the **trace capture** cost alone (how much of a cold sweep is
 //!    functional execution — the work the shared-trace layer de-duplicates
 //!    from 12 executions down to 3),
-//! 3. a **warm sequential** pass (the steady-state cost of re-sweeping), and
+//! 3. a **warm sequential** pass (the steady-state cost of re-running the
+//!    experiment in the same session), and
 //! 4. a **thread-scaling** series at 1/2/4/default workers over the warm
 //!    cache, recorded so parallel-speedup claims can be checked against the
 //!    host's actual hardware parallelism (a single-core container shows a
@@ -27,9 +29,8 @@
 //! MSP_BENCH_INSTRUCTIONS=200000 cargo bench -p msp-bench --bench pipeline
 //! ```
 
-use msp_bench::{instruction_budget, run_matrix, sweep_threads};
+use msp_bench::{reports, Experiment, Lab, LabConfig};
 use msp_branch::PredictorKind;
-use msp_pipeline::{MachineKind, SimResult};
 use msp_workloads::{by_name, Variant, Workload};
 use std::time::Instant;
 
@@ -51,51 +52,62 @@ struct SweepMeasurement {
     sims: usize,
 }
 
-fn measure_sweep(workloads: &[Workload], machines: &[MachineKind]) -> SweepMeasurement {
+fn table1_spec(workloads: &[Workload]) -> Experiment {
+    Experiment::new("table1-sweep")
+        .workloads(workloads.iter().cloned())
+        .machines(reports::reference_machines())
+        .predictor(PredictorKind::Gshare)
+}
+
+fn measure_sweep(lab: &Lab, spec: &Experiment) -> SweepMeasurement {
     let start = Instant::now();
-    let rows = run_matrix(
-        workloads,
-        machines,
-        PredictorKind::Gshare,
-        instruction_budget(),
-    );
+    let results = lab.run(spec);
     let wall_s = start.elapsed().as_secs_f64();
-    let results: Vec<&SimResult> = rows.iter().flatten().collect();
     assert!(
-        results.iter().all(|r| !r.truncated_by_watchdog),
+        results
+            .cells()
+            .iter()
+            .all(|c| !c.result.truncated_by_watchdog),
         "a wedged simulation must not be reported as a benchmark result"
     );
     SweepMeasurement {
         wall_s,
-        committed: results.iter().map(|r| r.stats.committed).sum(),
-        cycles: results.iter().map(|r| r.stats.cycles).sum(),
-        sims: results.len(),
+        committed: results
+            .cells()
+            .iter()
+            .map(|c| c.result.stats.committed)
+            .sum(),
+        cycles: results.cells().iter().map(|c| c.result.stats.cycles).sum(),
+        sims: results.cells().len(),
     }
 }
 
 fn main() {
-    let machines = [
-        MachineKind::Baseline,
-        MachineKind::cpr(),
-        MachineKind::msp(16),
-        MachineKind::IdealMsp,
-    ];
+    let config = LabConfig::from_env().unwrap_or_else(|err| {
+        eprintln!("pipeline bench: {err}");
+        std::process::exit(1);
+    });
+    let budget = config.instructions;
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
         .iter()
         .map(|name| by_name(name, Variant::Original).expect("reference kernel exists"))
         .collect();
-    let budget = instruction_budget();
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let spec = table1_spec(&workloads);
 
-    // 1. Cold sequential pass: the trace cache is empty, so this includes
-    //    one functional execution per kernel (the seed-comparable number).
-    std::env::set_var("MSP_BENCH_THREADS", "1");
-    let cold = measure_sweep(&workloads, &machines);
+    // 1. Cold sequential pass: the lab's trace cache is empty, so this
+    //    includes one functional execution per kernel (the seed-comparable
+    //    number).
+    let mut lab = Lab::new(LabConfig {
+        threads: 1,
+        ..config.clone()
+    });
+    let cold = measure_sweep(&lab, &spec);
 
     // 2. Isolated capture cost: functionally execute each kernel once more,
-    //    bypassing the cache. This is the per-process price the trace layer
+    //    bypassing the cache. This is the per-session price the trace layer
     //    pays 3 times (once per kernel) where the pre-trace sweep paid it
     //    12 times (once per simulation).
     let capture_start = Instant::now();
@@ -105,8 +117,9 @@ fn main() {
     }
     let capture_s = capture_start.elapsed().as_secs_f64();
 
-    // 3. Warm sequential pass: the steady-state sweep cost.
-    let warm = measure_sweep(&workloads, &machines);
+    // 3. Warm sequential pass: the steady-state cost of re-running the
+    //    experiment in the same session.
+    let warm = measure_sweep(&lab, &spec);
 
     // 4. Thread scaling over the warm cache: 1, 2, 4 and the host default.
     let mut scaling_threads = vec![1usize, 2, 4];
@@ -115,11 +128,9 @@ fn main() {
     }
     let mut scaling: Vec<(usize, SweepMeasurement)> = Vec::new();
     for &threads in &scaling_threads {
-        std::env::set_var("MSP_BENCH_THREADS", threads.to_string());
-        scaling.push((threads, measure_sweep(&workloads, &machines)));
+        lab.set_threads(threads);
+        scaling.push((threads, measure_sweep(&lab, &spec)));
     }
-    std::env::remove_var("MSP_BENCH_THREADS");
-    let threads = sweep_threads();
     // The "parallel" datapoint is the warm pass at the host's default
     // worker count, compared against the warm sequential pass — warm vs
     // warm, so the ratio measures parallelism and nothing else (on a
@@ -182,10 +193,9 @@ fn main() {
     let json = format!(
         r#"{{
   "bench": "table1_sweep",
-  "description": "4 Table I machines x 3 reference kernels (gzip, vpr, swim), gshare, shared functional traces",
+  "description": "4 Table I machines x 3 reference kernels (gzip, vpr, swim), gshare, one Lab session with shared functional traces",
   "instructions_per_sim": {budget},
   "sims": {sims},
-  "threads": {threads},
   "parallel_threads": {parallel_threads},
   "host_hardware_threads": {host_threads},
   "seed_baseline": {{
@@ -212,7 +222,7 @@ fn main() {
   "speedup_vs_seed": {seed_speedup:.2},
   "speedup_vs_pre_trace_layer": {vs_pre:.2},
   "comparable_to_seed_baseline": {comparable},
-  "parallel_speedup_diagnosis": "parallel_map distributes cells dynamically and result-order-stably; the historical 1.03x parallel speedup was host parallelism, not imbalance - see host_hardware_threads and the flat thread_scaling curve on 1-core containers"
+  "parallel_speedup_diagnosis": "Lab::run distributes cells dynamically and result-order-stably; the historical 1.03x parallel speedup was host parallelism, not imbalance - see host_hardware_threads and the flat thread_scaling curve on 1-core containers"
 }}
 "#,
         sims = warm.sims,

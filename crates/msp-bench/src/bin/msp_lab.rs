@@ -1,0 +1,137 @@
+//! `msp-lab` — the single experiment CLI of the MSP reproduction.
+//!
+//! One subcommand per paper artefact, one `--format` flag for the output:
+//!
+//! ```text
+//! msp-lab <subcommand> [--format text|json|csv]
+//! msp-lab --list
+//! ```
+//!
+//! Subcommands: `table1 table2 table3 fig6 fig7 fig8 fig9 ablate-lcs
+//! ablate-rename ablate-cpr-regs stats-dump`. The session is configured
+//! from the environment (`MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS`,
+//! `MSP_BENCH_TRACE_CACHE_BYTES` — strictly parsed; see
+//! `LabConfig::from_env`). Two builds of the simulator can be diffed for
+//! bit-identical behaviour:
+//!
+//! ```text
+//! MSP_BENCH_INSTRUCTIONS=20000 msp-lab stats-dump > before.txt
+//! # ... change the simulator ...
+//! MSP_BENCH_INSTRUCTIONS=20000 msp-lab stats-dump | diff before.txt -
+//! ```
+//!
+//! The checked-in goldens under `tests/golden/` pin the 20k/200k
+//! `stats-dump` text renderings and the `table1` text and JSON renderings;
+//! the golden tests and the CI bench-smoke job both diff against them.
+
+use msp_bench::{Lab, OutputFormat, ReportKind};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: msp-lab <subcommand> [--format text|json|csv]\n\
+         \n\
+         Runs one experiment of the González et al. (MICRO 2008) reproduction\n\
+         and prints the report.\n\
+         \n\
+         subcommands:\n",
+    );
+    for kind in ReportKind::ALL {
+        out.push_str(&format!("  {:16} {}\n", kind.name(), kind.description()));
+    }
+    out.push_str(
+        "\n\
+         options:\n\
+         \x20 --format <fmt>   output format: text (default), json or csv\n\
+         \x20 --list           list the subcommand names, one per line\n\
+         \x20 --help           this help\n\
+         \n\
+         environment (strictly parsed; invalid values are errors):\n\
+         \x20 MSP_BENCH_INSTRUCTIONS      committed instructions per simulation (default 20000)\n\
+         \x20 MSP_BENCH_THREADS           sweep worker threads (default: hardware threads)\n\
+         \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n",
+    );
+    out
+}
+
+enum Invocation {
+    Run(ReportKind, OutputFormat),
+    Help,
+    List,
+}
+
+fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut kind: Option<ReportKind> = None;
+    let mut format = OutputFormat::Text;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Invocation::Help),
+            "--list" => return Ok(Invocation::List),
+            "--format" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--format needs a value (text, json or csv)".to_string())?;
+                format = OutputFormat::parse(value)
+                    .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))?;
+            }
+            flag if flag.starts_with("--format=") => {
+                let value = &flag["--format=".len()..];
+                format = OutputFormat::parse(value)
+                    .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag:?}"));
+            }
+            name => {
+                if kind.is_some() {
+                    return Err(format!("unexpected extra argument {name:?}"));
+                }
+                kind = Some(
+                    ReportKind::from_name(name)
+                        .ok_or_else(|| format!("unknown subcommand {name:?} (see --list)"))?,
+                );
+            }
+        }
+    }
+    match kind {
+        Some(kind) => Ok(Invocation::Run(kind, format)),
+        None => Err("missing subcommand".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let invocation = match parse_args(&args) {
+        Ok(invocation) => invocation,
+        Err(message) => {
+            eprintln!("msp-lab: {message}");
+            eprintln!();
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match invocation {
+        Invocation::Help => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Invocation::List => {
+            for kind in ReportKind::ALL {
+                println!("{}", kind.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Invocation::Run(kind, format) => {
+            let lab = match Lab::from_env() {
+                Ok(lab) => lab,
+                Err(error) => {
+                    eprintln!("msp-lab: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", kind.build(&lab).render(format));
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Declarative experiment specs and their structured results.
+//!
+//! An [`Experiment`] is plain data: the cross product of workloads ×
+//! machines × predictors × named [`SimConfig`] override hooks, plus an
+//! optional per-spec instruction budget. [`Lab::run`](crate::Lab::run)
+//! executes the spec into a [`ResultSet`] — a flat, deterministically
+//! ordered list of [`Cell`]s supporting coordinate indexing, filtering,
+//! group-by and pivoting into [`TextTable`]s.
+
+use crate::TextTable;
+use msp_branch::PredictorKind;
+use msp_pipeline::{MachineKind, SimConfig, SimResult};
+use msp_workloads::{Variant, Workload};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named `SimConfig` adjustment applied to every cell of one override
+/// column (the ablation sweeps are experiments whose only varying axis is
+/// the hook).
+#[derive(Clone)]
+pub struct ConfigHook {
+    name: Option<String>,
+    apply: Arc<dyn Fn(&mut SimConfig) + Send + Sync>,
+}
+
+impl ConfigHook {
+    /// A named hook.
+    pub fn named(
+        name: impl Into<String>,
+        apply: impl Fn(&mut SimConfig) + Send + Sync + 'static,
+    ) -> ConfigHook {
+        ConfigHook {
+            name: Some(name.into()),
+            apply: Arc::new(apply),
+        }
+    }
+
+    /// The do-nothing hook every experiment without explicit overrides
+    /// runs under.
+    pub fn identity() -> ConfigHook {
+        ConfigHook {
+            name: None,
+            apply: Arc::new(|_| {}),
+        }
+    }
+
+    /// The hook's name (`None` for the identity hook).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Applies the adjustment to a configuration.
+    pub fn apply(&self, config: &mut SimConfig) {
+        (self.apply)(config)
+    }
+}
+
+impl fmt::Debug for ConfigHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConfigHook")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// A declarative experiment spec: what to simulate, not how.
+///
+/// Build with the chained constructors, then hand to
+/// [`Lab::run`](crate::Lab::run):
+///
+/// ```
+/// use msp_bench::{Experiment, Lab, LabConfig};
+/// use msp_branch::PredictorKind;
+/// use msp_pipeline::MachineKind;
+/// use msp_workloads::{by_name, Variant};
+///
+/// let lab = Lab::new(LabConfig { instructions: 2_000, ..LabConfig::default() });
+/// let spec = Experiment::new("cpr-vs-msp")
+///     .workload(by_name("gzip", Variant::Original).unwrap())
+///     .machines([MachineKind::cpr(), MachineKind::msp(16)])
+///     .predictor(PredictorKind::Gshare);
+/// let results = lab.run(&spec);
+/// assert_eq!(results.cells().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    name: String,
+    workloads: Vec<Workload>,
+    machines: Vec<MachineKind>,
+    predictors: Vec<PredictorKind>,
+    hooks: Vec<ConfigHook>,
+    instructions: Option<u64>,
+}
+
+impl Experiment {
+    /// Creates an empty spec. Add at least one workload and one machine
+    /// before running; predictors default to gshare and the override axis
+    /// defaults to the identity hook.
+    pub fn new(name: impl Into<String>) -> Experiment {
+        Experiment {
+            name: name.into(),
+            workloads: Vec::new(),
+            machines: Vec::new(),
+            predictors: Vec::new(),
+            hooks: Vec::new(),
+            instructions: None,
+        }
+    }
+
+    /// Adds one workload.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds several workloads.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds one machine configuration.
+    pub fn machine(mut self, machine: MachineKind) -> Self {
+        self.machines.push(machine);
+        self
+    }
+
+    /// Adds several machine configurations.
+    pub fn machines(mut self, machines: impl IntoIterator<Item = MachineKind>) -> Self {
+        self.machines.extend(machines);
+        self
+    }
+
+    /// Adds one predictor.
+    pub fn predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictors.push(predictor);
+        self
+    }
+
+    /// Adds several predictors.
+    pub fn predictors(mut self, predictors: impl IntoIterator<Item = PredictorKind>) -> Self {
+        self.predictors.extend(predictors);
+        self
+    }
+
+    /// Adds a named [`SimConfig`] override column (the ablation axis). An
+    /// experiment with no overrides runs one unnamed identity column.
+    pub fn override_config(
+        mut self,
+        name: impl Into<String>,
+        apply: impl Fn(&mut SimConfig) + Send + Sync + 'static,
+    ) -> Self {
+        self.hooks.push(ConfigHook::named(name, apply));
+        self
+    }
+
+    /// Pins the committed-instruction budget for this spec, overriding the
+    /// lab's default.
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.instructions = Some(instructions);
+        self
+    }
+
+    /// The spec's name (carried into the [`ResultSet`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-spec budget override, if any.
+    pub fn instructions_override(&self) -> Option<u64> {
+        self.instructions
+    }
+
+    /// The effective axes of the cross product (defaults filled in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no workloads or no machines: an empty axis is
+    /// a spec bug, not an empty result.
+    pub(crate) fn axes(&self) -> Axes<'_> {
+        assert!(
+            !self.workloads.is_empty(),
+            "experiment {:?} has no workloads",
+            self.name
+        );
+        assert!(
+            !self.machines.is_empty(),
+            "experiment {:?} has no machines",
+            self.name
+        );
+        Axes {
+            workloads: &self.workloads,
+            machines: &self.machines,
+            predictors: if self.predictors.is_empty() {
+                vec![PredictorKind::Gshare]
+            } else {
+                self.predictors.clone()
+            },
+            hooks: if self.hooks.is_empty() {
+                vec![ConfigHook::identity()]
+            } else {
+                self.hooks.clone()
+            },
+        }
+    }
+}
+
+/// The effective cross-product axes of one experiment run. Cell order is
+/// workload-major, then machine, predictor, override — the coordinate math
+/// here is the single source of truth for both [`Lab::run`](crate::Lab::run)
+/// and [`ResultSet::get`].
+pub(crate) struct Axes<'a> {
+    pub workloads: &'a [Workload],
+    pub machines: &'a [MachineKind],
+    pub predictors: Vec<PredictorKind>,
+    pub hooks: Vec<ConfigHook>,
+}
+
+impl Axes<'_> {
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.machines.len() * self.predictors.len() * self.hooks.len()
+    }
+
+    pub fn coordinates(&self, flat: usize) -> (usize, usize, usize, usize) {
+        let per_predictor = self.hooks.len();
+        let per_machine = self.predictors.len() * per_predictor;
+        let per_workload = self.machines.len() * per_machine;
+        (
+            flat / per_workload,
+            flat % per_workload / per_machine,
+            flat % per_machine / per_predictor,
+            flat % per_predictor,
+        )
+    }
+}
+
+/// One simulated cell of an experiment's cross product.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload name.
+    pub workload: String,
+    /// Workload variant (original vs Table II hand-modified).
+    pub variant: Variant,
+    /// Simulated machine.
+    pub machine: MachineKind,
+    /// Direction predictor.
+    pub predictor: PredictorKind,
+    /// Name of the override hook this cell ran under (`None` for the
+    /// identity column).
+    pub hook: Option<String>,
+    /// The simulation result.
+    pub result: SimResult,
+}
+
+impl Cell {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.result.ipc()
+    }
+}
+
+/// The structured result of one [`Lab::run`](crate::Lab::run): every cell
+/// of the cross product in deterministic workload-major order, plus the
+/// axes they were produced from.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    name: String,
+    instructions: u64,
+    workloads: Vec<(String, Variant)>,
+    machines: Vec<MachineKind>,
+    predictors: Vec<PredictorKind>,
+    hooks: Vec<Option<String>>,
+    cells: Vec<Cell>,
+}
+
+impl ResultSet {
+    pub(crate) fn new(
+        name: String,
+        instructions: u64,
+        axes: &Axes<'_>,
+        cells: Vec<Cell>,
+    ) -> ResultSet {
+        debug_assert_eq!(cells.len(), axes.len());
+        ResultSet {
+            name,
+            instructions,
+            workloads: axes
+                .workloads
+                .iter()
+                .map(|w| (w.name().to_string(), w.variant()))
+                .collect(),
+            machines: axes.machines.to_vec(),
+            predictors: axes.predictors.clone(),
+            hooks: axes
+                .hooks
+                .iter()
+                .map(|h| h.name().map(str::to_string))
+                .collect(),
+            cells,
+        }
+    }
+
+    /// The experiment name this set was produced from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The committed-instruction budget every cell ran for.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The `(name, variant)` workload axis, in spec order.
+    pub fn workloads(&self) -> &[(String, Variant)] {
+        &self.workloads
+    }
+
+    /// The machine axis, in spec order.
+    pub fn machines(&self) -> &[MachineKind] {
+        &self.machines
+    }
+
+    /// The predictor axis, in spec order.
+    pub fn predictors(&self) -> &[PredictorKind] {
+        &self.predictors
+    }
+
+    /// The override-hook axis (`None` = identity column), in spec order.
+    pub fn hooks(&self) -> &[Option<String>] {
+        &self.hooks
+    }
+
+    /// Every cell, workload-major (then machine, predictor, override).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell at the given axis coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range.
+    pub fn get(&self, workload: usize, machine: usize, predictor: usize, hook: usize) -> &Cell {
+        assert!(workload < self.workloads.len(), "workload index");
+        assert!(machine < self.machines.len(), "machine index");
+        assert!(predictor < self.predictors.len(), "predictor index");
+        assert!(hook < self.hooks.len(), "hook index");
+        let flat = ((workload * self.machines.len() + machine) * self.predictors.len() + predictor)
+            * self.hooks.len()
+            + hook;
+        &self.cells[flat]
+    }
+
+    /// The cells satisfying a predicate, in cell order.
+    pub fn filter(&self, mut keep: impl FnMut(&Cell) -> bool) -> Vec<&Cell> {
+        self.cells.iter().filter(|c| keep(c)).collect()
+    }
+
+    /// Groups the cells by a key, preserving first-appearance order of the
+    /// keys and cell order within each group.
+    pub fn group_by<K: PartialEq>(&self, mut key: impl FnMut(&Cell) -> K) -> Vec<(K, Vec<&Cell>)> {
+        let mut groups: Vec<(K, Vec<&Cell>)> = Vec::new();
+        for cell in &self.cells {
+            let k = key(cell);
+            match groups.iter_mut().find(|(existing, _)| *existing == k) {
+                Some((_, members)) => members.push(cell),
+                None => groups.push((k, vec![cell])),
+            }
+        }
+        groups
+    }
+
+    /// Pivots the cells into a [`TextTable`]: one row per distinct row key,
+    /// one column per distinct column key (both in first-appearance order),
+    /// each body cell rendered by `value` from every cell matching that
+    /// (row, column) pair. Pairs with no matching cells render as `"-"`.
+    pub fn pivot(
+        &self,
+        corner: &str,
+        mut row_key: impl FnMut(&Cell) -> String,
+        mut col_key: impl FnMut(&Cell) -> String,
+        mut value: impl FnMut(&[&Cell]) -> String,
+    ) -> TextTable {
+        let mut rows: Vec<String> = Vec::new();
+        let mut cols: Vec<String> = Vec::new();
+        let mut buckets: Vec<(usize, usize, &Cell)> = Vec::new();
+        for cell in &self.cells {
+            let r = row_key(cell);
+            let c = col_key(cell);
+            let ri = match rows.iter().position(|x| *x == r) {
+                Some(i) => i,
+                None => {
+                    rows.push(r);
+                    rows.len() - 1
+                }
+            };
+            let ci = match cols.iter().position(|x| *x == c) {
+                Some(i) => i,
+                None => {
+                    cols.push(c);
+                    cols.len() - 1
+                }
+            };
+            buckets.push((ri, ci, cell));
+        }
+        let mut header = vec![corner.to_string()];
+        header.extend(cols.iter().cloned());
+        let mut table = TextTable::from_columns(header);
+        for (ri, row_label) in rows.iter().enumerate() {
+            let mut cells_out = vec![row_label.clone()];
+            for ci in 0..cols.len() {
+                let members: Vec<&Cell> = buckets
+                    .iter()
+                    .filter(|(r, c, _)| *r == ri && *c == ci)
+                    .map(|(_, _, cell)| *cell)
+                    .collect();
+                cells_out.push(if members.is_empty() {
+                    "-".to_string()
+                } else {
+                    value(&members)
+                });
+            }
+            table.row(cells_out);
+        }
+        table
+    }
+}

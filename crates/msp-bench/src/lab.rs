@@ -1,0 +1,459 @@
+//! The [`Lab`] session: owns everything the harness used to keep in
+//! process-global state — the shared trace cache, the worker-thread count
+//! and the instruction budget — and executes declarative
+//! [`Experiment`](crate::Experiment) specs into
+//! [`ResultSet`](crate::ResultSet)s.
+//!
+//! # Configuration
+//!
+//! A [`LabConfig`] is plain data with a [`Default`]. The environment is read
+//! in exactly one place, [`LabConfig::from_env`], and **strictly**: an
+//! unparseable (or zero) `MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS` or
+//! `MSP_BENCH_TRACE_CACHE_BYTES` is a [`LabConfigError`], never a silent
+//! fall-back to the default.
+//!
+//! # The trace cache
+//!
+//! Every simulation a `Lab` runs goes through its trace cache: the
+//! committed-path [`Trace`] of a `(workload, instruction budget)` pair is
+//! materialised by one functional execution and then shared read-only — as
+//! an `Arc<Trace>` — by every machine configuration, predictor, override
+//! hook and worker thread simulating that workload. There is **no**
+//! uncached execution path: the reference private-oracle comparison lives
+//! in the determinism tests, which construct `Simulator`s directly.
+//!
+//! The cache is bounded: a 200k-instruction trace is ~20 MiB (see
+//! DESIGN.md), so retained traces are LRU-evicted once their total
+//! footprint exceeds [`LabConfig::trace_cache_bytes`]. The most recently
+//! inserted trace is always retained (it is in use by the sweep that
+//! requested it); eviction only sheds older, idle traces. An evicted trace
+//! that is requested again is re-captured — functional execution is
+//! deterministic, so the re-capture is bit-identical (pinned by the
+//! determinism tests).
+
+use crate::experiment::{Cell, Experiment, ResultSet};
+use crate::parallel_map;
+use msp_isa::Trace;
+use msp_pipeline::{SimConfig, Simulator};
+use msp_workloads::{Variant, Workload};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Default number of committed instructions per simulation.
+pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
+
+/// Default trace-cache byte budget: room for a handful of 200k-instruction
+/// traces (~20 MiB each) or dozens of 20k ones.
+pub const DEFAULT_TRACE_CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+/// Extra records a cached trace materialises beyond the requested budget.
+///
+/// A simulator's front end fetches ahead of commit by at most the in-flight
+/// window (issue queue + fetch buffer, a few hundred instructions), so this
+/// margin keeps the overfetch inside the shared prefix; anything beyond it
+/// falls back to the oracle's (bit-identical) lazy extension.
+const TRACE_MARGIN: u64 = 4_096;
+
+/// Configuration of a [`Lab`] session: plain data, no hidden environment
+/// reads. Construct with [`Default`] (or struct update syntax) for
+/// programmatic use, or with [`LabConfig::from_env`] for the documented
+/// `MSP_BENCH_*` environment knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabConfig {
+    /// Committed-instruction budget per simulation (default
+    /// [`DEFAULT_INSTRUCTIONS`]). An [`Experiment`] can override it per
+    /// spec.
+    pub instructions: u64,
+    /// Worker threads for sweep execution (default: one per available
+    /// hardware thread). Results are identical and identically ordered for
+    /// every thread count.
+    pub threads: usize,
+    /// Byte budget for retained traces (default
+    /// [`DEFAULT_TRACE_CACHE_BYTES`]); least-recently-used traces are
+    /// evicted above it.
+    pub trace_cache_bytes: usize,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            instructions: DEFAULT_INSTRUCTIONS,
+            threads: default_threads(),
+            trace_cache_bytes: DEFAULT_TRACE_CACHE_BYTES,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A rejected `MSP_BENCH_*` environment value.
+///
+/// [`LabConfig::from_env`] is strict: a set-but-invalid variable is this
+/// error, never a silent fall-back to the default (a typo like
+/// `MSP_BENCH_INSTRUCTIONS=20_000` used to quietly run 20k-instruction
+/// sweeps labelled as something else).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabConfigError {
+    /// The offending environment variable.
+    pub var: &'static str,
+    /// The value it held.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for LabConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: {} (unset the variable to use the default)",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for LabConfigError {}
+
+impl LabConfig {
+    /// Reads the documented environment knobs, strictly:
+    ///
+    /// * `MSP_BENCH_INSTRUCTIONS` — committed-instruction budget per
+    ///   simulation; a positive integer.
+    /// * `MSP_BENCH_THREADS` — sweep worker threads; a positive integer.
+    /// * `MSP_BENCH_TRACE_CACHE_BYTES` — trace-cache byte budget; a
+    ///   non-negative integer (`0` disables retention beyond the trace in
+    ///   use).
+    ///
+    /// Unset variables use the [`Default`] values; set-but-invalid ones are
+    /// a [`LabConfigError`].
+    pub fn from_env() -> Result<LabConfig, LabConfigError> {
+        // `env::var_os` + explicit UTF-8 conversion: a non-UTF-8 value must
+        // surface as an error like any other garbage, not be treated as
+        // unset (which `env::var(..).ok()` would silently do).
+        fn read(var: &'static str) -> Result<Option<String>, LabConfigError> {
+            match std::env::var_os(var) {
+                None => Ok(None),
+                Some(value) => match value.into_string() {
+                    Ok(value) => Ok(Some(value)),
+                    Err(raw) => Err(LabConfigError {
+                        var,
+                        value: raw.to_string_lossy().into_owned(),
+                        reason: "not valid UTF-8",
+                    }),
+                },
+            }
+        }
+        Self::from_vars(
+            read("MSP_BENCH_INSTRUCTIONS")?.as_deref(),
+            read("MSP_BENCH_THREADS")?.as_deref(),
+            read("MSP_BENCH_TRACE_CACHE_BYTES")?.as_deref(),
+        )
+    }
+
+    /// [`LabConfig::from_env`] with the variable values passed explicitly
+    /// (`None` = unset), so the parsing rules are testable without mutating
+    /// the process environment.
+    pub fn from_vars(
+        instructions: Option<&str>,
+        threads: Option<&str>,
+        trace_cache_bytes: Option<&str>,
+    ) -> Result<LabConfig, LabConfigError> {
+        let defaults = LabConfig::default();
+        Ok(LabConfig {
+            instructions: parse_var(
+                "MSP_BENCH_INSTRUCTIONS",
+                instructions,
+                defaults.instructions,
+                true,
+            )?,
+            threads: parse_var("MSP_BENCH_THREADS", threads, defaults.threads as u64, true)?
+                as usize,
+            trace_cache_bytes: parse_var(
+                "MSP_BENCH_TRACE_CACHE_BYTES",
+                trace_cache_bytes,
+                defaults.trace_cache_bytes as u64,
+                false,
+            )? as usize,
+        })
+    }
+}
+
+fn parse_var(
+    var: &'static str,
+    value: Option<&str>,
+    default: u64,
+    require_nonzero: bool,
+) -> Result<u64, LabConfigError> {
+    let Some(value) = value else {
+        return Ok(default);
+    };
+    let parsed = value.trim().parse::<u64>().map_err(|_| LabConfigError {
+        var,
+        value: value.to_string(),
+        reason: "not an unsigned integer",
+    })?;
+    if require_nonzero && parsed == 0 {
+        return Err(LabConfigError {
+            var,
+            value: value.to_string(),
+            reason: "must be positive",
+        });
+    }
+    Ok(parsed)
+}
+
+// ------------------------------------------------------------- trace cache
+
+/// Cache key: workload identity plus a structural fingerprint of the
+/// program (so a hand-built `Workload` reusing a SPEC name can never alias
+/// a cached kernel), plus the instruction budget.
+type TraceKey = (String, Variant, u64, u64);
+
+/// Structural fingerprint of a program: every instruction plus the initial
+/// data image. Cheap (programs are a few hundred static instructions) and
+/// computed once per cache probe, not per record.
+fn program_fingerprint(workload: &Workload) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let program = workload.program();
+    program.entry().hash(&mut hasher);
+    for (pc, inst) in program.iter() {
+        pc.hash(&mut hasher);
+        inst.hash(&mut hasher);
+    }
+    program.initial_data().hash(&mut hasher);
+    hasher.finish()
+}
+
+struct CacheEntry {
+    key: TraceKey,
+    trace: Arc<Trace>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU-by-bytes trace store. The entry count is small (one per distinct
+/// `(workload, budget)` pair a session touches), so lookups are a linear
+/// scan and eviction is a scan for the minimum `last_used`.
+#[derive(Default)]
+struct TraceCache {
+    entries: Vec<CacheEntry>,
+    clock: u64,
+    bytes: usize,
+    captures: u64,
+    evictions: u64,
+}
+
+impl TraceCache {
+    fn get(&mut self, key: &TraceKey) -> Option<Arc<Trace>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.iter_mut().find(|e| &e.key == key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.trace)
+        })
+    }
+
+    fn insert(&mut self, key: TraceKey, trace: Arc<Trace>, budget: usize) -> Arc<Trace> {
+        // A racing capture may have inserted the same key while this one
+        // ran unlocked; traces are deterministic, so keep the incumbent.
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        self.clock += 1;
+        let bytes = trace.footprint_bytes();
+        self.bytes += bytes;
+        self.entries.push(CacheEntry {
+            key,
+            trace: Arc::clone(&trace),
+            bytes,
+            last_used: self.clock,
+        });
+        // Shed least-recently-used entries until the budget holds. The
+        // just-inserted entry (maximal `last_used`) is always retained:
+        // the sweep that requested it is about to use it, and keeping it
+        // caps the cache at one trace even under a zero budget.
+        while self.bytes > budget && self.entries.len() > 1 {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache has at least two entries");
+            let evicted = self.entries.swap_remove(lru);
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+        trace
+    }
+}
+
+// --------------------------------------------------------------------- Lab
+
+/// An experiment session: the owner of the trace cache and of the execution
+/// policy (threads, default instruction budget) that used to be process-
+/// global. Construct one per program (or per test), share it by reference —
+/// all methods take `&self`; the cache is internally synchronised.
+pub struct Lab {
+    config: LabConfig,
+    cache: Mutex<TraceCache>,
+}
+
+impl fmt::Debug for Lab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lab")
+            .field("config", &self.config)
+            .field("cached_traces", &self.cached_trace_count())
+            .finish()
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Lab::new(LabConfig::default())
+    }
+}
+
+impl Lab {
+    /// Creates a session with the given configuration.
+    pub fn new(config: LabConfig) -> Lab {
+        Lab {
+            config,
+            cache: Mutex::new(TraceCache::default()),
+        }
+    }
+
+    /// Creates a session configured from the environment
+    /// ([`LabConfig::from_env`] — strict parsing).
+    pub fn from_env() -> Result<Lab, LabConfigError> {
+        Ok(Lab::new(LabConfig::from_env()?))
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &LabConfig {
+        &self.config
+    }
+
+    /// Changes the worker-thread count for subsequent [`Lab::run`]s (the
+    /// throughput benchmark measures one warm cache at several widths).
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "a Lab needs at least one worker thread");
+        self.config.threads = threads;
+    }
+
+    /// The shared functional trace of `(workload, instructions)`:
+    /// materialised by one [`Trace::capture`] (with a small overfetch
+    /// margin), retained under the LRU byte budget, and served as a cheap
+    /// `Arc` clone while retained.
+    ///
+    /// Concurrent first requests for the same key may both capture; the
+    /// traces are identical (functional execution is deterministic) so the
+    /// first insert wins and the duplicate is dropped.
+    pub fn trace(&self, workload: &Workload, instructions: u64) -> Arc<Trace> {
+        let key = (
+            workload.name().to_string(),
+            workload.variant(),
+            program_fingerprint(workload),
+            instructions,
+        );
+        if let Some(trace) = self.lock_cache().get(&key) {
+            return trace;
+        }
+        // Capture outside the lock: a 200k-instruction capture takes tens
+        // of milliseconds and must not serialise other workloads' hits.
+        let trace = Arc::new(Trace::capture(
+            workload.program(),
+            instructions.saturating_add(TRACE_MARGIN),
+        ));
+        let mut cache = self.lock_cache();
+        cache.captures += 1;
+        cache.insert(key, trace, self.config.trace_cache_bytes)
+    }
+
+    /// Drops every retained trace (outstanding `Arc`s stay valid; the next
+    /// request re-captures).
+    pub fn purge_traces(&self) {
+        let mut cache = self.lock_cache();
+        cache.entries.clear();
+        cache.bytes = 0;
+    }
+
+    /// Number of traces currently retained.
+    pub fn cached_trace_count(&self) -> usize {
+        self.lock_cache().entries.len()
+    }
+
+    /// Total footprint of the retained traces, in bytes.
+    pub fn cached_trace_bytes(&self) -> usize {
+        self.lock_cache().bytes
+    }
+
+    /// Number of functional executions this session has performed
+    /// (diagnostics: a warm re-run of the same experiment adds none).
+    pub fn capture_count(&self) -> u64 {
+        self.lock_cache().captures
+    }
+
+    /// Number of traces evicted by the byte budget (diagnostics).
+    pub fn eviction_count(&self) -> u64 {
+        self.lock_cache().evictions
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, TraceCache> {
+        self.cache.lock().expect("trace cache poisoned")
+    }
+
+    /// Executes an [`Experiment`]: every `workload × machine × predictor ×
+    /// override` cell is simulated (in parallel, up to
+    /// [`LabConfig::threads`] workers) against the workload's shared cached
+    /// trace, and the results are collected into a [`ResultSet`] in
+    /// deterministic cell order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment has no workloads or no machines (an empty
+    /// axis is a spec bug, not an empty result).
+    pub fn run(&self, experiment: &Experiment) -> ResultSet {
+        let axes = experiment.axes();
+        let instructions = experiment
+            .instructions_override()
+            .unwrap_or(self.config.instructions);
+        let traces: Vec<Arc<Trace>> = axes
+            .workloads
+            .iter()
+            .map(|w| self.trace(w, instructions))
+            .collect();
+        // One flat work list over the full cross product: threads stay busy
+        // across row boundaries, and the flat index encodes the cell
+        // coordinates (workload-major, then machine, predictor, override).
+        let flat_cells: Vec<usize> = (0..axes.len()).collect();
+        let results = parallel_map(self.config.threads, &flat_cells, |&flat| {
+            let (w, m, p, h) = axes.coordinates(flat);
+            let mut config = SimConfig::machine(axes.machines[m], axes.predictors[p]);
+            axes.hooks[h].apply(&mut config);
+            Simulator::with_trace(axes.workloads[w].program(), config, Arc::clone(&traces[w]))
+                .run(instructions)
+        });
+        let cells = results
+            .into_iter()
+            .enumerate()
+            .map(|(flat, result)| {
+                let (w, m, p, h) = axes.coordinates(flat);
+                Cell {
+                    workload: axes.workloads[w].name().to_string(),
+                    variant: axes.workloads[w].variant(),
+                    machine: axes.machines[m],
+                    predictor: axes.predictors[p],
+                    hook: axes.hooks[h].name().map(str::to_string),
+                    result,
+                }
+            })
+            .collect();
+        ResultSet::new(experiment.name().to_string(), instructions, &axes, cells)
+    }
+}

@@ -1,56 +1,48 @@
 //! Experiment harness for the MSP reproduction.
 //!
-//! Every table and figure of the paper's evaluation has a corresponding
-//! binary in `src/bin` (see DESIGN.md's experiment index); this library holds
-//! the shared machinery: which machine configurations to sweep, how many
-//! instructions to simulate, parallel sweep execution, and plain-text table
-//! formatting.
+//! The harness is organised around three typed pieces (see DESIGN.md):
 //!
-//! The instruction budget per simulation defaults to 20,000 committed
-//! instructions and can be overridden with the `MSP_BENCH_INSTRUCTIONS`
-//! environment variable (the paper simulated 300M-instruction SimPoints; the
-//! synthetic kernels reach steady state much sooner).
-//!
-//! Sweeps run their simulations concurrently through [`parallel_map`] /
-//! [`run_sweep`] / [`run_matrix`] / [`run_stats_matrix`]: each simulation is
-//! an independent `Simulator`, so a sweep parallelises perfectly across
-//! worker threads (`MSP_BENCH_THREADS` overrides the default of one worker
-//! per hardware thread) while producing exactly the same [`SimResult`]s in
-//! exactly the same order as a sequential loop.
+//! * [`Lab`] — an experiment **session** owning the shared trace cache
+//!   (byte-bounded, LRU-evicted), the worker-thread count and the default
+//!   instruction budget. The `MSP_BENCH_*` environment knobs are read in
+//!   exactly one place, [`LabConfig::from_env`], and strictly — an
+//!   unparseable value is an error, never a silent default.
+//! * [`Experiment`] — a **declarative spec**: workloads × machines ×
+//!   predictors × named [`SimConfig`](msp_pipeline::SimConfig) override
+//!   hooks, plus an optional per-spec budget. [`Lab::run`] executes the
+//!   cross product in parallel against shared functional traces and
+//!   returns a [`ResultSet`] supporting coordinate indexing, filtering,
+//!   group-by and pivoting.
+//! * [`Report`] / [`ReportKind`] — each table, figure and ablation of the
+//!   paper as an experiment recipe rendering to plain text, JSON or CSV,
+//!   all served by the single `msp-lab` CLI binary.
 //!
 //! # The shared trace layer
 //!
-//! Every sweep consults a process-wide **trace cache** ([`shared_trace`]):
-//! the committed-path [`Trace`] of a `(workload, instruction budget)` pair is
-//! materialised by one functional execution and then shared read-only — as
-//! an `Arc<Trace>` — by every machine configuration, predictor and worker
-//! thread simulating that workload. A 4-machine × 3-kernel sweep therefore
-//! performs 3 functional executions instead of 12, and repeated sweeps in
-//! the same process perform none at all.
+//! Every simulation a `Lab` runs goes through its **trace cache**
+//! ([`Lab::trace`]): the committed-path [`Trace`](msp_isa::Trace) of a
+//! `(workload, instruction budget)` pair is materialised by one functional
+//! execution and then shared read-only — as an `Arc<Trace>` — by every
+//! machine configuration, predictor, override hook and worker thread
+//! simulating that workload. A 4-machine × 3-kernel sweep therefore
+//! performs 3 functional executions instead of 12, and repeated runs in
+//! the same session perform none at all.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use msp_branch::PredictorKind;
-use msp_isa::Trace;
-use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
-use msp_workloads::{Variant, Workload};
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+mod experiment;
+mod lab;
+mod report;
+pub mod reports;
+
+pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
+pub use lab::{Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_TRACE_CACHE_BYTES};
+pub use report::{csv_row, json_string, parse_csv_record, Block, OutputFormat, Report};
+pub use reports::ReportKind;
+
+use msp_pipeline::MachineKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// Default number of committed instructions per simulation.
-pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
-
-/// The instruction budget for one simulation, honouring the
-/// `MSP_BENCH_INSTRUCTIONS` environment variable.
-pub fn instruction_budget() -> u64 {
-    std::env::var("MSP_BENCH_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS)
-}
 
 /// The machine configurations swept in Figs. 6–8: Baseline, CPR, n-SP for
 /// n in {8, 16, 32, 64, 128}, and the ideal MSP.
@@ -67,162 +59,19 @@ pub fn figure_machines() -> Vec<MachineKind> {
     ]
 }
 
-/// Runs one workload on one machine with one predictor for the configured
-/// instruction budget, sharing the cached functional trace.
-pub fn run_workload(
-    workload: &Workload,
-    machine: MachineKind,
-    predictor: PredictorKind,
-) -> SimResult {
-    let instructions = instruction_budget();
-    let trace = shared_trace(workload, instructions);
-    run_workload_traced(workload, machine, predictor, instructions, &trace)
-}
-
-/// Runs one workload on one machine with an explicit instruction budget and
-/// a **private** oracle (no trace sharing). This is the reference path the
-/// determinism tests compare the shared-trace sweeps against.
-pub fn run_workload_for(
-    workload: &Workload,
-    machine: MachineKind,
-    predictor: PredictorKind,
-    instructions: u64,
-) -> SimResult {
-    let config = SimConfig::machine(machine, predictor);
-    Simulator::new(workload.program(), config).run(instructions)
-}
-
-/// Runs one workload on one machine against a shared functional trace.
-///
-/// The statistics are bit-identical to [`run_workload_for`]: the trace holds
-/// exactly the records a private oracle would produce, the simulator merely
-/// skips re-deriving them.
-pub fn run_workload_traced(
-    workload: &Workload,
-    machine: MachineKind,
-    predictor: PredictorKind,
-    instructions: u64,
-    trace: &Arc<Trace>,
-) -> SimResult {
-    let config = SimConfig::machine(machine, predictor);
-    Simulator::with_trace(workload.program(), config, Arc::clone(trace)).run(instructions)
-}
-
-/// Runs one workload on one machine with a custom configuration hook applied
-/// before simulation (used by the ablation binaries), against a shared
-/// functional trace.
-pub fn run_workload_with(
-    workload: &Workload,
-    machine: MachineKind,
-    predictor: PredictorKind,
-    instructions: u64,
-    adjust: impl FnOnce(&mut SimConfig),
-) -> SimResult {
-    let mut config = SimConfig::machine(machine, predictor);
-    adjust(&mut config);
-    let trace = shared_trace(workload, instructions);
-    Simulator::with_trace(workload.program(), config, trace).run(instructions)
-}
-
-// ------------------------------------------------------------- trace cache
-
-/// Extra records a cached trace materialises beyond the requested budget.
-///
-/// A simulator's front end fetches ahead of commit by at most the in-flight
-/// window (issue queue + fetch buffer, a few hundred instructions), so this
-/// margin keeps the overfetch inside the shared prefix; anything beyond it
-/// falls back to the oracle's (bit-identical) lazy extension.
-const TRACE_MARGIN: u64 = 4_096;
-
-/// Cache key: workload identity plus a structural fingerprint of the program
-/// (so a hand-built `Workload` reusing a SPEC name can never alias a cached
-/// kernel), plus the instruction budget.
-type TraceKey = (String, Variant, u64, u64);
-
-fn trace_cache() -> &'static Mutex<HashMap<TraceKey, Arc<Trace>>> {
-    static CACHE: OnceLock<Mutex<HashMap<TraceKey, Arc<Trace>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Structural fingerprint of a program: every instruction plus the initial
-/// data image. Cheap (programs are a few hundred static instructions) and
-/// computed once per cache probe, not per record.
-fn program_fingerprint(workload: &Workload) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    let program = workload.program();
-    program.entry().hash(&mut hasher);
-    for (pc, inst) in program.iter() {
-        pc.hash(&mut hasher);
-        inst.hash(&mut hasher);
-    }
-    program.initial_data().hash(&mut hasher);
-    hasher.finish()
-}
-
-/// The shared functional trace of `(workload, instructions)`: materialised
-/// once per process by [`Trace::capture`] (with a small overfetch margin)
-/// and served as a cheap `Arc` clone afterwards.
-///
-/// Concurrent first requests for the same key may both capture; the traces
-/// are identical (functional execution is deterministic) so either insert
-/// order yields the same cache contents.
-pub fn shared_trace(workload: &Workload, instructions: u64) -> Arc<Trace> {
-    let key = (
-        workload.name().to_string(),
-        workload.variant(),
-        program_fingerprint(workload),
-        instructions,
-    );
-    if let Some(trace) = trace_cache()
-        .lock()
-        .expect("trace cache poisoned")
-        .get(&key)
-    {
-        return Arc::clone(trace);
-    }
-    // Capture outside the lock: a 200k-instruction capture takes tens of
-    // milliseconds and must not serialise other workloads' cache hits.
-    let trace = Arc::new(Trace::capture(
-        workload.program(),
-        instructions.saturating_add(TRACE_MARGIN),
-    ));
-    let mut cache = trace_cache().lock().expect("trace cache poisoned");
-    Arc::clone(cache.entry(key).or_insert(trace))
-}
-
-/// Number of traces currently cached (diagnostics).
-pub fn cached_trace_count() -> usize {
-    trace_cache().lock().expect("trace cache poisoned").len()
-}
-
-/// Number of worker threads a sweep uses: the `MSP_BENCH_THREADS`
-/// environment variable when set (and non-zero), otherwise one worker per
-/// available hardware thread.
-pub fn sweep_threads() -> usize {
-    std::env::var("MSP_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// Applies `f` to every item, running up to [`sweep_threads`] invocations
+/// Applies `f` to every item, running up to `threads` invocations
 /// concurrently, and returns the results **in input order**. Work is
-/// distributed dynamically (an atomic cursor), so long and short simulations
-/// mix freely without load imbalance. With one thread (or one item) this
-/// degenerates to a plain sequential map — the results are identical either
-/// way, which the determinism tests rely on.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// distributed dynamically (an atomic cursor), so long and short
+/// simulations mix freely without load imbalance. With one thread (or one
+/// item) this degenerates to a plain sequential map — the results are
+/// identical either way, which the determinism tests rely on.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = sweep_threads().min(items.len().max(1));
+    let threads = threads.min(items.len()).max(1);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -258,203 +107,9 @@ where
         .collect()
 }
 
-/// Runs one workload across several machine configurations in parallel,
-/// returning the results in machine order. The workload is functionally
-/// executed **once** ([`shared_trace`]); every machine simulates against the
-/// shared trace.
-pub fn run_sweep(
-    workload: &Workload,
-    machines: &[MachineKind],
-    predictor: PredictorKind,
-    instructions: u64,
-) -> Vec<SimResult> {
-    let trace = shared_trace(workload, instructions);
-    parallel_map(machines, |machine| {
-        run_workload_traced(workload, *machine, predictor, instructions, &trace)
-    })
-}
-
-/// Runs a full workload x machine matrix in parallel (the shape of
-/// Figs. 6-8), returning one row of machine results per workload. The whole
-/// cross product is flattened into a single work list so the threads stay
-/// busy across row boundaries, and each workload is functionally executed
-/// only once — all machines (and worker threads) share its cached trace.
-pub fn run_matrix(
-    workloads: &[Workload],
-    machines: &[MachineKind],
-    predictor: PredictorKind,
-    instructions: u64,
-) -> Vec<Vec<SimResult>> {
-    let traces: Vec<Arc<Trace>> = workloads
-        .iter()
-        .map(|w| shared_trace(w, instructions))
-        .collect();
-    let cells: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|w| (0..machines.len()).map(move |m| (w, m)))
-        .collect();
-    let mut flat = parallel_map(&cells, |&(w, m)| {
-        run_workload_traced(
-            &workloads[w],
-            machines[m],
-            predictor,
-            instructions,
-            &traces[w],
-        )
-    })
-    .into_iter();
-    workloads
-        .iter()
-        .map(|_| {
-            (0..machines.len())
-                .map(|_| flat.next().expect("one result per cell"))
-                .collect()
-        })
-        .collect()
-}
-
-/// Runs the full workload × machine × predictor statistics matrix in
-/// parallel, one functional execution per workload, returning
-/// `result[workload][machine][predictor]` in input order. This is the shape
-/// of the `stats_dump` golden comparison and of Fig. 9's breakdown.
-pub fn run_stats_matrix(
-    workloads: &[Workload],
-    machines: &[MachineKind],
-    predictors: &[PredictorKind],
-    instructions: u64,
-) -> Vec<Vec<Vec<SimResult>>> {
-    let traces: Vec<Arc<Trace>> = workloads
-        .iter()
-        .map(|w| shared_trace(w, instructions))
-        .collect();
-    let cells: Vec<(usize, usize, usize)> = (0..workloads.len())
-        .flat_map(|w| {
-            (0..machines.len()).flat_map(move |m| (0..predictors.len()).map(move |p| (w, m, p)))
-        })
-        .collect();
-    let mut flat = parallel_map(&cells, |&(w, m, p)| {
-        run_workload_traced(
-            &workloads[w],
-            machines[m],
-            predictors[p],
-            instructions,
-            &traces[w],
-        )
-    })
-    .into_iter();
-    workloads
-        .iter()
-        .map(|_| {
-            machines
-                .iter()
-                .map(|_| {
-                    predictors
-                        .iter()
-                        .map(|_| flat.next().expect("one result per cell"))
-                        .collect()
-                })
-                .collect()
-        })
-        .collect()
-}
-
-/// The reference machine × workload × predictor statistics report: one line
-/// of [`msp_pipeline::SimStats::canonical_string`] per simulation in a
-/// stable order. This is the payload of the `stats_dump` binary, the golden
-/// regression test and the CI bench-smoke diff — all three must render the
-/// matrix identically, so they all call this.
-pub fn stats_dump_report(instructions: u64) -> String {
-    let machines = [
-        MachineKind::Baseline,
-        MachineKind::cpr(),
-        MachineKind::msp(16),
-        MachineKind::IdealMsp,
-    ];
-    let predictors = [PredictorKind::Gshare, PredictorKind::Tage];
-    let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
-        .iter()
-        .map(|name| {
-            msp_workloads::by_name(name, Variant::Original).expect("reference kernel exists")
-        })
-        .collect();
-    let rows = run_stats_matrix(&workloads, &machines, &predictors, instructions);
-    let mut table = TextTable::new(&["workload", "machine", "predictor", "canonical stats"]);
-    for (workload, per_machine) in workloads.iter().zip(&rows) {
-        for (machine, per_predictor) in machines.iter().zip(per_machine) {
-            for (predictor, result) in predictors.iter().zip(per_predictor) {
-                table.row(vec![
-                    workload.name().to_string(),
-                    machine.label(),
-                    predictor.label().to_string(),
-                    result.stats.canonical_string(),
-                ]);
-            }
-        }
-    }
-    format!(
-        "canonical stats at {instructions} instructions per run\n{}",
-        table.render()
-    )
-}
-
-/// Renders one of the paper's IPC figures (the Figs. 6-8 shape): every
-/// workload on every [`figure_machines`] configuration — simulated in
-/// parallel — as an IPC table with a geometric-mean row, followed by the
-/// 16-SP register-bank stall overlay (top three most-stalled logical
-/// registers, % of cycles).
-pub fn render_ipc_figure(title: &str, workloads: &[Workload], predictor: PredictorKind) -> String {
-    let machines = figure_machines();
-    let rows = run_matrix(workloads, &machines, predictor, instruction_budget());
-
-    let labels: Vec<String> = machines.iter().map(|m| m.label()).collect();
-    let mut header: Vec<&str> = vec!["benchmark"];
-    header.extend(labels.iter().map(|s| s.as_str()));
-    let mut table = TextTable::new(&header);
-    let mut per_machine: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
-    let mut stall_report = Vec::new();
-    for (workload, row) in workloads.iter().zip(&rows) {
-        let mut cells = vec![workload.name().to_string()];
-        for (i, (machine, result)) in machines.iter().zip(row).enumerate() {
-            per_machine[i].push(result.ipc());
-            cells.push(fmt_ipc(result.ipc()));
-            if *machine == MachineKind::msp(16) {
-                let top = result.stats.stalls.top_bank_stalls(3);
-                let cycles = result.stats.cycles.max(1);
-                let text: Vec<String> = top
-                    .iter()
-                    .map(|(r, c)| format!("{r}: {:.1}%", 100.0 * *c as f64 / cycles as f64))
-                    .collect();
-                stall_report.push(format!(
-                    "  {:10} {}",
-                    workload.name(),
-                    if text.is_empty() {
-                        "none".to_string()
-                    } else {
-                        text.join("  ")
-                    }
-                ));
-            }
-        }
-        table.row(cells);
-    }
-    let mut avg = vec!["geo. mean".to_string()];
-    avg.extend(per_machine.iter().map(|v| fmt_ipc(geometric_mean(v))));
-    table.row(avg);
-
-    let mut out = String::new();
-    out.push_str(title);
-    out.push('\n');
-    out.push_str(&table.render());
-    out.push_str(
-        "16-SP stall cycles due to lack of registers (top 3 logical registers, % of cycles):\n",
-    );
-    for line in stall_report {
-        out.push_str(&line);
-        out.push('\n');
-    }
-    out
-}
-
-/// A plain-text table printer with right-aligned numeric columns.
+/// A plain-text table printer with right-aligned numeric columns. Also the
+/// structured payload of [`Report`] table blocks: the JSON and CSV emitters
+/// read the same `columns`/`data_rows` the text renderer prints.
 #[derive(Debug, Default, Clone)]
 pub struct TextTable {
     header: Vec<String>,
@@ -468,6 +123,24 @@ impl TextTable {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
+    }
+
+    /// Creates a table from owned column headers.
+    pub fn from_columns(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (header excluded).
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Appends a row (must have as many cells as the header).
@@ -533,14 +206,8 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msp_branch::PredictorKind;
     use msp_workloads::{by_name, Variant};
-
-    #[test]
-    fn budget_default_and_override() {
-        // Avoid mutating the process environment (other tests run in
-        // parallel): only check the default path here.
-        assert!(instruction_budget() >= 1_000);
-    }
 
     #[test]
     fn figure_machine_sweep_matches_paper() {
@@ -551,11 +218,22 @@ mod tests {
     }
 
     #[test]
-    fn run_workload_produces_results() {
-        let w = by_name("crafty", Variant::Original).unwrap();
-        let r = run_workload_for(&w, MachineKind::msp(16), PredictorKind::Gshare, 2_000);
-        assert!(r.stats.committed >= 2_000);
-        assert!(r.ipc() > 0.0);
+    fn lab_runs_a_single_cell_experiment() {
+        let lab = Lab::new(LabConfig {
+            instructions: 2_000,
+            threads: 1,
+            ..LabConfig::default()
+        });
+        let spec = Experiment::new("smoke")
+            .workload(by_name("crafty", Variant::Original).unwrap())
+            .machine(MachineKind::msp(16))
+            .predictor(PredictorKind::Gshare);
+        let results = lab.run(&spec);
+        assert_eq!(results.cells().len(), 1);
+        let cell = results.get(0, 0, 0, 0);
+        assert!(cell.result.stats.committed >= 2_000);
+        assert!(cell.ipc() > 0.0);
+        assert_eq!(lab.cached_trace_count(), 1);
     }
 
     #[test]
@@ -566,43 +244,16 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("bench"));
         assert_eq!(rendered.lines().count(), 4);
+        assert_eq!(t.columns().len(), 3);
+        assert_eq!(t.data_rows().len(), 2);
     }
 
     #[test]
     fn parallel_map_preserves_order() {
         let items: Vec<u64> = (0..100).collect();
-        let doubled = parallel_map(&items, |x| x * 2);
+        let doubled = parallel_map(4, &items, |x| x * 2);
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        assert!(parallel_map::<u64, u64, _>(&[], |x| *x).is_empty());
-    }
-
-    #[test]
-    fn sweep_matches_sequential_runs() {
-        let w = by_name("gzip", Variant::Original).unwrap();
-        let machines = [MachineKind::Baseline, MachineKind::msp(16)];
-        let swept = run_sweep(&w, &machines, PredictorKind::Gshare, 2_000);
-        assert_eq!(swept.len(), 2);
-        for (machine, result) in machines.iter().zip(&swept) {
-            let sequential = run_workload_for(&w, *machine, PredictorKind::Gshare, 2_000);
-            assert_eq!(result.machine, machine.label());
-            assert_eq!(result.stats, sequential.stats, "{machine:?}");
-        }
-    }
-
-    #[test]
-    fn matrix_shape_and_contents() {
-        let workloads = vec![
-            by_name("gzip", Variant::Original).unwrap(),
-            by_name("vpr", Variant::Original).unwrap(),
-        ];
-        let machines = [MachineKind::cpr(), MachineKind::msp(8)];
-        let rows = run_matrix(&workloads, &machines, PredictorKind::Tage, 1_500);
-        assert_eq!(rows.len(), 2);
-        for row in &rows {
-            assert_eq!(row.len(), 2);
-            assert_eq!(row[0].machine, "CPR");
-            assert_eq!(row[1].machine, "8-SP");
-        }
+        assert!(parallel_map::<u64, u64, _>(4, &[], |x| *x).is_empty());
     }
 
     #[test]
@@ -617,5 +268,91 @@ mod tests {
     fn text_table_rejects_ragged_rows() {
         let mut t = TextTable::new(&["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn strict_env_parsing_rejects_garbage() {
+        assert!(LabConfig::from_vars(None, None, None).is_ok());
+        assert_eq!(
+            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"))
+                .unwrap()
+                .instructions,
+            20_000
+        );
+        // Unparseable values are errors, not silent defaults.
+        for bad in ["20_000", "", "abc", "-1", "1.5"] {
+            let err = LabConfig::from_vars(Some(bad), None, None).unwrap_err();
+            assert_eq!(err.var, "MSP_BENCH_INSTRUCTIONS");
+            assert!(err.to_string().contains("MSP_BENCH_INSTRUCTIONS"));
+        }
+        assert!(LabConfig::from_vars(None, Some("zero"), None).is_err());
+        assert!(LabConfig::from_vars(None, None, Some("x")).is_err());
+        // Zero budgets/threads are rejected; a zero cache budget is legal.
+        assert!(LabConfig::from_vars(Some("0"), None, None).is_err());
+        assert!(LabConfig::from_vars(None, Some("0"), None).is_err());
+        assert_eq!(
+            LabConfig::from_vars(None, None, Some("0"))
+                .unwrap()
+                .trace_cache_bytes,
+            0
+        );
+    }
+
+    #[test]
+    fn experiment_cross_product_order_is_workload_major() {
+        let lab = Lab::new(LabConfig {
+            instructions: 1_000,
+            threads: 2,
+            ..LabConfig::default()
+        });
+        let spec = Experiment::new("order")
+            .workloads([
+                by_name("gzip", Variant::Original).unwrap(),
+                by_name("vpr", Variant::Original).unwrap(),
+            ])
+            .machines([MachineKind::cpr(), MachineKind::msp(8)])
+            .predictors([PredictorKind::Gshare, PredictorKind::Tage]);
+        let results = lab.run(&spec);
+        assert_eq!(results.cells().len(), 8);
+        let first = &results.cells()[0];
+        assert_eq!(first.workload, "gzip");
+        assert_eq!(first.machine, MachineKind::cpr());
+        assert_eq!(first.predictor, PredictorKind::Gshare);
+        let last = results.cells().last().unwrap();
+        assert_eq!(last.workload, "vpr");
+        assert_eq!(last.machine, MachineKind::msp(8));
+        assert_eq!(last.predictor, PredictorKind::Tage);
+        // get() agrees with the flat order.
+        assert_eq!(results.get(1, 1, 1, 0).workload, "vpr");
+        assert_eq!(results.get(1, 1, 1, 0).result.stats, last.result.stats);
+    }
+
+    #[test]
+    fn group_by_and_pivot_shapes() {
+        let lab = Lab::new(LabConfig {
+            instructions: 1_000,
+            threads: 1,
+            ..LabConfig::default()
+        });
+        let spec = Experiment::new("pivot")
+            .workloads([
+                by_name("gzip", Variant::Original).unwrap(),
+                by_name("vpr", Variant::Original).unwrap(),
+            ])
+            .machines([MachineKind::cpr(), MachineKind::msp(16)]);
+        let results = lab.run(&spec);
+        let by_machine = results.group_by(|c| c.machine.label());
+        assert_eq!(by_machine.len(), 2);
+        assert_eq!(by_machine[0].0, "CPR");
+        assert_eq!(by_machine[0].1.len(), 2);
+        let table = results.pivot(
+            "benchmark",
+            |c| c.workload.clone(),
+            |c| c.machine.label(),
+            |cells| fmt_ipc(cells[0].ipc()),
+        );
+        assert_eq!(table.columns(), &["benchmark", "CPR", "16-SP"]);
+        assert_eq!(table.data_rows().len(), 2);
+        assert_eq!(table.data_rows()[0][0], "gzip");
     }
 }

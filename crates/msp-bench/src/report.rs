@@ -1,0 +1,342 @@
+//! Rendered experiment reports and their output formats.
+//!
+//! A [`Report`] is the structured form of one table/figure of the paper: a
+//! title, an optional instruction budget, and a list of [`Block`]s (tables
+//! and free-text note lines). It renders to three formats, all hand-rolled
+//! (no network, no serde):
+//!
+//! * **text** — the historical plain-text rendering; for `stats-dump` this
+//!   is byte-identical to the checked-in goldens,
+//! * **json** — a stable machine-readable schema (pinned by the
+//!   `table1_20k.json` golden): `report`, `title`, `instructions` and a
+//!   `blocks` array of `{"type": "table", "columns", "rows"}` /
+//!   `{"type": "text", "lines"}` objects; every table cell is the same
+//!   string the text table prints,
+//! * **csv** — RFC-4180-style rows of each table block (text blocks are
+//!   omitted); the column counts round-trip against the text tables.
+
+use crate::TextTable;
+use std::fmt;
+
+/// An output format for [`Report::render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Plain-text tables (the historical rendering).
+    Text,
+    /// The machine-readable JSON schema.
+    Json,
+    /// Comma-separated values, one section per table block.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Every format, in `--format` documentation order.
+    pub const ALL: [OutputFormat; 3] = [OutputFormat::Text, OutputFormat::Json, OutputFormat::Csv];
+
+    /// Parses a `--format` argument.
+    pub fn parse(s: &str) -> Option<OutputFormat> {
+        match s {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            "csv" => Some(OutputFormat::Csv),
+            _ => None,
+        }
+    }
+
+    /// The `--format` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutputFormat::Text => "text",
+            OutputFormat::Json => "json",
+            OutputFormat::Csv => "csv",
+        }
+    }
+}
+
+impl fmt::Display for OutputFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One section of a report.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// A data table.
+    Table(TextTable),
+    /// Free-form note lines (figure overlays, paper-comparison prose). An
+    /// empty string renders as a blank line in text output.
+    Lines(Vec<String>),
+}
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Machine-readable identifier (the `msp-lab` subcommand name).
+    pub name: &'static str,
+    /// Human-readable title (the first line of the text rendering).
+    pub title: String,
+    /// The committed-instruction budget the report's simulations ran for
+    /// (`None` for purely analytical reports such as `table3`).
+    pub instructions: Option<u64>,
+    /// The report body, in order.
+    pub blocks: Vec<Block>,
+}
+
+impl Report {
+    /// Renders in the requested format.
+    pub fn render(&self, format: OutputFormat) -> String {
+        match format {
+            OutputFormat::Text => self.to_text(),
+            OutputFormat::Json => self.to_json(),
+            OutputFormat::Csv => self.to_csv(),
+        }
+    }
+
+    /// The table blocks, in order.
+    pub fn tables(&self) -> impl Iterator<Item = &TextTable> {
+        self.blocks.iter().filter_map(|b| match b {
+            Block::Table(t) => Some(t),
+            Block::Lines(_) => None,
+        })
+    }
+
+    /// The plain-text rendering: the title line, then every block in order
+    /// (tables via [`TextTable::render`], note lines verbatim).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for block in &self.blocks {
+            match block {
+                Block::Table(table) => out.push_str(&table.render()),
+                Block::Lines(lines) => {
+                    for line in lines {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The JSON rendering (pretty-printed, two-space indent, key order
+    /// fixed — the schema the `table1_20k.json` golden pins).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"report\": {},\n", json_string(self.name)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        match self.instructions {
+            Some(n) => out.push_str(&format!("  \"instructions\": {n},\n")),
+            None => out.push_str("  \"instructions\": null,\n"),
+        }
+        out.push_str("  \"blocks\": [");
+        for (i, block) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            match block {
+                Block::Table(table) => {
+                    out.push_str("      \"type\": \"table\",\n");
+                    out.push_str(&format!(
+                        "      \"columns\": {},\n",
+                        json_string_array(table.columns())
+                    ));
+                    out.push_str("      \"rows\": [");
+                    for (r, row) in table.data_rows().iter().enumerate() {
+                        if r > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("\n        ");
+                        out.push_str(&json_string_array(row));
+                    }
+                    if table.data_rows().is_empty() {
+                        out.push(']');
+                    } else {
+                        out.push_str("\n      ]");
+                    }
+                    out.push('\n');
+                }
+                Block::Lines(lines) => {
+                    out.push_str("      \"type\": \"text\",\n");
+                    out.push_str(&format!("      \"lines\": {}\n", json_string_array(lines)));
+                }
+            }
+            out.push_str("    }");
+        }
+        if self.blocks.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The CSV rendering: every table block as a header row plus data rows,
+    /// blocks separated by a blank line. Text blocks are omitted — CSV is
+    /// for the data, the prose lives in the text/JSON renderings.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut first = true;
+        for table in self.tables() {
+            if !first {
+                out.push('\n');
+            }
+            first = false;
+            out.push_str(&csv_row(table.columns()));
+            for row in table.data_rows() {
+                out.push_str(&csv_row(row));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let rendered: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
+/// Parses one CSV record produced by [`csv_row`] back into its fields
+/// (used by the round-trip tests; not a general CSV reader — records do
+/// not span lines).
+pub fn parse_csv_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                chars.next();
+                field.push('"');
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => fields.push(std::mem::take(&mut field)),
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Renders one CSV record (with trailing newline). Fields containing a
+/// comma, quote or newline are quoted, with quotes doubled (RFC 4180).
+pub fn csv_row(fields: &[String]) -> String {
+    let rendered: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    let mut out = rendered.join(",");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut table = TextTable::new(&["bench", "IPC"]);
+        table.row(vec!["gzip, fast".into(), "1.25".into()]);
+        table.row(vec!["quote\"d".into(), "0.50".into()]);
+        Report {
+            name: "sample",
+            title: "A sample".to_string(),
+            instructions: Some(2_000),
+            blocks: vec![
+                Block::Table(table),
+                Block::Lines(vec!["note line".to_string()]),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_rendering_starts_with_title_and_keeps_lines() {
+        let text = sample_report().to_text();
+        assert!(text.starts_with("A sample\n"));
+        assert!(text.ends_with("note line\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"report\": \"sample\""));
+        assert!(json.contains("\"instructions\": 2000"));
+        assert!(json.contains("\"type\": \"table\""));
+        assert!(json.contains(r#""quote\"d""#));
+        assert!(json.contains("\"type\": \"text\""));
+        // Balanced braces/brackets (cheap well-formedness fence; the golden
+        // test pins the full schema).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\tb\n"), "\"a\\tb\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let csv = sample_report().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("bench,IPC"));
+        assert_eq!(lines.next(), Some("\"gzip, fast\",1.25"));
+        assert_eq!(lines.next(), Some("\"quote\"\"d\",0.50"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn csv_column_counts_round_trip_text_table() {
+        let report = sample_report();
+        let table = report.tables().next().unwrap();
+        for line in report.to_csv().lines() {
+            assert_eq!(parse_csv_record(line).len(), table.columns().len());
+        }
+        assert_eq!(
+            parse_csv_record("\"gzip, fast\",\"quote\"\"d\",plain"),
+            vec!["gzip, fast", "quote\"d", "plain"]
+        );
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(OutputFormat::parse("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("JSON"), None);
+        assert_eq!(OutputFormat::parse("yaml"), None);
+        for f in OutputFormat::ALL {
+            assert_eq!(OutputFormat::parse(f.label()), Some(f));
+        }
+    }
+}

@@ -1,14 +1,16 @@
-//! Determinism regression tests guarding the indexed-window refactor and
-//! the shared-trace layer: the simulator must produce bit-identical
-//! `SimStats` run-to-run, a shared-trace simulation must produce exactly a
-//! private-oracle simulation's statistics, and the parallel sweep harness
-//! must produce exactly the sequential results.
+//! Determinism regression tests guarding the indexed-window refactor, the
+//! shared-trace layer and the `Lab` session API: the simulator must produce
+//! bit-identical `SimStats` run-to-run, every `Lab`-executed cell must
+//! produce exactly a seed-style private-oracle simulation's statistics (the
+//! `Lab` has no uncached execution path — this is the fence that keeps its
+//! cache honest), and the parallel sweep must produce exactly the
+//! sequential results.
 
-use msp_bench::{parallel_map, run_sweep, run_workload_for, run_workload_traced, shared_trace};
+use msp_bench::{Experiment, Lab, LabConfig};
 use msp_branch::PredictorKind;
 use msp_isa::Trace;
-use msp_pipeline::{MachineKind, SimConfig, SimStats, Simulator};
-use msp_workloads::{by_name, Variant};
+use msp_pipeline::{MachineKind, SimConfig, SimResult, SimStats, Simulator};
+use msp_workloads::{by_name, Variant, Workload};
 use std::sync::Arc;
 
 const BUDGET: u64 = 4_000;
@@ -22,6 +24,26 @@ fn reference_machines() -> [MachineKind; 4] {
     ]
 }
 
+fn lab(threads: usize) -> Lab {
+    Lab::new(LabConfig {
+        instructions: BUDGET,
+        threads,
+        ..LabConfig::default()
+    })
+}
+
+/// The seed implementation's execution path: a fresh `Simulator` with a
+/// **private** functional oracle, no trace sharing anywhere.
+fn private_oracle_run(
+    workload: &Workload,
+    machine: MachineKind,
+    predictor: PredictorKind,
+    instructions: u64,
+) -> SimResult {
+    let config = SimConfig::machine(machine, predictor);
+    Simulator::new(workload.program(), config).run(instructions)
+}
+
 fn assert_identical(a: &SimStats, b: &SimStats, context: &str) {
     assert_eq!(a, b, "{context}: stats diverged");
     // The canonical rendering is what cross-process golden comparisons use;
@@ -29,74 +51,124 @@ fn assert_identical(a: &SimStats, b: &SimStats, context: &str) {
     assert_eq!(a.canonical_string(), b.canonical_string(), "{context}");
 }
 
-/// Two sequential runs of every machine kind produce bit-identical
-/// statistics on several workloads.
+/// Two sequential private-oracle runs of every machine kind produce
+/// bit-identical statistics on several workloads.
 #[test]
 fn repeated_runs_are_bit_identical() {
     for name in ["gzip", "vpr", "swim"] {
         let workload = by_name(name, Variant::Original).unwrap();
         for machine in reference_machines() {
             for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
-                let a = run_workload_for(&workload, machine, predictor, BUDGET);
-                let b = run_workload_for(&workload, machine, predictor, BUDGET);
+                let a = private_oracle_run(&workload, machine, predictor, BUDGET);
+                let b = private_oracle_run(&workload, machine, predictor, BUDGET);
                 assert_identical(&a.stats, &b.stats, &format!("{name}/{machine:?}"));
             }
         }
     }
 }
 
-/// Forces real sweep concurrency regardless of the host's CPU count.
-///
-/// `MSP_BENCH_THREADS` is process-global and re-read by every
-/// `parallel_map` call, and the tests in this binary run concurrently —
-/// so every test must force the *same* value, or a sweep meant to run at
-/// one width could silently run at another.
-fn force_parallel_workers() {
-    std::env::set_var("MSP_BENCH_THREADS", "4");
-}
-
-/// The parallel sweep produces exactly the sequential per-machine results,
-/// in order, even with many more workers than items.
+/// Every cell a `Lab` produces — shared cached trace, parallel workers and
+/// all — is bit-identical to the seed-style private-oracle simulation of
+/// the same `(workload, machine, predictor)` triple, on every machine kind
+/// and both predictors.
 #[test]
-fn parallel_sweep_matches_sequential() {
-    force_parallel_workers();
-    let machines = reference_machines();
-    for name in ["gzip", "vpr", "swim"] {
-        let workload = by_name(name, Variant::Original).unwrap();
-        let swept = run_sweep(&workload, &machines, PredictorKind::Gshare, BUDGET);
-        assert_eq!(swept.len(), machines.len());
-        for (machine, result) in machines.iter().zip(&swept) {
-            let sequential = run_workload_for(&workload, *machine, PredictorKind::Gshare, BUDGET);
-            assert_eq!(result.machine, machine.label());
-            assert_identical(
-                &result.stats,
-                &sequential.stats,
-                &format!("{name}/{machine:?} via sweep"),
-            );
-        }
-    }
-}
-
-/// A simulator fed the shared cached trace produces bit-identical
-/// statistics to one that functionally executes privately, on every machine
-/// kind and both predictors.
-#[test]
-fn shared_trace_sim_matches_private_oracle_sim() {
-    for name in ["gzip", "vpr", "swim"] {
-        let workload = by_name(name, Variant::Original).unwrap();
-        let trace = shared_trace(&workload, BUDGET);
-        for machine in reference_machines() {
-            for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
-                let private = run_workload_for(&workload, machine, predictor, BUDGET);
-                let shared = run_workload_traced(&workload, machine, predictor, BUDGET, &trace);
+fn lab_results_match_private_oracle_on_every_machine_kind() {
+    let lab = lab(4);
+    let workloads: Vec<Workload> = ["gzip", "vpr", "swim"]
+        .iter()
+        .map(|n| by_name(n, Variant::Original).unwrap())
+        .collect();
+    let spec = Experiment::new("lab-vs-private")
+        .workloads(workloads.clone())
+        .machines(reference_machines())
+        .predictors([PredictorKind::Gshare, PredictorKind::Tage]);
+    let results = lab.run(&spec);
+    assert_eq!(results.cells().len(), 3 * 4 * 2);
+    for (w, workload) in workloads.iter().enumerate() {
+        for (m, machine) in reference_machines().iter().enumerate() {
+            for (p, predictor) in [PredictorKind::Gshare, PredictorKind::Tage]
+                .iter()
+                .enumerate()
+            {
+                let cell = results.get(w, m, p, 0);
+                let private = private_oracle_run(workload, *machine, *predictor, BUDGET);
+                assert_eq!(cell.result.machine, machine.label());
                 assert_identical(
+                    &cell.result.stats,
                     &private.stats,
-                    &shared.stats,
-                    &format!("{name}/{machine:?}/{predictor:?} shared trace"),
+                    &format!("{}/{machine:?}/{predictor:?} via Lab", workload.name()),
                 );
             }
         }
     }
+    // The whole matrix cost exactly one functional execution per workload.
+    assert_eq!(lab.capture_count(), 3);
+}
+
+/// The parallel sweep produces exactly the sequential results, in order,
+/// even with many more workers than items.
+#[test]
+fn parallel_lab_matches_sequential_lab() {
+    let sequential = lab(1);
+    let parallel = lab(16);
+    let spec = Experiment::new("threads")
+        .workloads(
+            ["gzip", "vpr", "swim"]
+                .iter()
+                .map(|n| by_name(n, Variant::Original).unwrap()),
+        )
+        .machines(reference_machines());
+    let a = sequential.run(&spec);
+    let b = parallel.run(&spec);
+    assert_eq!(a.cells().len(), b.cells().len());
+    for (left, right) in a.cells().iter().zip(b.cells()) {
+        assert_eq!(left.workload, right.workload);
+        assert_eq!(left.machine, right.machine);
+        assert_identical(
+            &left.result.stats,
+            &right.result.stats,
+            &format!(
+                "{}/{:?} parallel vs sequential",
+                left.workload, left.machine
+            ),
+        );
+    }
+}
+
+/// An experiment's named override hooks apply per column: the identity-like
+/// hook reproduces the unhooked result, a real adjustment changes the
+/// configuration deterministically.
+#[test]
+fn override_hooks_are_deterministic_and_scoped() {
+    let lab = lab(2);
+    let workload = by_name("gzip", Variant::Original).unwrap();
+    let plain = lab.run(
+        &Experiment::new("plain")
+            .workload(workload.clone())
+            .machine(MachineKind::msp(16))
+            .predictor(PredictorKind::Tage),
+    );
+    let hooked = lab.run(
+        &Experiment::new("hooked")
+            .workload(workload)
+            .machine(MachineKind::msp(16))
+            .predictor(PredictorKind::Tage)
+            .override_config("default delay", |config| config.lcs_delay = Some(1))
+            .override_config("slow lcs", |config| config.lcs_delay = Some(4)),
+    );
+    assert_eq!(hooked.hooks().len(), 2);
+    // The 16-SP default LCS delay is 1 cycle, so pinning it explicitly
+    // reproduces the unhooked statistics bit-for-bit.
+    assert_identical(
+        &plain.get(0, 0, 0, 0).result.stats,
+        &hooked.get(0, 0, 0, 0).result.stats,
+        "explicit default-delay hook",
+    );
+    assert_eq!(
+        hooked.get(0, 0, 0, 1).hook.as_deref(),
+        Some("slow lcs"),
+        "hook name is carried into the cell"
+    );
 }
 
 /// A trace shorter than the simulation budget forces the oracle's lazy
@@ -121,29 +193,116 @@ fn truncated_trace_lazy_extension_is_bit_identical() {
     }
 }
 
-/// The trace cache hands back the same shared trace (no re-execution), and
-/// sweeps through it match the reference path.
+/// The lab's trace cache hands back the same shared trace (no
+/// re-execution) while retained, and distinct budgets are distinct
+/// materialisations.
 #[test]
 fn trace_cache_shares_one_capture() {
+    let lab = lab(1);
     let workload = by_name("swim", Variant::Original).unwrap();
-    let a = shared_trace(&workload, 2_000);
-    let b = shared_trace(&workload, 2_000);
+    let a = lab.trace(&workload, 2_000);
+    let b = lab.trace(&workload, 2_000);
     assert!(
         Arc::ptr_eq(&a, &b),
         "same key must share one materialisation"
     );
     // Different budgets are distinct materialisations.
-    let c = shared_trace(&workload, 1_000);
+    let c = lab.trace(&workload, 1_000);
     assert!(!Arc::ptr_eq(&a, &c));
     assert!(c.len() >= 1_000);
+    assert_eq!(lab.cached_trace_count(), 2);
+    lab.purge_traces();
+    assert_eq!(lab.cached_trace_count(), 0);
+    assert_eq!(lab.cached_trace_bytes(), 0);
+    // Purged traces re-capture deterministically.
+    let d = lab.trace(&workload, 2_000);
+    assert!(!Arc::ptr_eq(&a, &d));
+    assert_eq!(a.records(), d.records());
+}
+
+/// LRU eviction under a tight byte budget: older traces are shed, the
+/// most recent is retained, and an evicted trace's re-capture — and the
+/// simulations run against it — are bit-identical.
+#[test]
+fn lru_eviction_and_recapture_are_bit_identical() {
+    let gzip = by_name("gzip", Variant::Original).unwrap();
+    let vpr = by_name("vpr", Variant::Original).unwrap();
+    let unbounded = lab(1);
+    let first = unbounded.trace(&gzip, 2_000);
+    // A budget big enough for one trace but not two.
+    let tight = Lab::new(LabConfig {
+        instructions: 2_000,
+        threads: 1,
+        trace_cache_bytes: first.footprint_bytes() + first.footprint_bytes() / 2,
+    });
+    let a = tight.trace(&gzip, 2_000);
+    assert_eq!(tight.cached_trace_count(), 1);
+    let _b = tight.trace(&vpr, 2_000);
+    assert_eq!(
+        tight.cached_trace_count(),
+        1,
+        "inserting vpr must evict the least-recently-used gzip trace"
+    );
+    assert_eq!(tight.eviction_count(), 1);
+    assert!(tight.cached_trace_bytes() <= tight.config().trace_cache_bytes);
+    // Re-requesting the evicted workload re-captures bit-identically...
+    let a2 = tight.trace(&gzip, 2_000);
+    assert!(!Arc::ptr_eq(&a, &a2));
+    assert_eq!(a.records(), a2.records());
+    // ...and a full experiment run through the thrashing cache still
+    // matches the unbounded lab's statistics bit-for-bit.
+    let spec = Experiment::new("thrash")
+        .workloads([gzip, vpr])
+        .machines([MachineKind::cpr(), MachineKind::msp(16)])
+        .predictor(PredictorKind::Tage)
+        // Pin the budget per spec: the unbounded lab defaults to a
+        // different one, and the comparison must simulate identical runs.
+        .instructions(2_000);
+    let bounded_results = tight.run(&spec);
+    let unbounded_results = unbounded.run(&spec);
+    for (bounded, reference) in bounded_results
+        .cells()
+        .iter()
+        .zip(unbounded_results.cells())
+    {
+        assert_identical(
+            &bounded.result.stats,
+            &reference.result.stats,
+            &format!(
+                "{}/{:?} through evicting cache",
+                bounded.workload, bounded.machine
+            ),
+        );
+    }
+    // A zero budget degenerates to "retain only the trace in use".
+    let zero = Lab::new(LabConfig {
+        instructions: 2_000,
+        threads: 1,
+        trace_cache_bytes: 0,
+    });
+    let spec_small = Experiment::new("zero")
+        .workload(by_name("swim", Variant::Original).unwrap())
+        .machine(MachineKind::Baseline);
+    let run0 = zero.run(&spec_small);
+    assert!(zero.cached_trace_count() <= 1);
+    let reference = private_oracle_run(
+        &by_name("swim", Variant::Original).unwrap(),
+        MachineKind::Baseline,
+        PredictorKind::Gshare,
+        2_000,
+    );
+    assert_identical(
+        &run0.get(0, 0, 0, 0).result.stats,
+        &reference.stats,
+        "zero-budget cache",
+    );
 }
 
 /// Dynamic work distribution never reorders or drops results.
 #[test]
 fn parallel_map_is_order_stable_under_contention() {
-    force_parallel_workers();
     let items: Vec<usize> = (0..500).collect();
-    let squares = parallel_map(&items, |&x| x * x);
+    let squares = msp_bench::parallel_map(4, &items, |&x| x * x);
     assert_eq!(squares.len(), 500);
     for (i, sq) in squares.iter().enumerate() {
         assert_eq!(*sq, i * i);

@@ -1,28 +1,43 @@
-//! Golden statistics regression: the canonical `stats_dump` rendering of
-//! the reference machine × workload × predictor matrix is pinned byte-for-
-//! byte by a checked-in golden file, so a performance PR can never silently
-//! change simulated behaviour.
+//! Golden regression tests: the canonical `stats-dump` rendering of the
+//! reference machine × workload × predictor matrix is pinned byte-for-byte
+//! by checked-in golden files, so a performance PR can never silently
+//! change simulated behaviour; the `table1` text **and JSON** renderings
+//! are pinned the same way, so the `msp-lab` emitters can never silently
+//! change their schema.
 //!
-//! Two fences share the golden under `tests/golden/`:
+//! Two fences share each golden under `tests/golden/`:
 //!
-//! * this test (via [`msp_bench::stats_dump_report`], the same code path as
-//!   the `stats_dump` binary), and
+//! * these tests (via `msp_bench::reports`, the same code path as the
+//!   `msp-lab` binary), and
 //! * the CI bench-smoke job, which diffs the release binary's stdout
-//!   against the same file.
+//!   against the same files.
 //!
-//! Regenerating the golden after an *intentional* statistics change:
+//! Regenerating the goldens after an *intentional* change:
 //!
 //! ```text
-//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin stats_dump \
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin msp-lab -- stats-dump \
 //!     > crates/msp-bench/tests/golden/stats_dump_20k.txt
-//! MSP_BENCH_INSTRUCTIONS=200000 cargo run --release -p msp-bench --bin stats_dump \
+//! MSP_BENCH_INSTRUCTIONS=200000 cargo run --release -p msp-bench --bin msp-lab -- stats-dump \
 //!     > crates/msp-bench/tests/golden/stats_dump_200k.txt
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin msp-lab -- table1 \
+//!     > crates/msp-bench/tests/golden/table1_20k.txt
+//! MSP_BENCH_INSTRUCTIONS=20000 cargo run --release -p msp-bench --bin msp-lab -- table1 --format json \
+//!     > crates/msp-bench/tests/golden/table1_20k.json
 //! ```
 
-use msp_bench::stats_dump_report;
+use msp_bench::{reports, Lab, LabConfig, OutputFormat, ReportKind};
 
 const GOLDEN_20K: &str = include_str!("golden/stats_dump_20k.txt");
 const GOLDEN_200K: &str = include_str!("golden/stats_dump_200k.txt");
+const GOLDEN_TABLE1_TEXT: &str = include_str!("golden/table1_20k.txt");
+const GOLDEN_TABLE1_JSON: &str = include_str!("golden/table1_20k.json");
+
+fn lab_at(instructions: u64) -> Lab {
+    Lab::new(LabConfig {
+        instructions,
+        ..LabConfig::default()
+    })
+}
 
 /// The 20k-instruction golden. The full matrix is 24 simulations of 20,000
 /// instructions each — quick in release, a couple of minutes under an
@@ -32,7 +47,7 @@ const GOLDEN_200K: &str = include_str!("golden/stats_dump_200k.txt");
 #[cfg(not(debug_assertions))]
 #[test]
 fn stats_dump_matches_checked_in_golden_20k() {
-    let report = stats_dump_report(20_000);
+    let report = reports::stats_dump(&lab_at(20_000)).to_text();
     assert_eq!(
         report, GOLDEN_20K,
         "canonical statistics diverged from tests/golden/stats_dump_20k.txt; \
@@ -46,7 +61,7 @@ fn stats_dump_matches_checked_in_golden_20k() {
 #[test]
 #[ignore = "24 simulations x 200k instructions; run in release via --ignored"]
 fn stats_dump_matches_checked_in_golden_200k() {
-    let report = stats_dump_report(200_000);
+    let report = reports::stats_dump(&lab_at(200_000)).to_text();
     assert_eq!(
         report, GOLDEN_200K,
         "canonical statistics diverged from tests/golden/stats_dump_200k.txt; \
@@ -54,12 +69,38 @@ fn stats_dump_matches_checked_in_golden_200k() {
     );
 }
 
+/// The `msp-lab table1` text rendering at the 20k reference budget,
+/// byte-for-byte.
+#[cfg(not(debug_assertions))]
+#[test]
+fn table1_matches_checked_in_text_golden() {
+    let report = reports::table1(&lab_at(20_000)).to_text();
+    assert_eq!(
+        report, GOLDEN_TABLE1_TEXT,
+        "table1 text rendering diverged from tests/golden/table1_20k.txt"
+    );
+}
+
+/// The `msp-lab table1 --format json` schema (and values) at the 20k
+/// reference budget, byte-for-byte: key order, indentation, cell strings.
+#[cfg(not(debug_assertions))]
+#[test]
+fn table1_matches_checked_in_json_golden() {
+    let report = reports::table1(&lab_at(20_000)).to_json();
+    assert_eq!(
+        report, GOLDEN_TABLE1_JSON,
+        "table1 JSON rendering diverged from tests/golden/table1_20k.json; \
+         the JSON schema is a published interface — regenerate only for an \
+         intentional schema change (see module docs)"
+    );
+}
+
 /// The report itself is deterministic call-to-call (shared traces, parallel
 /// workers and all) and structurally sane. Cheap enough for debug builds.
 #[test]
 fn report_is_deterministic() {
-    let a = stats_dump_report(1_500);
-    let b = stats_dump_report(1_500);
+    let a = reports::stats_dump(&lab_at(1_500)).to_text();
+    let b = reports::stats_dump(&lab_at(1_500)).to_text();
     assert_eq!(a, b);
     // 3 workloads x 4 machines x 2 predictors = 24 data lines, plus the
     // budget line, the header and the separator.
@@ -81,5 +122,78 @@ fn golden_files_are_well_formed() {
             "12 gshare rows per golden"
         );
         assert!(!golden.contains("WATCHDOG"));
+    }
+    assert!(GOLDEN_TABLE1_TEXT.starts_with("Table I: processor configurations"));
+    for key in [
+        "\"report\": \"table1\"",
+        "\"instructions\": 20000",
+        "\"type\": \"table\"",
+        "\"columns\": [\"parameter\", \"Baseline\", \"CPR\", \"n-SP (n=16)\", \"ideal MSP\"]",
+    ] {
+        assert!(
+            GOLDEN_TABLE1_JSON.contains(key),
+            "table1_20k.json is missing {key:?}"
+        );
+    }
+}
+
+/// The JSON and CSV emitters agree structurally with the text tables: every
+/// CSV record of every report parses back to exactly the text table's
+/// column count, and the JSON stays brace-balanced. Runs every subcommand
+/// at a tiny budget, so it also smoke-tests all eleven report builders in
+/// debug CI.
+#[test]
+fn csv_and_json_round_trip_every_report() {
+    let lab = lab_at(1_200);
+    for kind in ReportKind::ALL {
+        let report = kind.build(&lab);
+        assert_eq!(report.name, kind.name());
+        let tables: Vec<_> = report.tables().collect();
+        assert!(
+            !tables.is_empty(),
+            "{} renders at least one table",
+            kind.name()
+        );
+
+        let csv = report.render(OutputFormat::Csv);
+        let mut csv_sections = csv.split("\n\n");
+        for table in &tables {
+            let section = csv_sections
+                .next()
+                .unwrap_or_else(|| panic!("{}: one CSV section per table", kind.name()));
+            assert_eq!(
+                section.lines().count(),
+                table.data_rows().len() + 1,
+                "{}: CSV section must carry every text-table row plus the header",
+                kind.name()
+            );
+            let mut lines = section.lines();
+            let header = lines.next().expect("CSV section has a header");
+            assert_eq!(
+                msp_bench::parse_csv_record(header),
+                table.columns(),
+                "{}: CSV header row must round-trip the text table columns",
+                kind.name()
+            );
+            for (line, expected) in lines.zip(table.data_rows()) {
+                let fields = msp_bench::parse_csv_record(line);
+                assert_eq!(
+                    fields.len(),
+                    table.columns().len(),
+                    "{}: CSV record width must match the text table",
+                    kind.name()
+                );
+                assert_eq!(&fields, expected, "{}: CSV values round-trip", kind.name());
+            }
+        }
+
+        let json = report.render(OutputFormat::Json);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains(&format!("\"report\": \"{}\"", kind.name())));
+
+        let text = report.render(OutputFormat::Text);
+        assert!(text.starts_with(&report.title));
     }
 }

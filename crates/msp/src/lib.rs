@@ -13,9 +13,33 @@
 //!   the RelIQ matrix, the banked register file and precise recovery,
 //! * [`pipeline`] — the cycle-level timing simulator with Baseline, CPR and
 //!   MSP back ends,
-//! * [`power`] — the analytical register-file power/area model.
+//! * [`power`] — the analytical register-file power/area model,
+//! * [`bench`] — the experiment layer: [`Lab`](bench::Lab) sessions run
+//!   declarative [`Experiment`](bench::Experiment) specs against shared
+//!   functional traces and render the paper's tables and figures (also
+//!   available as the `msp-lab` CLI).
 //!
 //! # Quickstart
+//!
+//! Describe *what* to simulate as an [`Experiment`](bench::Experiment) and
+//! let a [`Lab`](bench::Lab) session run the cross product — every workload
+//! is functionally executed once, shared by all machines and worker
+//! threads:
+//!
+//! ```
+//! use msp::prelude::*;
+//!
+//! let lab = Lab::new(LabConfig { instructions: 2_000, ..LabConfig::default() });
+//! let spec = Experiment::new("quickstart")
+//!     .workload(msp::workloads::by_name("crafty", Variant::Original).expect("kernel exists"))
+//!     .machines([MachineKind::cpr(), MachineKind::msp(16)])
+//!     .predictor(PredictorKind::Gshare);
+//! let results = lab.run(&spec);
+//! assert_eq!(results.cells().len(), 2);
+//! assert!(results.get(0, 1, 0, 0).ipc() > 0.0);
+//! ```
+//!
+//! The underlying `Simulator` remains available for single bespoke runs:
 //!
 //! ```
 //! use msp::prelude::*;
@@ -30,6 +54,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use msp_bench as bench;
 pub use msp_branch as branch;
 pub use msp_isa as isa;
 pub use msp_mem as mem;
@@ -40,6 +65,7 @@ pub use msp_workloads as workloads;
 
 /// The most commonly used types, importable with `use msp::prelude::*`.
 pub mod prelude {
+    pub use msp_bench::{Experiment, Lab, LabConfig, OutputFormat, Report, ReportKind, ResultSet};
     pub use msp_branch::{DirectionPredictor, PredictorKind};
     pub use msp_isa::{ArchReg, ArchState, Instruction, Program, Trace};
     pub use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
@@ -60,5 +86,8 @@ mod tests {
         assert!(config.arbitration);
         let _ = crate::power::RegFileConfig::msp_16sp();
         let _ = crate::state::MspConfig::default();
+        let lab = crate::bench::Lab::default();
+        assert_eq!(lab.cached_trace_count(), 0);
+        assert!(crate::bench::ReportKind::from_name("stats-dump").is_some());
     }
 }

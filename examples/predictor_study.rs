@@ -5,41 +5,41 @@
 //! Run with `cargo run --release -p msp --example predictor_study`.
 
 use msp::prelude::*;
-use std::sync::Arc;
 
 fn main() {
-    let budget = 15_000;
+    // One declarative spec for the whole study: 4 workloads x 2 machines x
+    // 2 predictors. The Lab executes each kernel functionally once; all
+    // sixteen simulations replay the shared traces.
+    let lab = Lab::new(LabConfig {
+        instructions: 15_000,
+        ..LabConfig::default()
+    });
     let names = ["gzip", "vpr", "gcc", "twolf"];
-    for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
+    let spec =
+        Experiment::new("predictor-study")
+            .workloads(names.iter().map(|name| {
+                msp::workloads::by_name(name, Variant::Original).expect("kernel exists")
+            }))
+            .machines([MachineKind::cpr(), MachineKind::msp(16)])
+            .predictors([PredictorKind::Gshare, PredictorKind::Tage]);
+    let results = lab.run(&spec);
+
+    for (p, predictor) in results.predictors().iter().enumerate() {
         println!("== predictor: {predictor}");
         println!(
             "{:<10} {:>10} {:>10} {:>10} {:>12}",
             "benchmark", "CPR IPC", "16-SP IPC", "16/CPR", "mispredict%"
         );
-        for name in names {
-            let workload = msp::workloads::by_name(name, Variant::Original).expect("kernel exists");
-            // Execute the kernel functionally once; both machines (and both
-            // predictors' runs, via the clone) replay the same shared trace.
-            let trace = Arc::new(Trace::capture(workload.program(), budget + 2_000));
-            let cpr = Simulator::with_trace(
-                workload.program(),
-                SimConfig::machine(MachineKind::cpr(), predictor),
-                Arc::clone(&trace),
-            )
-            .run(budget);
-            let sp16 = Simulator::with_trace(
-                workload.program(),
-                SimConfig::machine(MachineKind::msp(16), predictor),
-                trace,
-            )
-            .run(budget);
+        for (w, name) in names.iter().enumerate() {
+            let cpr = results.get(w, 0, p, 0);
+            let sp16 = results.get(w, 1, p, 0);
             println!(
                 "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>11.1}%",
                 name,
                 cpr.ipc(),
                 sp16.ipc(),
                 sp16.ipc() / cpr.ipc().max(1e-9),
-                100.0 * sp16.stats.misprediction_rate()
+                100.0 * sp16.result.stats.misprediction_rate()
             );
         }
         println!();

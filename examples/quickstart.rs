@@ -1,37 +1,46 @@
 //! Quickstart: simulate one synthetic kernel on the 16-SP Multi-State
-//! Processor and print the headline statistics.
+//! Processor through a `Lab` session and print the headline statistics.
 //!
 //! Run with `cargo run --release -p msp --example quickstart`.
 
 use msp::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     let workload = msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists");
     println!("workload: {workload}");
 
-    // Materialise the correct-path trace once, then simulate against it.
-    // With a single simulation this is equivalent to `Simulator::new`; with
-    // several (see the other examples and msp-bench's sweeps) the same
-    // `Arc<Trace>` is shared by every machine, predictor and thread.
-    let trace = Arc::new(Trace::capture(workload.program(), 22_000));
+    // A Lab owns what used to be process-global: the shared trace cache,
+    // the worker-thread count and the instruction budget. Every simulation
+    // it runs shares one functional execution per workload; with a single
+    // cell this is equivalent to driving `Simulator` by hand, and with a
+    // sweep (see the other examples and `msp-lab`) the same `Arc<Trace>`
+    // serves every machine, predictor and thread.
+    let lab = Lab::new(LabConfig {
+        instructions: 20_000,
+        ..LabConfig::default()
+    });
+    let trace = lab.trace(&workload, 20_000);
     println!(
         "trace              : {} instructions, {:.1} KiB shared",
         trace.len(),
         trace.footprint_bytes() as f64 / 1024.0
     );
-    let config = SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare);
-    let mut simulator = Simulator::with_trace(workload.program(), config, trace);
-    let result = simulator.run(20_000);
-    let stats = &result.stats;
+
+    let spec = Experiment::new("quickstart")
+        .workload(workload)
+        .machine(MachineKind::msp(16))
+        .predictor(PredictorKind::Gshare);
+    let results = lab.run(&spec);
+    let cell = results.get(0, 0, 0, 0);
+    let stats = &cell.result.stats;
 
     println!(
         "machine            : {} with {}",
-        result.machine, result.predictor
+        cell.result.machine, cell.result.predictor
     );
     println!("cycles             : {}", stats.cycles);
     println!("committed          : {}", stats.committed);
-    println!("IPC                : {:.3}", result.ipc());
+    println!("IPC                : {:.3}", cell.ipc());
     println!(
         "branch mispredicts : {} ({:.1}% of branches)",
         stats.mispredictions,
@@ -53,4 +62,9 @@ fn main() {
             println!("  {reg}: {cycles} stall cycles");
         }
     }
+    println!(
+        "lab                : {} cached trace(s), {:.1} KiB retained",
+        lab.cached_trace_count(),
+        lab.cached_trace_bytes() as f64 / 1024.0
+    );
 }

@@ -5,34 +5,39 @@
 //! Run with `cargo run --release -p msp --example recovery_comparison`.
 
 use msp::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     let workload = msp::workloads::by_name("vpr", Variant::Original).expect("kernel exists");
     println!("workload: {workload}\n");
-    // The kernel executes functionally once; all six machine × predictor
-    // simulations replay the shared trace.
-    let trace = Arc::new(Trace::capture(workload.program(), 22_000));
+    // The kernel executes functionally once inside the Lab's trace cache;
+    // all six machine × predictor simulations replay the shared trace.
+    let lab = Lab::new(LabConfig {
+        instructions: 20_000,
+        ..LabConfig::default()
+    });
+    let spec = Experiment::new("recovery-comparison")
+        .workload(workload)
+        .machines([
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ])
+        .predictors([PredictorKind::Gshare, PredictorKind::Tage]);
+    let results = lab.run(&spec);
     println!(
         "{:<10} {:>9} {:>7} {:>11} {:>12} {:>12} {:>12}",
         "machine", "predictor", "IPC", "recoveries", "correct", "re-executed", "wrong-path"
     );
-    for predictor in [PredictorKind::Gshare, PredictorKind::Tage] {
-        for machine in [
-            MachineKind::cpr(),
-            MachineKind::msp(16),
-            MachineKind::IdealMsp,
-        ] {
-            let config = SimConfig::machine(machine, predictor);
-            let result =
-                Simulator::with_trace(workload.program(), config, Arc::clone(&trace)).run(20_000);
-            let e = result.stats.executed;
+    for p in 0..results.predictors().len() {
+        for m in 0..results.machines().len() {
+            let cell = results.get(0, m, p, 0);
+            let e = cell.result.stats.executed;
             println!(
                 "{:<10} {:>9} {:>7.2} {:>11} {:>12} {:>12} {:>12}",
-                result.machine,
-                result.predictor,
-                result.ipc(),
-                result.stats.recoveries,
+                cell.result.machine,
+                cell.result.predictor,
+                cell.ipc(),
+                cell.result.stats.recoveries,
                 e.correct_path,
                 e.correct_path_reexecuted,
                 e.wrong_path
@@ -43,4 +48,9 @@ fn main() {
     println!("CPR re-executes correct-path instructions after every rollback to a");
     println!("checkpoint older than the mispredicted branch; the MSP's precise recovery");
     println!("(Section 3.5 of the paper) never does.");
+    println!(
+        "({} simulations, {} functional execution)",
+        results.cells().len(),
+        lab.capture_count()
+    );
 }

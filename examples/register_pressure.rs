@@ -5,32 +5,50 @@
 //! Run with `cargo run --release -p msp --example register_pressure`.
 
 use msp::prelude::*;
-use std::sync::Arc;
 
 fn main() {
-    let budget = 15_000;
+    // Both loop variants of both benchmarks, across three bank sizes, as
+    // one declarative spec: each of the four workload variants executes
+    // functionally once and serves its whole bank-size sweep.
+    let lab = Lab::new(LabConfig {
+        instructions: 15_000,
+        ..LabConfig::default()
+    });
+    let mut workloads = Vec::new();
+    for name in ["bzip2", "swim"] {
+        for variant in [Variant::Original, Variant::Modified] {
+            workloads.push(msp::workloads::by_name(name, variant).expect("kernel exists"));
+        }
+    }
+    let spec = Experiment::new("register-pressure")
+        .workloads(workloads)
+        .machines([
+            MachineKind::msp(8),
+            MachineKind::msp(16),
+            MachineKind::msp(64),
+        ])
+        .predictor(PredictorKind::Tage);
+    let results = lab.run(&spec);
+
     println!(
         "{:<10} {:<9} {:>6} {:>8} {:>16}",
         "benchmark", "variant", "n", "IPC", "bank stalls"
     );
-    for name in ["bzip2", "swim"] {
-        for variant in [Variant::Original, Variant::Modified] {
-            let workload = msp::workloads::by_name(name, variant).expect("kernel exists");
-            // One functional execution serves the whole bank-size sweep.
-            let trace = Arc::new(Trace::capture(workload.program(), budget + 2_000));
-            for n in [8, 16, 64] {
-                let config = SimConfig::machine(MachineKind::msp(n), PredictorKind::Tage);
-                let result = Simulator::with_trace(workload.program(), config, Arc::clone(&trace))
-                    .run(budget);
-                println!(
-                    "{:<10} {:<9} {:>6} {:>8.2} {:>16}",
-                    name,
-                    variant.to_string(),
-                    n,
-                    result.ipc(),
-                    result.stats.stalls.bank_full_total()
-                );
-            }
+    for (w, (name, variant)) in results.workloads().iter().enumerate() {
+        for (m, machine) in results.machines().iter().enumerate() {
+            let n = match machine {
+                MachineKind::Msp { regs_per_bank } => *regs_per_bank,
+                _ => unreachable!("this sweep only simulates n-SP machines"),
+            };
+            let cell = results.get(w, m, 0, 0);
+            println!(
+                "{:<10} {:<9} {:>6} {:>8.2} {:>16}",
+                name,
+                variant.to_string(),
+                n,
+                cell.ipc(),
+                cell.result.stats.stalls.bank_full_total()
+            );
         }
     }
     println!();
