@@ -21,15 +21,21 @@
 //!    cache, recorded so parallel-speedup claims can be checked against the
 //!    host's actual hardware parallelism (a single-core container shows a
 //!    flat curve — that, not load imbalance, explained the historical 1.03x
-//!    "parallel speedup").
+//!    "parallel speedup"), and
+//! 5. a **sampled** cold pass of the same sweep (`SamplingSpec::periodic`
+//!    at the default interval, fresh `Lab`): wall-clock speedup over the
+//!    cold exact pass plus the worst per-cell IPC error of the sampled
+//!    estimate against the exact cells — the two numbers the sampled-
+//!    simulation subsystem is accountable for (`scripts/perf_gate.py`
+//!    gates both in CI at the 2M-instruction reference budget).
 //!
 //! Run with:
 //!
 //! ```text
-//! MSP_BENCH_INSTRUCTIONS=200000 cargo bench -p msp-bench --bench pipeline
+//! MSP_BENCH_INSTRUCTIONS=2000000 cargo bench -p msp-bench --bench pipeline
 //! ```
 
-use msp_bench::{reports, Experiment, Lab, LabConfig};
+use msp_bench::{reports, Experiment, Lab, LabConfig, SamplingSpec};
 use msp_branch::PredictorKind;
 use msp_workloads::{by_name, Variant, Workload};
 use std::time::Instant;
@@ -59,7 +65,7 @@ fn table1_spec(workloads: &[Workload]) -> Experiment {
         .predictor(PredictorKind::Gshare)
 }
 
-fn measure_sweep(lab: &Lab, spec: &Experiment) -> SweepMeasurement {
+fn measure_sweep(lab: &Lab, spec: &Experiment) -> (SweepMeasurement, msp_bench::ResultSet) {
     let start = Instant::now();
     let results = lab.run(spec);
     let wall_s = start.elapsed().as_secs_f64();
@@ -70,7 +76,7 @@ fn measure_sweep(lab: &Lab, spec: &Experiment) -> SweepMeasurement {
             .all(|c| !c.result.truncated_by_watchdog),
         "a wedged simulation must not be reported as a benchmark result"
     );
-    SweepMeasurement {
+    let measurement = SweepMeasurement {
         wall_s,
         committed: results
             .cells()
@@ -79,15 +85,22 @@ fn measure_sweep(lab: &Lab, spec: &Experiment) -> SweepMeasurement {
             .sum(),
         cycles: results.cells().iter().map(|c| c.result.stats.cycles).sum(),
         sims: results.cells().len(),
-    }
+    };
+    (measurement, results)
 }
 
 fn main() {
-    let config = LabConfig::from_env().unwrap_or_else(|err| {
+    let mut config = LabConfig::from_env().unwrap_or_else(|err| {
         eprintln!("pipeline bench: {err}");
         std::process::exit(1);
     });
     let budget = config.instructions;
+    // Large budgets need room for each kernel's plain AND checkpointed
+    // trace (~104 B/record each) or the warm/sampled passes thrash the LRU
+    // cache with re-captures and the numbers measure eviction, not
+    // simulation.
+    let trace_bytes_needed = 3 * (budget as usize + 4_096) * 104 * 2 * 6 / 5;
+    config.trace_cache_bytes = config.trace_cache_bytes.max(trace_bytes_needed);
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -97,6 +110,30 @@ fn main() {
         .collect();
     let spec = table1_spec(&workloads);
 
+    // 0. Sampled cold pass: a fresh single-threaded Lab captures its own
+    //    checkpointed traces and runs the sweep with the default sampling
+    //    plan. An unmeasured iteration runs first so the measured one sees
+    //    a warm *process* (page tables, allocator, lazily-built workload
+    //    state) but a cold *Lab* — the same footing the exact cold pass
+    //    below gets, which runs after this pass has warmed the process.
+    //    Accuracy is judged against the exact cells of the cold pass.
+    let sampling = SamplingSpec::periodic(config.sample_interval.max(1));
+    let sampled_spec = spec.clone().sampling(sampling);
+    let process_warmup = Lab::new(LabConfig {
+        threads: 1,
+        ..config.clone()
+    });
+    let _ = process_warmup.run(&sampled_spec);
+    drop(process_warmup);
+    let sampled_lab = Lab::new(LabConfig {
+        threads: 1,
+        ..config.clone()
+    });
+    let sampled_start = Instant::now();
+    let sampled_results = sampled_lab.run(&sampled_spec);
+    let sampled_wall_s = sampled_start.elapsed().as_secs_f64();
+    drop(sampled_lab);
+
     // 1. Cold sequential pass: the lab's trace cache is empty, so this
     //    includes one functional execution per kernel (the seed-comparable
     //    number).
@@ -104,7 +141,7 @@ fn main() {
         threads: 1,
         ..config.clone()
     });
-    let cold = measure_sweep(&lab, &spec);
+    let (cold, exact_results) = measure_sweep(&lab, &spec);
 
     // 2. Isolated capture cost: functionally execute each kernel once more,
     //    bypassing the cache. This is the per-session price the trace layer
@@ -119,7 +156,7 @@ fn main() {
 
     // 3. Warm sequential pass: the steady-state cost of re-running the
     //    experiment in the same session.
-    let warm = measure_sweep(&lab, &spec);
+    let (warm, _) = measure_sweep(&lab, &spec);
 
     // 4. Thread scaling over the warm cache: 1, 2, 4 and the host default.
     let mut scaling_threads = vec![1usize, 2, 4];
@@ -129,8 +166,33 @@ fn main() {
     let mut scaling: Vec<(usize, SweepMeasurement)> = Vec::new();
     for &threads in &scaling_threads {
         lab.set_threads(threads);
-        scaling.push((threads, measure_sweep(&lab, &spec)));
+        let (m, _) = measure_sweep(&lab, &spec);
+        scaling.push((threads, m));
     }
+
+    // 5. Judge the sampled estimates (pass 0) per cell against the exact
+    //    cells of pass 1.
+    assert!(
+        sampled_results
+            .cells()
+            .iter()
+            .all(|c| !c.result.truncated_by_watchdog),
+        "a wedged sampled window must not be reported as a benchmark result"
+    );
+    let mut max_ipc_rel_error: f64 = 0.0;
+    let mut max_rel_stderr: f64 = 0.0;
+    let mut sampled_intervals = 0usize;
+    for (exact_cell, sampled_cell) in exact_results.cells().iter().zip(sampled_results.cells()) {
+        let sampled = sampled_cell
+            .sampled
+            .as_ref()
+            .expect("sampled cells carry estimates");
+        let rel = (sampled.mean_ipc - exact_cell.ipc()).abs() / exact_cell.ipc().max(1e-12);
+        max_ipc_rel_error = max_ipc_rel_error.max(rel);
+        max_rel_stderr = max_rel_stderr.max(sampled.ipc_rel_stderr);
+        sampled_intervals = sampled_intervals.max(sampled.intervals);
+    }
+    let sampled_speedup = cold.wall_s / sampled_wall_s;
     // The "parallel" datapoint is the warm pass at the host's default
     // worker count, compared against the warm sequential pass — warm vs
     // warm, so the ratio measures parallelism and nothing else (on a
@@ -168,6 +230,13 @@ fn main() {
             m.committed as f64 / m.wall_s / 1e6
         );
     }
+    println!(
+        "table1_sweep/sampled-cold ({})        time: [{:.3} s]  {:.2}x vs exact cold, max IPC err {:.2}%",
+        sampling.describe(),
+        sampled_wall_s,
+        sampled_speedup,
+        100.0 * max_ipc_rel_error
+    );
     println!("host hardware threads: {host_threads}");
     if comparable {
         println!(
@@ -219,6 +288,17 @@ fn main() {
   "thread_scaling": [
 {scaling_rows}
   ],
+  "sampled": {{
+    "interval": {s_interval},
+    "detail_len": {s_detail},
+    "warmup_len": {s_warmup},
+    "max_intervals_per_cell": {s_intervals},
+    "wall_s": {s_wall:.3},
+    "speedup_vs_sequential_cold": {s_speedup:.2},
+    "max_ipc_rel_error_pct": {s_err:.3},
+    "max_ipc_rel_stderr_pct": {s_stderr:.3},
+    "note": "cold sampled Lab (captures its own checkpointed traces) vs the cold exact pass; per-cell sampled mean IPC vs exact IPC over the same table1 sweep"
+  }},
   "speedup_vs_seed": {seed_speedup:.2},
   "speedup_vs_pre_trace_layer": {vs_pre:.2},
   "comparable_to_seed_baseline": {comparable},
@@ -226,6 +306,14 @@ fn main() {
 }}
 "#,
         sims = warm.sims,
+        s_interval = sampling.interval,
+        s_detail = sampling.detail_len,
+        s_warmup = sampling.warmup_len,
+        s_intervals = sampled_intervals,
+        s_wall = sampled_wall_s,
+        s_speedup = sampled_speedup,
+        s_err = 100.0 * max_ipc_rel_error,
+        s_stderr = 100.0 * max_rel_stderr,
         cold_wall = cold.wall_s,
         warm_wall = warm.wall_s,
         par_wall = par.wall_s,

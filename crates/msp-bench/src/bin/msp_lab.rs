@@ -3,16 +3,17 @@
 //! One subcommand per paper artefact, one `--format` flag for the output:
 //!
 //! ```text
-//! msp-lab <subcommand> [--format text|json|csv]
+//! msp-lab <subcommand> [--format text|json|csv] [--sample]
+//! msp-lab <subcommand> --bless
 //! msp-lab --list
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 fig6 fig7 fig8 fig9 ablate-lcs
 //! ablate-rename ablate-cpr-regs stats-dump`. The session is configured
 //! from the environment (`MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS`,
-//! `MSP_BENCH_TRACE_CACHE_BYTES` — strictly parsed; see
-//! `LabConfig::from_env`). Two builds of the simulator can be diffed for
-//! bit-identical behaviour:
+//! `MSP_BENCH_TRACE_CACHE_BYTES`, `MSP_BENCH_SAMPLE_INTERVAL` — strictly
+//! parsed; see `LabConfig::from_env`). Two builds of the simulator can be
+//! diffed for bit-identical behaviour:
 //!
 //! ```text
 //! MSP_BENCH_INSTRUCTIONS=20000 msp-lab stats-dump > before.txt
@@ -20,16 +21,30 @@
 //! MSP_BENCH_INSTRUCTIONS=20000 msp-lab stats-dump | diff before.txt -
 //! ```
 //!
+//! `--sample` runs the subcommand's experiment **sampled** (checkpointed
+//! resume + cumulative functional warming over the shared trace, one
+//! detailed window per `MSP_BENCH_SAMPLE_INTERVAL` committed instructions)
+//! instead of simulating every instruction in detail — the way to run
+//! multi-million-instruction budgets:
+//!
+//! ```text
+//! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample
+//! ```
+//!
 //! The checked-in goldens under `tests/golden/` pin the 20k/200k
 //! `stats-dump` text renderings and the `table1` text and JSON renderings;
 //! the golden tests and the CI bench-smoke job both diff against them.
+//! `msp-lab <sub> --bless` regenerates that subcommand's goldens in place
+//! (deterministically — CI blesses twice and diffs), so a schema change is
+//! one command instead of four hand-edited files.
 
-use msp_bench::{Lab, OutputFormat, ReportKind};
+use msp_bench::{Lab, LabConfig, OutputFormat, ReportKind, SamplingSpec};
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: msp-lab <subcommand> [--format text|json|csv]\n\
+        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample]\n\
+         \x20      msp-lab <subcommand> --bless\n\
          \n\
          Runs one experiment of the González et al. (MICRO 2008) reproduction\n\
          and prints the report.\n\
@@ -43,19 +58,25 @@ fn usage() -> String {
         "\n\
          options:\n\
          \x20 --format <fmt>   output format: text (default), json or csv\n\
+         \x20 --sample         sampled execution: estimate the full budget from periodic\n\
+         \x20                  detailed windows (checkpointed resume + cumulative warming;\n\
+         \x20                  interval from MSP_BENCH_SAMPLE_INTERVAL, 2.5% detail)\n\
+         \x20 --bless          regenerate this subcommand's checked-in goldens in place\n\
          \x20 --list           list the subcommand names, one per line\n\
          \x20 --help           this help\n\
          \n\
          environment (strictly parsed; invalid values are errors):\n\
          \x20 MSP_BENCH_INSTRUCTIONS      committed instructions per simulation (default 20000)\n\
          \x20 MSP_BENCH_THREADS           sweep worker threads (default: hardware threads)\n\
-         \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n",
+         \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n\
+         \x20 MSP_BENCH_SAMPLE_INTERVAL   --sample interval in instructions (default 250000)\n",
     );
     out
 }
 
 enum Invocation {
-    Run(ReportKind, OutputFormat),
+    Run(ReportKind, OutputFormat, bool),
+    Bless(ReportKind),
     Help,
     List,
 }
@@ -63,11 +84,15 @@ enum Invocation {
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut kind: Option<ReportKind> = None;
     let mut format = OutputFormat::Text;
+    let mut sample = false;
+    let mut bless = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(Invocation::Help),
             "--list" => return Ok(Invocation::List),
+            "--sample" => sample = true,
+            "--bless" => bless = true,
             "--format" => {
                 let value = iter
                     .next()
@@ -94,10 +119,47 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
         }
     }
-    match kind {
-        Some(kind) => Ok(Invocation::Run(kind, format)),
-        None => Err("missing subcommand".to_string()),
+    let kind = kind.ok_or_else(|| "missing subcommand".to_string())?;
+    if bless {
+        if sample {
+            return Err(
+                "--bless and --sample are mutually exclusive (goldens pin exact runs)".to_string(),
+            );
+        }
+        if kind.goldens().is_empty() {
+            return Err(format!(
+                "{:?} has no checked-in goldens to bless (see tests/golden/)",
+                kind.name()
+            ));
+        }
+        return Ok(Invocation::Bless(kind));
     }
+    Ok(Invocation::Run(kind, format, sample))
+}
+
+/// Regenerates every golden of `kind` in place. The golden directory is
+/// resolved from this crate's manifest directory, so bless runs from a
+/// source checkout (`cargo run -p msp-bench --bin msp-lab`), which is the
+/// only place goldens live.
+fn bless(kind: ReportKind) -> Result<(), String> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    for golden in kind.goldens() {
+        // Goldens are defined at pinned budgets, independent of the
+        // environment; only the budget is forced, the rest of the session
+        // configuration is irrelevant to the rendering.
+        let lab = Lab::new(LabConfig {
+            instructions: golden.instructions,
+            ..LabConfig::default()
+        });
+        let rendered = kind.build(&lab).render(golden.format);
+        let path = format!("{dir}/{}", golden.file);
+        std::fs::write(&path, rendered).map_err(|err| format!("cannot write {path}: {err}"))?;
+        println!(
+            "blessed {path} ({} instructions, {})",
+            golden.instructions, golden.format
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -122,7 +184,14 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Invocation::Run(kind, format) => {
+        Invocation::Bless(kind) => match bless(kind) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("msp-lab: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Invocation::Run(kind, format, sample) => {
             let lab = match Lab::from_env() {
                 Ok(lab) => lab,
                 Err(error) => {
@@ -130,7 +199,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            print!("{}", kind.build(&lab).render(format));
+            let sampling = sample.then(|| SamplingSpec::periodic(lab.config().sample_interval));
+            print!("{}", kind.build_sampled(&lab, sampling).render(format));
             ExitCode::SUCCESS
         }
     }

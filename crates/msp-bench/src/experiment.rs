@@ -7,7 +7,7 @@
 //! ordered list of [`Cell`]s supporting coordinate indexing, filtering,
 //! group-by and pivoting into [`TextTable`]s.
 
-use crate::TextTable;
+use crate::{SampledStats, SamplingSpec, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig, SimResult};
 use msp_workloads::{Variant, Workload};
@@ -90,6 +90,7 @@ pub struct Experiment {
     predictors: Vec<PredictorKind>,
     hooks: Vec<ConfigHook>,
     instructions: Option<u64>,
+    sampling: Option<SamplingSpec>,
 }
 
 impl Experiment {
@@ -104,6 +105,7 @@ impl Experiment {
             predictors: Vec::new(),
             hooks: Vec::new(),
             instructions: None,
+            sampling: None,
         }
     }
 
@@ -161,6 +163,24 @@ impl Experiment {
         self
     }
 
+    /// Runs this spec as a **sampled** experiment: every cell estimates its
+    /// full-budget statistics from detailed simulation of periodic
+    /// intervals (checkpointed warm-up over the shared trace — see
+    /// [`SamplingSpec`]) instead of simulating every committed instruction
+    /// in detail. Each cell then carries a [`SampledStats`] estimate.
+    pub fn sampling(mut self, spec: SamplingSpec) -> Self {
+        self.sampling = Some(spec);
+        self
+    }
+
+    /// [`Experiment::sampling`] with an optional spec (`None` leaves the
+    /// experiment exact) — convenient for flag-driven callers like the
+    /// `msp-lab --sample` report recipes.
+    pub fn sampling_opt(mut self, spec: Option<SamplingSpec>) -> Self {
+        self.sampling = spec;
+        self
+    }
+
     /// The spec's name (carried into the [`ResultSet`]).
     pub fn name(&self) -> &str {
         &self.name
@@ -169,6 +189,11 @@ impl Experiment {
     /// The per-spec budget override, if any.
     pub fn instructions_override(&self) -> Option<u64> {
         self.instructions
+    }
+
+    /// The sampling plan, if this spec runs sampled.
+    pub fn sampling_spec(&self) -> Option<SamplingSpec> {
+        self.sampling
     }
 
     /// The effective axes of the cross product (defaults filled in).
@@ -248,14 +273,22 @@ pub struct Cell {
     /// Name of the override hook this cell ran under (`None` for the
     /// identity column).
     pub hook: Option<String>,
-    /// The simulation result.
+    /// The simulation result. For a sampled cell this is the **aggregate**
+    /// over all measured intervals (every counter summed).
     pub result: SimResult,
+    /// The sampled estimate, present iff the experiment ran with a
+    /// [`SamplingSpec`].
+    pub sampled: Option<SampledStats>,
 }
 
 impl Cell {
-    /// Committed instructions per cycle.
+    /// Committed instructions per cycle: the exact value for an exact run,
+    /// the mean-of-intervals estimate for a sampled one.
     pub fn ipc(&self) -> f64 {
-        self.result.ipc()
+        match &self.sampled {
+            Some(sampled) => sampled.mean_ipc,
+            None => self.result.ipc(),
+        }
     }
 }
 
@@ -266,6 +299,7 @@ impl Cell {
 pub struct ResultSet {
     name: String,
     instructions: u64,
+    sampling: Option<SamplingSpec>,
     workloads: Vec<(String, Variant)>,
     machines: Vec<MachineKind>,
     predictors: Vec<PredictorKind>,
@@ -277,6 +311,7 @@ impl ResultSet {
     pub(crate) fn new(
         name: String,
         instructions: u64,
+        sampling: Option<SamplingSpec>,
         axes: &Axes<'_>,
         cells: Vec<Cell>,
     ) -> ResultSet {
@@ -284,6 +319,7 @@ impl ResultSet {
         ResultSet {
             name,
             instructions,
+            sampling,
             workloads: axes
                 .workloads
                 .iter()
@@ -305,9 +341,15 @@ impl ResultSet {
         &self.name
     }
 
-    /// The committed-instruction budget every cell ran for.
+    /// The committed-instruction budget every cell ran for (the budget the
+    /// sampled estimates *represent*, for a sampled set).
     pub fn instructions(&self) -> u64 {
         self.instructions
+    }
+
+    /// The sampling plan the cells were produced under (`None` = exact).
+    pub fn sampling(&self) -> Option<SamplingSpec> {
+        self.sampling
     }
 
     /// The `(name, variant)` workload axis, in spec order.

@@ -8,9 +8,9 @@
 //!
 //! A [`LabConfig`] is plain data with a [`Default`]. The environment is read
 //! in exactly one place, [`LabConfig::from_env`], and **strictly**: an
-//! unparseable (or zero) `MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS` or
-//! `MSP_BENCH_TRACE_CACHE_BYTES` is a [`LabConfigError`], never a silent
-//! fall-back to the default.
+//! unparseable (or zero) `MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS`,
+//! `MSP_BENCH_TRACE_CACHE_BYTES` or `MSP_BENCH_SAMPLE_INTERVAL` is a
+//! [`LabConfigError`], never a silent fall-back to the default.
 //!
 //! # The trace cache
 //!
@@ -31,10 +31,11 @@
 //! deterministic, so the re-capture is bit-identical (pinned by the
 //! determinism tests).
 
-use crate::experiment::{Cell, Experiment, ResultSet};
-use crate::parallel_map;
+use crate::experiment::{Axes, Cell, Experiment, ResultSet};
+use crate::{parallel_map, SampledStats, SamplingSpec};
+use msp_branch::PredictorKind;
 use msp_isa::Trace;
-use msp_pipeline::{SimConfig, Simulator};
+use msp_pipeline::{MemoryConfig, SimConfig, SimResult, SimStats, Simulator, WarmState};
 use msp_workloads::{Variant, Workload};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -42,6 +43,10 @@ use std::sync::{Arc, Mutex};
 
 /// Default number of committed instructions per simulation.
 pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
+
+/// Default sampling interval for `--sample` runs (one detailed window per
+/// this many committed instructions; see [`SamplingSpec::periodic`]).
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 250_000;
 
 /// Default trace-cache byte budget: room for a handful of 200k-instruction
 /// traces (~20 MiB each) or dozens of 20k ones.
@@ -73,6 +78,11 @@ pub struct LabConfig {
     /// [`DEFAULT_TRACE_CACHE_BYTES`]); least-recently-used traces are
     /// evicted above it.
     pub trace_cache_bytes: usize,
+    /// Sampling interval used when a caller asks for sampled execution
+    /// without an explicit [`SamplingSpec`] (the `msp-lab --sample` flag;
+    /// default [`DEFAULT_SAMPLE_INTERVAL`]). Experiments attach their own
+    /// plan with [`Experiment::sampling`].
+    pub sample_interval: u64,
 }
 
 impl Default for LabConfig {
@@ -81,6 +91,7 @@ impl Default for LabConfig {
             instructions: DEFAULT_INSTRUCTIONS,
             threads: default_threads(),
             trace_cache_bytes: DEFAULT_TRACE_CACHE_BYTES,
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
         }
     }
 }
@@ -128,6 +139,8 @@ impl LabConfig {
     /// * `MSP_BENCH_TRACE_CACHE_BYTES` — trace-cache byte budget; a
     ///   non-negative integer (`0` disables retention beyond the trace in
     ///   use).
+    /// * `MSP_BENCH_SAMPLE_INTERVAL` — sampling interval for `--sample`
+    ///   runs; a positive integer.
     ///
     /// Unset variables use the [`Default`] values; set-but-invalid ones are
     /// a [`LabConfigError`].
@@ -152,6 +165,7 @@ impl LabConfig {
             read("MSP_BENCH_INSTRUCTIONS")?.as_deref(),
             read("MSP_BENCH_THREADS")?.as_deref(),
             read("MSP_BENCH_TRACE_CACHE_BYTES")?.as_deref(),
+            read("MSP_BENCH_SAMPLE_INTERVAL")?.as_deref(),
         )
     }
 
@@ -162,6 +176,7 @@ impl LabConfig {
         instructions: Option<&str>,
         threads: Option<&str>,
         trace_cache_bytes: Option<&str>,
+        sample_interval: Option<&str>,
     ) -> Result<LabConfig, LabConfigError> {
         let defaults = LabConfig::default();
         Ok(LabConfig {
@@ -179,6 +194,12 @@ impl LabConfig {
                 defaults.trace_cache_bytes as u64,
                 false,
             )? as usize,
+            sample_interval: parse_var(
+                "MSP_BENCH_SAMPLE_INTERVAL",
+                sample_interval,
+                defaults.sample_interval,
+                true,
+            )?,
         })
     }
 }
@@ -211,8 +232,9 @@ fn parse_var(
 
 /// Cache key: workload identity plus a structural fingerprint of the
 /// program (so a hand-built `Workload` reusing a SPEC name can never alias
-/// a cached kernel), plus the instruction budget.
-type TraceKey = (String, Variant, u64, u64);
+/// a cached kernel), plus the instruction budget and the checkpoint
+/// interval (`0` = captured without checkpoints).
+type TraceKey = (String, Variant, u64, u64, u64);
 
 /// Structural fingerprint of a program: every instruction plus the initial
 /// data image. Cheap (programs are a few hundred static instructions) and
@@ -355,21 +377,54 @@ impl Lab {
     /// traces are identical (functional execution is deterministic) so the
     /// first insert wins and the duplicate is dropped.
     pub fn trace(&self, workload: &Workload, instructions: u64) -> Arc<Trace> {
+        self.trace_inner(workload, instructions, 0)
+    }
+
+    /// [`Lab::trace`] with architectural checkpoints recorded every
+    /// `checkpoint_interval` committed instructions (the substrate of
+    /// sampled execution; see [`Trace::checkpoint_at`]). Cached separately
+    /// from the plain trace of the same `(workload, instructions)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_interval` is zero.
+    pub fn trace_with_checkpoints(
+        &self,
+        workload: &Workload,
+        instructions: u64,
+        checkpoint_interval: u64,
+    ) -> Arc<Trace> {
+        assert!(
+            checkpoint_interval > 0,
+            "checkpoint interval must be positive (use Lab::trace for a plain trace)"
+        );
+        self.trace_inner(workload, instructions, checkpoint_interval)
+    }
+
+    fn trace_inner(
+        &self,
+        workload: &Workload,
+        instructions: u64,
+        checkpoint_interval: u64,
+    ) -> Arc<Trace> {
         let key = (
             workload.name().to_string(),
             workload.variant(),
             program_fingerprint(workload),
             instructions,
+            checkpoint_interval,
         );
         if let Some(trace) = self.lock_cache().get(&key) {
             return trace;
         }
         // Capture outside the lock: a 200k-instruction capture takes tens
         // of milliseconds and must not serialise other workloads' hits.
-        let trace = Arc::new(Trace::capture(
-            workload.program(),
-            instructions.saturating_add(TRACE_MARGIN),
-        ));
+        let budget = instructions.saturating_add(TRACE_MARGIN);
+        let trace = Arc::new(if checkpoint_interval == 0 {
+            Trace::capture(workload.program(), budget)
+        } else {
+            Trace::capture_with_checkpoints(workload.program(), budget, checkpoint_interval)
+        });
         let mut cache = self.lock_cache();
         cache.captures += 1;
         cache.insert(key, trace, self.config.trace_cache_bytes)
@@ -414,15 +469,28 @@ impl Lab {
     /// trace, and the results are collected into a [`ResultSet`] in
     /// deterministic cell order.
     ///
+    /// A spec carrying a [`SamplingSpec`] runs **sampled**: each cell's
+    /// periodic detail intervals become independent work units fanned
+    /// across the worker threads (`Simulator::resume_from` per interval),
+    /// and the cell's [`SampledStats`] estimate is aggregated from them.
+    ///
     /// # Panics
     ///
     /// Panics if the experiment has no workloads or no machines (an empty
-    /// axis is a spec bug, not an empty result).
+    /// axis is a spec bug, not an empty result), or if its sampling plan is
+    /// inconsistent ([`SamplingSpec::assert_valid`]).
     pub fn run(&self, experiment: &Experiment) -> ResultSet {
         let axes = experiment.axes();
         let instructions = experiment
             .instructions_override()
             .unwrap_or(self.config.instructions);
+        match experiment.sampling_spec() {
+            None => self.run_exact(experiment, &axes, instructions),
+            Some(spec) => self.run_sampled(experiment, &axes, instructions, spec),
+        }
+    }
+
+    fn run_exact(&self, experiment: &Experiment, axes: &Axes<'_>, instructions: u64) -> ResultSet {
         let traces: Vec<Arc<Trace>> = axes
             .workloads
             .iter()
@@ -451,9 +519,234 @@ impl Lab {
                     predictor: axes.predictors[p],
                     hook: axes.hooks[h].name().map(str::to_string),
                     result,
+                    sampled: None,
                 }
             })
             .collect();
-        ResultSet::new(experiment.name().to_string(), instructions, &axes, cells)
+        ResultSet::new(
+            experiment.name().to_string(),
+            instructions,
+            None,
+            axes,
+            cells,
+        )
+    }
+
+    /// The sampled execution path: one work unit per `(cell, interval)`
+    /// pair, fanned across the worker threads, so even a single-cell
+    /// experiment parallelises. Units resume from the trace's architectural
+    /// checkpoints, seeded with snapshots of a **cumulative warm
+    /// trajectory**, measure in detail, and fold into per-cell
+    /// [`SampledStats`].
+    ///
+    /// Window placement and warming (see DESIGN.md for the why):
+    ///
+    /// * interval 0 is measured **exactly** — detail over the whole first
+    ///   interval from a cold machine, which is bit-identical to the exact
+    ///   run's prefix and captures the one-time cold-start transient that
+    ///   periodic windows would otherwise misrepresent;
+    /// * interval `k ≥ 1` resumes at the checkpoint at `k·interval`,
+    ///   seeded with a [`WarmState`] snapshot taken at that point by one
+    ///   functional warming pass over the whole trace — so every window's
+    ///   caches and predictors carry the history of the *entire* prefix (a
+    ///   bounded warm window systematically under-trains slow-converging
+    ///   predictors and large working sets). One trajectory serves every
+    ///   cell whose warm structures are configured identically (same
+    ///   predictor, same memory geometry) — in the reference table1 sweep,
+    ///   all four machines share one. The first `warmup_len` committed
+    ///   instructions of the window run in detail but are excluded from
+    ///   measurement: they re-establish the pipeline occupancy (in-flight
+    ///   window, queues) that no snapshot carries, which deep bulk-commit
+    ///   machines need a few hundred cycles to ramp.
+    fn run_sampled(
+        &self,
+        experiment: &Experiment,
+        axes: &Axes<'_>,
+        instructions: u64,
+        spec: SamplingSpec,
+    ) -> ResultSet {
+        spec.assert_valid();
+        let checkpoint_interval = spec.interval;
+        let traces: Vec<Arc<Trace>> = axes
+            .workloads
+            .iter()
+            .map(|w| self.trace_with_checkpoints(w, instructions, checkpoint_interval))
+            .collect();
+        // Per-cell effective configuration (hooks applied), built up front
+        // so cells can share warm trajectories.
+        let configs: Vec<SimConfig> = (0..axes.len())
+            .map(|flat| {
+                let (_, m, p, h) = axes.coordinates(flat);
+                let mut config = SimConfig::machine(axes.machines[m], axes.predictors[p]);
+                axes.hooks[h].apply(&mut config);
+                config
+            })
+            .collect();
+        // Group the cells by warm-structure configuration: (workload,
+        // predictor, memory geometry). Cells in one group see identical
+        // warm trajectories, so the functional warming pass runs once per
+        // group, not once per cell.
+        let mut groups: Vec<(usize, PredictorKind, MemoryConfig, Vec<usize>)> = Vec::new();
+        for (flat, config) in configs.iter().enumerate() {
+            let (w, ..) = axes.coordinates(flat);
+            let key = (w, config.predictor, config.memory);
+            match groups
+                .iter_mut()
+                .find(|(gw, gp, gm, _)| (*gw, *gp, *gm) == key)
+            {
+                Some((.., members)) => members.push(flat),
+                None => groups.push((key.0, key.1, key.2, vec![flat])),
+            }
+        }
+        // One warming pass per group (fanned across workers): absorb the
+        // trace from the head, snapshotting at every interval start ≥ 1.
+        // Snapshot s of a group seeds the window at `(s + 1) · interval`.
+        let group_snapshots: Vec<Vec<WarmState>> =
+            parallel_map(self.config.threads, &groups, |(w, _, _, members)| {
+                let trace = &traces[*w];
+                let mut warm =
+                    WarmState::for_config(axes.workloads[*w].program(), &configs[members[0]]);
+                let mut snapshots = Vec::new();
+                let mut index = 0;
+                let mut start = spec.interval;
+                while start < instructions {
+                    while index < start {
+                        let Some(rec) = trace.get(index) else {
+                            return snapshots;
+                        };
+                        warm.absorb(rec);
+                        index += 1;
+                    }
+                    snapshots.push(warm.clone());
+                    start += spec.interval;
+                }
+                snapshots
+            });
+        let group_of_flat: Vec<usize> = (0..axes.len())
+            .map(|flat| {
+                groups
+                    .iter()
+                    .position(|(.., members)| members.contains(&flat))
+                    .expect("every cell is grouped")
+            })
+            .collect();
+        // The flat unit list, cell-major then interval-ascending — the
+        // aggregation below walks it back in the same order.
+        // The head stratum: measured exactly from a cold machine. A third
+        // of an interval bounds the cold-start transient at a fraction of a
+        // full interval's detailed cost; a full-detail plan (detail ==
+        // interval) keeps complete coverage.
+        let head_len = (spec.interval / 3).max(spec.detail_len).min(instructions);
+        struct Unit {
+            flat: usize,
+            start: u64,
+            warmup: u64,
+            detail: u64,
+            span: u64,
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        for flat in 0..axes.len() {
+            let (w, ..) = axes.coordinates(flat);
+            let mut start = 0;
+            while start < instructions {
+                let (warmup, detail, span) = if start == 0 {
+                    (0, head_len, head_len)
+                } else {
+                    let warmup = spec.warmup_len.min(instructions - start);
+                    (
+                        warmup,
+                        spec.detail_len.min(instructions - start - warmup),
+                        spec.interval,
+                    )
+                };
+                // No checkpoint (or no warm snapshot) means the program
+                // ended before this window; nothing to measure from here.
+                if traces[w].checkpoint_at(start).is_none() {
+                    break;
+                }
+                if start > 0
+                    && group_snapshots[group_of_flat[flat]].len() < (start / spec.interval) as usize
+                {
+                    break;
+                }
+                if detail > 0 {
+                    units.push(Unit {
+                        flat,
+                        start,
+                        warmup,
+                        detail,
+                        span,
+                    });
+                }
+                start += spec.interval;
+            }
+        }
+        let results = parallel_map(self.config.threads, &units, |unit| {
+            let (w, ..) = axes.coordinates(unit.flat);
+            let config = configs[unit.flat].clone();
+            let program = axes.workloads[w].program();
+            if unit.start == 0 {
+                // The head window: exact detail from a cold machine.
+                return Simulator::resume_from(program, config, Arc::clone(&traces[w]), 0, 0)
+                    .run(unit.detail);
+            }
+            let snapshot = &group_snapshots[group_of_flat[unit.flat]]
+                [(unit.start / spec.interval) as usize - 1];
+            let mut sim = Simulator::resume_warmed(
+                program,
+                config,
+                Arc::clone(&traces[w]),
+                unit.start,
+                snapshot.clone(),
+            );
+            if unit.warmup == 0 {
+                return sim.run(unit.detail);
+            }
+            // Detailed pipeline fill, excluded from the measured window.
+            // Bulk-commit machines can overshoot the fill request by a
+            // whole commit group, so the measured window is anchored at
+            // wherever the fill actually stopped.
+            sim.run(unit.warmup);
+            let prefix = sim.stats().clone();
+            let mut result = sim.run(prefix.committed + unit.detail);
+            result.stats = result.stats.subtracting(&prefix);
+            result
+        });
+        let mut cells = Vec::with_capacity(axes.len());
+        let mut cursor = 0;
+        for flat in 0..axes.len() {
+            let (w, m, p, h) = axes.coordinates(flat);
+            let mut per_interval: Vec<(SimStats, u64)> = Vec::new();
+            let mut aggregate = SimStats::default();
+            let mut truncated = false;
+            while cursor < units.len() && units[cursor].flat == flat {
+                let result = &results[cursor];
+                truncated |= result.truncated_by_watchdog;
+                aggregate.accumulate(&result.stats);
+                per_interval.push((result.stats.clone(), units[cursor].span));
+                cursor += 1;
+            }
+            cells.push(Cell {
+                workload: axes.workloads[w].name().to_string(),
+                variant: axes.workloads[w].variant(),
+                machine: axes.machines[m],
+                predictor: axes.predictors[p],
+                hook: axes.hooks[h].name().map(str::to_string),
+                result: SimResult {
+                    machine: axes.machines[m].label(),
+                    predictor: axes.predictors[p].label().to_string(),
+                    truncated_by_watchdog: truncated,
+                    stats: aggregate,
+                },
+                sampled: Some(SampledStats::from_intervals(&per_interval)),
+            });
+        }
+        ResultSet::new(
+            experiment.name().to_string(),
+            instructions,
+            Some(spec),
+            axes,
+            cells,
+        )
     }
 }

@@ -27,6 +27,18 @@
 //! simulating that workload. A 4-machine × 3-kernel sweep therefore
 //! performs 3 functional executions instead of 12, and repeated runs in
 //! the same session perform none at all.
+//!
+//! # Sampled simulation
+//!
+//! An [`Experiment`] carrying a [`SamplingSpec`] estimates its full-budget
+//! statistics from detailed simulation of **periodic intervals**: the
+//! trace is captured with architectural checkpoints, each interval resumes
+//! from its checkpoint (`Simulator::resume_from`), functionally warms the
+//! caches and branch predictors, measures `detail_len` committed
+//! instructions in detail, and the per-interval statistics fold into a
+//! [`SampledStats`] mean-IPC estimate with a relative-error figure. This
+//! is what makes multi-million-instruction budgets tractable — see the
+//! `msp-lab --sample` flag and DESIGN.md's invariants section.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,11 +47,16 @@ mod experiment;
 mod lab;
 mod report;
 pub mod reports;
+mod sampling;
 
 pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
-pub use lab::{Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_TRACE_CACHE_BYTES};
+pub use lab::{
+    Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_SAMPLE_INTERVAL,
+    DEFAULT_TRACE_CACHE_BYTES,
+};
 pub use report::{csv_row, json_string, parse_csv_record, Block, OutputFormat, Report};
-pub use reports::ReportKind;
+pub use reports::{GoldenSpec, ReportKind};
+pub use sampling::{SampledStats, SamplingSpec};
 
 use msp_pipeline::MachineKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -272,26 +289,26 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_garbage() {
-        assert!(LabConfig::from_vars(None, None, None).is_ok());
+        assert!(LabConfig::from_vars(None, None, None, None).is_ok());
         assert_eq!(
-            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"))
+            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None)
                 .unwrap()
                 .instructions,
             20_000
         );
         // Unparseable values are errors, not silent defaults.
         for bad in ["20_000", "", "abc", "-1", "1.5"] {
-            let err = LabConfig::from_vars(Some(bad), None, None).unwrap_err();
+            let err = LabConfig::from_vars(Some(bad), None, None, None).unwrap_err();
             assert_eq!(err.var, "MSP_BENCH_INSTRUCTIONS");
             assert!(err.to_string().contains("MSP_BENCH_INSTRUCTIONS"));
         }
-        assert!(LabConfig::from_vars(None, Some("zero"), None).is_err());
-        assert!(LabConfig::from_vars(None, None, Some("x")).is_err());
+        assert!(LabConfig::from_vars(None, Some("zero"), None, None).is_err());
+        assert!(LabConfig::from_vars(None, None, Some("x"), None).is_err());
         // Zero budgets/threads are rejected; a zero cache budget is legal.
-        assert!(LabConfig::from_vars(Some("0"), None, None).is_err());
-        assert!(LabConfig::from_vars(None, Some("0"), None).is_err());
+        assert!(LabConfig::from_vars(Some("0"), None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, Some("0"), None, None).is_err());
         assert_eq!(
-            LabConfig::from_vars(None, None, Some("0"))
+            LabConfig::from_vars(None, None, Some("0"), None)
                 .unwrap()
                 .trace_cache_bytes,
             0

@@ -2,11 +2,14 @@
 //!
 //! Every `msp-lab` subcommand is a [`ReportKind`]: a named, declarative
 //! recipe that builds an [`Experiment`], hands it to a [`Lab`], and shapes
-//! the [`ResultSet`](crate::ResultSet) into a [`Report`] renderable as
+//! the [`ResultSet`] into a [`Report`] renderable as
 //! text, JSON or CSV. This module replaced the eleven copy-paste report
 //! binaries the harness used to carry (see DESIGN.md's migration table).
 
-use crate::{figure_machines, fmt_ipc, geometric_mean, Block, Experiment, Lab, Report, TextTable};
+use crate::{
+    figure_machines, fmt_ipc, geometric_mean, Block, Experiment, Lab, OutputFormat, Report,
+    ResultSet, SamplingSpec, TextTable,
+};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig};
 use msp_workloads::{by_name, spec_fp_like, spec_int_like, table2_pairs, Variant, Workload};
@@ -116,11 +119,21 @@ impl ReportKind {
         }
     }
 
-    /// Builds the report by running the subcommand's experiment in `lab`.
+    /// Builds the report by running the subcommand's experiment in `lab`
+    /// (exact execution; [`ReportKind::build_sampled`] for sampled).
     pub fn build(self, lab: &Lab) -> Report {
+        self.build_sampled(lab, None)
+    }
+
+    /// [`ReportKind::build`] with an optional [`SamplingSpec`]: when given,
+    /// every simulation-backed report runs sampled (the `msp-lab --sample`
+    /// flag) and appends a note block describing the plan and the
+    /// per-cell relative-error figures. Purely analytical reports
+    /// (`table3`) ignore the spec.
+    pub fn build_sampled(self, lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
         match self {
-            ReportKind::Table1 => table1(lab),
-            ReportKind::Table2 => table2(lab),
+            ReportKind::Table1 => table1(lab, sampling),
+            ReportKind::Table2 => table2(lab, sampling),
             ReportKind::Table3 => table3(),
             ReportKind::Fig6 => ipc_figure(
                 lab,
@@ -128,6 +141,7 @@ impl ReportKind {
                 "Fig. 6: SPECint IPC with the gshare predictor",
                 spec_int_like(Variant::Original),
                 PredictorKind::Gshare,
+                sampling,
             ),
             ReportKind::Fig7 => ipc_figure(
                 lab,
@@ -135,6 +149,7 @@ impl ReportKind {
                 "Fig. 7: SPECint IPC with the TAGE predictor",
                 spec_int_like(Variant::Original),
                 PredictorKind::Tage,
+                sampling,
             ),
             ReportKind::Fig8 => ipc_figure(
                 lab,
@@ -142,13 +157,102 @@ impl ReportKind {
                 "Fig. 8: SPECfp IPC with the TAGE predictor",
                 spec_fp_like(Variant::Original),
                 PredictorKind::Tage,
+                sampling,
             ),
-            ReportKind::Fig9 => fig9(lab),
-            ReportKind::AblateLcs => ablate_lcs(lab),
-            ReportKind::AblateRename => ablate_rename(lab),
-            ReportKind::AblateCprRegs => ablate_cpr_regs(lab),
-            ReportKind::StatsDump => stats_dump(lab),
+            ReportKind::Fig9 => fig9(lab, sampling),
+            ReportKind::AblateLcs => ablate_lcs(lab, sampling),
+            ReportKind::AblateRename => ablate_rename(lab, sampling),
+            ReportKind::AblateCprRegs => ablate_cpr_regs(lab, sampling),
+            ReportKind::StatsDump => stats_dump(lab, sampling),
         }
+    }
+}
+
+/// One checked-in golden file of a subcommand: the exact budget and format
+/// it pins, and its file name under `crates/msp-bench/tests/golden/`.
+/// `msp-lab <sub> --bless` regenerates these in place; the golden tests and
+/// the CI bench-smoke job diff against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldenSpec {
+    /// Committed-instruction budget the golden was produced at.
+    pub instructions: u64,
+    /// Rendering format of the golden.
+    pub format: OutputFormat,
+    /// File name under the golden directory.
+    pub file: &'static str,
+}
+
+impl ReportKind {
+    /// The golden files pinned for this subcommand (empty for subcommands
+    /// without goldens). This list is the single source of truth shared by
+    /// `msp-lab --bless` and the golden-shape tests.
+    pub fn goldens(self) -> &'static [GoldenSpec] {
+        match self {
+            ReportKind::StatsDump => &[
+                GoldenSpec {
+                    instructions: 20_000,
+                    format: OutputFormat::Text,
+                    file: "stats_dump_20k.txt",
+                },
+                GoldenSpec {
+                    instructions: 200_000,
+                    format: OutputFormat::Text,
+                    file: "stats_dump_200k.txt",
+                },
+            ],
+            ReportKind::Table1 => &[
+                GoldenSpec {
+                    instructions: 20_000,
+                    format: OutputFormat::Text,
+                    file: "table1_20k.txt",
+                },
+                GoldenSpec {
+                    instructions: 20_000,
+                    format: OutputFormat::Json,
+                    file: "table1_20k.json",
+                },
+            ],
+            _ => &[],
+        }
+    }
+}
+
+/// The note block appended to every report produced from a sampled run:
+/// the plan, and the interval count and relative standard error of each
+/// cell (worst cell first line). `None` for exact runs, so exact renderings
+/// — and the checked-in goldens — are byte-identical to before.
+fn sampling_note(results: &ResultSet) -> Option<Block> {
+    let spec = results.sampling()?;
+    let mut lines = vec![format!(
+        "sampled estimate: {} ({} per-cell intervals max)",
+        spec.describe(),
+        results
+            .cells()
+            .iter()
+            .filter_map(|c| c.sampled.as_ref().map(|s| s.intervals))
+            .max()
+            .unwrap_or(0),
+    )];
+    let worst = results
+        .cells()
+        .iter()
+        .filter_map(|c| c.sampled.as_ref().map(|s| (s.ipc_rel_stderr, c)))
+        .max_by(|a, b| a.0.total_cmp(&b.0));
+    if let Some((stderr, cell)) = worst {
+        lines.push(format!(
+            "worst-cell IPC rel. std. error: {:.2}% ({} on {})",
+            100.0 * stderr,
+            cell.workload,
+            cell.machine.label()
+        ));
+    }
+    Some(Block::Lines(lines))
+}
+
+/// Appends the sampling note to a report's blocks when the run was sampled.
+fn push_sampling_note(blocks: &mut Vec<Block>, results: &ResultSet) {
+    if let Some(note) = sampling_note(results) {
+        blocks.push(note);
     }
 }
 
@@ -157,11 +261,12 @@ impl ReportKind {
 /// line per simulation of the reference workload × machine × predictor
 /// matrix, in stable order. The text rendering is pinned byte-for-byte by
 /// the `tests/golden/stats_dump_*.txt` files.
-pub fn stats_dump(lab: &Lab) -> Report {
+pub fn stats_dump(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let spec = Experiment::new("stats-dump")
         .workloads(reference_workloads())
         .machines(reference_machines())
-        .predictors([PredictorKind::Gshare, PredictorKind::Tage]);
+        .predictors([PredictorKind::Gshare, PredictorKind::Tage])
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
     let mut table = TextTable::new(&["workload", "machine", "predictor", "canonical stats"]);
     // Cell order is workload-major, then machine, then predictor — exactly
@@ -174,6 +279,8 @@ pub fn stats_dump(lab: &Lab) -> Report {
             cell.result.stats.canonical_string(),
         ]);
     }
+    let mut blocks = vec![Block::Table(table)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name: "stats-dump",
         title: format!(
@@ -181,7 +288,7 @@ pub fn stats_dump(lab: &Lab) -> Report {
             results.instructions()
         ),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table)],
+        blocks,
     }
 }
 
@@ -219,11 +326,13 @@ fn ipc_figure(
     title: &str,
     workloads: Vec<Workload>,
     predictor: PredictorKind,
+    sampling: Option<SamplingSpec>,
 ) -> Report {
     let spec = Experiment::new(name)
         .workloads(workloads)
         .machines(figure_machines())
-        .predictor(predictor);
+        .predictor(predictor)
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
     let table = ipc_pivot_with_mean(&results, |cell| cell.machine.label());
 
@@ -248,18 +357,20 @@ fn ipc_figure(
             }
         ));
     }
+    let mut blocks = vec![Block::Table(table), Block::Lines(overlay)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name,
         title: title.to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table), Block::Lines(overlay)],
+        blocks,
     }
 }
 
 /// Table I: the configuration rows of every reference machine, plus
 /// measured-IPC rows (the four columns simulated on the reference kernels
 /// with gshare — the harness's standard sweep benchmark).
-pub fn table1(lab: &Lab) -> Report {
+pub fn table1(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let machines = reference_machines();
     let mut table = TextTable::new(&["parameter", "Baseline", "CPR", "n-SP (n=16)", "ideal MSP"]);
     let configs: Vec<SimConfig> = machines
@@ -348,7 +459,8 @@ pub fn table1(lab: &Lab) -> Report {
     let spec = Experiment::new("table1")
         .workloads(reference_workloads())
         .machines(machines)
-        .predictor(PredictorKind::Gshare);
+        .predictor(PredictorKind::Gshare)
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
     for (w, (workload, _)) in results.workloads().iter().enumerate() {
         let mut cells = vec![format!("measured IPC ({workload}, gshare)")];
@@ -356,18 +468,20 @@ pub fn table1(lab: &Lab) -> Report {
         table.row(cells);
     }
 
+    let mut blocks = vec![Block::Table(table)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name: "table1",
         title: "Table I: processor configurations".to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table)],
+        blocks,
     }
 }
 
 /// Table II: IPC of the original vs hand-modified (unrolled,
 /// register-rotated) hot loops for the five register-pressure benchmarks,
 /// with the TAGE predictor.
-pub fn table2(lab: &Lab) -> Report {
+pub fn table2(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let machines = [
         MachineKind::cpr(),
         MachineKind::msp(8),
@@ -381,7 +495,8 @@ pub fn table2(lab: &Lab) -> Report {
     let spec = Experiment::new("table2")
         .workloads(workloads)
         .machines(machines)
-        .predictor(PredictorKind::Tage);
+        .predictor(PredictorKind::Tage)
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
 
     let mut header = vec!["benchmark".to_string(), "version".to_string()];
@@ -392,19 +507,19 @@ pub fn table2(lab: &Lab) -> Report {
         cells.extend((0..machines.len()).map(|m| fmt_ipc(results.get(w, m, 0, 0).ipc())));
         table.row(cells);
     }
+    let mut blocks = vec![
+        Block::Table(table),
+        Block::Lines(vec![
+            "The paper's claim: modifying 1-3 hot loops recovers most of the 8/16-SP".to_string(),
+            "register-bank stall loss while leaving CPR and the ideal MSP unchanged.".to_string(),
+        ]),
+    ];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name: "table2",
         title: "Table II: IPC for modified benchmarks with the TAGE branch predictor".to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![
-            Block::Table(table),
-            Block::Lines(vec![
-                "The paper's claim: modifying 1-3 hot loops recovers most of the 8/16-SP"
-                    .to_string(),
-                "register-bank stall loss while leaving CPR and the ideal MSP unchanged."
-                    .to_string(),
-            ]),
-        ],
+        blocks,
     }
 }
 
@@ -456,13 +571,14 @@ pub fn table3() -> Report {
 /// Fig. 9: the total number of executed instructions for the SPECint suite,
 /// split into correct-path, correct-path re-executed and wrong-path work,
 /// for CPR and 16-SP under both predictors.
-pub fn fig9(lab: &Lab) -> Report {
+pub fn fig9(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let machines = [MachineKind::cpr(), MachineKind::msp(16)];
     let predictors = [PredictorKind::Gshare, PredictorKind::Tage];
     let spec = Experiment::new("fig9")
         .workloads(spec_int_like(Variant::Original))
         .machines(machines)
-        .predictors(predictors);
+        .predictors(predictors)
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
 
     let mut table = TextTable::new(&[
@@ -524,11 +640,13 @@ pub fn fig9(lab: &Lab) -> Report {
         "The paper reports 16-SP executing 16.5% fewer instructions than CPR with".to_string(),
     );
     notes.push("gshare and 12% fewer with TAGE, mostly from precise state recovery.".to_string());
+    let mut blocks = vec![Block::Table(table), Block::Lines(notes)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name: "fig9",
         title: "Fig. 9: executed instructions (SPECint suite)".to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table), Block::Lines(notes)],
+        blocks,
     }
 }
 
@@ -540,22 +658,25 @@ fn ablation(lab: &Lab, name: &'static str, title: &str, spec: Experiment) -> Rep
     let table = ipc_pivot_with_mean(&results, |cell| {
         cell.hook.clone().expect("ablation cells run named hooks")
     });
+    let mut blocks = vec![Block::Table(table)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name,
         title: title.to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table)],
+        blocks,
     }
 }
 
 /// Ablation (Section 3.2.2): sensitivity of the MSP to the LCS propagation
 /// delay. The paper reports that even a 4-cycle LCS computation costs less
 /// than 1% IPC versus a 1-cycle one.
-pub fn ablate_lcs(lab: &Lab) -> Report {
+pub fn ablate_lcs(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let mut spec = Experiment::new("ablate-lcs")
         .workloads(spec_int_like(Variant::Original))
         .machine(MachineKind::msp(16))
-        .predictor(PredictorKind::Tage);
+        .predictor(PredictorKind::Tage)
+        .sampling_opt(sampling);
     for delay in [0usize, 1, 2, 4] {
         let label = if delay == 1 {
             "1 cycle".to_string()
@@ -575,11 +696,12 @@ pub fn ablate_lcs(lab: &Lab) -> Report {
 /// Ablation (Section 3.3): how many same-logical-register renamings per
 /// cycle are needed. The paper reports that two are sufficient and that
 /// allowing only one costs about 5% IPC.
-pub fn ablate_rename(lab: &Lab) -> Report {
+pub fn ablate_rename(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let mut spec = Experiment::new("ablate-rename")
         .workloads(spec_int_like(Variant::Original))
         .machine(MachineKind::msp(16))
-        .predictor(PredictorKind::Tage);
+        .predictor(PredictorKind::Tage)
+        .sampling_opt(sampling);
     for limit in [1usize, 2, 4] {
         spec = spec.override_config(format!("{limit}/cycle"), move |config| {
             config.max_same_reg_renames = limit
@@ -597,7 +719,7 @@ pub fn ablate_rename(lab: &Lab) -> Report {
 /// reports that growing CPR's register file from 192 to 256 or 512 entries
 /// gains only about 1-1.3% IPC, showing the MSP's advantage is not simply
 /// its larger register file.
-pub fn ablate_cpr_regs(lab: &Lab) -> Report {
+pub fn ablate_cpr_regs(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
     let machines = [
         MachineKind::Cpr {
             regs_per_class: 192,
@@ -613,13 +735,16 @@ pub fn ablate_cpr_regs(lab: &Lab) -> Report {
     let spec = Experiment::new("ablate-cpr-regs")
         .workloads(spec_int_like(Variant::Original))
         .machines(machines)
-        .predictor(PredictorKind::Tage);
+        .predictor(PredictorKind::Tage)
+        .sampling_opt(sampling);
     let results = lab.run(&spec);
     let table = ipc_pivot_with_mean(&results, |cell| cell.machine.label());
+    let mut blocks = vec![Block::Table(table)];
+    push_sampling_note(&mut blocks, &results);
     Report {
         name: "ablate-cpr-regs",
         title: "Ablation A3: CPR register file size sweep (TAGE) vs 16-SP".to_string(),
         instructions: Some(results.instructions()),
-        blocks: vec![Block::Table(table)],
+        blocks,
     }
 }

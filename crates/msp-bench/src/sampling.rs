@@ -1,0 +1,265 @@
+//! SMARTS-style systematic sampling over the shared trace layer.
+//!
+//! A [`SamplingSpec`] turns one experiment cell into many small
+//! detailed-simulation units: the functional trace (already captured once
+//! per workload, now with periodic [`ArchState`](msp_isa::ArchState)
+//! checkpoints) is measured in detail only inside short windows placed
+//! every `interval` committed instructions. Each unit resumes from the
+//! checkpoint at its interval start (`Simulator::resume_from`), replays a
+//! `warmup_len` window functionally into the caches and branch predictors,
+//! then measures `detail_len` committed instructions with full cycle
+//! accounting. [`SampledStats`] folds the per-interval
+//! [`SimStats`](msp_pipeline::SimStats) into a mean-IPC estimate with a
+//! relative-error figure, which the `msp-lab` emitters render alongside
+//! exact runs.
+//!
+//! The detailed-simulation cost of a cell drops from `budget` to roughly
+//! `budget × (warmup_len + detail_len) / interval` instructions, which is
+//! what makes multi-million-instruction budgets tractable (see
+//! `BENCH_pipeline.json` for the recorded speedup and accuracy).
+
+use msp_pipeline::SimStats;
+
+/// A periodic sampling plan: every `interval` committed instructions,
+/// functionally warm `warmup_len` of them and measure the next
+/// `detail_len` in detail.
+///
+/// Attach to an [`Experiment`](crate::Experiment) with
+/// [`Experiment::sampling`](crate::Experiment::sampling); construct with
+/// [`SamplingSpec::periodic`] for the default 2.5%-detail shape, or as a
+/// struct literal for full control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingSpec {
+    /// Committed instructions between consecutive interval starts (also
+    /// the trace's checkpoint spacing). Positive.
+    pub interval: u64,
+    /// Committed instructions measured in detail per interval. Positive.
+    pub detail_len: u64,
+    /// Committed instructions of warm-up run before measurement starts in
+    /// each interval and excluded from it. In `Lab::run`'s sampled path the
+    /// window runs in **detail** from the cumulative warm snapshot (it
+    /// refills the pipeline, queues and in-flight state the snapshot cannot
+    /// carry); for a standalone `Simulator::resume_from` it is the
+    /// functional warm window replayed into the caches and predictors.
+    pub warmup_len: u64,
+}
+
+impl SamplingSpec {
+    /// The default plan for a given interval: 2.5% measured in detail after
+    /// a third-of-detail warm-up window. The caches and predictors carry
+    /// the whole prefix's history via the Lab's cumulative warm trajectory
+    /// (see DESIGN.md); the warm-up window only has to re-establish
+    /// pipeline *occupancy* (fill the in-flight window and queues), which
+    /// takes a few hundred to a few thousand instructions on the deepest
+    /// machines. At the default 250k interval this shape measured a 5.5×
+    /// wall-clock speedup with ≤1.2% per-cell IPC error on the 2M-budget
+    /// table1 reference sweep (see BENCH_pipeline.json).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn periodic(interval: u64) -> SamplingSpec {
+        assert!(interval > 0, "sampling interval must be positive");
+        let detail_len = (interval / 40).max(1);
+        SamplingSpec {
+            interval,
+            detail_len,
+            warmup_len: (detail_len / 3).min(interval - detail_len),
+        }
+    }
+
+    /// Validates the plan's internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` or `detail_len` is zero, or if the warm-up plus
+    /// detail window does not fit inside one interval (windows would
+    /// overlap and double-count instructions).
+    pub fn assert_valid(&self) {
+        assert!(self.interval > 0, "sampling interval must be positive");
+        assert!(self.detail_len > 0, "sampling detail_len must be positive");
+        assert!(
+            self.warmup_len + self.detail_len <= self.interval,
+            "warmup_len + detail_len ({} + {}) must fit in the interval ({})",
+            self.warmup_len,
+            self.detail_len,
+            self.interval
+        );
+    }
+
+    /// A compact human-readable rendering (`interval=.. detail=.. warmup=..`).
+    pub fn describe(&self) -> String {
+        format!(
+            "interval={} detail={} warmup={}",
+            self.interval, self.detail_len, self.warmup_len
+        )
+    }
+}
+
+/// The aggregated estimate of one sampled cell: per-interval `SimStats`
+/// folded into a mean IPC with a relative-error figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledStats {
+    /// Intervals that measured at least one committed instruction (empty
+    /// intervals past the program's end are excluded from the estimate).
+    pub intervals: usize,
+    /// Committed instructions measured in detail across all intervals.
+    pub measured_instructions: u64,
+    /// Simulated cycles spent across all measured intervals.
+    pub measured_cycles: u64,
+    /// The IPC estimate: the inverse of the span-weighted mean per-window
+    /// **CPI**. Each measured window represents a span of the budget (the
+    /// head stratum measures its whole span exactly, periodic windows
+    /// sample one interval each), so the estimator for the exact run's
+    /// aggregate `committed / cycles` is `Σ(span·cpi) / Σspan`, inverted.
+    /// (A mean of window IPCs would systematically overweight fast
+    /// windows.)
+    pub mean_ipc: f64,
+    /// Relative standard error of the mean window **CPI** over the
+    /// *periodic* windows (`stddev(cpi) / (sqrt(n) * mean(cpi))`, with the
+    /// first window — the exactly-measured head stratum, which contributes
+    /// no sampling error — excluded): the SMARTS-style confidence figure
+    /// for the estimate. Zero when fewer than two periodic windows were
+    /// measured.
+    pub ipc_rel_stderr: f64,
+}
+
+impl SampledStats {
+    /// Folds per-window `(statistics, represented span)` pairs into the
+    /// sampled estimate. Windows with no committed instructions (the
+    /// program ended before them) are excluded.
+    pub fn from_intervals(per_interval: &[(SimStats, u64)]) -> SampledStats {
+        let measured: Vec<(&SimStats, u64)> = per_interval
+            .iter()
+            .filter(|(s, _)| s.committed > 0)
+            .map(|(s, span)| (s, *span))
+            .collect();
+        let n = measured.len();
+        let measured_instructions: u64 = measured.iter().map(|(s, _)| s.committed).sum();
+        let measured_cycles: u64 = measured.iter().map(|(s, _)| s.cycles).sum();
+        let cpis: Vec<f64> = measured
+            .iter()
+            .map(|(s, _)| s.cycles as f64 / s.committed as f64)
+            .collect();
+        let total_span: u64 = measured.iter().map(|(_, span)| span).sum();
+        let mean_cpi = if total_span == 0 {
+            0.0
+        } else {
+            measured
+                .iter()
+                .zip(&cpis)
+                .map(|((_, span), cpi)| *span as f64 * cpi)
+                .sum::<f64>()
+                / total_span as f64
+        };
+        let mean_ipc = if mean_cpi == 0.0 { 0.0 } else { 1.0 / mean_cpi };
+        // Sampling error lives in the periodic windows; the first window
+        // (the head stratum) measures its span exactly and is excluded.
+        let tail = &cpis[1.min(cpis.len())..];
+        let tail_n = tail.len() as f64;
+        let tail_mean = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail_n
+        };
+        let ipc_rel_stderr = if tail.len() < 2 || tail_mean == 0.0 {
+            0.0
+        } else {
+            let variance = tail
+                .iter()
+                .map(|cpi| (cpi - tail_mean) * (cpi - tail_mean))
+                .sum::<f64>()
+                / (tail_n - 1.0);
+            variance.sqrt() / (tail_n.sqrt() * tail_mean)
+        };
+        SampledStats {
+            intervals: n,
+            measured_instructions,
+            measured_cycles,
+            mean_ipc,
+            ipc_rel_stderr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(committed: u64, cycles: u64) -> SimStats {
+        SimStats {
+            committed,
+            cycles,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn periodic_defaults_scale_with_the_interval() {
+        let spec = SamplingSpec::periodic(250_000);
+        assert_eq!(spec.interval, 250_000);
+        assert_eq!(spec.detail_len, 6_250);
+        assert_eq!(spec.warmup_len, 2_083, "third-of-detail pipeline fill");
+        spec.assert_valid();
+        assert_eq!(spec.describe(), "interval=250000 detail=6250 warmup=2083");
+        // Tiny intervals still measure at least one instruction and stay
+        // internally consistent.
+        assert_eq!(SamplingSpec::periodic(5).detail_len, 1);
+        SamplingSpec::periodic(5).assert_valid();
+        SamplingSpec::periodic(1).assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the interval")]
+    fn overlapping_windows_are_rejected() {
+        SamplingSpec {
+            interval: 100,
+            detail_len: 80,
+            warmup_len: 30,
+        }
+        .assert_valid();
+    }
+
+    #[test]
+    fn aggregation_excludes_empty_intervals() {
+        let per_interval = vec![
+            (stats(100, 25), 10),
+            (stats(100, 100), 10),
+            (stats(100, 50), 10),
+            (stats(0, 1), 10),
+        ];
+        let s = SampledStats::from_intervals(&per_interval);
+        assert_eq!(s.intervals, 3);
+        assert_eq!(s.measured_instructions, 300);
+        assert_eq!(s.measured_cycles, 175);
+        // Equal spans: inverse of the mean CPI ((0.25 + 1.0 + 0.5) / 3).
+        let mean_cpi = (0.25 + 1.0 + 0.5) / 3.0;
+        assert!((s.mean_ipc - 1.0 / mean_cpi).abs() < 1e-12);
+        // The stderr covers the periodic windows only (the head window is
+        // exact): CPIs 1.0 and 0.5 → mean 0.75, stddev sqrt(0.125),
+        // stderr sqrt(0.125)/sqrt(2) = 0.25, relative 0.25/0.75 = 1/3.
+        assert!((s.ipc_rel_stderr - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_weights_windows_by_their_span() {
+        // A slow head stratum (CPI 2) spanning 30 units and a fast periodic
+        // window (CPI 0.5) spanning 90: mean CPI = (30·2 + 90·0.5)/120.
+        let per_interval = vec![(stats(30, 60), 30), (stats(9, 4), 90)];
+        let s = SampledStats::from_intervals(&per_interval);
+        let expected_cpi = (30.0 * 2.0 + 90.0 * (4.0 / 9.0)) / 120.0;
+        assert!((s.mean_ipc - 1.0 / expected_cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_aggregations_are_defined() {
+        let empty = SampledStats::from_intervals(&[]);
+        assert_eq!(empty.intervals, 0);
+        assert_eq!(empty.mean_ipc, 0.0);
+        assert_eq!(empty.ipc_rel_stderr, 0.0);
+        let single = SampledStats::from_intervals(&[(stats(10, 20), 5)]);
+        assert_eq!(single.intervals, 1);
+        assert!((single.mean_ipc - 0.5).abs() < 1e-12);
+        assert_eq!(single.ipc_rel_stderr, 0.0, "one interval has no spread");
+    }
+}

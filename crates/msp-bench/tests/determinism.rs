@@ -234,6 +234,7 @@ fn lru_eviction_and_recapture_are_bit_identical() {
         instructions: 2_000,
         threads: 1,
         trace_cache_bytes: first.footprint_bytes() + first.footprint_bytes() / 2,
+        ..LabConfig::default()
     });
     let a = tight.trace(&gzip, 2_000);
     assert_eq!(tight.cached_trace_count(), 1);
@@ -279,6 +280,7 @@ fn lru_eviction_and_recapture_are_bit_identical() {
         instructions: 2_000,
         threads: 1,
         trace_cache_bytes: 0,
+        ..LabConfig::default()
     });
     let spec_small = Experiment::new("zero")
         .workload(by_name("swim", Variant::Original).unwrap())

@@ -47,7 +47,7 @@ fn lab_at(instructions: u64) -> Lab {
 #[cfg(not(debug_assertions))]
 #[test]
 fn stats_dump_matches_checked_in_golden_20k() {
-    let report = reports::stats_dump(&lab_at(20_000)).to_text();
+    let report = reports::stats_dump(&lab_at(20_000), None).to_text();
     assert_eq!(
         report, GOLDEN_20K,
         "canonical statistics diverged from tests/golden/stats_dump_20k.txt; \
@@ -61,7 +61,7 @@ fn stats_dump_matches_checked_in_golden_20k() {
 #[test]
 #[ignore = "24 simulations x 200k instructions; run in release via --ignored"]
 fn stats_dump_matches_checked_in_golden_200k() {
-    let report = reports::stats_dump(&lab_at(200_000)).to_text();
+    let report = reports::stats_dump(&lab_at(200_000), None).to_text();
     assert_eq!(
         report, GOLDEN_200K,
         "canonical statistics diverged from tests/golden/stats_dump_200k.txt; \
@@ -74,7 +74,7 @@ fn stats_dump_matches_checked_in_golden_200k() {
 #[cfg(not(debug_assertions))]
 #[test]
 fn table1_matches_checked_in_text_golden() {
-    let report = reports::table1(&lab_at(20_000)).to_text();
+    let report = reports::table1(&lab_at(20_000), None).to_text();
     assert_eq!(
         report, GOLDEN_TABLE1_TEXT,
         "table1 text rendering diverged from tests/golden/table1_20k.txt"
@@ -86,7 +86,7 @@ fn table1_matches_checked_in_text_golden() {
 #[cfg(not(debug_assertions))]
 #[test]
 fn table1_matches_checked_in_json_golden() {
-    let report = reports::table1(&lab_at(20_000)).to_json();
+    let report = reports::table1(&lab_at(20_000), None).to_json();
     assert_eq!(
         report, GOLDEN_TABLE1_JSON,
         "table1 JSON rendering diverged from tests/golden/table1_20k.json; \
@@ -99,8 +99,8 @@ fn table1_matches_checked_in_json_golden() {
 /// workers and all) and structurally sane. Cheap enough for debug builds.
 #[test]
 fn report_is_deterministic() {
-    let a = reports::stats_dump(&lab_at(1_500)).to_text();
-    let b = reports::stats_dump(&lab_at(1_500)).to_text();
+    let a = reports::stats_dump(&lab_at(1_500), None).to_text();
+    let b = reports::stats_dump(&lab_at(1_500), None).to_text();
     assert_eq!(a, b);
     // 3 workloads x 4 machines x 2 predictors = 24 data lines, plus the
     // budget line, the header and the separator.

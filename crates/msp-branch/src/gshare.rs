@@ -67,6 +67,10 @@ impl DirectionPredictor for BimodalPredictor {
         "bimodal"
     }
 
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
+    }
+
     fn storage_bits(&self) -> usize {
         self.table.len() * 2
     }
@@ -126,6 +130,10 @@ impl DirectionPredictor for GsharePredictor {
 
     fn name(&self) -> &'static str {
         "gshare"
+    }
+
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
     }
 
     fn storage_bits(&self) -> usize {

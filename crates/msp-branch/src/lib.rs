@@ -52,7 +52,11 @@ pub use ras::ReturnStack;
 pub use tage::{TageConfig, TagePredictor};
 
 /// A conditional-branch direction predictor.
-pub trait DirectionPredictor {
+///
+/// `Send + Sync` are supertraits so warmed predictor state
+/// (sampled-simulation snapshots) can be shared across sweep worker
+/// threads.
+pub trait DirectionPredictor: Send + Sync {
     /// Predicts the direction of the conditional branch at `pc`.
     fn predict(&mut self, pc: u64) -> bool;
 
@@ -66,6 +70,10 @@ pub trait DirectionPredictor {
 
     /// Approximate storage used by the predictor, in bits (for reports).
     fn storage_bits(&self) -> usize;
+
+    /// Clones the predictor, tables, history and all, behind a fresh box
+    /// (sampled simulation snapshots warmed predictor state per interval).
+    fn clone_box(&self) -> Box<dyn DirectionPredictor>;
 }
 
 /// The predictor configurations used in the paper's evaluation.

@@ -349,6 +349,10 @@ impl DirectionPredictor for TagePredictor {
         "TAGE"
     }
 
+    fn clone_box(&self) -> Box<dyn DirectionPredictor> {
+        Box::new(self.clone())
+    }
+
     fn storage_bits(&self) -> usize {
         let tagged_entry_bits = (self.config.tag_bits + 3 + 2) as usize;
         self.base.len() * 2

@@ -18,7 +18,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(mem.read_u64(0x1_0000), 0xdead_beef);
 /// assert_eq!(mem.read_u64(0x9_9999), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
@@ -70,6 +70,20 @@ impl Memory {
     /// Panics if `n == 0` or `n > 8`.
     pub fn read_le(&self, addr: u64, n: u64) -> u64 {
         assert!((1..=8).contains(&n), "access width must be 1..=8 bytes");
+        // Fast path: the access stays inside one page, so the page lookup
+        // happens once instead of once per byte (functional execution does
+        // one of these per load — it is the capture/warming hot path).
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + n as usize <= PAGE_SIZE {
+            let Some(page) = self.page(addr) else {
+                return 0;
+            };
+            let mut value = 0u64;
+            for i in 0..n as usize {
+                value |= u64::from(page[offset + i]) << (8 * i);
+            }
+            return value;
+        }
         let mut value = 0u64;
         for i in 0..n {
             value |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
@@ -85,6 +99,14 @@ impl Memory {
     /// Panics if `n == 0` or `n > 8`.
     pub fn write_le(&mut self, addr: u64, value: u64, n: u64) {
         assert!((1..=8).contains(&n), "access width must be 1..=8 bytes");
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + n as usize <= PAGE_SIZE {
+            let page = self.page_mut(addr);
+            for i in 0..n as usize {
+                page[offset + i] = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..n {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }

@@ -20,6 +20,26 @@ pub struct ArchState {
     retired: u64,
 }
 
+/// Bit-level equality: floating-point registers compare by their IEEE-754
+/// bit patterns (so `NaN == NaN` and `-0.0 != 0.0`), which is the identity
+/// the checkpoint/resume invariants are stated in.
+impl PartialEq for ArchState {
+    fn eq(&self, other: &Self) -> bool {
+        self.int_regs == other.int_regs
+            && self
+                .fp_regs
+                .iter()
+                .zip(other.fp_regs.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.pc == other.pc
+            && self.memory == other.memory
+            && self.halted == other.halted
+            && self.retired == other.retired
+    }
+}
+
+impl Eq for ArchState {}
+
 impl ArchState {
     /// Creates the initial state for `program`: all registers zero, PC at the
     /// program entry point, and the program's initial data loaded into memory.

@@ -38,12 +38,25 @@ use crate::state::ArchState;
 
 /// An immutable, fully materialised committed-path execution trace.
 ///
-/// See the [module documentation](self) for the sharing model.
+/// See the module-level documentation in `trace.rs` for the sharing
+/// model. A trace
+/// captured with [`Trace::capture_with_checkpoints`] additionally carries
+/// periodic **architectural checkpoints**: [`ArchState`] snapshots taken
+/// every `checkpoint_interval` committed instructions, each positioned
+/// *before* the record at its index. They are what lets a sampled timing
+/// simulation resume detailed measurement mid-trace
+/// (`Simulator::resume_from` in `msp-pipeline`) without replaying the
+/// prefix in detail.
 #[derive(Debug, Clone)]
 pub struct Trace {
     records: Vec<ExecutedInst>,
     end_state: ArchState,
     complete: bool,
+    /// Committed instructions between checkpoints (`0` = no checkpoints).
+    checkpoint_interval: u64,
+    /// `checkpoints[i]` is the architectural state positioned immediately
+    /// before the record at dynamic index `i * checkpoint_interval`.
+    checkpoints: Vec<ArchState>,
 }
 
 impl Trace {
@@ -56,6 +69,23 @@ impl Trace {
         builder.finish()
     }
 
+    /// [`Trace::capture`] plus an architectural checkpoint every
+    /// `checkpoint_interval` committed instructions (including one at index
+    /// 0, the initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_interval` is zero.
+    pub fn capture_with_checkpoints(
+        program: &Program,
+        max_instructions: u64,
+        checkpoint_interval: u64,
+    ) -> Trace {
+        let mut builder = TraceBuilder::new(program).checkpoint_every(checkpoint_interval);
+        builder.extend_to(max_instructions);
+        builder.finish()
+    }
+
     /// An empty trace positioned at `program`'s initial state: zero records,
     /// not complete. Consumers extend it lazily from the start — this is how
     /// a private (non-shared) oracle is expressed in trace terms.
@@ -64,6 +94,8 @@ impl Trace {
             records: Vec::new(),
             end_state: ArchState::new(program),
             complete: false,
+            checkpoint_interval: 0,
+            checkpoints: Vec::new(),
         }
     }
 
@@ -103,12 +135,48 @@ impl Trace {
         &self.end_state
     }
 
+    /// Committed instructions between recorded architectural checkpoints,
+    /// or `0` if the trace was captured without checkpoints.
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// Number of architectural checkpoints recorded.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The architectural checkpoint positioned immediately **before** the
+    /// record at dynamic index `index`: the register file, data memory and
+    /// PC exactly as committed execution left them after `index`
+    /// instructions. `None` unless `index` is a multiple of the checkpoint
+    /// interval that execution actually reached (a program that finishes
+    /// early records no checkpoints past its end).
+    ///
+    /// The defining invariant — pinned by the `msp-isa` tests and
+    /// `debug_assert`ed by `Simulator::resume_from` — is that functional
+    /// execution from `checkpoint_at(k)` reproduces `records()[k..]`
+    /// bit-identically.
+    pub fn checkpoint_at(&self, index: u64) -> Option<&ArchState> {
+        if self.checkpoint_interval == 0 || !index.is_multiple_of(self.checkpoint_interval) {
+            return None;
+        }
+        self.checkpoints
+            .get((index / self.checkpoint_interval) as usize)
+    }
+
     /// Approximate resident size of the trace in bytes: the record storage
-    /// plus the end-state snapshot's data memory.
+    /// plus the end-state snapshot's data memory and every checkpoint's
+    /// data memory.
     pub fn footprint_bytes(&self) -> usize {
         self.records.capacity() * std::mem::size_of::<ExecutedInst>()
             + std::mem::size_of::<Self>()
             + self.end_state.memory().resident_bytes()
+            + self
+                .checkpoints
+                .iter()
+                .map(|c| std::mem::size_of::<ArchState>() + c.memory().resident_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -124,6 +192,8 @@ pub struct TraceBuilder<'p> {
     state: ArchState,
     records: Vec<ExecutedInst>,
     complete: bool,
+    checkpoint_interval: u64,
+    checkpoints: Vec<ArchState>,
 }
 
 impl<'p> TraceBuilder<'p> {
@@ -134,7 +204,27 @@ impl<'p> TraceBuilder<'p> {
             program,
             records: Vec::new(),
             complete: false,
+            checkpoint_interval: 0,
+            checkpoints: Vec::new(),
         }
+    }
+
+    /// Records an architectural checkpoint every `interval` committed
+    /// instructions from here on. Must be configured before the first step
+    /// so checkpoint 0 (the initial state) is captured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or records have already been
+    /// materialised.
+    pub fn checkpoint_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        assert!(
+            self.records.is_empty(),
+            "checkpointing must be configured before the first step"
+        );
+        self.checkpoint_interval = interval;
+        self
     }
 
     /// Number of records materialised so far.
@@ -158,8 +248,21 @@ impl<'p> TraceBuilder<'p> {
         if self.complete {
             return false;
         }
+        // A checkpoint is the state *before* the record at its index, so it
+        // is snapshotted ahead of the step and committed only if the step
+        // actually produced that record.
+        let snapshot = if self.checkpoint_interval > 0
+            && self.records.len() as u64 == self.checkpoints.len() as u64 * self.checkpoint_interval
+        {
+            Some(self.state.clone())
+        } else {
+            None
+        };
         match execute_step(&mut self.state, self.program) {
             Ok(rec) => {
+                if let Some(snapshot) = snapshot {
+                    self.checkpoints.push(snapshot);
+                }
                 if rec.halted {
                     self.complete = true;
                 }
@@ -188,6 +291,8 @@ impl<'p> TraceBuilder<'p> {
             records,
             end_state: self.state,
             complete: self.complete,
+            checkpoint_interval: self.checkpoint_interval,
+            checkpoints: self.checkpoints,
         }
     }
 }
@@ -276,6 +381,66 @@ mod tests {
     }
 
     #[test]
+    fn checkpoints_are_recorded_at_exact_intervals() {
+        let p = counted_loop(1_000);
+        let trace = Trace::capture_with_checkpoints(&p, 250, 100);
+        assert_eq!(trace.checkpoint_interval(), 100);
+        // Indices 0, 100 and 200 are reached; 300 is past the capture.
+        assert_eq!(trace.checkpoint_count(), 3);
+        for k in [0u64, 100, 200] {
+            let state = trace.checkpoint_at(k).expect("checkpoint recorded");
+            assert_eq!(state.retired(), k, "checkpoint {k} position");
+        }
+        assert!(trace.checkpoint_at(300).is_none());
+        assert!(trace.checkpoint_at(50).is_none(), "not a multiple");
+        // A plain capture records none.
+        let plain = Trace::capture(&p, 250);
+        assert_eq!(plain.checkpoint_interval(), 0);
+        assert_eq!(plain.checkpoint_count(), 0);
+        assert!(plain.checkpoint_at(0).is_none());
+    }
+
+    #[test]
+    fn checkpoints_stop_at_program_end() {
+        let p = counted_loop(3); // 8 dynamic instructions.
+        let trace = Trace::capture_with_checkpoints(&p, 1_000, 4);
+        assert!(trace.is_complete());
+        // Checkpoints at 0 and 4; index 8 is the end of the program, so no
+        // record follows it and no checkpoint is taken there.
+        assert_eq!(trace.checkpoint_count(), 2);
+        assert!(trace.checkpoint_at(8).is_none());
+    }
+
+    #[test]
+    fn checkpoint_state_is_bit_identical_to_executing_from_scratch() {
+        let p = counted_loop(500);
+        let trace = Trace::capture_with_checkpoints(&p, 400, 128);
+        let mut state = ArchState::new(&p);
+        for k in 0..400u64 {
+            if let Some(checkpoint) = trace.checkpoint_at(k) {
+                assert_eq!(
+                    checkpoint, &state,
+                    "checkpoint {k} must equal exact functional execution from 0"
+                );
+            }
+            execute_step(&mut state, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpointed_capture_has_identical_records() {
+        let p = counted_loop(200);
+        let plain = Trace::capture(&p, 300);
+        let checkpointed = Trace::capture_with_checkpoints(&p, 300, 64);
+        assert_eq!(plain.records(), checkpointed.records());
+        assert_eq!(plain.is_complete(), checkpointed.is_complete());
+        assert!(
+            checkpointed.footprint_bytes() > plain.footprint_bytes(),
+            "checkpoints are accounted in the footprint"
+        );
+    }
+
+    #[test]
     fn footprint_accounts_for_records() {
         let p = counted_loop(64);
         let trace = Trace::capture(&p, 1_000);
@@ -347,6 +512,29 @@ mod tests {
             // The end state resumes where the reference stopped.
             prop_assert_eq!(trace.end_state().pc(), state.pc());
             prop_assert_eq!(trace.end_state().retired(), state.retired());
+        }
+
+        /// Resuming functional execution from any recorded checkpoint
+        /// reproduces the trace's suffix records bit-identically — the
+        /// invariant `Simulator::resume_from` is built on.
+        #[test]
+        fn checkpoint_resume_reproduces_suffix(
+            ops in proptest::collection::vec((0u8..8, 0u8..64, 0u8..64), 1..16),
+            iterations in 1u8..40,
+            budget in 16u64..400,
+            interval in 8u64..64,
+        ) {
+            let program = random_kernel(&ops, iterations);
+            let trace = Trace::capture_with_checkpoints(&program, budget, interval);
+            let mut index = 0u64;
+            while let Some(checkpoint) = trace.checkpoint_at(index) {
+                let mut state = checkpoint.clone();
+                for i in index..trace.len() {
+                    let rec = execute_step(&mut state, &program).unwrap();
+                    prop_assert_eq!(&rec, trace.get(i).unwrap());
+                }
+                index += interval;
+            }
         }
     }
 }

@@ -40,6 +40,7 @@ mod simulator;
 mod stats;
 
 pub use config::{FrontendConfig, LatencyConfig, MachineKind, ResourceConfig, SimConfig};
+pub use msp_mem::MemoryConfig;
 pub use oracle::Oracle;
-pub use simulator::{SimResult, Simulator};
+pub use simulator::{SimResult, Simulator, WarmState};
 pub use stats::{ExecutedBreakdown, SimStats, StallBreakdown};

@@ -12,7 +12,7 @@ use crate::config::{MachineKind, SimConfig};
 use crate::oracle::Oracle;
 use crate::stats::SimStats;
 use msp_branch::{build_predictor, Btb, ConfidenceEstimator, DirectionPredictor, ReturnStack};
-use msp_isa::{ArchReg, ExecutedInst, FuClass, Program, RegClass, Trace};
+use msp_isa::{execute_step, ArchReg, ArchState, ExecutedInst, FuClass, Program, RegClass, Trace};
 use msp_mem::{
     HierarchicalStoreQueue, LoadQueue, MemoryHierarchy, SimpleStoreQueue, StoreQueue,
     StoreQueueEntry,
@@ -103,6 +103,17 @@ struct InFlight {
 /// Inline per-producer wakeup-list capacity (see `InFlight::waiters`).
 const MAX_WAITERS: usize = 4;
 
+/// Structural in-flight bound for the ideal MSP's otherwise unbounded
+/// window. The bound is a runaway breaker, not a modelled resource: an LCS
+/// pinned by a busy architectural bank (a loop-invariant register with
+/// sleeping readers always in flight) lets dispatch race arbitrarily far
+/// ahead of commit, which can become self-sustaining — every dispatched
+/// iteration adds new sleeping readers that keep the bank busy. Exact runs
+/// peak well below this value (≈6.8k in-flight on the reference kernels at
+/// 200k instructions), so the bound only engages to convert a runaway into
+/// a bursty drain-and-refill.
+const IDEAL_WINDOW_CAP: usize = 16_384;
+
 /// An instruction waiting in the front end between fetch and rename.
 #[derive(Debug, Clone)]
 struct Fetched {
@@ -119,6 +130,189 @@ struct Fetched {
 struct Checkpoint {
     oracle_idx: u64,
     start_seq: u64,
+}
+
+/// The microarchitectural **warm** state of a machine: the structures whose
+/// contents persist across instructions but are not architectural — caches,
+/// direction predictor, confidence estimator, BTB and return stack.
+///
+/// Sampled simulation separates state into three tiers (see DESIGN.md):
+/// *architectural* state lives in the trace's [`ArchState`] checkpoints,
+/// *warm* state lives here and is rebuilt by functionally absorbing
+/// committed records ([`WarmState::absorb`]), and *occupancy* state (the
+/// in-flight window, queues, rename backend) always starts empty at a
+/// resume. A `WarmState` can be absorbed forward along a trace and cloned
+/// at interval boundaries, which is how `Lab::run` gives every sampled
+/// interval the warm history of the entire prefix at a functional — not
+/// detailed — price.
+pub struct WarmState {
+    memory: MemoryHierarchy,
+    predictor: Box<dyn DirectionPredictor>,
+    confidence: ConfidenceEstimator,
+    btb: Btb,
+    ras: ReturnStack,
+    /// I-cache line of the last absorbed fetch: consecutive records on one
+    /// line touch the I-cache once (the absorb hot path — straight-line
+    /// code would otherwise pay a cache lookup per instruction for lines
+    /// that are resident throughout).
+    last_fetch_line: u64,
+}
+
+impl Clone for WarmState {
+    fn clone(&self) -> Self {
+        WarmState {
+            memory: self.memory.clone(),
+            predictor: self.predictor.clone_box(),
+            confidence: self.confidence.clone(),
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+            last_fetch_line: self.last_fetch_line,
+        }
+    }
+}
+
+impl std::fmt::Debug for WarmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmState")
+            .field("predictor", &self.predictor.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarmState {
+    /// Fresh warm structures for `config`, pre-warmed with the program's
+    /// **static** working set: the text segment (I-side) and the per-PC
+    /// wrong-path pseudo addresses of [`Simulator`]'s wrong-path model
+    /// (D-side). Both are resident in any long-running machine; without the
+    /// pre-warm, a resumed interval would take a memory-latency miss on
+    /// every early misprediction and wedge its window on wrong-path loads.
+    pub fn for_config(program: &Program, config: &SimConfig) -> WarmState {
+        let mut warm = WarmState {
+            memory: MemoryHierarchy::new(config.memory),
+            predictor: build_predictor(config.predictor),
+            confidence: ConfidenceEstimator::paper(),
+            btb: Btb::default_config(),
+            ras: ReturnStack::default(),
+            last_fetch_line: u64::MAX,
+        };
+        for (pc, inst) in program.iter() {
+            warm.memory.fetch_latency(pc);
+            if inst.is_load() {
+                warm.memory.load_latency(Simulator::wrong_path_address(pc));
+            } else if inst.is_store() {
+                warm.memory.store_commit(Simulator::wrong_path_address(pc));
+            }
+        }
+        warm
+    }
+
+    /// Absorbs one committed record: touches the caches and trains the
+    /// branch machinery exactly as correct-path fetch would
+    /// (`Simulator::predict`), without any cycle accounting.
+    pub fn absorb(&mut self, rec: &ExecutedInst) {
+        let line = rec.pc / self.memory.config().il1.line_bytes as u64;
+        if line != self.last_fetch_line {
+            self.memory.fetch_latency(rec.pc);
+            self.last_fetch_line = line;
+        }
+        if let Some(addr) = rec.mem_addr {
+            if rec.inst.is_load() {
+                self.memory.load_latency(addr);
+            } else {
+                self.memory.store_commit(addr);
+            }
+        }
+        if rec.inst.is_conditional_branch() {
+            let predicted = self.predictor.predict(rec.pc);
+            self.predictor.update(rec.pc, rec.taken);
+            self.confidence
+                .update(rec.pc, predicted == rec.taken, rec.taken);
+        } else if rec.inst.is_indirect() {
+            if rec.inst.is_return() {
+                if self.ras.pop().is_none() {
+                    self.btb.lookup(rec.pc);
+                }
+            } else {
+                self.btb.lookup(rec.pc);
+            }
+            self.btb.update(rec.pc, rec.next_pc);
+        } else if rec.inst.is_call() {
+            self.ras.push(rec.pc.wrapping_add(4));
+        }
+    }
+}
+
+/// Absorbs up to `warmup_len` committed instructions starting at trace
+/// index `start` into `warm`. Returns how many were absorbed (fewer than
+/// `warmup_len` only if the program ends inside the window).
+///
+/// Materialised records are replayed directly (no functional re-execution —
+/// warming must stay an order of magnitude cheaper than detailed
+/// simulation); past the materialised end the replay continues with
+/// [`execute_step`] from the trace's end state. In debug builds the
+/// `checkpoint` seed is additionally validated by functionally re-executing
+/// the materialised stretch and comparing records — the checkpoint
+/// invariant every warmed resume re-proves under test.
+fn warm_over_trace(
+    warm: &mut WarmState,
+    checkpoint: ArchState,
+    trace: &Trace,
+    program: &Program,
+    start: u64,
+    warmup_len: u64,
+) -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        // Checkpoint invariant: functional execution from the architectural
+        // checkpoint reproduces the trace's records.
+        let mut state = checkpoint.clone();
+        let mut index = start;
+        while index < warmup_len.saturating_add(start) {
+            let Some(expected) = trace.get(index) else {
+                break;
+            };
+            let rec = execute_step(&mut state, program)
+                .expect("checkpointed execution reproduces the trace");
+            debug_assert_eq!(expected, &rec, "warm-up record {index}");
+            index += 1;
+        }
+    }
+    let mut warmed = 0;
+    // Fast path: the materialised records already carry everything the warm
+    // structures consume (PC, outcome, effective address).
+    while warmed < warmup_len {
+        let Some(&rec) = trace.get(start + warmed) else {
+            break;
+        };
+        warm.absorb(&rec);
+        warmed += 1;
+        if rec.halted {
+            return warmed;
+        }
+    }
+    // Slow path: past the materialised end, continue functionally. The
+    // trace's end state is positioned exactly there (or the checkpoint is,
+    // when nothing was materialised past it).
+    if warmed < warmup_len && !trace.is_complete() {
+        let mut state = if start >= trace.len() {
+            checkpoint
+        } else {
+            trace.end_state().clone()
+        };
+        debug_assert_eq!(state.retired(), start + warmed);
+        while warmed < warmup_len {
+            let rec = match execute_step(&mut state, program) {
+                Ok(rec) => rec,
+                Err(_) => break,
+            };
+            warm.absorb(&rec);
+            warmed += 1;
+            if rec.halted {
+                break;
+            }
+        }
+    }
+    warmed
 }
 
 /// Register-management backend state.
@@ -144,6 +338,11 @@ pub struct Simulator<'p> {
     ras: ReturnStack,
     fetch_queue: VecDeque<Fetched>,
     next_oracle_idx: u64,
+    /// First oracle index of the measured region: 0 for a full run, the
+    /// post-warm-up trace cursor for a [`Simulator::resume_from`] run. No
+    /// fetched correct-path index is ever below it, so per-index bookkeeping
+    /// (`executed_once`) is stored relative to it.
+    oracle_origin: u64,
     wrong_path_pc: Option<u64>,
     fetch_stalled_until: u64,
     oracle_done: bool,
@@ -212,6 +411,147 @@ impl<'p> Simulator<'p> {
         Simulator::with_oracle(program, config, Oracle::with_trace(program, trace))
     }
 
+    /// Creates a simulator that resumes mid-trace from an architectural
+    /// checkpoint (see [`Trace::checkpoint_at`]) — the detailed-simulation
+    /// unit of SMARTS-style sampled simulation.
+    ///
+    /// The checkpoint seeds the full architectural state (register file,
+    /// data memory, PC) at trace index `checkpoint_index`. From it, up to
+    /// `warmup_len` committed instructions are replayed **functionally** —
+    /// touching the cache hierarchy, the direction predictor, the
+    /// confidence estimator, the BTB and the return stack, exactly as
+    /// correct-path fetch would train them, but without cycle accounting —
+    /// and measurement starts at the first un-warmed instruction:
+    /// [`Simulator::measurement_start`] returns its trace index, and
+    /// [`Simulator::run`] counts committed instructions from there.
+    ///
+    /// Microarchitectural *occupancy* (in-flight window, issue queue,
+    /// load/store queues, MSP state manager, CPR checkpoints) starts empty:
+    /// it is re-established within the first few hundred measured
+    /// instructions and is the residual cold-start bias the warm-up window
+    /// does not cover. `resume_from(trace, 0, 0)` is bit-identical to
+    /// [`Simulator::with_trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace records no checkpoint at `checkpoint_index`.
+    pub fn resume_from(
+        program: &'p Program,
+        config: SimConfig,
+        trace: Arc<Trace>,
+        checkpoint_index: u64,
+        warmup_len: u64,
+    ) -> Self {
+        let checkpoint = Self::checkpoint_or_panic(program, &trace, checkpoint_index).clone();
+        if warmup_len == 0 {
+            // No warm-up: a cold machine, bit-identical to `with_trace` when
+            // the cursor is 0.
+            return Self::resume_at(program, config, trace, checkpoint_index);
+        }
+        let mut warm = WarmState::for_config(program, &config);
+        let warmed = warm_over_trace(
+            &mut warm,
+            checkpoint,
+            &trace,
+            program,
+            checkpoint_index,
+            warmup_len,
+        );
+        let mut sim = Self::resume_at(program, config, trace, checkpoint_index + warmed);
+        sim.install_warm(warm);
+        sim
+    }
+
+    /// [`Simulator::resume_from`] with an externally built [`WarmState`]
+    /// (typically a snapshot of a cumulative warm trajectory over the whole
+    /// trace prefix — the `Lab`'s sampled execution path). Measurement
+    /// starts exactly at `checkpoint_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace records no checkpoint at `checkpoint_index`.
+    pub fn resume_warmed(
+        program: &'p Program,
+        config: SimConfig,
+        trace: Arc<Trace>,
+        checkpoint_index: u64,
+        warm: WarmState,
+    ) -> Self {
+        let _ = Self::checkpoint_or_panic(program, &trace, checkpoint_index);
+        let mut sim = Self::resume_at(program, config, trace, checkpoint_index);
+        sim.install_warm(warm);
+        sim
+    }
+
+    /// Resolves the checkpoint at `checkpoint_index` or panics. In debug
+    /// builds the checkpoint invariant is re-proved on **every** resume
+    /// (`resume_from` and `resume_warmed` alike): functional execution from
+    /// the checkpoint must reproduce a bounded window of the trace's own
+    /// records bit-identically.
+    fn checkpoint_or_panic<'t>(
+        program: &Program,
+        trace: &'t Trace,
+        checkpoint_index: u64,
+    ) -> &'t ArchState {
+        let checkpoint = trace.checkpoint_at(checkpoint_index).unwrap_or_else(|| {
+            panic!(
+                "resume_from requires an architectural checkpoint at index \
+                 {checkpoint_index} (trace interval: {})",
+                trace.checkpoint_interval()
+            )
+        });
+        debug_assert_eq!(
+            checkpoint.retired(),
+            checkpoint_index,
+            "a checkpoint's position is its retired-instruction count"
+        );
+        #[cfg(debug_assertions)]
+        {
+            const VALIDATION_WINDOW: u64 = 512;
+            let mut state = checkpoint.clone();
+            for index in checkpoint_index..checkpoint_index + VALIDATION_WINDOW {
+                let Some(expected) = trace.get(index) else {
+                    break;
+                };
+                let rec = execute_step(&mut state, program)
+                    .expect("checkpointed execution reproduces the trace");
+                debug_assert_eq!(expected, &rec, "checkpoint-replay record {index}");
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = program;
+        checkpoint
+    }
+
+    /// Positions a fresh simulator so measurement starts at trace index
+    /// `start`.
+    fn resume_at(program: &'p Program, config: SimConfig, trace: Arc<Trace>, start: u64) -> Self {
+        let oracle = Oracle::with_trace(program, trace);
+        let mut sim = Simulator::with_oracle(program, config, oracle);
+        sim.next_oracle_idx = start;
+        sim.oracle_origin = start;
+        // CPR's initial rollback point must be the measurement start, not
+        // trace index 0: an early recovery with no younger checkpoint
+        // re-fetches from here, never from the skipped prefix.
+        if let Some(chk) = sim.checkpoints.front_mut() {
+            chk.oracle_idx = start;
+        }
+        sim
+    }
+
+    fn install_warm(&mut self, warm: WarmState) {
+        self.memory = warm.memory;
+        self.predictor = warm.predictor;
+        self.confidence = warm.confidence;
+        self.btb = warm.btb;
+        self.ras = warm.ras;
+    }
+
+    /// First trace index of the measured region (0 for a non-resumed run).
+    pub fn measurement_start(&self) -> u64 {
+        self.oracle_origin
+    }
+
     fn with_oracle(program: &'p Program, config: SimConfig, oracle: Oracle<'p>) -> Self {
         let backend = match config.machine {
             MachineKind::Baseline | MachineKind::Cpr { .. } => Backend::Counted {
@@ -254,6 +594,7 @@ impl<'p> Simulator<'p> {
             ras: ReturnStack::default(),
             fetch_queue: VecDeque::new(),
             next_oracle_idx: 0,
+            oracle_origin: 0,
             wrong_path_pc: None,
             fetch_stalled_until: 0,
             oracle_done: false,
@@ -905,10 +1246,16 @@ impl<'p> Simulator<'p> {
                 latency += fwd.latency() + mem_latency;
             }
         }
-        // Executed-instruction accounting (Fig. 9): counted at issue.
+        // Executed-instruction accounting (Fig. 9): counted at issue. The
+        // table is indexed relative to the measurement origin so a resumed
+        // simulation does not allocate bits for the skipped prefix.
         match self.window[idx].oracle_idx {
             Some(oidx) => {
-                let oidx = oidx as usize;
+                debug_assert!(
+                    oidx >= self.oracle_origin,
+                    "fetch never precedes the origin"
+                );
+                let oidx = (oidx - self.oracle_origin) as usize;
                 if self.executed_once.len() <= oidx {
                     self.executed_once.resize(oidx + 1, false);
                 }
@@ -1019,6 +1366,12 @@ impl<'p> Simulator<'p> {
         }
         if matches!(self.config.machine, MachineKind::Baseline)
             && self.window.len() >= self.config.resources.rob_size
+        {
+            self.stats.stalls.rob_full += 1;
+            return false;
+        }
+        if matches!(self.config.machine, MachineKind::IdealMsp)
+            && self.window.len() >= IDEAL_WINDOW_CAP
         {
             self.stats.stalls.rob_full += 1;
             return false;
@@ -1399,8 +1752,9 @@ impl<'p> Simulator<'p> {
         // reuses the recorded outcome.
         let already_resolved = oracle_idx
             .map(|idx| {
+                debug_assert!(idx >= self.oracle_origin, "fetch never precedes the origin");
                 self.executed_once
-                    .get(idx as usize)
+                    .get((idx - self.oracle_origin) as usize)
                     .copied()
                     .unwrap_or(false)
             })
@@ -1656,6 +2010,65 @@ mod tests {
                 .run(3_000);
             assert_eq!(private.stats, shared.stats, "{machine:?}");
         }
+    }
+
+    #[test]
+    fn resume_from_checkpoint_zero_is_bit_identical_to_full_run() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let trace = std::sync::Arc::new(Trace::capture_with_checkpoints(w.program(), 3_500, 1_000));
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let full =
+                Simulator::with_trace(w.program(), config.clone(), Arc::clone(&trace)).run(3_000);
+            let resumed =
+                Simulator::resume_from(w.program(), config, Arc::clone(&trace), 0, 0).run(3_000);
+            assert_eq!(full.stats, resumed.stats, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn resume_from_mid_trace_is_deterministic_and_measures_the_suffix() {
+        let w = by_name("vpr", Variant::Original).unwrap();
+        let trace = std::sync::Arc::new(Trace::capture_with_checkpoints(w.program(), 6_000, 1_000));
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let a =
+                Simulator::resume_from(w.program(), config.clone(), Arc::clone(&trace), 3_000, 500);
+            assert_eq!(a.measurement_start(), 3_500);
+            let a = {
+                let mut sim = a;
+                sim.run(1_000)
+            };
+            let b = Simulator::resume_from(w.program(), config, Arc::clone(&trace), 3_000, 500)
+                .run(1_000);
+            assert_eq!(a.stats, b.stats, "{machine:?} resume determinism");
+            // CPR bulk-commits whole checkpoint intervals, so the request
+            // can be overshot by at most one interval (as in exact runs).
+            assert!(
+                a.stats.committed >= 1_000 && a.stats.committed < 1_500,
+                "{machine:?} measures the request (committed {})",
+                a.stats.committed
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resume_from requires an architectural checkpoint")]
+    fn resume_from_unrecorded_index_panics() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let trace = std::sync::Arc::new(Trace::capture_with_checkpoints(w.program(), 2_000, 500));
+        let config = SimConfig::machine(MachineKind::Baseline, PredictorKind::Gshare);
+        let _ = Simulator::resume_from(w.program(), config, trace, 123, 0);
     }
 
     #[test]

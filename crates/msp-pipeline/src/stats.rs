@@ -147,6 +147,161 @@ impl SimStats {
         }
     }
 
+    /// Adds every counter of `other` into `self` (the `bank_full` maps are
+    /// merged per register). Used by the sampled-simulation aggregator to
+    /// fold per-interval statistics into one whole-run summary.
+    ///
+    /// Both this and [`SimStats::subtracting`] destructure `other` without
+    /// a rest pattern, so adding a counter to [`SimStats`] is a compile
+    /// error here until the new field is folded in — a silently-dropped
+    /// counter would corrupt every sampled aggregate.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        let SimStats {
+            cycles,
+            committed,
+            executed:
+                ExecutedBreakdown {
+                    correct_path,
+                    correct_path_reexecuted,
+                    wrong_path,
+                },
+            branches,
+            mispredictions,
+            recoveries,
+            imprecise_recoveries,
+            checkpoints_allocated,
+            stalls:
+                StallBreakdown {
+                    iq_full,
+                    rob_full,
+                    lq_full,
+                    sq_full,
+                    regs_full,
+                    checkpoints_full,
+                    bank_full,
+                    same_reg_limit,
+                    frontend_empty,
+                },
+            port_conflicts,
+            store_forwards,
+            dcache_misses,
+            watchdog_breaks,
+        } = other;
+        self.cycles += cycles;
+        self.committed += committed;
+        self.executed.correct_path += correct_path;
+        self.executed.correct_path_reexecuted += correct_path_reexecuted;
+        self.executed.wrong_path += wrong_path;
+        self.branches += branches;
+        self.mispredictions += mispredictions;
+        self.recoveries += recoveries;
+        self.imprecise_recoveries += imprecise_recoveries;
+        self.checkpoints_allocated += checkpoints_allocated;
+        self.stalls.iq_full += iq_full;
+        self.stalls.rob_full += rob_full;
+        self.stalls.lq_full += lq_full;
+        self.stalls.sq_full += sq_full;
+        self.stalls.regs_full += regs_full;
+        self.stalls.checkpoints_full += checkpoints_full;
+        self.stalls.same_reg_limit += same_reg_limit;
+        self.stalls.frontend_empty += frontend_empty;
+        for (reg, count) in bank_full {
+            *self.stalls.bank_full.entry(*reg).or_insert(0) += count;
+        }
+        self.port_conflicts += port_conflicts;
+        self.store_forwards += store_forwards;
+        self.dcache_misses += dcache_misses;
+        self.watchdog_breaks += watchdog_breaks;
+    }
+
+    /// The counter-wise difference `self − prefix`, for measuring a window
+    /// of a longer run: clone the statistics where the window starts, keep
+    /// simulating, and subtract. All counters are monotone during forward
+    /// simulation, so saturating subtraction is exact when `prefix` really
+    /// is an earlier snapshot of the same run.
+    pub fn subtracting(&self, prefix: &SimStats) -> SimStats {
+        // Destructured without a rest pattern so a new counter is a compile
+        // error until it is subtracted here (see `accumulate`).
+        let SimStats {
+            cycles,
+            committed,
+            executed:
+                ExecutedBreakdown {
+                    correct_path,
+                    correct_path_reexecuted,
+                    wrong_path,
+                },
+            branches,
+            mispredictions,
+            recoveries,
+            imprecise_recoveries,
+            checkpoints_allocated,
+            stalls:
+                StallBreakdown {
+                    iq_full,
+                    rob_full,
+                    lq_full,
+                    sq_full,
+                    regs_full,
+                    checkpoints_full,
+                    bank_full: prefix_bank_full,
+                    same_reg_limit,
+                    frontend_empty,
+                },
+            port_conflicts,
+            store_forwards,
+            dcache_misses,
+            watchdog_breaks,
+        } = prefix;
+        let mut bank_full = HashMap::new();
+        for (reg, count) in &self.stalls.bank_full {
+            let before = prefix_bank_full.get(reg).copied().unwrap_or(0);
+            let delta = count.saturating_sub(before);
+            if delta > 0 {
+                bank_full.insert(*reg, delta);
+            }
+        }
+        SimStats {
+            cycles: self.cycles.saturating_sub(*cycles),
+            committed: self.committed.saturating_sub(*committed),
+            executed: ExecutedBreakdown {
+                correct_path: self.executed.correct_path.saturating_sub(*correct_path),
+                correct_path_reexecuted: self
+                    .executed
+                    .correct_path_reexecuted
+                    .saturating_sub(*correct_path_reexecuted),
+                wrong_path: self.executed.wrong_path.saturating_sub(*wrong_path),
+            },
+            branches: self.branches.saturating_sub(*branches),
+            mispredictions: self.mispredictions.saturating_sub(*mispredictions),
+            recoveries: self.recoveries.saturating_sub(*recoveries),
+            imprecise_recoveries: self
+                .imprecise_recoveries
+                .saturating_sub(*imprecise_recoveries),
+            checkpoints_allocated: self
+                .checkpoints_allocated
+                .saturating_sub(*checkpoints_allocated),
+            stalls: StallBreakdown {
+                iq_full: self.stalls.iq_full.saturating_sub(*iq_full),
+                rob_full: self.stalls.rob_full.saturating_sub(*rob_full),
+                lq_full: self.stalls.lq_full.saturating_sub(*lq_full),
+                sq_full: self.stalls.sq_full.saturating_sub(*sq_full),
+                regs_full: self.stalls.regs_full.saturating_sub(*regs_full),
+                checkpoints_full: self
+                    .stalls
+                    .checkpoints_full
+                    .saturating_sub(*checkpoints_full),
+                bank_full,
+                same_reg_limit: self.stalls.same_reg_limit.saturating_sub(*same_reg_limit),
+                frontend_empty: self.stalls.frontend_empty.saturating_sub(*frontend_empty),
+            },
+            port_conflicts: self.port_conflicts.saturating_sub(*port_conflicts),
+            store_forwards: self.store_forwards.saturating_sub(*store_forwards),
+            dcache_misses: self.dcache_misses.saturating_sub(*dcache_misses),
+            watchdog_breaks: self.watchdog_breaks.saturating_sub(*watchdog_breaks),
+        }
+    }
+
     /// A canonical, order-stable text rendering of every counter (the
     /// `bank_full` map is emitted in flat-index order). Two runs produced
     /// bit-identical statistics if and only if their canonical strings are
@@ -230,6 +385,32 @@ mod tests {
         assert_eq!(top, vec![(ArchReg::int(7), 200), (ArchReg::int(3), 50)]);
         s.iq_full = 40;
         assert_eq!(s.total(), 300);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = SimStats {
+            cycles: 10,
+            committed: 20,
+            branches: 3,
+            ..SimStats::default()
+        };
+        a.stalls.bank_full.insert(ArchReg::int(3), 5);
+        let mut b = SimStats {
+            cycles: 1,
+            committed: 2,
+            mispredictions: 4,
+            ..SimStats::default()
+        };
+        b.stalls.bank_full.insert(ArchReg::int(3), 7);
+        b.stalls.bank_full.insert(ArchReg::fp(1), 1);
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 11);
+        assert_eq!(a.committed, 22);
+        assert_eq!(a.branches, 3);
+        assert_eq!(a.mispredictions, 4);
+        assert_eq!(a.stalls.bank_full[&ArchReg::int(3)], 12);
+        assert_eq!(a.stalls.bank_full[&ArchReg::fp(1)], 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * [`pipeline`] — the cycle-level timing simulator with Baseline, CPR and
 //!   MSP back ends,
 //! * [`power`] — the analytical register-file power/area model,
-//! * [`bench`] — the experiment layer: [`Lab`](bench::Lab) sessions run
+//! * [`mod@bench`] — the experiment layer: [`Lab`](bench::Lab) sessions run
 //!   declarative [`Experiment`](bench::Experiment) specs against shared
 //!   functional traces and render the paper's tables and figures (also
 //!   available as the `msp-lab` CLI).
@@ -37,6 +37,26 @@
 //! let results = lab.run(&spec);
 //! assert_eq!(results.cells().len(), 2);
 //! assert!(results.get(0, 1, 0, 0).ipc() > 0.0);
+//! ```
+//!
+//! Large budgets run **sampled**: attach a [`SamplingSpec`](bench::SamplingSpec)
+//! and every cell estimates its full-budget statistics from detailed
+//! simulation of periodic, checkpoint-resumed windows (≥5× faster than
+//! exact at multi-million-instruction budgets, per-cell IPC within 2% —
+//! see `BENCH_pipeline.json` and DESIGN.md):
+//!
+//! ```
+//! use msp::prelude::*;
+//!
+//! let lab = Lab::new(LabConfig { instructions: 40_000, ..LabConfig::default() });
+//! let spec = Experiment::new("sampled")
+//!     .workload(msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists"))
+//!     .machine(MachineKind::msp(16))
+//!     .sampling(SamplingSpec::periodic(10_000));
+//! let results = lab.run(&spec);
+//! let estimate = results.cells()[0].sampled.as_ref().expect("sampled cell");
+//! assert!(estimate.intervals >= 2);
+//! assert!(estimate.mean_ipc > 0.0);
 //! ```
 //!
 //! The underlying `Simulator` remains available for single bespoke runs:
@@ -65,10 +85,13 @@ pub use msp_workloads as workloads;
 
 /// The most commonly used types, importable with `use msp::prelude::*`.
 pub mod prelude {
-    pub use msp_bench::{Experiment, Lab, LabConfig, OutputFormat, Report, ReportKind, ResultSet};
+    pub use msp_bench::{
+        Experiment, Lab, LabConfig, OutputFormat, Report, ReportKind, ResultSet, SampledStats,
+        SamplingSpec,
+    };
     pub use msp_branch::{DirectionPredictor, PredictorKind};
     pub use msp_isa::{ArchReg, ArchState, Instruction, Program, Trace};
-    pub use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator};
+    pub use msp_pipeline::{MachineKind, SimConfig, SimResult, Simulator, WarmState};
     pub use msp_state::{MspConfig, MspStateManager, RenameRequest, StateId};
     pub use msp_workloads::{BenchCategory, Variant, Workload};
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_pipeline.json.
+
+Usage:
+    perf_gate.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Compares a freshly produced BENCH_pipeline.json (written by
+`cargo bench -p msp-bench --bench pipeline`) against the checked-in
+baseline and fails on:
+
+  * a cold sequential-sweep throughput regression of more than
+    `--tolerance` (default 25%) in `after.sequential_cold_simulated_mips`
+    (the `sequential_cold_wall_s`-equivalent measure that is comparable
+    across budgets), or
+  * the sampled-simulation subsystem missing its recorded guarantees:
+    `sampled.speedup_vs_sequential_cold` below SAMPLED_MIN_SPEEDUP or
+    `sampled.max_ipc_rel_error_pct` above SAMPLED_MAX_ERROR_PCT. The error
+    bound is deterministic (simulation is bit-reproducible for a given
+    budget); the speedup bound is wall-clock and carries margin below the
+    acceptance target recorded in the baseline.
+
+Both files must have been produced at the same `instructions_per_sim`
+budget, otherwise the comparison is meaningless and the gate exits 2.
+"""
+
+import argparse
+import json
+import sys
+
+# The sampled acceptance criteria at the reference 2M-instruction budget:
+# >= 5x wall-clock vs the exact cold sweep, per-cell IPC within 2%. The
+# speedup gate keeps some margin for CI wall-clock noise; the error gate is
+# exact because simulation is deterministic.
+SAMPLED_MIN_SPEEDUP = 4.0
+SAMPLED_MAX_ERROR_PCT = 2.0
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as err:
+        sys.exit(f"perf-gate: cannot read {path}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum allowed relative throughput regression (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_budget = baseline.get("instructions_per_sim")
+    cur_budget = current.get("instructions_per_sim")
+    if base_budget != cur_budget:
+        print(
+            f"perf-gate: budget mismatch: baseline ran {base_budget} "
+            f"instructions per sim, current ran {cur_budget}; run the bench "
+            f"with MSP_BENCH_INSTRUCTIONS={base_budget}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    failures = []
+
+    base_mips = baseline["after"]["sequential_cold_simulated_mips"]
+    cur_mips = current["after"]["sequential_cold_simulated_mips"]
+    floor = (1.0 - args.tolerance) * base_mips
+    print(f"sequential cold throughput: baseline {base_mips:.3f} MIPS, "
+          f"current {cur_mips:.3f} MIPS (floor {floor:.3f})")
+    if cur_mips < floor:
+        failures.append(
+            f"cold sweep throughput regressed {100 * (1 - cur_mips / base_mips):.1f}% "
+            f"(> {100 * args.tolerance:.0f}% tolerance)")
+
+    sampled = current.get("sampled")
+    if sampled is None:
+        failures.append("current run records no 'sampled' section")
+    else:
+        speedup = sampled["speedup_vs_sequential_cold"]
+        error = sampled["max_ipc_rel_error_pct"]
+        print(f"sampled sweep: {speedup:.2f}x vs exact cold "
+              f"(gate >= {SAMPLED_MIN_SPEEDUP}), max IPC error {error:.3f}% "
+              f"(gate <= {SAMPLED_MAX_ERROR_PCT}%)")
+        if speedup < SAMPLED_MIN_SPEEDUP:
+            failures.append(
+                f"sampled speedup {speedup:.2f}x below {SAMPLED_MIN_SPEEDUP}x")
+        if error > SAMPLED_MAX_ERROR_PCT:
+            failures.append(
+                f"sampled IPC error {error:.3f}% above {SAMPLED_MAX_ERROR_PCT}%")
+
+    if failures:
+        for failure in failures:
+            print(f"perf-gate: FAIL: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("perf-gate: ok")
+
+
+if __name__ == "__main__":
+    main()
