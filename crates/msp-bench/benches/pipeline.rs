@@ -189,7 +189,9 @@ fn main() {
             .expect("sampled cells carry estimates");
         let rel = (sampled.mean_ipc - exact_cell.ipc()).abs() / exact_cell.ipc().max(1e-12);
         max_ipc_rel_error = max_ipc_rel_error.max(rel);
-        max_rel_stderr = max_rel_stderr.max(sampled.ipc_rel_stderr);
+        // An undefined spread (fewer than two periodic windows) cannot
+        // happen at the reference budget; treat it as zero for the record.
+        max_rel_stderr = max_rel_stderr.max(sampled.ipc_rel_stderr.unwrap_or(0.0));
         sampled_intervals = sampled_intervals.max(sampled.intervals);
     }
     let sampled_speedup = cold.wall_s / sampled_wall_s;

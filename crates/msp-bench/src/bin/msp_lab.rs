@@ -8,8 +8,9 @@
 //! msp-lab --list
 //! ```
 //!
-//! Subcommands: `table1 table2 table3 fig6 fig7 fig8 fig9 ablate-lcs
-//! ablate-rename ablate-cpr-regs stats-dump`. The session is configured
+//! Subcommands: `table1 table2 table3 energy fig6 fig7 fig8 fig9
+//! ablate-lcs ablate-rename ablate-cpr-regs stats-dump`. The session is
+//! configured
 //! from the environment (`MSP_BENCH_INSTRUCTIONS`, `MSP_BENCH_THREADS`,
 //! `MSP_BENCH_TRACE_CACHE_BYTES`, `MSP_BENCH_SAMPLE_INTERVAL` — strictly
 //! parsed; see `LabConfig::from_env`). Two builds of the simulator can be
@@ -32,8 +33,9 @@
 //! ```
 //!
 //! The checked-in goldens under `tests/golden/` pin the 20k/200k
-//! `stats-dump` text renderings and the `table1` text and JSON renderings;
-//! the golden tests and the CI bench-smoke job both diff against them.
+//! `stats-dump` text renderings, the `table1` text and JSON renderings and
+//! the `energy` renderings in all three formats; the golden tests and the
+//! CI bench-smoke job both diff against them.
 //! `msp-lab <sub> --bless` regenerates that subcommand's goldens in place
 //! (deterministically — CI blesses twice and diffs), so a schema change is
 //! one command instead of four hand-edited files.

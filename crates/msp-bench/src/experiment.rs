@@ -7,9 +7,11 @@
 //! ordered list of [`Cell`]s supporting coordinate indexing, filtering,
 //! group-by and pivoting into [`TextTable`]s.
 
+use crate::energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
 use crate::{SampledStats, SamplingSpec, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig, SimResult};
+use msp_power::TechNode;
 use msp_workloads::{Variant, Workload};
 use std::fmt;
 use std::sync::Arc;
@@ -279,6 +281,9 @@ pub struct Cell {
     /// The sampled estimate, present iff the experiment ran with a
     /// [`SamplingSpec`].
     pub sampled: Option<SampledStats>,
+    /// The sampled energy estimate at [`REFERENCE_NODE`], present iff the
+    /// experiment ran with a [`SamplingSpec`].
+    pub sampled_energy: Option<SampledEnergy>,
 }
 
 impl Cell {
@@ -288,6 +293,45 @@ impl Cell {
         match &self.sampled {
             Some(sampled) => sampled.mean_ipc,
             None => self.result.ipc(),
+        }
+    }
+
+    /// The activity-driven energy fold of this cell's statistics at `node`
+    /// (for a sampled cell: the energy of the *measured* windows — use
+    /// [`Cell::epi_pj`] for the full-budget estimate).
+    pub fn energy(&self, node: TechNode) -> EnergyStats {
+        EnergyStats::from_stats(&self.result.stats, &energy_model_for(self.machine, node))
+    }
+
+    /// Energy per committed instruction in picojoules at
+    /// [`REFERENCE_NODE`]: the exact value for an exact cell, the
+    /// span-weighted sampled estimate for a sampled one.
+    pub fn epi_pj(&self) -> f64 {
+        match &self.sampled_energy {
+            Some(sampled) => sampled.mean_epi_pj,
+            None => self.energy(REFERENCE_NODE).epi_pj(),
+        }
+    }
+
+    /// **Register-file** energy per committed instruction in picojoules at
+    /// [`REFERENCE_NODE`] (bank read/write dynamic energy + file leakage —
+    /// the Table III quantity): exact value or sampled estimate.
+    pub fn rf_epi_pj(&self) -> f64 {
+        match &self.sampled_energy {
+            Some(sampled) => sampled.mean_rf_epi_pj,
+            None => self.energy(REFERENCE_NODE).rf_epi_pj(),
+        }
+    }
+
+    /// Normalised energy-delay product per instruction (pJ·cycle) at
+    /// [`REFERENCE_NODE`]: energy per instruction × cycles per instruction,
+    /// estimated from the sampled folds when the cell ran sampled.
+    pub fn edp_pj_cycles(&self) -> f64 {
+        let ipc = self.ipc();
+        if ipc <= 0.0 {
+            0.0
+        } else {
+            self.epi_pj() / ipc
         }
     }
 }

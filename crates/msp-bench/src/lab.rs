@@ -31,6 +31,7 @@
 //! deterministic, so the re-capture is bit-identical (pinned by the
 //! determinism tests).
 
+use crate::energy::{energy_model_for, SampledEnergy, REFERENCE_NODE};
 use crate::experiment::{Axes, Cell, Experiment, ResultSet};
 use crate::{parallel_map, SampledStats, SamplingSpec};
 use msp_branch::PredictorKind;
@@ -520,6 +521,7 @@ impl Lab {
                     hook: axes.hooks[h].name().map(str::to_string),
                     result,
                     sampled: None,
+                    sampled_energy: None,
                 }
             })
             .collect();
@@ -726,6 +728,7 @@ impl Lab {
                 per_interval.push((result.stats.clone(), units[cursor].span));
                 cursor += 1;
             }
+            let energy_model = energy_model_for(axes.machines[m], REFERENCE_NODE);
             cells.push(Cell {
                 workload: axes.workloads[w].name().to_string(),
                 variant: axes.workloads[w].variant(),
@@ -739,6 +742,7 @@ impl Lab {
                     stats: aggregate,
                 },
                 sampled: Some(SampledStats::from_intervals(&per_interval)),
+                sampled_energy: Some(SampledEnergy::from_intervals(&per_interval, &energy_model)),
             });
         }
         ResultSet::new(

@@ -39,16 +39,30 @@
 //! [`SampledStats`] mean-IPC estimate with a relative-error figure. This
 //! is what makes multi-million-instruction budgets tractable — see the
 //! `msp-lab --sample` flag and DESIGN.md's invariants section.
+//!
+//! # Activity-driven energy accounting
+//!
+//! Every simulation counts its energy-relevant events (register-file bank
+//! reads/writes, rename/SCT lookups, cache and predictor accesses, ... —
+//! the `ActivityCounters` block on
+//! [`SimStats`](msp_pipeline::SimStats)), and the energy layer folds those
+//! counts through the `msp-power` Table III model:
+//! [`Cell::energy`]/[`Cell::epi_pj`] price any cell, sampled runs carry a
+//! span-weighted [`SampledEnergy`] estimate, and the `msp-lab energy`
+//! subcommand renders the CPR-vs-n-SP energy-per-instruction and EDP
+//! comparison from measured activity.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod energy;
 mod experiment;
 mod lab;
 mod report;
 pub mod reports;
 mod sampling;
 
+pub use energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
 pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
 pub use lab::{
     Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_SAMPLE_INTERVAL,

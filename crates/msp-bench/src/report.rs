@@ -221,8 +221,9 @@ fn json_string_array(items: &[String]) -> String {
 }
 
 /// Parses one CSV record produced by [`csv_row`] back into its fields
-/// (used by the round-trip tests; not a general CSV reader — records do
-/// not span lines).
+/// (used by the round-trip tests; not a general CSV reader). Quoted fields
+/// may contain embedded CR/LF, so pass the whole record — which can span
+/// physical lines — not a `lines()` slice of it.
 pub fn parse_csv_record(line: &str) -> Vec<String> {
     let mut fields = Vec::new();
     let mut field = String::new();
@@ -244,12 +245,14 @@ pub fn parse_csv_record(line: &str) -> Vec<String> {
 }
 
 /// Renders one CSV record (with trailing newline). Fields containing a
-/// comma, quote or newline are quoted, with quotes doubled (RFC 4180).
+/// comma, quote, line feed **or carriage return** are quoted, with quotes
+/// doubled (RFC 4180 — CR is a record separator character and an unquoted
+/// bare CR silently splits the record for conforming readers).
 pub fn csv_row(fields: &[String]) -> String {
     let rendered: Vec<String> = fields
         .iter()
         .map(|f| {
-            if f.contains(',') || f.contains('"') || f.contains('\n') {
+            if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
                 format!("\"{}\"", f.replace('"', "\"\""))
             } else {
                 f.clone()
@@ -328,6 +331,67 @@ mod tests {
             parse_csv_record("\"gzip, fast\",\"quote\"\"d\",plain"),
             vec!["gzip, fast", "quote\"d", "plain"]
         );
+    }
+
+    #[test]
+    fn csv_quotes_bare_carriage_returns() {
+        // Regression (RFC 4180): an unquoted bare CR splits the record for
+        // conforming readers; csv_row must quote it like LF and comma.
+        let row = csv_row(&["a\rb".to_string(), "plain".to_string()]);
+        assert_eq!(row, "\"a\rb\",plain\n");
+        assert_eq!(
+            parse_csv_record(&row[..row.len() - 1]),
+            vec!["a\rb", "plain"]
+        );
+    }
+
+    proptest::proptest! {
+        /// Round-trip property over awkward fields: any combination of
+        /// commas, quotes, CR, LF and ordinary characters renders to one
+        /// CSV record that parses back to exactly the input fields.
+        #[test]
+        fn csv_round_trips_awkward_fields(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..8),
+                1..5,
+            ),
+        ) {
+            let fields: Vec<String> = raw
+                .iter()
+                .map(|chars| {
+                    chars
+                        .iter()
+                        .map(|c| match c {
+                            0 => ',',
+                            1 => '"',
+                            2 => '\r',
+                            3 => '\n',
+                            4 => 'x',
+                            _ => ' ',
+                        })
+                        .collect()
+                })
+                .collect();
+            let rendered = csv_row(&fields);
+            proptest::prop_assert!(rendered.ends_with('\n'));
+            // Every field containing a separator or quote character must be
+            // quoted in the rendering (structural RFC 4180 conformance).
+            for field in &fields {
+                if field.contains(',')
+                    || field.contains('"')
+                    || field.contains('\n')
+                    || field.contains('\r')
+                {
+                    let quoted = format!("\"{}\"", field.replace('"', "\"\""));
+                    proptest::prop_assert!(
+                        rendered.contains(&quoted),
+                        "field {field:?} must render quoted"
+                    );
+                }
+            }
+            let parsed = parse_csv_record(&rendered[..rendered.len() - 1]);
+            proptest::prop_assert_eq!(parsed, fields);
+        }
     }
 
     #[test]

@@ -119,9 +119,11 @@ pub struct SampledStats {
     /// *periodic* windows (`stddev(cpi) / (sqrt(n) * mean(cpi))`, with the
     /// first window — the exactly-measured head stratum, which contributes
     /// no sampling error — excluded): the SMARTS-style confidence figure
-    /// for the estimate. Zero when fewer than two periodic windows were
-    /// measured.
-    pub ipc_rel_stderr: f64,
+    /// for the estimate. `None` when fewer than two periodic windows were
+    /// measured — a spread over zero or one sample is **undefined**, not
+    /// zero (it used to render as perfect confidence); the emitters print
+    /// `n/a`.
+    pub ipc_rel_stderr: Option<f64>,
 }
 
 impl SampledStats {
@@ -163,14 +165,14 @@ impl SampledStats {
             tail.iter().sum::<f64>() / tail_n
         };
         let ipc_rel_stderr = if tail.len() < 2 || tail_mean == 0.0 {
-            0.0
+            None
         } else {
             let variance = tail
                 .iter()
                 .map(|cpi| (cpi - tail_mean) * (cpi - tail_mean))
                 .sum::<f64>()
                 / (tail_n - 1.0);
-            variance.sqrt() / (tail_n.sqrt() * tail_mean)
+            Some(variance.sqrt() / (tail_n.sqrt() * tail_mean))
         };
         SampledStats {
             intervals: n,
@@ -238,7 +240,7 @@ mod tests {
         // The stderr covers the periodic windows only (the head window is
         // exact): CPIs 1.0 and 0.5 → mean 0.75, stddev sqrt(0.125),
         // stderr sqrt(0.125)/sqrt(2) = 0.25, relative 0.25/0.75 = 1/3.
-        assert!((s.ipc_rel_stderr - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.ipc_rel_stderr.unwrap() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -256,10 +258,33 @@ mod tests {
         let empty = SampledStats::from_intervals(&[]);
         assert_eq!(empty.intervals, 0);
         assert_eq!(empty.mean_ipc, 0.0);
-        assert_eq!(empty.ipc_rel_stderr, 0.0);
+        assert_eq!(empty.ipc_rel_stderr, None);
         let single = SampledStats::from_intervals(&[(stats(10, 20), 5)]);
         assert_eq!(single.intervals, 1);
         assert!((single.mean_ipc - 0.5).abs() < 1e-12);
-        assert_eq!(single.ipc_rel_stderr, 0.0, "one interval has no spread");
+        assert_eq!(single.ipc_rel_stderr, None, "one interval has no spread");
+    }
+
+    #[test]
+    fn fewer_than_two_periodic_windows_have_undefined_stderr() {
+        // Regression (the "perfect confidence" bug): a head stratum plus a
+        // *single* periodic window used to report a relative standard error
+        // of exactly 0.0 — indistinguishable from a genuinely tight
+        // estimate. It must be undefined instead.
+        let head_plus_one =
+            SampledStats::from_intervals(&[(stats(100, 50), 10), (stats(90, 60), 10)]);
+        assert_eq!(head_plus_one.intervals, 2);
+        assert_eq!(
+            head_plus_one.ipc_rel_stderr, None,
+            "one periodic window has no measurable spread"
+        );
+        // With two periodic windows the spread is defined (and positive for
+        // unequal CPIs).
+        let head_plus_two = SampledStats::from_intervals(&[
+            (stats(100, 50), 10),
+            (stats(90, 60), 10),
+            (stats(90, 90), 10),
+        ]);
+        assert!(head_plus_two.ipc_rel_stderr.unwrap() > 0.0);
     }
 }

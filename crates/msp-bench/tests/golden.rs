@@ -31,6 +31,9 @@ const GOLDEN_20K: &str = include_str!("golden/stats_dump_20k.txt");
 const GOLDEN_200K: &str = include_str!("golden/stats_dump_200k.txt");
 const GOLDEN_TABLE1_TEXT: &str = include_str!("golden/table1_20k.txt");
 const GOLDEN_TABLE1_JSON: &str = include_str!("golden/table1_20k.json");
+const GOLDEN_ENERGY_TEXT: &str = include_str!("golden/energy_20k.txt");
+const GOLDEN_ENERGY_JSON: &str = include_str!("golden/energy_20k.json");
+const GOLDEN_ENERGY_CSV: &str = include_str!("golden/energy_20k.csv");
 
 fn lab_at(instructions: u64) -> Lab {
     Lab::new(LabConfig {
@@ -95,6 +98,32 @@ fn table1_matches_checked_in_json_golden() {
     );
 }
 
+/// The `msp-lab energy` renderings at the 20k reference budget,
+/// byte-for-byte in all three formats: the energy figures are derived
+/// (activity counters × model coefficients), so this pins the counters,
+/// the coefficients and the emitters at once.
+#[cfg(not(debug_assertions))]
+#[test]
+fn energy_matches_checked_in_goldens() {
+    let lab = lab_at(20_000);
+    let report = reports::energy(&lab, None);
+    assert_eq!(
+        report.to_text(),
+        GOLDEN_ENERGY_TEXT,
+        "energy text rendering diverged from tests/golden/energy_20k.txt"
+    );
+    assert_eq!(
+        report.to_json(),
+        GOLDEN_ENERGY_JSON,
+        "energy JSON rendering diverged from tests/golden/energy_20k.json"
+    );
+    assert_eq!(
+        report.render(OutputFormat::Csv),
+        GOLDEN_ENERGY_CSV,
+        "energy CSV rendering diverged from tests/golden/energy_20k.csv"
+    );
+}
+
 /// The report itself is deterministic call-to-call (shared traces, parallel
 /// workers and all) and structurally sane. Cheap enough for debug builds.
 #[test]
@@ -135,12 +164,30 @@ fn golden_files_are_well_formed() {
             "table1_20k.json is missing {key:?}"
         );
     }
+    assert!(GOLDEN_ENERGY_TEXT.starts_with("Energy and EDP from measured activity"));
+    assert!(GOLDEN_ENERGY_TEXT.contains("geo. mean"));
+    for key in [
+        "\"report\": \"energy\"",
+        "\"instructions\": 20000",
+        "\"columns\": [\"benchmark\", \"CPR\", \"4-SP\", \"8-SP\", \"16-SP\"]",
+    ] {
+        assert!(
+            GOLDEN_ENERGY_JSON.contains(key),
+            "energy_20k.json is missing {key:?}"
+        );
+    }
+    assert_eq!(
+        GOLDEN_ENERGY_CSV.split("\n\n").count(),
+        3,
+        "energy CSV carries the register-file EPI, total EPI and EDP tables"
+    );
+    assert!(GOLDEN_ENERGY_CSV.starts_with("benchmark,CPR,4-SP,8-SP,16-SP"));
 }
 
 /// The JSON and CSV emitters agree structurally with the text tables: every
 /// CSV record of every report parses back to exactly the text table's
 /// column count, and the JSON stays brace-balanced. Runs every subcommand
-/// at a tiny budget, so it also smoke-tests all eleven report builders in
+/// at a tiny budget, so it also smoke-tests all twelve report builders in
 /// debug CI.
 #[test]
 fn csv_and_json_round_trip_every_report() {

@@ -157,6 +157,11 @@ fn sampled_runs_are_thread_count_invariant() {
         assert_eq!(left.sampled, mid.sampled, "1 vs 16 threads estimate");
         assert_eq!(mid.result.stats, right.result.stats, "run-to-run");
         assert_eq!(mid.sampled, right.sampled, "run-to-run estimate");
+        // The structural stats equality above covers the activity counters;
+        // the derived energy estimate must agree too (and be non-trivial).
+        assert_eq!(left.sampled_energy, mid.sampled_energy, "1 vs 16 threads");
+        assert!(left.result.stats.activity.rf_reads_total() > 0);
+        assert!(left.sampled_energy.as_ref().unwrap().mean_epi_pj > 0.0);
     }
 }
 
@@ -236,7 +241,88 @@ fn sampled_ipc_tracks_exact_ipc_at_2m() {
             e.machine.label(),
             100.0 * rel
         );
+        // The energy canary: the span-weighted sampled energy-per-
+        // instruction must land within 2% of the exact fold as well.
+        let exact_epi = e.epi_pj();
+        let est_epi = s.sampled_energy.as_ref().unwrap().mean_epi_pj;
+        let rel_epi = (est_epi - exact_epi).abs() / exact_epi;
+        assert!(
+            rel_epi < 0.02,
+            "{}/{}: sampled EPI {est_epi:.3} pJ vs exact {exact_epi:.3} pJ ({:.2}% off)",
+            e.workload,
+            e.machine.label(),
+            100.0 * rel_epi
+        );
     }
+}
+
+/// A sampled run whose cells measured fewer than two periodic windows has
+/// an *undefined* confidence figure, and every emitter must say `n/a`
+/// instead of the historical silent `0.00%` (the perfect-confidence bug).
+#[test]
+fn undefined_rel_stderr_renders_as_na_in_every_format() {
+    use msp_bench::{OutputFormat, ReportKind};
+    let lab = lab(2_000, 1);
+    // interval 1500 on a 2000-instruction budget: a head stratum plus one
+    // periodic window — no measurable spread.
+    let report = ReportKind::Table1.build_sampled(&lab, Some(SamplingSpec::periodic(1_500)));
+    let text = report.render(OutputFormat::Text);
+    assert!(
+        text.contains("worst-cell IPC rel. std. error: n/a"),
+        "text must render n/a, got:\n{text}"
+    );
+    assert!(
+        !text.contains("error: 0.00%"),
+        "no silent perfect confidence"
+    );
+    // The note block is shared verbatim by the JSON emitter.
+    let json = report.render(OutputFormat::Json);
+    assert!(json.contains("worst-cell IPC rel. std. error: n/a"));
+    // CSV omits note blocks by design; the guarantee there is that no
+    // fabricated 0.00% figure appears anywhere.
+    assert!(!report.render(OutputFormat::Csv).contains("0.00%"));
+}
+
+/// LRU eviction at a checkpoint-heavy budget: `Trace::footprint_bytes`
+/// accounts every checkpoint's full heap (pages + page-table), so a cache
+/// sized for one-and-a-half such traces must evict on the second insert
+/// and stay within its byte bound.
+#[test]
+fn checkpoint_heavy_traces_respect_the_lru_byte_bound() {
+    let gzip = by_name("gzip", Variant::Original).unwrap();
+    let vpr = by_name("vpr", Variant::Original).unwrap();
+    let probe = lab(4_000, 1);
+    let gzip_trace = probe.trace_with_checkpoints(&gzip, 4_000, 200);
+    let vpr_trace = probe.trace_with_checkpoints(&vpr, 4_000, 200);
+    assert!(gzip_trace.checkpoint_count() >= 20, "checkpoint-heavy");
+    // The checkpoints must dominate the plain trace's footprint for this
+    // budget to be meaningfully "checkpoint-heavy".
+    let plain = probe.trace(&gzip, 4_000);
+    assert!(gzip_trace.footprint_bytes() > plain.footprint_bytes());
+    // Room for the larger trace alone, but not for both: the second insert
+    // must evict the first yet still fit under the bound by itself.
+    let budget = vpr_trace.footprint_bytes() + gzip_trace.footprint_bytes() / 2;
+    let tight = Lab::new(LabConfig {
+        instructions: 4_000,
+        threads: 1,
+        trace_cache_bytes: budget,
+        ..LabConfig::default()
+    });
+    tight.trace_with_checkpoints(&gzip, 4_000, 200);
+    assert_eq!(tight.cached_trace_count(), 1);
+    tight.trace_with_checkpoints(&vpr, 4_000, 200);
+    assert_eq!(
+        tight.cached_trace_count(),
+        1,
+        "the second checkpointed trace must evict the first"
+    );
+    assert_eq!(tight.eviction_count(), 1);
+    assert!(
+        tight.cached_trace_bytes() <= budget,
+        "retained bytes {} exceed the configured bound {}",
+        tight.cached_trace_bytes(),
+        budget
+    );
 }
 
 /// `MSP_BENCH_SAMPLE_INTERVAL` follows the strict-env contract: unset uses

@@ -34,9 +34,23 @@ impl Memory {
         self.pages.len()
     }
 
-    /// Resident data footprint in bytes.
+    /// Resident data footprint in bytes (page payloads only; see
+    /// [`Memory::footprint_bytes`] for the full heap accounting).
     pub fn resident_bytes(&self) -> usize {
         self.pages.len() * PAGE_SIZE
+    }
+
+    /// Total heap footprint of this memory in bytes: the page payloads
+    /// plus the page table itself — each `HashMap` slot holds the page key,
+    /// the `Box` pointer and a control byte, and slots exist for the map's
+    /// whole *capacity*, not just its resident entries. Byte-bounded caches
+    /// (the Lab's LRU trace cache) must budget against this number;
+    /// [`Memory::resident_bytes`] alone undercounts every checkpoint by the
+    /// page-table heap.
+    pub fn footprint_bytes(&self) -> usize {
+        const SLOT_BYTES: usize =
+            std::mem::size_of::<(u64, Box<[u8; PAGE_SIZE]>)>() + std::mem::size_of::<u8>();
+        self.pages.len() * PAGE_SIZE + self.pages.capacity() * SLOT_BYTES
     }
 
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
@@ -196,5 +210,21 @@ mod tests {
         mem.write_u8(PAGE_SIZE as u64 * 3, 1);
         assert_eq!(mem.resident_pages(), 2);
         assert_eq!(mem.resident_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn footprint_exceeds_resident_bytes_by_the_page_table() {
+        let empty = Memory::new();
+        assert_eq!(empty.resident_bytes(), 0);
+        let mut mem = Memory::new();
+        for page in 0..16u64 {
+            mem.write_u8(page * PAGE_SIZE as u64, 1);
+        }
+        assert!(
+            mem.footprint_bytes() > mem.resident_bytes(),
+            "the page-table heap must be accounted"
+        );
+        // At least one (key, pointer, control) slot per resident page.
+        assert!(mem.footprint_bytes() >= mem.resident_bytes() + 16 * (8 + 8 + 1));
     }
 }

@@ -166,16 +166,22 @@ impl Trace {
     }
 
     /// Approximate resident size of the trace in bytes: the record storage
-    /// plus the end-state snapshot's data memory and every checkpoint's
-    /// data memory.
+    /// plus the **full heap** of the end-state snapshot and of every
+    /// checkpoint — each `ArchState`'s inline storage (register file, PC)
+    /// *and* its data memory's page payloads plus page-table heap
+    /// ([`crate::Memory::footprint_bytes`]). Byte-bounded consumers (the
+    /// Lab's LRU trace cache) budget against this number, so undercounting
+    /// a checkpoint's heap would let checkpoint-heavy traces exceed the
+    /// configured bound.
     pub fn footprint_bytes(&self) -> usize {
         self.records.capacity() * std::mem::size_of::<ExecutedInst>()
             + std::mem::size_of::<Self>()
-            + self.end_state.memory().resident_bytes()
+            + self.end_state.memory().footprint_bytes()
+            + self.checkpoints.capacity() * std::mem::size_of::<ArchState>()
             + self
                 .checkpoints
                 .iter()
-                .map(|c| std::mem::size_of::<ArchState>() + c.memory().resident_bytes())
+                .map(|c| c.memory().footprint_bytes())
                 .sum::<usize>()
     }
 }
@@ -446,6 +452,39 @@ mod tests {
         let trace = Trace::capture(&p, 1_000);
         let per_record = std::mem::size_of::<ExecutedInst>();
         assert!(trace.footprint_bytes() >= trace.len() as usize * per_record);
+    }
+
+    #[test]
+    fn footprint_accounts_checkpoint_heap() {
+        // Regression: the footprint used to count a checkpoint as
+        // `size_of::<ArchState>()` plus page payloads, missing the memory
+        // page-table heap — so a checkpoint-heavy trace under-reported its
+        // resident size and the Lab's LRU byte bound could be exceeded.
+        let mut p = counted_loop(2_000);
+        p.add_data(0x8000, 7); // at least one resident data page
+        let plain = Trace::capture(&p, 1_000);
+        let checkpointed = Trace::capture_with_checkpoints(&p, 1_000, 100);
+        assert!(checkpointed.checkpoint_count() >= 10);
+        let per_checkpoint_floor = std::mem::size_of::<ArchState>()
+            + checkpointed
+                .checkpoint_at(100)
+                .unwrap()
+                .memory()
+                .footprint_bytes();
+        assert!(
+            checkpointed.footprint_bytes()
+                >= plain.footprint_bytes()
+                    + (checkpointed.checkpoint_count() - 1) * per_checkpoint_floor,
+            "each checkpoint must be accounted with its full memory heap \
+             ({} vs {} + {} x {})",
+            checkpointed.footprint_bytes(),
+            plain.footprint_bytes(),
+            checkpointed.checkpoint_count() - 1,
+            per_checkpoint_floor,
+        );
+        // The memory heap accounting itself exceeds the bare page payloads.
+        let state = checkpointed.checkpoint_at(100).unwrap();
+        assert!(state.memory().footprint_bytes() > state.memory().resident_bytes());
     }
 
     /// Builds a small but branchy synthetic kernel from raw proptest entropy:

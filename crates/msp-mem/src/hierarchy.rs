@@ -117,11 +117,16 @@ impl MemoryHierarchy {
 
     /// Performed when a committed store drains to memory; allocates the line
     /// so later loads hit. The store latency itself is hidden by the store
-    /// queue, so no cycle count is returned.
-    pub fn store_commit(&mut self, addr: u64) {
-        if !self.dl1.access(addr) {
+    /// queue, so no cycle count is returned — instead the return value says
+    /// whether the line was already resident in the D-cache (`false` means
+    /// the drain also touched the L2), which is what the pipeline's
+    /// activity accounting needs.
+    pub fn store_commit(&mut self, addr: u64) -> bool {
+        let dl1_hit = self.dl1.access(addr);
+        if !dl1_hit {
             self.l2.access(addr);
         }
+        dl1_hit
     }
 
     /// Whether a load from `addr` would hit the D-cache right now (no state
@@ -201,9 +206,10 @@ mod tests {
     #[test]
     fn store_commit_warms_the_data_cache() {
         let mut mem = MemoryHierarchy::new(MemoryConfig::paper());
-        mem.store_commit(0x9000);
+        assert!(!mem.store_commit(0x9000), "cold drain misses the D-cache");
         assert_eq!(mem.load_latency(0x9000), 4);
         assert!(mem.probe_dl1(0x9000));
+        assert!(mem.store_commit(0x9000), "warm drain hits the D-cache");
     }
 
     #[test]

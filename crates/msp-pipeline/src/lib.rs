@@ -43,4 +43,4 @@ pub use config::{FrontendConfig, LatencyConfig, MachineKind, ResourceConfig, Sim
 pub use msp_mem::MemoryConfig;
 pub use oracle::Oracle;
 pub use simulator::{SimResult, Simulator, WarmState};
-pub use stats::{ExecutedBreakdown, SimStats, StallBreakdown};
+pub use stats::{ActivityCounters, ExecutedBreakdown, SimStats, StallBreakdown};

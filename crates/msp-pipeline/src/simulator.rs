@@ -703,6 +703,7 @@ impl<'p> Simulator<'p> {
         if count == 0 {
             return;
         }
+        self.stats.activity.reliq_wakeups += count as u64;
         let waiters = self.window[idx].waiters;
         self.window[idx].waiter_count = 0;
         for &waiter in &waiters[..count] {
@@ -789,7 +790,7 @@ impl<'p> Simulator<'p> {
             }
             self.window[idx].status = Status::Done;
             self.wake_waiters(idx);
-            let (msp_dest, anchor, oracle_idx, mispredicted, is_load, superseded) = {
+            let (msp_dest, anchor, oracle_idx, mispredicted, is_load, superseded, dest) = {
                 let i = &self.window[idx];
                 (
                     i.msp_dest,
@@ -798,8 +799,18 @@ impl<'p> Simulator<'p> {
                     i.mispredicted,
                     i.rec.inst.is_load(),
                     i.superseded_by.is_some(),
+                    i.dest,
                 )
             };
+            // Register-file write accounting: the produced value drains to
+            // its bank this cycle (post-grant on arbitrated machines). MSP
+            // writes go to the renamed physical bank; Baseline/CPR writes
+            // are attributed to the logical register's flat index.
+            if let Some(phys) = msp_dest {
+                self.stats.activity.rf_writes[phys.bank()] += 1;
+            } else if let (Backend::Counted { .. }, Some(dest)) = (&self.backend, dest) {
+                self.stats.activity.rf_writes[dest.flat_index()] += 1;
+            }
             // Backend-specific completion bookkeeping.
             if let Backend::Msp { manager, .. } = &mut self.backend {
                 if let Some(phys) = msp_dest {
@@ -819,6 +830,7 @@ impl<'p> Simulator<'p> {
                 self.iq_free.push(slot);
             }
             if is_load {
+                self.stats.activity.lq_searches += 1;
                 self.load_queue.remove(seq);
             }
             // Branch resolution: the oldest mispredicted branch on the
@@ -896,6 +908,7 @@ impl<'p> Simulator<'p> {
                         .unwrap_or(false)
                 {
                     self.checkpoints.pop_back();
+                    self.stats.activity.checkpoint_releases += 1;
                 }
                 let chk = *self
                     .checkpoints
@@ -1028,9 +1041,13 @@ impl<'p> Simulator<'p> {
                 self.free_counted_register(dest.class());
             }
             let memory = &mut self.memory;
+            let activity = &mut self.stats.activity;
             self.store_queue
                 .drain_committed_with(seq + 1, &mut |drained| {
-                    memory.store_commit(drained.addr);
+                    activity.dcache_accesses += 1;
+                    if !memory.store_commit(drained.addr) {
+                        activity.l2_accesses += 1;
+                    }
                 });
             retired += 1;
         }
@@ -1086,11 +1103,16 @@ impl<'p> Simulator<'p> {
                 }
             }
             let memory = &mut self.memory;
+            let activity = &mut self.stats.activity;
             self.store_queue
                 .drain_committed_with(boundary_seq, &mut |drained| {
-                    memory.store_commit(drained.addr);
+                    activity.dcache_accesses += 1;
+                    if !memory.store_commit(drained.addr) {
+                        activity.l2_accesses += 1;
+                    }
                 });
             self.checkpoints.pop_front();
+            self.stats.activity.checkpoint_releases += 1;
         }
         // End of program: the final checkpoint interval has no successor, so
         // commit it once everything in flight has completed.
@@ -1104,9 +1126,13 @@ impl<'p> Simulator<'p> {
                 self.retire_front();
             }
             let memory = &mut self.memory;
+            let activity = &mut self.stats.activity;
             self.store_queue
                 .drain_committed_with(u64::MAX, &mut |drained| {
-                    memory.store_commit(drained.addr);
+                    activity.dcache_accesses += 1;
+                    if !memory.store_commit(drained.addr) {
+                        activity.l2_accesses += 1;
+                    }
                 });
         }
     }
@@ -1116,6 +1142,8 @@ impl<'p> Simulator<'p> {
             Backend::Msp { manager, .. } => manager.clock_commit_lcs(),
             Backend::Counted { .. } => unreachable!("MSP commit with a counted backend"),
         };
+        // The LCS unit propagates its reduction once per commit clock.
+        self.stats.activity.lcs_propagations += 1;
         // Retire every correct-path instruction older than the LCS from the
         // window head (bulk commit: no retire-width limit, Table I).
         let mut retired_any = false;
@@ -1132,9 +1160,13 @@ impl<'p> Simulator<'p> {
         // the commit point actually moved.
         if retired_any {
             let memory = &mut self.memory;
+            let activity = &mut self.stats.activity;
             self.store_queue
                 .drain_committed_with(lcs.as_u64(), &mut |drained| {
-                    memory.store_commit(drained.addr);
+                    activity.dcache_accesses += 1;
+                    if !memory.store_commit(drained.addr) {
+                        activity.l2_accesses += 1;
+                    }
                 });
         }
     }
@@ -1228,10 +1260,36 @@ impl<'p> Simulator<'p> {
         let class = self.window[idx].rec.inst.fu_class();
         let mut latency = self.config.latency.for_class(class);
         let rec = self.window[idx].rec;
+        // Register-file read accounting: one access per distinct source
+        // bank, exactly what the 1R-port arbitration rule charges. MSP
+        // reads are attributed to the renamed physical bank; Baseline/CPR
+        // reads to the logical register's flat index.
+        let mut read_banks = [None::<usize>, None];
+        match &self.backend {
+            Backend::Msp { .. } => {
+                let bits = &self.window[idx].msp_source_bits;
+                read_banks[0] = bits[0].map(|(phys, _)| phys.bank());
+                read_banks[1] = bits[1]
+                    .map(|(phys, _)| phys.bank())
+                    .filter(|bank| Some(*bank) != read_banks[0]);
+            }
+            Backend::Counted { .. } => {
+                for (slot, src) in rec.inst.sources().take(2).enumerate() {
+                    let bank = src.flat_index();
+                    if slot == 0 || read_banks[0] != Some(bank) {
+                        read_banks[slot] = Some(bank);
+                    }
+                }
+            }
+        }
+        for bank in read_banks.into_iter().flatten() {
+            self.stats.activity.rf_reads[bank] += 1;
+        }
         if rec.inst.is_load() {
             let addr = rec
                 .mem_addr
                 .unwrap_or_else(|| Self::wrong_path_address(rec.pc));
+            self.stats.activity.sq_searches += 1;
             let fwd = self
                 .store_queue
                 .forward(addr, rec.inst.width().bytes(), seq);
@@ -1239,9 +1297,11 @@ impl<'p> Simulator<'p> {
                 self.stats.store_forwards += 1;
                 latency += fwd.latency() + 1;
             } else {
+                self.stats.activity.dcache_accesses += 1;
                 let mem_latency = self.memory.load_latency(addr);
                 if mem_latency > self.memory.config().dl1.hit_latency {
                     self.stats.dcache_misses += 1;
+                    self.stats.activity.l2_accesses += 1;
                 }
                 latency += fwd.latency() + mem_latency;
             }
@@ -1432,6 +1492,7 @@ impl<'p> Simulator<'p> {
                 start_seq: self.next_seq,
             });
             self.stats.checkpoints_allocated += 1;
+            self.stats.activity.checkpoint_allocs += 1;
             self.insts_since_checkpoint = 0;
         }
         true
@@ -1462,6 +1523,7 @@ impl<'p> Simulator<'p> {
                 let request = RenameRequest::new(dest, &sources[..source_count]);
                 match manager.rename_one(&request) {
                     Ok(renamed) => {
+                        self.stats.activity.sct_lookups += renamed.sct_lookups();
                         let slot = *self.iq_free.last().expect("IQ capacity checked earlier");
                         let mut source_bits = [None, None];
                         for (bit, mapping) in
@@ -1509,6 +1571,7 @@ impl<'p> Simulator<'p> {
         };
 
         let front = self.fetch_queue.pop_front().expect("front inspected above");
+        self.stats.activity.rename_lookups += 1;
         let iq_slot = self.iq_free.pop().expect("IQ capacity checked earlier");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -1581,9 +1644,11 @@ impl<'p> Simulator<'p> {
 
         // Memory-queue occupancy.
         if inst.is_load() {
+            self.stats.activity.lq_searches += 1;
             self.load_queue.insert(seq);
         }
         if inst.is_store() {
+            self.stats.activity.sq_searches += 1;
             let addr = front
                 .rec
                 .mem_addr
@@ -1672,8 +1737,13 @@ impl<'p> Simulator<'p> {
             // Charge the I-cache once per fetch cycle, for the first access.
             let icache_extra = if first_pc.is_none() {
                 first_pc = Some(rec.pc);
+                self.stats.activity.icache_accesses += 1;
+                let il1_hit = self.memory.config().il1.hit_latency;
                 let latency = self.memory.fetch_latency(rec.pc);
-                latency.saturating_sub(self.memory.config().il1.hit_latency)
+                if latency > il1_hit {
+                    self.stats.activity.l2_accesses += 1;
+                }
+                latency.saturating_sub(il1_hit)
             } else {
                 0
             };
@@ -1760,6 +1830,7 @@ impl<'p> Simulator<'p> {
             })
             .unwrap_or(false);
         if inst.is_conditional_branch() {
+            self.stats.activity.predictor_lookups += 1;
             let predicted_taken = self.predictor.predict(rec.pc);
             let low_confidence = !self.confidence.is_high_confidence(rec.pc);
             let predicted_target = if predicted_taken {
@@ -1775,6 +1846,7 @@ impl<'p> Simulator<'p> {
                     // first execution.
                     return (false, low_confidence, rec.next_pc);
                 }
+                self.stats.activity.predictor_lookups += 1;
                 self.predictor.update(rec.pc, actual);
                 self.confidence
                     .update(rec.pc, predicted_taken == actual, actual);
@@ -1792,8 +1864,16 @@ impl<'p> Simulator<'p> {
             // Returns consult the return stack first, other indirect jumps
             // the BTB.
             let predicted = if inst.is_return() {
-                self.ras.pop().or_else(|| self.btb.lookup(rec.pc))
+                self.stats.activity.ras_ops += 1;
+                match self.ras.pop() {
+                    Some(target) => Some(target),
+                    None => {
+                        self.stats.activity.btb_lookups += 1;
+                        self.btb.lookup(rec.pc)
+                    }
+                }
             } else {
+                self.stats.activity.btb_lookups += 1;
                 self.btb.lookup(rec.pc)
             };
             if correct_path {
@@ -1801,6 +1881,7 @@ impl<'p> Simulator<'p> {
                 if already_resolved {
                     return (false, true, actual);
                 }
+                self.stats.activity.btb_lookups += 1;
                 self.btb.update(rec.pc, actual);
                 let mispredicted = predicted != Some(actual);
                 let next = if mispredicted {
@@ -1814,6 +1895,7 @@ impl<'p> Simulator<'p> {
         }
         // Direct jumps and calls: target known at fetch.
         if inst.is_call() {
+            self.stats.activity.ras_ops += 1;
             self.ras.push(fallthrough);
         }
         let target = inst.target().expect("direct jumps and calls carry targets");
@@ -2069,6 +2151,72 @@ mod tests {
         let trace = std::sync::Arc::new(Trace::capture_with_checkpoints(w.program(), 2_000, 500));
         let config = SimConfig::machine(MachineKind::Baseline, PredictorKind::Gshare);
         let _ = Simulator::resume_from(w.program(), config, trace, 123, 0);
+    }
+
+    #[test]
+    fn activity_counters_fire_on_every_machine() {
+        let w = by_name("vpr", Variant::Original).unwrap();
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let result = run_machine(w.program(), machine, 4_000);
+            let a = &result.stats.activity;
+            assert!(a.rf_reads_total() > 0, "{machine:?} reads");
+            assert!(a.rf_writes_total() > 0, "{machine:?} writes");
+            assert!(a.rename_lookups > 0, "{machine:?} renames");
+            assert!(a.icache_accesses > 0, "{machine:?} icache");
+            assert!(a.dcache_accesses > 0, "{machine:?} dcache");
+            assert!(a.predictor_lookups > 0, "{machine:?} predictor");
+            assert!(a.lq_searches > 0 && a.sq_searches > 0, "{machine:?} queues");
+            if machine.is_msp() {
+                assert!(a.sct_lookups > 0, "{machine:?} SCT");
+                assert!(a.lcs_propagations > 0, "{machine:?} LCS");
+                assert_eq!(a.checkpoint_allocs, 0, "{machine:?} no checkpoints");
+            } else {
+                assert_eq!(a.sct_lookups, 0, "{machine:?} has no SCT");
+                assert_eq!(a.lcs_propagations, 0, "{machine:?} has no LCS");
+            }
+            if matches!(machine, MachineKind::Cpr { .. }) {
+                assert_eq!(
+                    a.checkpoint_allocs, result.stats.checkpoints_allocated,
+                    "activity allocs mirror the historical counter"
+                );
+                assert!(a.checkpoint_releases > 0, "CPR releases checkpoints");
+            }
+            // Determinism: a second run reproduces every activity counter.
+            let again = run_machine(w.program(), machine, 4_000);
+            assert_eq!(result.stats.activity, again.stats.activity, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn activity_subtracting_is_exact_for_measured_windows() {
+        // The sampled-window identity: prefix + (full − prefix) == full for
+        // every counter, including the per-bank activity arrays.
+        let w = by_name("gzip", Variant::Original).unwrap();
+        for machine in [MachineKind::cpr(), MachineKind::msp(16)] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let mut sim = Simulator::new(w.program(), config);
+            for _ in 0..1_500 {
+                sim.step_cycle();
+            }
+            let prefix = sim.stats().clone();
+            for _ in 0..2_500 {
+                sim.step_cycle();
+            }
+            let full = sim.stats().clone();
+            let window = full.subtracting(&prefix);
+            assert!(
+                window.activity.rf_reads_total() > 0,
+                "{machine:?}: the window must observe activity"
+            );
+            let mut recombined = prefix.clone();
+            recombined.accumulate(&window);
+            assert_eq!(recombined, full, "{machine:?} window fold");
+        }
     }
 
     #[test]

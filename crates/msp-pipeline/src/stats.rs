@@ -1,8 +1,198 @@
 //! Simulation statistics: everything needed to regenerate the paper's
 //! figures (IPC, executed-instruction breakdown, stall attribution).
 
-use msp_isa::ArchReg;
+use msp_isa::{ArchReg, NUM_LOGICAL_REGS};
 use std::collections::HashMap;
+
+/// Per-event activity counts of one simulation: how often each energy-
+/// relevant structure was exercised, in the Wattch/CACTI activity-factor
+/// tradition. The counters are incremented on the existing pipeline hot
+/// paths with no allocation, compose under [`SimStats::accumulate`] /
+/// [`SimStats::subtracting`] (so checkpoint-resumed and sampled windows
+/// fold exactly), and drive the `msp-power` energy model through the
+/// `msp-bench` energy layer.
+///
+/// Counts are **not** part of [`SimStats::canonical_string`] — the
+/// historical golden files pin that rendering byte-for-byte — but they are
+/// part of `SimStats`' structural equality, so every determinism fence
+/// covers them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Register-file reads per bank. For MSP machines the bank is the
+    /// physical bank of the renamed source (what the 1R port arbiter sees);
+    /// for Baseline/CPR it is the logical register's flat index (the model
+    /// treats the fully-ported file's banks as interleaved by register).
+    /// Distinct operands of one instruction that resolve to the same bank
+    /// count once, matching the port-arbitration rule.
+    pub rf_reads: [u64; NUM_LOGICAL_REGS],
+    /// Register-file writes per bank, counted at writeback (after the
+    /// write-port grant for arbitrated MSP machines).
+    pub rf_writes: [u64; NUM_LOGICAL_REGS],
+    /// Rename-map lookups: one per dispatched instruction, every machine.
+    pub rename_lookups: u64,
+    /// MSP State Control Table accesses: one per resolved source plus the
+    /// allocation/anchor access of each rename (`RenamedInstInline::
+    /// sct_lookups`). Zero on non-MSP machines.
+    pub sct_lookups: u64,
+    /// MSP LCS-unit propagations: one per commit-stage clock. Zero on
+    /// non-MSP machines.
+    pub lcs_propagations: u64,
+    /// CPR checkpoints allocated (mirrors
+    /// [`SimStats::checkpoints_allocated`] so the activity block is
+    /// self-contained for the energy fold).
+    pub checkpoint_allocs: u64,
+    /// CPR checkpoints released, by bulk commit or recovery rollback.
+    pub checkpoint_releases: u64,
+    /// Issue-queue/RelIQ wakeup broadcasts delivered to sleeping consumers.
+    pub reliq_wakeups: u64,
+    /// Load-queue associative operations (insert at dispatch, remove at
+    /// completion).
+    pub lq_searches: u64,
+    /// Store-queue associative operations: forwarding probes by issued
+    /// loads plus store insertions at dispatch.
+    pub sq_searches: u64,
+    /// I-cache accesses (one per fetch block, as the fetch stage charges).
+    pub icache_accesses: u64,
+    /// D-cache accesses: issued loads that did not forward from the store
+    /// queue, plus committed-store drains.
+    pub dcache_accesses: u64,
+    /// Unified L2 accesses (I- or D-side L1 miss).
+    pub l2_accesses: u64,
+    /// Direction-predictor table accesses (predictions and updates).
+    pub predictor_lookups: u64,
+    /// BTB accesses (indirect-target lookups and updates).
+    pub btb_lookups: u64,
+    /// Return-address-stack pushes and pops.
+    pub ras_ops: u64,
+}
+
+impl Default for ActivityCounters {
+    fn default() -> Self {
+        ActivityCounters {
+            rf_reads: [0; NUM_LOGICAL_REGS],
+            rf_writes: [0; NUM_LOGICAL_REGS],
+            rename_lookups: 0,
+            sct_lookups: 0,
+            lcs_propagations: 0,
+            checkpoint_allocs: 0,
+            checkpoint_releases: 0,
+            reliq_wakeups: 0,
+            lq_searches: 0,
+            sq_searches: 0,
+            icache_accesses: 0,
+            dcache_accesses: 0,
+            l2_accesses: 0,
+            predictor_lookups: 0,
+            btb_lookups: 0,
+            ras_ops: 0,
+        }
+    }
+}
+
+impl ActivityCounters {
+    /// Total register-file reads across all banks.
+    pub fn rf_reads_total(&self) -> u64 {
+        self.rf_reads.iter().sum()
+    }
+
+    /// Total register-file writes across all banks.
+    pub fn rf_writes_total(&self) -> u64 {
+        self.rf_writes.iter().sum()
+    }
+
+    /// Adds every counter of `other` into `self`. Destructured without a
+    /// rest pattern for the same reason as [`SimStats::accumulate`]: a new
+    /// counter is a compile error until it is folded in here.
+    pub fn accumulate(&mut self, other: &ActivityCounters) {
+        let ActivityCounters {
+            rf_reads,
+            rf_writes,
+            rename_lookups,
+            sct_lookups,
+            lcs_propagations,
+            checkpoint_allocs,
+            checkpoint_releases,
+            reliq_wakeups,
+            lq_searches,
+            sq_searches,
+            icache_accesses,
+            dcache_accesses,
+            l2_accesses,
+            predictor_lookups,
+            btb_lookups,
+            ras_ops,
+        } = other;
+        for (mine, theirs) in self.rf_reads.iter_mut().zip(rf_reads) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.rf_writes.iter_mut().zip(rf_writes) {
+            *mine += theirs;
+        }
+        self.rename_lookups += rename_lookups;
+        self.sct_lookups += sct_lookups;
+        self.lcs_propagations += lcs_propagations;
+        self.checkpoint_allocs += checkpoint_allocs;
+        self.checkpoint_releases += checkpoint_releases;
+        self.reliq_wakeups += reliq_wakeups;
+        self.lq_searches += lq_searches;
+        self.sq_searches += sq_searches;
+        self.icache_accesses += icache_accesses;
+        self.dcache_accesses += dcache_accesses;
+        self.l2_accesses += l2_accesses;
+        self.predictor_lookups += predictor_lookups;
+        self.btb_lookups += btb_lookups;
+        self.ras_ops += ras_ops;
+    }
+
+    /// The counter-wise difference `self − prefix` (saturating; exact when
+    /// `prefix` is an earlier snapshot of the same monotone run, as in
+    /// [`SimStats::subtracting`]).
+    pub fn subtracting(&self, prefix: &ActivityCounters) -> ActivityCounters {
+        let ActivityCounters {
+            rf_reads,
+            rf_writes,
+            rename_lookups,
+            sct_lookups,
+            lcs_propagations,
+            checkpoint_allocs,
+            checkpoint_releases,
+            reliq_wakeups,
+            lq_searches,
+            sq_searches,
+            icache_accesses,
+            dcache_accesses,
+            l2_accesses,
+            predictor_lookups,
+            btb_lookups,
+            ras_ops,
+        } = prefix;
+        let mut out = ActivityCounters::default();
+        for ((delta, mine), theirs) in out.rf_reads.iter_mut().zip(&self.rf_reads).zip(rf_reads) {
+            *delta = mine.saturating_sub(*theirs);
+        }
+        for ((delta, mine), theirs) in out.rf_writes.iter_mut().zip(&self.rf_writes).zip(rf_writes)
+        {
+            *delta = mine.saturating_sub(*theirs);
+        }
+        out.rename_lookups = self.rename_lookups.saturating_sub(*rename_lookups);
+        out.sct_lookups = self.sct_lookups.saturating_sub(*sct_lookups);
+        out.lcs_propagations = self.lcs_propagations.saturating_sub(*lcs_propagations);
+        out.checkpoint_allocs = self.checkpoint_allocs.saturating_sub(*checkpoint_allocs);
+        out.checkpoint_releases = self
+            .checkpoint_releases
+            .saturating_sub(*checkpoint_releases);
+        out.reliq_wakeups = self.reliq_wakeups.saturating_sub(*reliq_wakeups);
+        out.lq_searches = self.lq_searches.saturating_sub(*lq_searches);
+        out.sq_searches = self.sq_searches.saturating_sub(*sq_searches);
+        out.icache_accesses = self.icache_accesses.saturating_sub(*icache_accesses);
+        out.dcache_accesses = self.dcache_accesses.saturating_sub(*dcache_accesses);
+        out.l2_accesses = self.l2_accesses.saturating_sub(*l2_accesses);
+        out.predictor_lookups = self.predictor_lookups.saturating_sub(*predictor_lookups);
+        out.btb_lookups = self.btb_lookups.saturating_sub(*btb_lookups);
+        out.ras_ops = self.ras_ops.saturating_sub(*ras_ops);
+        out
+    }
+}
 
 /// Breakdown of executed (issued-to-a-functional-unit) instructions, the
 /// three bars of Fig. 9.
@@ -116,6 +306,12 @@ pub struct SimStats {
     /// healthy configuration; a nonzero value marks the statistics as
     /// untrustworthy — the machine wedged and the run was cut short.
     pub watchdog_breaks: u64,
+    /// Per-event activity counts driving the energy model (not rendered by
+    /// [`SimStats::canonical_string`]; compared structurally). Boxed so the
+    /// kilobyte of per-bank arrays lives off the `Simulator`'s hot cache
+    /// lines; the box is reused for the whole run, so increments stay
+    /// allocation-free.
+    pub activity: Box<ActivityCounters>,
 }
 
 impl SimStats {
@@ -186,6 +382,7 @@ impl SimStats {
             store_forwards,
             dcache_misses,
             watchdog_breaks,
+            activity,
         } = other;
         self.cycles += cycles;
         self.committed += committed;
@@ -212,6 +409,7 @@ impl SimStats {
         self.store_forwards += store_forwards;
         self.dcache_misses += dcache_misses;
         self.watchdog_breaks += watchdog_breaks;
+        self.activity.accumulate(activity);
     }
 
     /// The counter-wise difference `self − prefix`, for measuring a window
@@ -252,6 +450,7 @@ impl SimStats {
             store_forwards,
             dcache_misses,
             watchdog_breaks,
+            activity,
         } = prefix;
         let mut bank_full = HashMap::new();
         for (reg, count) in &self.stalls.bank_full {
@@ -299,14 +498,16 @@ impl SimStats {
             store_forwards: self.store_forwards.saturating_sub(*store_forwards),
             dcache_misses: self.dcache_misses.saturating_sub(*dcache_misses),
             watchdog_breaks: self.watchdog_breaks.saturating_sub(*watchdog_breaks),
+            activity: Box::new(self.activity.subtracting(activity)),
         }
     }
 
-    /// A canonical, order-stable text rendering of every counter (the
-    /// `bank_full` map is emitted in flat-index order). Two runs produced
-    /// bit-identical statistics if and only if their canonical strings are
-    /// equal, which makes this the currency of the determinism regression
-    /// tests and of cross-process golden-stats comparisons.
+    /// A canonical, order-stable text rendering of every historical counter
+    /// (the `bank_full` map is emitted in flat-index order). The
+    /// [`ActivityCounters`] block is deliberately **excluded** so the
+    /// checked-in golden files stay byte-identical across counter
+    /// additions; activity is covered by `SimStats`' structural equality,
+    /// which every determinism fence asserts alongside this string.
     pub fn canonical_string(&self) -> String {
         let mut bank_full: Vec<(&ArchReg, &u64)> = self
             .stalls
@@ -411,6 +612,65 @@ mod tests {
         assert_eq!(a.mispredictions, 4);
         assert_eq!(a.stalls.bank_full[&ArchReg::int(3)], 12);
         assert_eq!(a.stalls.bank_full[&ArchReg::fp(1)], 1);
+    }
+
+    #[test]
+    fn activity_counters_accumulate_and_subtract_exactly() {
+        let mut prefix = ActivityCounters::default();
+        prefix.rf_reads[3] = 10;
+        prefix.rf_writes[63] = 4;
+        prefix.rename_lookups = 7;
+        prefix.sct_lookups = 21;
+        prefix.icache_accesses = 5;
+        let mut window = ActivityCounters::default();
+        window.rf_reads[3] = 2;
+        window.rf_reads[40] = 9;
+        window.lcs_propagations = 11;
+        window.reliq_wakeups = 3;
+        window.l2_accesses = 1;
+        let mut full = prefix.clone();
+        full.accumulate(&window);
+        assert_eq!(full.rf_reads[3], 12);
+        assert_eq!(full.rf_reads[40], 9);
+        assert_eq!(full.rf_reads_total(), 21);
+        assert_eq!(full.rf_writes_total(), 4);
+        assert_eq!(full.sct_lookups, 21);
+        assert_eq!(full.lcs_propagations, 11);
+        // subtracting recovers the window exactly (the sampled-window
+        // identity every resumed measurement relies on).
+        assert_eq!(full.subtracting(&prefix), window);
+        assert_eq!(full.subtracting(&window), prefix);
+    }
+
+    #[test]
+    fn activity_rides_along_in_simstats_fold() {
+        let mut a = SimStats {
+            cycles: 5,
+            ..SimStats::default()
+        };
+        a.activity.dcache_accesses = 8;
+        a.activity.rf_writes[1] = 2;
+        let mut b = SimStats {
+            cycles: 7,
+            ..SimStats::default()
+        };
+        b.activity.dcache_accesses = 3;
+        b.activity.rf_writes[1] = 5;
+        let mut sum = a.clone();
+        sum.accumulate(&b);
+        assert_eq!(sum.activity.dcache_accesses, 11);
+        assert_eq!(sum.activity.rf_writes[1], 7);
+        assert_eq!(sum.subtracting(&a).activity, b.activity);
+        // The canonical rendering stays the historical one: activity is
+        // excluded so the checked-in goldens cannot shift.
+        assert_eq!(
+            a.canonical_string(),
+            SimStats {
+                cycles: 5,
+                ..SimStats::default()
+            }
+            .canonical_string()
+        );
     }
 
     #[test]

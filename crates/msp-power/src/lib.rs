@@ -81,6 +81,11 @@ impl std::fmt::Display for TechNode {
     }
 }
 
+/// Calibration constant shared by the power and energy views of the model:
+/// milliwatts of sustained access power per access-energy unit (one access
+/// per cycle at the reference clock).
+const MW_PER_ENERGY_UNIT: f64 = 0.0131;
+
 /// A banked register-file organisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegFileConfig {
@@ -125,9 +130,24 @@ impl RegFileConfig {
 
     /// Table III column 3: the 16-SP's 512-entry file, 32 banks, 1R/1W each.
     pub fn msp_16sp() -> Self {
+        RegFileConfig::msp_sp(16)
+    }
+
+    /// The `n`-SP banked organisation generalising Table III column 3: 32
+    /// banks of `regs_per_bank` entries each, one read and one write port
+    /// per bank (`msp_sp(16)` is exactly [`RegFileConfig::msp_16sp`]).
+    pub fn msp_sp(regs_per_bank: usize) -> Self {
+        let name = match regs_per_bank {
+            4 => "4-SP 128x64b, 32 banks, 1Rd/1Wr",
+            8 => "8-SP 256x64b, 32 banks, 1Rd/1Wr",
+            16 => "16-SP 512x64b, 32 banks, 1Rd/1Wr",
+            32 => "32-SP 1024x64b, 32 banks, 1Rd/1Wr",
+            64 => "64-SP 2048x64b, 32 banks, 1Rd/1Wr",
+            _ => "n-SP 64b, 32 banks, 1Rd/1Wr",
+        };
         RegFileConfig {
-            name: "16-SP 512x64b, 32 banks, 1Rd/1Wr",
-            total_entries: 512,
+            name,
+            total_entries: 32 * regs_per_bank,
             bits_per_entry: 64,
             banks: 32,
             read_ports: 1,
@@ -218,7 +238,6 @@ impl RegFileConfig {
     }
 
     fn total_access_power_mw(&self, node: TechNode, write: bool) -> f64 {
-        const MW_PER_ENERGY_UNIT: f64 = 0.0131;
         let access = self.access_energy_units(write) * MW_PER_ENERGY_UNIT * node.dynamic_scale();
         let idle = self.idle_power_mw(node) * (self.banks as f64 - 1.0);
         access + idle
@@ -243,6 +262,154 @@ impl RegFileConfig {
         let decode = 0.35 * (entries.log2() / 6.0);
         let drive = 0.02 * entries.sqrt() * (1.0 + 0.15 * ports);
         (decode + drive + 0.55) * node.fo4_scale()
+    }
+}
+
+/// One countable microarchitectural event of the activity-driven energy
+/// model: each variant corresponds to a counter in the pipeline's
+/// `ActivityCounters` block (`msp-pipeline`), and [`EnergyModel::cost_of`]
+/// prices one occurrence in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityEvent {
+    /// One register-file bank read.
+    RegFileRead,
+    /// One register-file bank write.
+    RegFileWrite,
+    /// One rename-map lookup.
+    RenameLookup,
+    /// One MSP State Control Table access.
+    SctLookup,
+    /// One MSP LCS-unit propagation (per commit clock).
+    LcsPropagation,
+    /// One CPR checkpoint allocation (rename-map copy).
+    CheckpointAlloc,
+    /// One CPR checkpoint release.
+    CheckpointRelease,
+    /// One issue-queue/RelIQ wakeup broadcast.
+    ReliqWakeup,
+    /// One load-queue associative operation.
+    LqSearch,
+    /// One store-queue associative operation (CAM probe or insert).
+    SqSearch,
+    /// One I-cache access.
+    IcacheAccess,
+    /// One D-cache access.
+    DcacheAccess,
+    /// One unified-L2 access.
+    L2Access,
+    /// One direction-predictor table access.
+    PredictorLookup,
+    /// One BTB access.
+    BtbLookup,
+    /// One return-address-stack push or pop.
+    RasOp,
+}
+
+impl ActivityEvent {
+    /// Every event kind, in `ActivityCounters` field order.
+    pub const ALL: [ActivityEvent; 16] = [
+        ActivityEvent::RegFileRead,
+        ActivityEvent::RegFileWrite,
+        ActivityEvent::RenameLookup,
+        ActivityEvent::SctLookup,
+        ActivityEvent::LcsPropagation,
+        ActivityEvent::CheckpointAlloc,
+        ActivityEvent::CheckpointRelease,
+        ActivityEvent::ReliqWakeup,
+        ActivityEvent::LqSearch,
+        ActivityEvent::SqSearch,
+        ActivityEvent::IcacheAccess,
+        ActivityEvent::DcacheAccess,
+        ActivityEvent::L2Access,
+        ActivityEvent::PredictorLookup,
+        ActivityEvent::BtbLookup,
+        ActivityEvent::RasOp,
+    ];
+}
+
+/// The activity-driven energy model: per-event dynamic energy plus
+/// per-cycle register-file leakage, in the Wattch/CACTI tradition. The
+/// register-file costs are derived from the same Table III coefficients
+/// the static power model uses (one access at `clock_ghz` sustains exactly
+/// the access power [`RegFileConfig::read_power_mw`] reports, minus the
+/// idle-bank leakage term, which is billed per cycle instead); the other
+/// structures carry fixed per-access coefficients scaled by the technology
+/// node.
+///
+/// ```
+/// use msp_power::{ActivityEvent, EnergyModel, RegFileConfig, TechNode};
+/// let cpr = EnergyModel::new(RegFileConfig::cpr_4_banks(), TechNode::Nm65);
+/// let msp = EnergyModel::new(RegFileConfig::msp_16sp(), TechNode::Nm65);
+/// assert!(
+///     msp.cost_of(ActivityEvent::RegFileRead) < cpr.cost_of(ActivityEvent::RegFileRead),
+///     "the banked 1R/1W file must read cheaper per access"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// The register-file organisation priced by the RF events.
+    pub regfile: RegFileConfig,
+    /// Technology node (scales dynamic energy and leakage).
+    pub node: TechNode,
+    /// Clock frequency used to convert the model's power coefficients into
+    /// per-access / per-cycle energies.
+    pub clock_ghz: f64,
+}
+
+impl EnergyModel {
+    /// The reference clock of the reproduction's energy figures.
+    pub const DEFAULT_CLOCK_GHZ: f64 = 3.0;
+
+    /// A model for `regfile` at `node` with the default clock.
+    pub fn new(regfile: RegFileConfig, node: TechNode) -> EnergyModel {
+        EnergyModel {
+            regfile,
+            node,
+            clock_ghz: EnergyModel::DEFAULT_CLOCK_GHZ,
+        }
+    }
+
+    /// Dynamic energy of one `event`, in picojoules.
+    pub fn cost_of(&self, event: ActivityEvent) -> f64 {
+        // 1 mW sustained at f GHz is 1/f pJ per cycle, so a power
+        // coefficient divides by the clock to become a per-event energy.
+        let scale = self.node.dynamic_scale();
+        match event {
+            ActivityEvent::RegFileRead => self.rf_access_pj(false),
+            ActivityEvent::RegFileWrite => self.rf_access_pj(true),
+            // Fixed per-access coefficients (pJ at 65 nm), CACTI-flavoured
+            // magnitudes: SRAM-table accesses cost roughly proportionally
+            // to their capacity, the L2 dominates the cache path, and the
+            // tiny matrix/stack structures are cheap.
+            ActivityEvent::RenameLookup => 0.9 * scale,
+            ActivityEvent::SctLookup => 0.35 * scale,
+            ActivityEvent::LcsPropagation => 0.6 * scale,
+            ActivityEvent::CheckpointAlloc => 14.0 * scale,
+            ActivityEvent::CheckpointRelease => 1.2 * scale,
+            ActivityEvent::ReliqWakeup => 0.08 * scale,
+            ActivityEvent::LqSearch => 0.5 * scale,
+            ActivityEvent::SqSearch => 1.1 * scale,
+            ActivityEvent::IcacheAccess => 9.0 * scale,
+            ActivityEvent::DcacheAccess => 11.0 * scale,
+            ActivityEvent::L2Access => 38.0 * scale,
+            ActivityEvent::PredictorLookup => 0.7 * scale,
+            ActivityEvent::BtbLookup => 1.3 * scale,
+            ActivityEvent::RasOp => 0.15 * scale,
+        }
+    }
+
+    /// Leakage of the whole register file per clock cycle, in picojoules:
+    /// every bank leaks every cycle (the *active* bank's dynamic energy is
+    /// billed by the RF events instead).
+    pub fn leakage_pj_per_cycle(&self) -> f64 {
+        self.regfile.banks as f64 * self.regfile.idle_power_mw(self.node) / self.clock_ghz
+    }
+
+    /// One register-file access (read or write) in picojoules, from the
+    /// Table III access-energy coefficients.
+    fn rf_access_pj(&self, write: bool) -> f64 {
+        self.regfile.access_energy_units(write) * MW_PER_ENERGY_UNIT * self.node.dynamic_scale()
+            / self.clock_ghz
     }
 }
 
@@ -349,6 +516,50 @@ mod tests {
         assert!((0.1..0.4).contains(&area), "cpr area {area}");
         // 65 nm areas are larger than 45 nm areas.
         assert!(cpr256.area_mm2(TechNode::Nm65) > area);
+    }
+
+    #[test]
+    fn energy_model_prices_banked_file_below_fully_ported() {
+        for node in TechNode::ALL {
+            let cpr = EnergyModel::new(RegFileConfig::cpr_4_banks(), node);
+            let msp = EnergyModel::new(RegFileConfig::msp_16sp(), node);
+            assert!(
+                msp.cost_of(ActivityEvent::RegFileRead) < cpr.cost_of(ActivityEvent::RegFileRead),
+                "{node}: banked read must be cheaper per access"
+            );
+            assert!(
+                msp.cost_of(ActivityEvent::RegFileWrite) < cpr.cost_of(ActivityEvent::RegFileWrite)
+            );
+            // Every event has positive cost and leakage is positive.
+            for event in ActivityEvent::ALL {
+                assert!(cpr.cost_of(event) > 0.0, "{node} {event:?}");
+            }
+            assert!(cpr.leakage_pj_per_cycle() > 0.0);
+            assert!(msp.leakage_pj_per_cycle() > 0.0);
+            // Non-RF coefficients are machine-independent.
+            assert_eq!(
+                cpr.cost_of(ActivityEvent::L2Access),
+                msp.cost_of(ActivityEvent::L2Access)
+            );
+        }
+        // 45 nm dynamic energy shrinks versus 65 nm.
+        let e65 = EnergyModel::new(RegFileConfig::msp_16sp(), TechNode::Nm65);
+        let e45 = EnergyModel::new(RegFileConfig::msp_16sp(), TechNode::Nm45);
+        assert!(e45.cost_of(ActivityEvent::RegFileRead) < e65.cost_of(ActivityEvent::RegFileRead));
+    }
+
+    #[test]
+    fn msp_sp_generalises_table3_column_3() {
+        assert_eq!(RegFileConfig::msp_sp(16), RegFileConfig::msp_16sp());
+        let sp4 = RegFileConfig::msp_sp(4);
+        assert_eq!(sp4.total_entries, 128);
+        assert_eq!(sp4.banks, 32);
+        assert_eq!(sp4.entries_per_bank(), 4);
+        assert_eq!(sp4.ports_per_bank(), 2);
+        // Smaller banks cost less per access.
+        let m4 = EnergyModel::new(sp4, TechNode::Nm65);
+        let m16 = EnergyModel::new(RegFileConfig::msp_sp(16), TechNode::Nm65);
+        assert!(m4.cost_of(ActivityEvent::RegFileRead) < m16.cost_of(ActivityEvent::RegFileRead));
     }
 
     #[test]

@@ -159,6 +159,16 @@ pub struct RenamedInstInline {
     pub anchor: PhysReg,
 }
 
+impl RenamedInstInline {
+    /// Number of State Control Table accesses this renaming performed: one
+    /// lookup per resolved source operand plus the allocation (or anchor)
+    /// access of the destination bank. This is the per-rename activity
+    /// count the pipeline feeds into the energy model.
+    pub fn sct_lookups(&self) -> u64 {
+        self.sources.iter().flatten().count() as u64 + 1
+    }
+}
+
 /// Why renaming stopped partway through (or before) a group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RenameError {

@@ -13,7 +13,9 @@
 //!   the RelIQ matrix, the banked register file and precise recovery,
 //! * [`pipeline`] — the cycle-level timing simulator with Baseline, CPR and
 //!   MSP back ends,
-//! * [`power`] — the analytical register-file power/area model,
+//! * [`power`] — the analytical register-file power/area model plus the
+//!   per-event [`EnergyModel`](power::EnergyModel) behind activity-driven
+//!   energy accounting,
 //! * [`mod@bench`] — the experiment layer: [`Lab`](bench::Lab) sessions run
 //!   declarative [`Experiment`](bench::Experiment) specs against shared
 //!   functional traces and render the paper's tables and figures (also
@@ -37,6 +39,25 @@
 //! let results = lab.run(&spec);
 //! assert_eq!(results.cells().len(), 2);
 //! assert!(results.get(0, 1, 0, 0).ipc() > 0.0);
+//! ```
+//!
+//! Every cell also carries activity-driven **energy**: the pipeline counts
+//! per-event activity (register-file bank accesses, cache and predictor
+//! lookups, ...) and the `msp-power` model prices it —
+//! [`Cell::epi_pj`](bench::Cell::epi_pj) /
+//! [`Cell::rf_epi_pj`](bench::Cell::rf_epi_pj) on any result, and
+//! `msp-lab energy` for the CPR-vs-n-SP energy/EDP comparison of Section 5:
+//!
+//! ```
+//! use msp::prelude::*;
+//!
+//! let lab = Lab::new(LabConfig { instructions: 2_000, ..LabConfig::default() });
+//! let spec = Experiment::new("energy")
+//!     .workload(msp::workloads::by_name("vpr", Variant::Original).expect("kernel exists"))
+//!     .machines([MachineKind::cpr(), MachineKind::msp(16)]);
+//! let results = lab.run(&spec);
+//! let (cpr, msp16) = (results.get(0, 0, 0, 0), results.get(0, 1, 0, 0));
+//! assert!(msp16.rf_epi_pj() < cpr.rf_epi_pj(), "the Table III trend, measured");
 //! ```
 //!
 //! Large budgets run **sampled**: attach a [`SamplingSpec`](bench::SamplingSpec)
