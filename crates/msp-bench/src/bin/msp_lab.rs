@@ -32,21 +32,37 @@
 //! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample
 //! ```
 //!
+//! With `MSP_BENCH_TRACE_DIR` set, functional traces persist to a
+//! compressed on-disk store shared across processes — a warm store means a
+//! cold `msp-lab` run re-executes nothing — and the `trace` subcommand
+//! family manages it:
+//!
+//! ```text
+//! msp-lab trace ls [--format text|json|csv]   # list stored traces
+//! msp-lab trace stat                          # store summary
+//! msp-lab trace gc                            # enforce the byte budget now
+//! msp-lab trace capture <workload> [--variant modified] [--interval N]
+//! ```
+//!
 //! The checked-in goldens under `tests/golden/` pin the 20k/200k
-//! `stats-dump` text renderings, the `table1` text and JSON renderings and
-//! the `energy` renderings in all three formats; the golden tests and the
-//! CI bench-smoke job both diff against them.
-//! `msp-lab <sub> --bless` regenerates that subcommand's goldens in place
-//! (deterministically — CI blesses twice and diffs), so a schema change is
-//! one command instead of four hand-edited files.
+//! `stats-dump` text renderings, the `table1` text and JSON renderings,
+//! the `energy` renderings in all three formats and the `trace ls` JSON
+//! schema; the golden tests and the CI bench-smoke job both diff against
+//! them. `msp-lab <sub> --bless` (and `msp-lab trace ls --bless`)
+//! regenerates the relevant goldens in place (deterministically — CI
+//! blesses twice and diffs), so a schema change is one command instead of
+//! four hand-edited files.
 
-use msp_bench::{Lab, LabConfig, OutputFormat, ReportKind, SamplingSpec};
+use msp_bench::store::{demo_store, trace_ls_report};
+use msp_bench::{Lab, LabConfig, OutputFormat, ReportKind, SamplingSpec, TraceStore};
+use msp_workloads::Variant;
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample]\n\
+        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample] [--verbose]\n\
          \x20      msp-lab <subcommand> --bless\n\
+         \x20      msp-lab trace <ls|stat|gc|capture> [...]\n\
          \n\
          Runs one experiment of the González et al. (MICRO 2008) reproduction\n\
          and prints the report.\n\
@@ -58,11 +74,21 @@ fn usage() -> String {
     }
     out.push_str(
         "\n\
+         trace-store subcommands (need MSP_BENCH_TRACE_DIR):\n\
+         \x20 trace ls         list the stored traces [--format text|json|csv; --bless\n\
+         \x20                  regenerates the trace-ls JSON golden from the demo store]\n\
+         \x20 trace stat       one-line store summary (files, bytes, budget)\n\
+         \x20 trace gc         enforce the store byte budget now\n\
+         \x20 trace capture <workload>  pre-capture one workload's trace into the store\n\
+         \x20                  [--variant original|modified, --interval N checkpoints;\n\
+         \x20                  budget from MSP_BENCH_INSTRUCTIONS]\n\
+         \n\
          options:\n\
          \x20 --format <fmt>   output format: text (default), json or csv\n\
          \x20 --sample         sampled execution: estimate the full budget from periodic\n\
          \x20                  detailed windows (checkpointed resume + cumulative warming;\n\
          \x20                  interval from MSP_BENCH_SAMPLE_INTERVAL, 2.5% detail)\n\
+         \x20 --verbose        print a trace-cache summary (mem/disk hits, captures) to stderr\n\
          \x20 --bless          regenerate this subcommand's checked-in goldens in place\n\
          \x20 --list           list the subcommand names, one per line\n\
          \x20 --help           this help\n\
@@ -71,23 +97,138 @@ fn usage() -> String {
          \x20 MSP_BENCH_INSTRUCTIONS      committed instructions per simulation (default 20000)\n\
          \x20 MSP_BENCH_THREADS           sweep worker threads (default: hardware threads)\n\
          \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n\
-         \x20 MSP_BENCH_SAMPLE_INTERVAL   --sample interval in instructions (default 250000)\n",
+         \x20 MSP_BENCH_SAMPLE_INTERVAL   --sample interval in instructions (default 250000)\n\
+         \x20 MSP_BENCH_TRACE_DIR         persistent trace-store directory (default: none)\n\
+         \x20 MSP_BENCH_TRACE_STORE_BYTES on-disk store byte budget (default 4294967296)\n",
     );
     out
 }
 
 enum Invocation {
-    Run(ReportKind, OutputFormat, bool),
+    Run(ReportKind, OutputFormat, bool, bool),
     Bless(ReportKind),
+    Trace(TraceCmd),
     Help,
     List,
 }
 
+enum TraceCmd {
+    Ls {
+        format: OutputFormat,
+        bless: bool,
+    },
+    Stat,
+    Gc,
+    Capture {
+        workload: String,
+        variant: Variant,
+        interval: u64,
+    },
+}
+
+fn parse_format(value: &str) -> Result<OutputFormat, String> {
+    OutputFormat::parse(value)
+        .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))
+}
+
+/// Parses the `trace <ls|stat|gc|capture>` family (everything after the
+/// `trace` token).
+fn parse_trace_args(args: &[String]) -> Result<TraceCmd, String> {
+    let mut iter = args.iter();
+    let action = iter
+        .next()
+        .ok_or_else(|| "trace needs an action: ls, stat, gc or capture".to_string())?;
+    match action.as_str() {
+        "ls" => {
+            let mut format = OutputFormat::Text;
+            let mut bless = false;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--bless" => bless = true,
+                    "--format" => {
+                        let value = iter.next().ok_or_else(|| {
+                            "--format needs a value (text, json or csv)".to_string()
+                        })?;
+                        format = parse_format(value)?;
+                    }
+                    flag if flag.starts_with("--format=") => {
+                        format = parse_format(&flag["--format=".len()..])?;
+                    }
+                    other => return Err(format!("unexpected trace ls argument {other:?}")),
+                }
+            }
+            Ok(TraceCmd::Ls { format, bless })
+        }
+        "stat" => match iter.next() {
+            None => Ok(TraceCmd::Stat),
+            Some(other) => Err(format!("unexpected trace stat argument {other:?}")),
+        },
+        "gc" => match iter.next() {
+            None => Ok(TraceCmd::Gc),
+            Some(other) => Err(format!("unexpected trace gc argument {other:?}")),
+        },
+        "capture" => {
+            let mut workload: Option<String> = None;
+            let mut variant = Variant::Original;
+            let mut interval = 0u64;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--variant" => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| "--variant needs a value".to_string())?;
+                        variant = match value.as_str() {
+                            "original" => Variant::Original,
+                            "modified" => Variant::Modified,
+                            other => {
+                                return Err(format!(
+                                    "unknown variant {other:?} (original or modified)"
+                                ))
+                            }
+                        };
+                    }
+                    "--interval" => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| "--interval needs a value".to_string())?;
+                        interval = value.parse::<u64>().map_err(|_| {
+                            format!("--interval {value:?} is not an unsigned integer")
+                        })?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown trace capture option {flag:?}"));
+                    }
+                    name => {
+                        if workload.is_some() {
+                            return Err(format!("unexpected extra argument {name:?}"));
+                        }
+                        workload = Some(name.to_string());
+                    }
+                }
+            }
+            let workload =
+                workload.ok_or_else(|| "trace capture needs a workload name".to_string())?;
+            Ok(TraceCmd::Capture {
+                workload,
+                variant,
+                interval,
+            })
+        }
+        other => Err(format!(
+            "unknown trace action {other:?} (ls, stat, gc or capture)"
+        )),
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    if args.first().map(String::as_str) == Some("trace") {
+        return Ok(Invocation::Trace(parse_trace_args(&args[1..])?));
+    }
     let mut kind: Option<ReportKind> = None;
     let mut format = OutputFormat::Text;
     let mut sample = false;
     let mut bless = false;
+    let mut verbose = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -95,17 +236,15 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--list" => return Ok(Invocation::List),
             "--sample" => sample = true,
             "--bless" => bless = true,
+            "--verbose" | "-v" => verbose = true,
             "--format" => {
                 let value = iter
                     .next()
                     .ok_or_else(|| "--format needs a value (text, json or csv)".to_string())?;
-                format = OutputFormat::parse(value)
-                    .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))?;
+                format = parse_format(value)?;
             }
             flag if flag.starts_with("--format=") => {
-                let value = &flag["--format=".len()..];
-                format = OutputFormat::parse(value)
-                    .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))?;
+                format = parse_format(&flag["--format=".len()..])?;
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
@@ -136,7 +275,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         }
         return Ok(Invocation::Bless(kind));
     }
-    Ok(Invocation::Run(kind, format, sample))
+    Ok(Invocation::Run(kind, format, sample, verbose))
 }
 
 /// Regenerates every golden of `kind` in place. The golden directory is
@@ -162,6 +301,114 @@ fn bless(kind: ReportKind) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The trace-ls golden file, relative to this crate's golden directory.
+const TRACE_LS_GOLDEN: &str = "trace_ls.json";
+
+/// Regenerates the `trace ls --format json` golden from the canonical demo
+/// store (built in a scratch directory — the golden must not depend on
+/// whatever the local `MSP_BENCH_TRACE_DIR` happens to hold).
+fn bless_trace_ls() -> Result<(), String> {
+    let scratch =
+        std::env::temp_dir().join(format!("msp-lab-trace-ls-bless-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let result = (|| {
+        let store = demo_store(&scratch).map_err(|e| format!("cannot build demo store: {e}"))?;
+        let report =
+            trace_ls_report(&store).map_err(|e| format!("cannot render demo store: {e}"))?;
+        let path = format!(
+            "{}/{TRACE_LS_GOLDEN}",
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")
+        );
+        std::fs::write(&path, report.render(OutputFormat::Json))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("blessed {path} (canonical demo store, json)");
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// Opens the persistent store the environment points at. The trace
+/// subcommands manage an on-disk resource, so an unset `MSP_BENCH_TRACE_DIR`
+/// is an explicit error, not a silent no-op.
+fn open_store_from_env() -> Result<TraceStore, String> {
+    let config = LabConfig::from_env().map_err(|e| e.to_string())?;
+    let dir = config.trace_dir.ok_or_else(|| {
+        "the trace subcommands need MSP_BENCH_TRACE_DIR to point at the store directory".to_string()
+    })?;
+    TraceStore::open(&dir, config.trace_store_bytes)
+        .map_err(|e| format!("cannot open trace store at {}: {e}", dir.display()))
+}
+
+fn run_trace(cmd: TraceCmd) -> Result<(), String> {
+    match cmd {
+        TraceCmd::Ls { bless: true, .. } => bless_trace_ls(),
+        TraceCmd::Ls { format, .. } => {
+            let store = open_store_from_env()?;
+            let report = trace_ls_report(&store)
+                .map_err(|e| format!("cannot list {}: {e}", store.dir().display()))?;
+            print!("{}", report.render(format));
+            Ok(())
+        }
+        TraceCmd::Stat => {
+            let store = open_store_from_env()?;
+            let entries = store
+                .entries()
+                .map_err(|e| format!("cannot read {}: {e}", store.dir().display()))?;
+            let total: u64 = entries.iter().map(|e| e.bytes).sum();
+            println!(
+                "{}: {} trace file(s), {} bytes used of {} budget",
+                store.dir().display(),
+                entries.len(),
+                total,
+                store.budget_bytes()
+            );
+            Ok(())
+        }
+        TraceCmd::Gc => {
+            let store = open_store_from_env()?;
+            let report = store
+                .gc()
+                .map_err(|e| format!("gc failed in {}: {e}", store.dir().display()))?;
+            println!(
+                "deleted {} file(s) ({} bytes); retained {} file(s) ({} bytes) under {} budget",
+                report.deleted,
+                report.freed_bytes,
+                report.retained,
+                report.retained_bytes,
+                store.budget_bytes()
+            );
+            Ok(())
+        }
+        TraceCmd::Capture {
+            workload,
+            variant,
+            interval,
+        } => {
+            let lab = Lab::from_env().map_err(|e| e.to_string())?;
+            if lab.trace_store().is_none() {
+                return Err(
+                    "the trace subcommands need MSP_BENCH_TRACE_DIR to point at the store directory"
+                        .to_string(),
+                );
+            }
+            let w = msp_workloads::by_name(&workload, variant)
+                .ok_or_else(|| format!("unknown workload {workload:?} (variant {variant})"))?;
+            let instructions = lab.config().instructions;
+            let captured = lab.prefetch_trace(&w, instructions, interval);
+            println!(
+                "{} {workload}/{variant} at {instructions} instructions (interval {interval})",
+                if captured {
+                    "captured"
+                } else {
+                    "already stored:"
+                }
+            );
+            Ok(())
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -193,7 +440,14 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Invocation::Run(kind, format, sample) => {
+        Invocation::Trace(cmd) => match run_trace(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("msp-lab: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Invocation::Run(kind, format, sample, verbose) => {
             let lab = match Lab::from_env() {
                 Ok(lab) => lab,
                 Err(error) => {
@@ -203,6 +457,14 @@ fn main() -> ExitCode {
             };
             let sampling = sample.then(|| SamplingSpec::periodic(lab.config().sample_interval));
             print!("{}", kind.build_sampled(&lab, sampling).render(format));
+            if verbose {
+                eprintln!(
+                    "msp-lab: trace cache: {} hits mem / {} hits disk / {} captures",
+                    lab.mem_hit_count(),
+                    lab.disk_hit_count(),
+                    lab.capture_count()
+                );
+            }
             ExitCode::SUCCESS
         }
     }

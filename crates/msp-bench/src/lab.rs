@@ -12,34 +12,50 @@
 //! `MSP_BENCH_TRACE_CACHE_BYTES` or `MSP_BENCH_SAMPLE_INTERVAL` is a
 //! [`LabConfigError`], never a silent fall-back to the default.
 //!
-//! # The trace cache
+//! # The two-tier trace cache
 //!
 //! Every simulation a `Lab` runs goes through its trace cache: the
 //! committed-path [`Trace`] of a `(workload, instruction budget)` pair is
-//! materialised by one functional execution and then shared read-only — as
-//! an `Arc<Trace>` — by every machine configuration, predictor, override
-//! hook and worker thread simulating that workload. There is **no**
-//! uncached execution path: the reference private-oracle comparison lives
-//! in the determinism tests, which construct `Simulator`s directly.
+//! captured by one functional execution and then shared read-only by every
+//! machine configuration, predictor, override hook and worker thread
+//! simulating that workload. There is **no** uncached execution path: the
+//! reference private-oracle comparison lives in the determinism tests,
+//! which construct `Simulator`s directly.
 //!
-//! The cache is bounded: a 200k-instruction trace is ~20 MiB (see
-//! DESIGN.md), so retained traces are LRU-evicted once their total
-//! footprint exceeds [`LabConfig::trace_cache_bytes`]. The most recently
-//! inserted trace is always retained (it is in use by the sweep that
-//! requested it); eviction only sheds older, idle traces. An evicted trace
-//! that is requested again is re-captured — functional execution is
-//! deterministic, so the re-capture is bit-identical (pinned by the
-//! determinism tests).
+//! The cache has two tiers:
+//!
+//! 1. **Memory** — an LRU of materialised `Arc<Trace>`s, bounded by
+//!    [`LabConfig::trace_cache_bytes`]. The most recently inserted trace is
+//!    always retained (it is in use by the sweep that requested it);
+//!    eviction only sheds older, idle traces.
+//! 2. **Disk** (optional) — a persistent [`TraceStore`] directory of
+//!    compressed trace files shared across processes, enabled by
+//!    [`LabConfig::trace_dir`] (`MSP_BENCH_TRACE_DIR`). A memory miss
+//!    probes the store before capturing; a capture is written through to
+//!    it. A warm store means a **cold process performs zero functional
+//!    executions**.
+//!
+//! Budgets whose materialised trace would overflow the memory tier are not
+//! materialised at all when a store is present: the trace is captured
+//! *streaming* straight to disk ([`msp_isa::capture_trace_to_path`]) and
+//! simulated through a bounded-memory [`TraceSource`] cursor — bit-identical
+//! to the materialised path (pinned by the msp-pipeline streaming tests),
+//! so RAM bounds simulation budgets no more. Either way a re-resolved trace
+//! is identical: functional execution and the trace encoding are both
+//! deterministic.
 
 use crate::energy::{energy_model_for, SampledEnergy, REFERENCE_NODE};
 use crate::experiment::{Axes, Cell, Experiment, ResultSet};
+use crate::store::TraceStore;
 use crate::{parallel_map, SampledStats, SamplingSpec};
 use msp_branch::PredictorKind;
-use msp_isa::Trace;
-use msp_pipeline::{MemoryConfig, SimConfig, SimResult, SimStats, Simulator, WarmState};
+use msp_isa::{ExecutedInst, Trace, TraceReader};
+use msp_pipeline::{
+    MemoryConfig, SimConfig, SimResult, SimStats, Simulator, TraceSource, WarmState,
+};
 use msp_workloads::{Variant, Workload};
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Default number of committed instructions per simulation.
@@ -84,6 +100,14 @@ pub struct LabConfig {
     /// default [`DEFAULT_SAMPLE_INTERVAL`]). Experiments attach their own
     /// plan with [`Experiment::sampling`].
     pub sample_interval: u64,
+    /// Directory of the persistent on-disk trace store (default `None` =
+    /// memory tier only). Shared across processes; see [`TraceStore`].
+    pub trace_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk store (default
+    /// [`DEFAULT_TRACE_STORE_BYTES`](crate::store::DEFAULT_TRACE_STORE_BYTES));
+    /// least-recently-used files are garbage-collected above it. Ignored
+    /// without [`LabConfig::trace_dir`].
+    pub trace_store_bytes: u64,
 }
 
 impl Default for LabConfig {
@@ -93,6 +117,8 @@ impl Default for LabConfig {
             threads: default_threads(),
             trace_cache_bytes: DEFAULT_TRACE_CACHE_BYTES,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            trace_dir: None,
+            trace_store_bytes: crate::store::DEFAULT_TRACE_STORE_BYTES,
         }
     }
 }
@@ -142,6 +168,10 @@ impl LabConfig {
     ///   use).
     /// * `MSP_BENCH_SAMPLE_INTERVAL` — sampling interval for `--sample`
     ///   runs; a positive integer.
+    /// * `MSP_BENCH_TRACE_DIR` — directory of the persistent trace store;
+    ///   a non-empty path (created if missing).
+    /// * `MSP_BENCH_TRACE_STORE_BYTES` — byte budget of the on-disk store;
+    ///   a non-negative integer (`0` retains only the newest file).
     ///
     /// Unset variables use the [`Default`] values; set-but-invalid ones are
     /// a [`LabConfigError`].
@@ -167,6 +197,8 @@ impl LabConfig {
             read("MSP_BENCH_THREADS")?.as_deref(),
             read("MSP_BENCH_TRACE_CACHE_BYTES")?.as_deref(),
             read("MSP_BENCH_SAMPLE_INTERVAL")?.as_deref(),
+            read("MSP_BENCH_TRACE_DIR")?.as_deref(),
+            read("MSP_BENCH_TRACE_STORE_BYTES")?.as_deref(),
         )
     }
 
@@ -178,8 +210,21 @@ impl LabConfig {
         threads: Option<&str>,
         trace_cache_bytes: Option<&str>,
         sample_interval: Option<&str>,
+        trace_dir: Option<&str>,
+        trace_store_bytes: Option<&str>,
     ) -> Result<LabConfig, LabConfigError> {
         let defaults = LabConfig::default();
+        let trace_dir = match trace_dir {
+            None => None,
+            Some(value) if value.trim().is_empty() => {
+                return Err(LabConfigError {
+                    var: "MSP_BENCH_TRACE_DIR",
+                    value: value.to_string(),
+                    reason: "must be a non-empty directory path",
+                });
+            }
+            Some(value) => Some(PathBuf::from(value)),
+        };
         Ok(LabConfig {
             instructions: parse_var(
                 "MSP_BENCH_INSTRUCTIONS",
@@ -200,6 +245,13 @@ impl LabConfig {
                 sample_interval,
                 defaults.sample_interval,
                 true,
+            )?,
+            trace_dir,
+            trace_store_bytes: parse_var(
+                "MSP_BENCH_TRACE_STORE_BYTES",
+                trace_store_bytes,
+                defaults.trace_store_bytes,
+                false,
             )?,
         })
     }
@@ -235,21 +287,17 @@ fn parse_var(
 /// program (so a hand-built `Workload` reusing a SPEC name can never alias
 /// a cached kernel), plus the instruction budget and the checkpoint
 /// interval (`0` = captured without checkpoints).
+///
+/// The fingerprint is [`msp_isa::program_fingerprint`] — stable across
+/// processes, platforms and Rust releases — so the same value keys both the
+/// in-memory tier and the on-disk store's file names.
 type TraceKey = (String, Variant, u64, u64, u64);
 
-/// Structural fingerprint of a program: every instruction plus the initial
-/// data image. Cheap (programs are a few hundred static instructions) and
-/// computed once per cache probe, not per record.
+/// Structural fingerprint of a workload's program (see [`TraceKey`]). Cheap
+/// (programs are a few hundred static instructions) and computed once per
+/// cache probe, not per record.
 fn program_fingerprint(workload: &Workload) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    let program = workload.program();
-    program.entry().hash(&mut hasher);
-    for (pc, inst) in program.iter() {
-        pc.hash(&mut hasher);
-        inst.hash(&mut hasher);
-    }
-    program.initial_data().hash(&mut hasher);
-    hasher.finish()
+    msp_isa::program_fingerprint(workload.program())
 }
 
 struct CacheEntry {
@@ -269,6 +317,8 @@ struct TraceCache {
     bytes: usize,
     captures: u64,
     evictions: u64,
+    mem_hits: u64,
+    disk_hits: u64,
 }
 
 impl TraceCache {
@@ -316,6 +366,36 @@ impl TraceCache {
     }
 }
 
+/// A resolved shared trace: either a materialised in-memory [`Trace`] or a
+/// verified on-disk file streamed on demand. Each simulation opens its own
+/// [`TraceSource`] view (an `Arc` clone or a fresh cursor), so one resolved
+/// trace serves every cell and worker thread of a sweep.
+#[derive(Debug, Clone)]
+enum SharedTrace {
+    Memory(Arc<Trace>),
+    Disk(Arc<TraceReader>),
+}
+
+impl SharedTrace {
+    fn open_source(&self) -> TraceSource {
+        match self {
+            SharedTrace::Memory(trace) => TraceSource::from(Arc::clone(trace)),
+            SharedTrace::Disk(reader) => TraceSource::from(
+                reader
+                    .cursor()
+                    .expect("trace store file vanished while in use"),
+            ),
+        }
+    }
+
+    fn has_checkpoint_at(&self, index: u64) -> bool {
+        match self {
+            SharedTrace::Memory(trace) => trace.checkpoint_at(index).is_some(),
+            SharedTrace::Disk(reader) => reader.has_checkpoint_at(index),
+        }
+    }
+}
+
 // --------------------------------------------------------------------- Lab
 
 /// An experiment session: the owner of the trace cache and of the execution
@@ -325,6 +405,7 @@ impl TraceCache {
 pub struct Lab {
     config: LabConfig,
     cache: Mutex<TraceCache>,
+    store: Option<TraceStore>,
 }
 
 impl fmt::Debug for Lab {
@@ -344,10 +425,21 @@ impl Default for Lab {
 
 impl Lab {
     /// Creates a session with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`LabConfig::trace_dir`] is set but the store directory
+    /// cannot be created or entered — a misconfigured store must fail
+    /// loudly, not silently re-execute every workload.
     pub fn new(config: LabConfig) -> Lab {
+        let store = config.trace_dir.as_ref().map(|dir| {
+            TraceStore::open(dir, config.trace_store_bytes)
+                .unwrap_or_else(|e| panic!("cannot open trace store at {}: {e}", dir.display()))
+        });
         Lab {
             config,
             cache: Mutex::new(TraceCache::default()),
+            store,
         }
     }
 
@@ -370,9 +462,11 @@ impl Lab {
     }
 
     /// The shared functional trace of `(workload, instructions)`:
-    /// materialised by one [`Trace::capture`] (with a small overfetch
-    /// margin), retained under the LRU byte budget, and served as a cheap
-    /// `Arc` clone while retained.
+    /// resolved disk-first (memory LRU, then the persistent store, then one
+    /// [`Trace::capture`] with a small overfetch margin, written through to
+    /// the store), retained under the LRU byte budget, and served as a
+    /// cheap `Arc` clone while retained. Always materialised — the
+    /// streaming tier is internal to [`Lab::run`].
     ///
     /// Concurrent first requests for the same key may both capture; the
     /// traces are identical (functional execution is deterministic) so the
@@ -408,6 +502,27 @@ impl Lab {
         instructions: u64,
         checkpoint_interval: u64,
     ) -> Arc<Trace> {
+        match self.resolve_trace(workload, instructions, checkpoint_interval, false) {
+            SharedTrace::Memory(trace) => trace,
+            SharedTrace::Disk(_) => unreachable!("materialised resolution never returns Disk"),
+        }
+    }
+
+    /// Resolves the shared trace of a `(workload, budget, interval)` key
+    /// through the cache tiers, in order: memory LRU (cheap `Arc` clone),
+    /// on-disk store (decode, or stream), functional capture (written
+    /// through to the store). With `allow_streaming`, a trace whose
+    /// materialised footprint would overflow the memory tier stays on disk
+    /// and is simulated through a bounded-memory cursor; it is captured
+    /// straight to disk if absent, so such budgets never materialise at
+    /// all.
+    fn resolve_trace(
+        &self,
+        workload: &Workload,
+        instructions: u64,
+        checkpoint_interval: u64,
+        allow_streaming: bool,
+    ) -> SharedTrace {
         let key = (
             workload.name().to_string(),
             workload.variant(),
@@ -415,20 +530,99 @@ impl Lab {
             instructions,
             checkpoint_interval,
         );
-        if let Some(trace) = self.lock_cache().get(&key) {
-            return trace;
+        {
+            let mut cache = self.lock_cache();
+            if let Some(trace) = cache.get(&key) {
+                cache.mem_hits += 1;
+                return SharedTrace::Memory(trace);
+            }
         }
-        // Capture outside the lock: a 200k-instruction capture takes tens
-        // of milliseconds and must not serialise other workloads' hits.
+        let program = workload.program();
         let budget = instructions.saturating_add(TRACE_MARGIN);
+        let estimated_bytes = budget.saturating_mul(std::mem::size_of::<ExecutedInst>() as u64);
+        let stream = allow_streaming
+            && self.store.is_some()
+            && estimated_bytes > self.config.trace_cache_bytes as u64;
+        // All store and capture work happens outside the lock: a capture
+        // takes milliseconds to minutes and must not serialise other
+        // workloads' hits.
+        if let Some(store) = &self.store {
+            if let Some(reader) = store.open_reader(program, budget, checkpoint_interval) {
+                self.lock_cache().disk_hits += 1;
+                if stream {
+                    return SharedTrace::Disk(reader);
+                }
+                match reader.read_trace(program) {
+                    Ok(trace) => {
+                        return SharedTrace::Memory(self.lock_cache().insert(
+                            key,
+                            Arc::new(trace),
+                            self.config.trace_cache_bytes,
+                        ));
+                    }
+                    Err(e) => {
+                        // The file verified at open, so this is I/O trouble
+                        // mid-read; fall through and re-capture.
+                        eprintln!(
+                            "msp-bench: failed to decode stored trace {}: {e}",
+                            reader.path().display()
+                        );
+                    }
+                }
+            }
+            if stream {
+                let path = store
+                    .capture(program, budget, checkpoint_interval)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "cannot capture streaming trace into {}: {e}",
+                            store.dir().display()
+                        )
+                    });
+                let reader = TraceReader::open(&path, program).unwrap_or_else(|e| {
+                    panic!("just-captured trace {} unreadable: {e}", path.display())
+                });
+                self.lock_cache().captures += 1;
+                return SharedTrace::Disk(Arc::new(reader));
+            }
+        }
         let trace = Arc::new(if checkpoint_interval == 0 {
-            Trace::capture(workload.program(), budget)
+            Trace::capture(program, budget)
         } else {
-            Trace::capture_with_checkpoints(workload.program(), budget, checkpoint_interval)
+            Trace::capture_with_checkpoints(program, budget, checkpoint_interval)
         });
+        if let Some(store) = &self.store {
+            // Write-through, best-effort: a full disk loses persistence,
+            // not the run.
+            if let Err(e) = store.save(program, budget, &trace) {
+                eprintln!(
+                    "msp-bench: failed to persist trace into {}: {e}",
+                    store.dir().display()
+                );
+            }
+        }
         let mut cache = self.lock_cache();
         cache.captures += 1;
-        cache.insert(key, trace, self.config.trace_cache_bytes)
+        SharedTrace::Memory(cache.insert(key, trace, self.config.trace_cache_bytes))
+    }
+
+    /// Ensures the trace of `(workload, instructions)` — checkpointed every
+    /// `checkpoint_interval` instructions if non-zero — is resolvable
+    /// without a functional execution: memory hit, disk hit, or a capture
+    /// written through to the store. Unlike [`Lab::trace`] this never
+    /// materialises a trace the memory tier could not hold (such budgets
+    /// are captured streaming to disk), so it is the `msp-lab trace
+    /// capture` pre-warming path for arbitrarily large budgets. Returns
+    /// `true` if a functional capture was performed.
+    pub fn prefetch_trace(
+        &self,
+        workload: &Workload,
+        instructions: u64,
+        checkpoint_interval: u64,
+    ) -> bool {
+        let before = self.capture_count();
+        self.resolve_trace(workload, instructions, checkpoint_interval, true);
+        self.capture_count() > before
     }
 
     /// Drops every retained trace (outstanding `Arc`s stay valid; the next
@@ -450,7 +644,8 @@ impl Lab {
     }
 
     /// Number of functional executions this session has performed
-    /// (diagnostics: a warm re-run of the same experiment adds none).
+    /// (diagnostics: a warm re-run of the same experiment adds none, and
+    /// with a warm persistent store even a fresh process adds none).
     pub fn capture_count(&self) -> u64 {
         self.lock_cache().captures
     }
@@ -458,6 +653,23 @@ impl Lab {
     /// Number of traces evicted by the byte budget (diagnostics).
     pub fn eviction_count(&self) -> u64 {
         self.lock_cache().evictions
+    }
+
+    /// Number of trace requests served by the in-memory tier (diagnostics).
+    pub fn mem_hit_count(&self) -> u64 {
+        self.lock_cache().mem_hits
+    }
+
+    /// Number of trace requests served by the on-disk store — as a decode
+    /// or as a streaming cursor — instead of a functional re-execution
+    /// (diagnostics).
+    pub fn disk_hit_count(&self) -> u64 {
+        self.lock_cache().disk_hits
+    }
+
+    /// The persistent on-disk store, if [`LabConfig::trace_dir`] is set.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.store.as_ref()
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, TraceCache> {
@@ -492,10 +704,10 @@ impl Lab {
     }
 
     fn run_exact(&self, experiment: &Experiment, axes: &Axes<'_>, instructions: u64) -> ResultSet {
-        let traces: Vec<Arc<Trace>> = axes
+        let traces: Vec<SharedTrace> = axes
             .workloads
             .iter()
-            .map(|w| self.trace(w, instructions))
+            .map(|w| self.resolve_trace(w, instructions, 0, true))
             .collect();
         // One flat work list over the full cross product: threads stay busy
         // across row boundaries, and the flat index encodes the cell
@@ -505,7 +717,7 @@ impl Lab {
             let (w, m, p, h) = axes.coordinates(flat);
             let mut config = SimConfig::machine(axes.machines[m], axes.predictors[p]);
             axes.hooks[h].apply(&mut config);
-            Simulator::with_trace(axes.workloads[w].program(), config, Arc::clone(&traces[w]))
+            Simulator::with_trace(axes.workloads[w].program(), config, traces[w].open_source())
                 .run(instructions)
         });
         let cells = results
@@ -569,10 +781,10 @@ impl Lab {
     ) -> ResultSet {
         spec.assert_valid();
         let checkpoint_interval = spec.interval;
-        let traces: Vec<Arc<Trace>> = axes
+        let traces: Vec<SharedTrace> = axes
             .workloads
             .iter()
-            .map(|w| self.trace_with_checkpoints(w, instructions, checkpoint_interval))
+            .map(|w| self.resolve_trace(w, instructions, checkpoint_interval, true))
             .collect();
         // Per-cell effective configuration (hooks applied), built up front
         // so cells can share warm trajectories.
@@ -605,15 +817,18 @@ impl Lab {
         // Snapshot s of a group seeds the window at `(s + 1) · interval`.
         let group_snapshots: Vec<Vec<WarmState>> =
             parallel_map(self.config.threads, &groups, |(w, _, _, members)| {
-                let trace = &traces[*w];
-                let mut warm =
-                    WarmState::for_config(axes.workloads[*w].program(), &configs[members[0]]);
+                // Each warming pass streams through its own source view, so
+                // a disk-resident trace costs one cursor window per group,
+                // not a materialisation.
+                let program = axes.workloads[*w].program();
+                let mut source = traces[*w].open_source();
+                let mut warm = WarmState::for_config(program, &configs[members[0]]);
                 let mut snapshots = Vec::new();
                 let mut index = 0;
                 let mut start = spec.interval;
                 while start < instructions {
                     while index < start {
-                        let Some(rec) = trace.get(index) else {
+                        let Some(rec) = source.get(program, index) else {
                             return snapshots;
                         };
                         warm.absorb(rec);
@@ -663,7 +878,7 @@ impl Lab {
                 };
                 // No checkpoint (or no warm snapshot) means the program
                 // ended before this window; nothing to measure from here.
-                if traces[w].checkpoint_at(start).is_none() {
+                if !traces[w].has_checkpoint_at(start) {
                     break;
                 }
                 if start > 0
@@ -689,7 +904,7 @@ impl Lab {
             let program = axes.workloads[w].program();
             if unit.start == 0 {
                 // The head window: exact detail from a cold machine.
-                return Simulator::resume_from(program, config, Arc::clone(&traces[w]), 0, 0)
+                return Simulator::resume_from(program, config, traces[w].open_source(), 0, 0)
                     .run(unit.detail);
             }
             let snapshot = &group_snapshots[group_of_flat[unit.flat]]
@@ -697,7 +912,7 @@ impl Lab {
             let mut sim = Simulator::resume_warmed(
                 program,
                 config,
-                Arc::clone(&traces[w]),
+                traces[w].open_source(),
                 unit.start,
                 snapshot.clone(),
             );

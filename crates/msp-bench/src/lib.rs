@@ -19,14 +19,20 @@
 //!
 //! # The shared trace layer
 //!
-//! Every simulation a `Lab` runs goes through its **trace cache**
-//! ([`Lab::trace`]): the committed-path [`Trace`](msp_isa::Trace) of a
-//! `(workload, instruction budget)` pair is materialised by one functional
-//! execution and then shared read-only — as an `Arc<Trace>` — by every
-//! machine configuration, predictor, override hook and worker thread
-//! simulating that workload. A 4-machine × 3-kernel sweep therefore
-//! performs 3 functional executions instead of 12, and repeated runs in
-//! the same session perform none at all.
+//! Every simulation a `Lab` runs goes through its **two-tier trace
+//! cache** ([`Lab::trace`]): the committed-path [`Trace`](msp_isa::Trace)
+//! of a `(workload, instruction budget)` pair is captured by one
+//! functional execution and then shared read-only by every machine
+//! configuration, predictor, override hook and worker thread simulating
+//! that workload. A 4-machine × 3-kernel sweep therefore performs 3
+//! functional executions instead of 12, and repeated runs in the same
+//! session perform none at all. With `MSP_BENCH_TRACE_DIR` set, captures
+//! also persist to an on-disk [`TraceStore`] of compressed trace files
+//! shared **across processes** — a warm store means a cold process
+//! performs zero functional executions, and budgets too large for the
+//! memory tier are streamed from disk instead of materialised (see
+//! DESIGN.md's persistent-trace-store section and the `msp-lab trace`
+//! subcommands).
 //!
 //! # Sampled simulation
 //!
@@ -61,6 +67,7 @@ mod lab;
 mod report;
 pub mod reports;
 mod sampling;
+pub mod store;
 
 pub use energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
 pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
@@ -71,6 +78,7 @@ pub use lab::{
 pub use report::{csv_row, json_string, parse_csv_record, Block, OutputFormat, Report};
 pub use reports::{GoldenSpec, ReportKind};
 pub use sampling::{SampledStats, SamplingSpec};
+pub use store::{GcReport, StoreEntry, TraceStore, DEFAULT_TRACE_STORE_BYTES};
 
 use msp_pipeline::MachineKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -303,30 +311,41 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_garbage() {
-        assert!(LabConfig::from_vars(None, None, None, None).is_ok());
+        assert!(LabConfig::from_vars(None, None, None, None, None, None).is_ok());
         assert_eq!(
-            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None)
+            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None, None, None)
                 .unwrap()
                 .instructions,
             20_000
         );
         // Unparseable values are errors, not silent defaults.
         for bad in ["20_000", "", "abc", "-1", "1.5"] {
-            let err = LabConfig::from_vars(Some(bad), None, None, None).unwrap_err();
+            let err = LabConfig::from_vars(Some(bad), None, None, None, None, None).unwrap_err();
             assert_eq!(err.var, "MSP_BENCH_INSTRUCTIONS");
             assert!(err.to_string().contains("MSP_BENCH_INSTRUCTIONS"));
         }
-        assert!(LabConfig::from_vars(None, Some("zero"), None, None).is_err());
-        assert!(LabConfig::from_vars(None, None, Some("x"), None).is_err());
+        assert!(LabConfig::from_vars(None, Some("zero"), None, None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, None, Some("x"), None, None, None).is_err());
         // Zero budgets/threads are rejected; a zero cache budget is legal.
-        assert!(LabConfig::from_vars(Some("0"), None, None, None).is_err());
-        assert!(LabConfig::from_vars(None, Some("0"), None, None).is_err());
+        assert!(LabConfig::from_vars(Some("0"), None, None, None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, Some("0"), None, None, None, None).is_err());
         assert_eq!(
-            LabConfig::from_vars(None, None, Some("0"), None)
+            LabConfig::from_vars(None, None, Some("0"), None, None, None)
                 .unwrap()
                 .trace_cache_bytes,
             0
         );
+        // The store knobs: an empty dir is garbage, a zero byte budget is
+        // legal, and a garbage byte budget is an error.
+        let err = LabConfig::from_vars(None, None, None, None, Some("  "), None).unwrap_err();
+        assert_eq!(err.var, "MSP_BENCH_TRACE_DIR");
+        assert_eq!(
+            LabConfig::from_vars(None, None, None, None, Some("/tmp/traces"), Some("0"))
+                .unwrap()
+                .trace_store_bytes,
+            0
+        );
+        assert!(LabConfig::from_vars(None, None, None, None, None, Some("big")).is_err());
     }
 
     #[test]

@@ -244,3 +244,26 @@ fn csv_and_json_round_trip_every_report() {
         assert!(text.starts_with(&report.title));
     }
 }
+
+/// The `msp-lab trace ls --format json` schema over the canonical demo
+/// store, byte-for-byte against `tests/golden/trace_ls.json`. The demo
+/// store is rebuilt in a scratch directory (three tiny captures — cheap
+/// enough for debug builds), so this pins the trace *file format*, the
+/// store's file-naming scheme and the report schema all at once.
+/// Regenerate with `msp-lab trace ls --bless`.
+#[test]
+fn trace_ls_matches_checked_in_json_golden() {
+    const GOLDEN_TRACE_LS_JSON: &str = include_str!("golden/trace_ls.json");
+    let dir = std::env::temp_dir().join(format!("msp-trace-ls-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = msp_bench::store::demo_store(&dir).expect("demo store builds");
+    let rendered = msp_bench::store::trace_ls_report(&store)
+        .expect("demo store renders")
+        .render(OutputFormat::Json);
+    std::fs::remove_dir_all(&dir).expect("scratch store removed");
+    assert_eq!(
+        rendered, GOLDEN_TRACE_LS_JSON,
+        "trace-ls schema diverged from tests/golden/trace_ls.json; \
+         if the change is intentional, rebless with `msp-lab trace ls --bless`"
+    );
+}

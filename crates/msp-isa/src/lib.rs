@@ -43,6 +43,7 @@ mod program;
 mod reg;
 mod state;
 mod trace;
+mod tracefile;
 
 pub use exec::{execute_at, execute_step, ExecError, ExecutedInst};
 pub use inst::{BranchCond, FuClass, Instruction, MemWidth, Opcode};
@@ -51,3 +52,8 @@ pub use program::{Program, TEXT_BASE};
 pub use reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS, NUM_LOGICAL_REGS};
 pub use state::ArchState;
 pub use trace::{Trace, TraceBuilder};
+pub use tracefile::{
+    capture_trace_to_path, program_fingerprint, read_trace_meta, write_trace_to_path, TraceCursor,
+    TraceFileError, TraceFileMeta, TraceReader, TraceWriter, DEFAULT_BLOCK_RECORDS,
+    TRACE_FORMAT_VERSION,
+};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u64 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
 /// A sparse byte-addressable memory backed by 4 KiB pages allocated on demand.
@@ -51,6 +51,22 @@ impl Memory {
         const SLOT_BYTES: usize =
             std::mem::size_of::<(u64, Box<[u8; PAGE_SIZE]>)>() + std::mem::size_of::<u8>();
         self.pages.len() * PAGE_SIZE + self.pages.capacity() * SLOT_BYTES
+    }
+
+    /// Resident pages as `(page_index, payload)` pairs sorted by index
+    /// (trace-file serialisation: `HashMap` iteration order is not
+    /// deterministic, serialised bytes must be). Every resident page is
+    /// reported — including all-zero ones, which are distinguishable from
+    /// absent pages by [`Memory::resident_pages`] and by `PartialEq`.
+    pub(crate) fn pages_sorted(&self) -> Vec<(u64, &[u8; PAGE_SIZE])> {
+        let mut pages: Vec<_> = self.pages.iter().map(|(k, v)| (*k, v.as_ref())).collect();
+        pages.sort_unstable_by_key(|(k, _)| *k);
+        pages
+    }
+
+    /// Installs a full page at `page_index` (trace-file deserialisation).
+    pub(crate) fn load_page(&mut self, page_index: u64, payload: &[u8; PAGE_SIZE]) {
+        self.pages.insert(page_index, Box::new(*payload));
     }
 
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {

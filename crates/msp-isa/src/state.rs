@@ -58,6 +58,38 @@ impl ArchState {
         }
     }
 
+    /// Reassembles a state from its raw components (the trace-file decoder;
+    /// bypasses `Program`-based initialisation entirely so deserialisation
+    /// reproduces the serialised state bit-for-bit, resident zero pages and
+    /// all).
+    pub(crate) fn from_raw_parts(
+        int_regs: [u64; NUM_INT_REGS],
+        fp_regs: [f64; NUM_FP_REGS],
+        pc: u64,
+        memory: Memory,
+        halted: bool,
+        retired: u64,
+    ) -> Self {
+        ArchState {
+            int_regs,
+            fp_regs,
+            pc,
+            memory,
+            halted,
+            retired,
+        }
+    }
+
+    /// The full integer register file (trace-file serialisation).
+    pub(crate) fn int_regs(&self) -> &[u64; NUM_INT_REGS] {
+        &self.int_regs
+    }
+
+    /// The full floating-point register file (trace-file serialisation).
+    pub(crate) fn fp_regs(&self) -> &[f64; NUM_FP_REGS] {
+        &self.fp_regs
+    }
+
     /// Current program counter.
     pub fn pc(&self) -> u64 {
         self.pc

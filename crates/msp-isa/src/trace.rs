@@ -165,6 +165,32 @@ impl Trace {
             .get((index / self.checkpoint_interval) as usize)
     }
 
+    /// Reassembles a trace from its raw components (the trace-file decoder).
+    /// The caller vouches for the invariants a capture would have
+    /// established: records form a committed-path chain, `end_state` sits
+    /// immediately after the last record, and `checkpoints[i]` is the state
+    /// before record `i * checkpoint_interval`.
+    pub(crate) fn from_parts(
+        records: Vec<ExecutedInst>,
+        end_state: ArchState,
+        complete: bool,
+        checkpoint_interval: u64,
+        checkpoints: Vec<ArchState>,
+    ) -> Trace {
+        Trace {
+            records,
+            end_state,
+            complete,
+            checkpoint_interval,
+            checkpoints,
+        }
+    }
+
+    /// All recorded checkpoints in index order (trace-file serialisation).
+    pub(crate) fn checkpoints(&self) -> &[ArchState] {
+        &self.checkpoints
+    }
+
     /// Approximate resident size of the trace in bytes: the record storage
     /// plus the **full heap** of the end-state snapshot and of every
     /// checkpoint — each `ArchState`'s inline storage (register file, PC)

@@ -41,6 +41,6 @@ mod stats;
 
 pub use config::{FrontendConfig, LatencyConfig, MachineKind, ResourceConfig, SimConfig};
 pub use msp_mem::MemoryConfig;
-pub use oracle::Oracle;
+pub use oracle::{Oracle, TraceSource};
 pub use simulator::{SimResult, Simulator, WarmState};
 pub use stats::{ActivityCounters, ExecutedBreakdown, SimStats, StallBreakdown};

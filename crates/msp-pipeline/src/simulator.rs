@@ -9,10 +9,10 @@
 //! wrong-path work of Fig. 9 is measured rather than estimated.
 
 use crate::config::{MachineKind, SimConfig};
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, TraceSource};
 use crate::stats::SimStats;
 use msp_branch::{build_predictor, Btb, ConfidenceEstimator, DirectionPredictor, ReturnStack};
-use msp_isa::{execute_step, ArchReg, ArchState, ExecutedInst, FuClass, Program, RegClass, Trace};
+use msp_isa::{execute_step, ArchReg, ArchState, ExecutedInst, FuClass, Program, RegClass};
 use msp_mem::{
     HierarchicalStoreQueue, LoadQueue, MemoryHierarchy, SimpleStoreQueue, StoreQueue,
     StoreQueueEntry,
@@ -20,7 +20,6 @@ use msp_mem::{
 use msp_state::{MspStateManager, PhysReg, PortArbiter, RenameRequest, StateId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::Arc;
 
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
@@ -256,7 +255,7 @@ impl WarmState {
 fn warm_over_trace(
     warm: &mut WarmState,
     checkpoint: ArchState,
-    trace: &Trace,
+    trace: &mut TraceSource,
     program: &Program,
     start: u64,
     warmup_len: u64,
@@ -268,12 +267,12 @@ fn warm_over_trace(
         let mut state = checkpoint.clone();
         let mut index = start;
         while index < warmup_len.saturating_add(start) {
-            let Some(expected) = trace.get(index) else {
+            let Some(&expected) = trace.get(program, index) else {
                 break;
             };
             let rec = execute_step(&mut state, program)
                 .expect("checkpointed execution reproduces the trace");
-            debug_assert_eq!(expected, &rec, "warm-up record {index}");
+            debug_assert_eq!(expected, rec, "warm-up record {index}");
             index += 1;
         }
     }
@@ -281,7 +280,7 @@ fn warm_over_trace(
     // Fast path: the materialised records already carry everything the warm
     // structures consume (PC, outcome, effective address).
     while warmed < warmup_len {
-        let Some(&rec) = trace.get(start + warmed) else {
+        let Some(&rec) = trace.get(program, start + warmed) else {
             break;
         };
         warm.absorb(&rec);
@@ -297,7 +296,7 @@ fn warm_over_trace(
         let mut state = if start >= trace.len() {
             checkpoint
         } else {
-            trace.end_state().clone()
+            trace.end_state_cloned()
         };
         debug_assert_eq!(state.retired(), start + warmed);
         while warmed < warmup_len {
@@ -402,17 +401,23 @@ impl<'p> Simulator<'p> {
     }
 
     /// Creates a simulator whose correct-path instruction stream is served
-    /// from a shared, immutable [`Trace`] of `program` (see
-    /// [`Oracle::with_trace`]). Any number of simulators — across machine
-    /// kinds, predictors and sweep threads — can share one `Arc<Trace>`;
-    /// the timing behaviour and statistics are bit-identical to a private
-    /// oracle because the records themselves are identical.
-    pub fn with_trace(program: &'p Program, config: SimConfig, trace: Arc<Trace>) -> Self {
+    /// from an immutable trace of `program` — a shared in-memory
+    /// `Arc<Trace>`, a streaming `TraceCursor` over an on-disk trace file,
+    /// or any [`TraceSource`] (see [`Oracle::with_trace`]). Any number of
+    /// simulators — across machine kinds, predictors and sweep threads —
+    /// can share one `Arc<Trace>`; the timing behaviour and statistics are
+    /// bit-identical to a private oracle (and across source tiers) because
+    /// the records themselves are identical.
+    pub fn with_trace(
+        program: &'p Program,
+        config: SimConfig,
+        trace: impl Into<TraceSource>,
+    ) -> Self {
         Simulator::with_oracle(program, config, Oracle::with_trace(program, trace))
     }
 
     /// Creates a simulator that resumes mid-trace from an architectural
-    /// checkpoint (see [`Trace::checkpoint_at`]) — the detailed-simulation
+    /// checkpoint (see [`msp_isa::Trace::checkpoint_at`]) — the detailed-simulation
     /// unit of SMARTS-style sampled simulation.
     ///
     /// The checkpoint seeds the full architectural state (register file,
@@ -438,11 +443,12 @@ impl<'p> Simulator<'p> {
     pub fn resume_from(
         program: &'p Program,
         config: SimConfig,
-        trace: Arc<Trace>,
+        trace: impl Into<TraceSource>,
         checkpoint_index: u64,
         warmup_len: u64,
     ) -> Self {
-        let checkpoint = Self::checkpoint_or_panic(program, &trace, checkpoint_index).clone();
+        let mut trace = trace.into();
+        let checkpoint = Self::checkpoint_or_panic(program, &mut trace, checkpoint_index);
         if warmup_len == 0 {
             // No warm-up: a cold machine, bit-identical to `with_trace` when
             // the cursor is 0.
@@ -452,7 +458,7 @@ impl<'p> Simulator<'p> {
         let warmed = warm_over_trace(
             &mut warm,
             checkpoint,
-            &trace,
+            &mut trace,
             program,
             checkpoint_index,
             warmup_len,
@@ -473,11 +479,12 @@ impl<'p> Simulator<'p> {
     pub fn resume_warmed(
         program: &'p Program,
         config: SimConfig,
-        trace: Arc<Trace>,
+        trace: impl Into<TraceSource>,
         checkpoint_index: u64,
         warm: WarmState,
     ) -> Self {
-        let _ = Self::checkpoint_or_panic(program, &trace, checkpoint_index);
+        let mut trace = trace.into();
+        let _ = Self::checkpoint_or_panic(program, &mut trace, checkpoint_index);
         let mut sim = Self::resume_at(program, config, trace, checkpoint_index);
         sim.install_warm(warm);
         sim
@@ -488,11 +495,11 @@ impl<'p> Simulator<'p> {
     /// (`resume_from` and `resume_warmed` alike): functional execution from
     /// the checkpoint must reproduce a bounded window of the trace's own
     /// records bit-identically.
-    fn checkpoint_or_panic<'t>(
+    fn checkpoint_or_panic(
         program: &Program,
-        trace: &'t Trace,
+        trace: &mut TraceSource,
         checkpoint_index: u64,
-    ) -> &'t ArchState {
+    ) -> ArchState {
         let checkpoint = trace.checkpoint_at(checkpoint_index).unwrap_or_else(|| {
             panic!(
                 "resume_from requires an architectural checkpoint at index \
@@ -510,12 +517,12 @@ impl<'p> Simulator<'p> {
             const VALIDATION_WINDOW: u64 = 512;
             let mut state = checkpoint.clone();
             for index in checkpoint_index..checkpoint_index + VALIDATION_WINDOW {
-                let Some(expected) = trace.get(index) else {
+                let Some(&expected) = trace.get(program, index) else {
                     break;
                 };
                 let rec = execute_step(&mut state, program)
                     .expect("checkpointed execution reproduces the trace");
-                debug_assert_eq!(expected, &rec, "checkpoint-replay record {index}");
+                debug_assert_eq!(expected, rec, "checkpoint-replay record {index}");
             }
         }
         #[cfg(not(debug_assertions))]
@@ -525,7 +532,7 @@ impl<'p> Simulator<'p> {
 
     /// Positions a fresh simulator so measurement starts at trace index
     /// `start`.
-    fn resume_at(program: &'p Program, config: SimConfig, trace: Arc<Trace>, start: u64) -> Self {
+    fn resume_at(program: &'p Program, config: SimConfig, trace: TraceSource, start: u64) -> Self {
         let oracle = Oracle::with_trace(program, trace);
         let mut sim = Simulator::with_oracle(program, config, oracle);
         sim.next_oracle_idx = start;
@@ -1908,7 +1915,9 @@ impl<'p> Simulator<'p> {
 mod tests {
     use super::*;
     use msp_branch::PredictorKind;
+    use msp_isa::Trace;
     use msp_workloads::{by_name, microbenchmark, Variant};
+    use std::sync::Arc;
 
     fn run_machine(program: &Program, machine: MachineKind, max: u64) -> SimResult {
         let config = SimConfig::machine(machine, PredictorKind::Gshare);
@@ -2091,6 +2100,67 @@ mod tests {
             let shared = Simulator::with_trace(w.program(), config, std::sync::Arc::clone(&trace))
                 .run(3_000);
             assert_eq!(private.stats, shared.stats, "{machine:?}");
+        }
+    }
+
+    /// An on-disk trace file that removes itself when dropped.
+    struct TempTraceFile(std::path::PathBuf);
+
+    impl TempTraceFile {
+        fn write(tag: &str, program: &Program, trace: &Trace) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("msp-sim-{tag}-{}.msptrace", std::process::id()));
+            msp_isa::write_trace_to_path(&path, program, trace).unwrap();
+            TempTraceFile(path)
+        }
+
+        fn reader(&self, program: &Program) -> Arc<msp_isa::TraceReader> {
+            Arc::new(msp_isa::TraceReader::open(&self.0, program).unwrap())
+        }
+    }
+
+    impl Drop for TempTraceFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn streaming_trace_simulation_is_bit_identical_to_materialised() {
+        let w = by_name("gzip", Variant::Original).unwrap();
+        let trace = Arc::new(Trace::capture(w.program(), 3_500));
+        let file = TempTraceFile::write("stream", w.program(), &trace);
+        let reader = file.reader(w.program());
+        for machine in [
+            MachineKind::Baseline,
+            MachineKind::cpr(),
+            MachineKind::msp(16),
+            MachineKind::IdealMsp,
+        ] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let materialised =
+                Simulator::with_trace(w.program(), config.clone(), Arc::clone(&trace)).run(3_000);
+            let streaming =
+                Simulator::with_trace(w.program(), config, reader.cursor().unwrap()).run(3_000);
+            assert_eq!(materialised.stats, streaming.stats, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_resume_is_bit_identical_to_materialised_resume() {
+        let w = by_name("vpr", Variant::Original).unwrap();
+        let trace = Arc::new(Trace::capture_with_checkpoints(w.program(), 6_000, 1_000));
+        let file = TempTraceFile::write("resume", w.program(), &trace);
+        let reader = file.reader(w.program());
+        for machine in [MachineKind::Baseline, MachineKind::msp(16)] {
+            let config = SimConfig::machine(machine, PredictorKind::Gshare);
+            let materialised =
+                Simulator::resume_from(w.program(), config.clone(), Arc::clone(&trace), 3_000, 500)
+                    .run(1_000);
+            let streaming =
+                Simulator::resume_from(w.program(), config, reader.cursor().unwrap(), 3_000, 500)
+                    .run(1_000);
+            assert_eq!(materialised.stats, streaming.stats, "{machine:?}");
         }
     }
 

@@ -17,7 +17,16 @@ baseline and fails on:
     `sampled.max_ipc_rel_error_pct` above SAMPLED_MAX_ERROR_PCT. The error
     bound is deterministic (simulation is bit-reproducible for a given
     budget); the speedup bound is wall-clock and carries margin below the
-    acceptance target recorded in the baseline.
+    acceptance target recorded in the baseline, or
+  * the persistent trace store breaking its never-re-execute invariant:
+    `trace_store.warm_store_functional_captures` must be 0 (a warm store
+    serves a fresh process entirely from disk).
+
+The seed-comparison fields (`speedup_vs_seed`,
+`speedup_vs_pre_trace_layer`) are only measured at the 200k budget the
+seed baselines were recorded at; when `comparable_to_seed_baseline` is
+false they are null and the gate explicitly skips them instead of
+comparing placeholders.
 
 Both files must have been produced at the same `instructions_per_sim`
 budget, otherwise the comparison is meaningless and the gate exits 2.
@@ -92,6 +101,34 @@ def main():
         if error > SAMPLED_MAX_ERROR_PCT:
             failures.append(
                 f"sampled IPC error {error:.3f}% above {SAMPLED_MAX_ERROR_PCT}%")
+
+    seed_fields = ("speedup_vs_seed", "speedup_vs_pre_trace_layer")
+    if current.get("comparable_to_seed_baseline"):
+        for field in seed_fields:
+            value = current.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                failures.append(
+                    f"'{field}' must be a positive number when "
+                    f"comparable_to_seed_baseline is true, got {value!r}")
+            else:
+                print(f"{field}: {value:.2f}x (informational)")
+    else:
+        print(f"seed-baseline comparison skipped: comparable_to_seed_baseline "
+              f"is false at budget {cur_budget} "
+              f"({', '.join(seed_fields)} not gated)")
+
+    trace_store = current.get("trace_store")
+    if trace_store is None:
+        failures.append("current run records no 'trace_store' section")
+    else:
+        captures = trace_store.get("warm_store_functional_captures")
+        speedup = trace_store.get("warm_store_speedup_vs_cold_store", 0.0)
+        print(f"trace store: warm rerun {speedup:.2f}x vs cold store, "
+              f"{captures} functional captures (gate == 0)")
+        if captures != 0:
+            failures.append(
+                f"warm trace store performed {captures} functional captures; "
+                f"a warm store must serve a fresh process entirely from disk")
 
     if failures:
         for failure in failures:

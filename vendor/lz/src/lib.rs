@@ -1,0 +1,390 @@
+//! A vendored, dependency-free LZ77 byte codec (the build environment has no
+//! network access to crates.io, so the trace store cannot pull in `lz4` or
+//! `zstd` — this is the same arrangement as the `rand`/`proptest` shims).
+//!
+//! The format is the classic LZ4 sequence stream: each sequence is a token
+//! byte whose high nibble is the literal-run length and whose low nibble is
+//! the match length minus [`MIN_MATCH`] (nibble value 15 extends the length
+//! with 255-continuation bytes), followed by the literal bytes, a 2-byte
+//! little-endian match offset and any match-length extension bytes. The final
+//! sequence carries literals only. Matches may overlap their output (the
+//! run-length-encoding trick), offsets are bounded by [`MAX_OFFSET`].
+//!
+//! The compressor is a greedy single-pass hash-table matcher. Both directions
+//! are **pure functions of their input** — no time, no randomness, no
+//! platform dependence — which the trace store relies on: compressed block
+//! sizes appear in golden-pinned `msp-lab trace ls` output, so byte-identical
+//! input must always produce byte-identical compressed output.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Minimum match length the format can express (LZ4's choice: shorter
+/// matches cost more to encode than the literals they replace).
+pub const MIN_MATCH: usize = 4;
+
+/// Maximum match offset expressible by the 2-byte offset field.
+pub const MAX_OFFSET: usize = 65_535;
+
+const HASH_BITS: u32 = 15;
+const HASH_SHIFT: u32 = 32 - HASH_BITS;
+
+/// Decompression failure: the input is not a well-formed sequence stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended in the middle of a sequence.
+    Truncated,
+    /// A match offset of zero or beyond the produced output was encountered.
+    BadOffset {
+        /// The offending offset.
+        offset: usize,
+        /// Output bytes produced when it was encountered.
+        produced: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream is truncated"),
+            DecompressError::BadOffset { offset, produced } => write!(
+                f,
+                "match offset {offset} is invalid after {produced} output bytes"
+            ),
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2_654_435_761) >> HASH_SHIFT) as usize
+}
+
+fn push_length(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+/// Compresses `input` into a fresh buffer. Deterministic: equal inputs
+/// always produce equal outputs. An empty input compresses to an empty
+/// stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Compresses `input`, appending to `out`.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    if input.is_empty() {
+        return;
+    }
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    // Matches must fit a hash probe (4 bytes) and are pointless for the tail.
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let found = candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if !found {
+            pos += 1;
+            continue;
+        }
+        // Extend the match as far as the input allows.
+        let mut len = MIN_MATCH;
+        while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+            len += 1;
+        }
+        emit_sequence(
+            out,
+            &input[literal_start..pos],
+            Some((pos - candidate, len)),
+        );
+        // Seed the table inside the match so runs keep chaining.
+        let match_end = pos + len;
+        while pos < match_end && pos + MIN_MATCH <= input.len() {
+            table[hash4(&input[pos..])] = pos;
+            pos += 1;
+        }
+        pos = match_end;
+        literal_start = pos;
+    }
+    emit_sequence(out, &input[literal_start..], None);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    if literals.is_empty() && m.is_none() {
+        return;
+    }
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = match m {
+        Some((_, len)) => (len - MIN_MATCH).min(15) as u8,
+        None => 0,
+    };
+    out.push((lit_nibble << 4) | match_nibble);
+    if lit_nibble == 15 {
+        push_length(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        debug_assert!((1..=MAX_OFFSET).contains(&offset));
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if match_nibble == 15 {
+            push_length(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+fn read_length(input: &[u8], pos: &mut usize, nibble: u8) -> Result<usize, DecompressError> {
+    let mut len = nibble as usize;
+    if nibble == 15 {
+        loop {
+            let byte = *input.get(*pos).ok_or(DecompressError::Truncated)?;
+            *pos += 1;
+            len += byte as usize;
+            if byte != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompresses `input` into a fresh buffer.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is truncated or encodes an
+/// invalid match offset. Corrupt-but-well-formed streams are the caller's
+/// problem — the trace store pairs every block with a checksum.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(input.len().saturating_mul(3));
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses `input`, appending to `out` (which is typically a reused
+/// buffer — the streaming trace cursor decodes every block into the same
+/// allocation).
+///
+/// # Errors
+///
+/// See [`decompress`].
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressError> {
+    let base = out.len();
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        let lit_len = read_length(input, &mut pos, token >> 4)?;
+        if lit_len > 0 {
+            let lits = input
+                .get(pos..pos + lit_len)
+                .ok_or(DecompressError::Truncated)?;
+            out.extend_from_slice(lits);
+            pos += lit_len;
+        }
+        if pos == input.len() {
+            break; // final sequence: literals only
+        }
+        let off = input.get(pos..pos + 2).ok_or(DecompressError::Truncated)?;
+        let offset = u16::from_le_bytes([off[0], off[1]]) as usize;
+        pos += 2;
+        let match_len = MIN_MATCH + read_length(input, &mut pos, token & 0x0f)?;
+        let produced = out.len() - base;
+        if offset == 0 || offset > produced {
+            return Err(DecompressError::BadOffset { offset, produced });
+        }
+        // Byte-at-a-time copy: matches may overlap their own output.
+        let start = out.len() - offset;
+        for src in start..start + match_len {
+            let byte = out[src];
+            out.push(byte);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic generator (SplitMix64) so the tests need no
+    /// external crates.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let compressed = compress(data);
+        decompress(&compressed).expect("well-formed stream")
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        assert!(compress(&[]).is_empty());
+        assert_eq!(decompress(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_inputs_round_trip() {
+        for len in 0..32usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(round_trip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let data: Vec<u8> = b"abcdefgh"
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 1024)
+            .collect();
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+        assert!(
+            compressed.len() * 50 < data.len(),
+            "periodic data must compress at least 50x ({} vs {})",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn zeros_round_trip() {
+        let data = vec![0u8; 100_000];
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+        assert!(compressed.len() < 1_000);
+    }
+
+    #[test]
+    fn random_data_round_trips() {
+        let mut rng = Mix(42);
+        for len in [1usize, 2, 100, 4_096, 65_537] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            assert_eq!(round_trip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn mixed_structure_round_trips() {
+        // Varint-like streams: mostly small bytes with repeating structure,
+        // the shape trace blocks actually have.
+        let mut rng = Mix(7);
+        let mut data = Vec::new();
+        for _ in 0..10_000 {
+            data.extend_from_slice(&[1, 0, (rng.next() % 4) as u8, 3]);
+            if rng.next().is_multiple_of(16) {
+                data.extend_from_slice(&rng.next().to_le_bytes());
+            }
+        }
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+        assert!(compressed.len() < data.len());
+    }
+
+    #[test]
+    fn long_matches_cross_the_nibble_boundary() {
+        // Match lengths around 19 (= 4 + 15) exercise the extension bytes.
+        for run in 15..40usize {
+            let mut data = vec![9u8; run];
+            data.extend_from_slice(b"XYZ");
+            data.extend(vec![9u8; run]);
+            assert_eq!(round_trip(&data), data, "run {run}");
+        }
+    }
+
+    #[test]
+    fn long_literal_runs_cross_the_nibble_boundary() {
+        let mut rng = Mix(3);
+        for len in [14usize, 15, 16, 270, 271, 600] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            assert_eq!(round_trip(&data), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut rng = Mix(11);
+        let data: Vec<u8> = (0..50_000).map(|_| (rng.next() % 7) as u8).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data: Vec<u8> = b"abcdabcdabcdabcd".to_vec();
+        let compressed = compress(&data);
+        for cut in 1..compressed.len() {
+            // Every truncation either errors or yields a strict prefix —
+            // never garbage past the cut.
+            if let Ok(prefix) = decompress(&compressed[..cut]) {
+                assert!(data.starts_with(&prefix), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_offset_errors() {
+        // Token: 1 literal, match of 4; offset 7 with only 1 byte produced.
+        let stream = [0x10, b'a', 7, 0];
+        match decompress(&stream) {
+            Err(DecompressError::BadOffset {
+                offset: 7,
+                produced: 1,
+            }) => {}
+            other => panic!("expected BadOffset, got {other:?}"),
+        }
+        // Zero offset is never valid.
+        let stream = [0x10, b'a', 0, 0];
+        assert!(matches!(
+            decompress(&stream),
+            Err(DecompressError::BadOffset { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn decompress_into_reuses_the_buffer() {
+        let a = compress(b"hello hello hello hello");
+        let b = compress(b"world");
+        let mut buf = Vec::new();
+        decompress_into(&a, &mut buf).unwrap();
+        assert_eq!(buf, b"hello hello hello hello");
+        buf.clear();
+        decompress_into(&b, &mut buf).unwrap();
+        assert_eq!(buf, b"world");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DecompressError::Truncated.to_string().contains("truncated"));
+        assert!(DecompressError::BadOffset {
+            offset: 3,
+            produced: 1
+        }
+        .to_string()
+        .contains("offset 3"));
+    }
+}
