@@ -34,7 +34,14 @@
 //!    resolve every trace from disk with **zero** functional executions.
 //!    The pair records what the store buys a new process and what the
 //!    write-through costs (`scripts/perf_gate.py` gates the zero-captures
-//!    invariant).
+//!    invariant), and
+//! 7. an **experiment-journal** pair over the same warm trace store: a
+//!    journaled pass (fresh `Lab`, fresh journal — every cell committed
+//!    through the WAL) whose wall-clock against the warm-store pass
+//!    isolates the journal's write overhead, and a resumed pass (another
+//!    fresh `Lab` over the populated journal) that must replay every cell
+//!    and recompute none (`scripts/perf_gate.py` gates the ≤2% overhead
+//!    and the zero-recompute invariant).
 //!
 //! The seed-comparison fields (`speedup_vs_seed`,
 //! `speedup_vs_pre_trace_layer`) are only meaningful at the 200k budget
@@ -219,8 +226,62 @@ fn main() {
         "store-resolved traces must reproduce the exact sweep"
     );
     drop(warm_store_lab);
-    let _ = std::fs::remove_dir_all(&store_dir);
     let warm_store_speedup = cold_store.wall_s / warm_store.wall_s;
+
+    // 7. Experiment-journal pair over the same warm trace store, so the
+    //    journaled pass differs from the warm-store pass by exactly the
+    //    journal's write path (fingerprint + cell file + fsync'd WAL
+    //    record per cell). The resumed pass is the crash-recovery payoff:
+    //    a fresh Lab over the populated journal replays every cell and
+    //    performs zero simulations and zero functional executions.
+    let journal_dir =
+        std::env::temp_dir().join(format!("msp-bench-pipeline-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journal_config = LabConfig {
+        threads: 1,
+        trace_dir: Some(store_dir.clone()),
+        journal_dir: Some(journal_dir.clone()),
+        ..config.clone()
+    };
+    let journaled_lab = Lab::new(journal_config.clone());
+    let (journaled, _) = measure_sweep(&journaled_lab, &spec);
+    assert_eq!(
+        journaled_lab.journal_recorded_count(),
+        journaled.sims as u64,
+        "a fresh journal must record every cell of the sweep"
+    );
+    drop(journaled_lab);
+    let resumed_lab = Lab::new(journal_config);
+    let (resumed, resumed_results) = measure_sweep(&resumed_lab, &spec);
+    let resumed_replayed = resumed_lab.journal_replayed_count();
+    let resumed_recomputed = resumed_lab.journal_recorded_count();
+    assert_eq!(
+        resumed_replayed, resumed.sims as u64,
+        "a populated journal must replay every cell of the sweep"
+    );
+    assert_eq!(
+        resumed_recomputed, 0,
+        "a fully-journaled resume must not recompute any cell"
+    );
+    assert_eq!(
+        resumed_lab.capture_count(),
+        0,
+        "a fully-journaled resume must not functionally execute anything"
+    );
+    assert_eq!(
+        resumed_results
+            .cells()
+            .iter()
+            .map(|c| c.result.stats.committed)
+            .sum::<u64>(),
+        cold.committed,
+        "replayed cells must reproduce the exact sweep"
+    );
+    drop(resumed_lab);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let journal_overhead_pct = 100.0 * (journaled.wall_s - warm_store.wall_s) / warm_store.wall_s;
+    let resumed_speedup = journaled.wall_s / resumed.wall_s;
 
     // 5. Judge the sampled estimates (pass 0) per cell against the exact
     //    cells of pass 1.
@@ -306,6 +367,14 @@ fn main() {
         "table1_sweep/warm-store{:29} time: [{:.3} s]  {warm_store_speedup:.2}x vs cold store, {warm_store_captures} functional captures",
         "", warm_store.wall_s
     );
+    println!(
+        "table1_sweep/journaled{:30} time: [{:.3} s]  {journal_overhead_pct:+.2}% vs warm store (WAL + cell files)",
+        "", journaled.wall_s
+    );
+    println!(
+        "table1_sweep/resumed{:32} time: [{:.3} s]  {resumed_speedup:.2}x vs journaled, {resumed_replayed} replayed / {resumed_recomputed} recomputed",
+        "", resumed.wall_s
+    );
     println!("host hardware threads: {host_threads}");
     if comparable {
         println!(
@@ -378,6 +447,15 @@ fn main() {
     "store_bytes": {store_bytes},
     "note": "cold = fresh Lab over an empty persistent store (captures + compressed write-through); warm = another fresh Lab over the populated store (cold-process stand-in: every trace resolved from disk, zero functional executions); same sequential table1 sweep"
   }},
+  "journal": {{
+    "journaled_wall_s": {j_wall:.3},
+    "journal_overhead_vs_warm_store_pct": {j_overhead:.2},
+    "resumed_wall_s": {r_wall:.3},
+    "resumed_speedup_vs_journaled": {r_speedup:.2},
+    "resumed_replayed_cells": {r_replayed},
+    "resumed_recomputed_cells": {r_recomputed},
+    "note": "journaled = fresh Lab + fresh journal over the warm trace store (overhead isolates the per-cell WAL/cell-file write path); resumed = another fresh Lab over the populated journal, which must replay every cell with zero simulations and zero functional executions"
+  }},
   "speedup_vs_seed": {seed_speedup_json},
   "speedup_vs_pre_trace_layer": {vs_pre_json},
   "comparable_to_seed_baseline": {comparable},
@@ -403,6 +481,12 @@ fn main() {
         ws_wall = warm_store.wall_s,
         ws_speedup = warm_store_speedup,
         ws_captures = warm_store_captures,
+        j_wall = journaled.wall_s,
+        j_overhead = journal_overhead_pct,
+        r_wall = resumed.wall_s,
+        r_speedup = resumed_speedup,
+        r_replayed = resumed_replayed,
+        r_recomputed = resumed_recomputed,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     match std::fs::write(path, &json) {

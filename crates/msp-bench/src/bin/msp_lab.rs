@@ -32,6 +32,18 @@
 //! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample
 //! ```
 //!
+//! With `MSP_BENCH_JOURNAL_DIR` set and `--resume` passed, every finished
+//! cell is durably journaled (fsync'd WAL + content-addressed result
+//! files) and a re-run after a crash — SIGKILL, OOM, CI timeout —
+//! **replays** the journaled cells bit-identically and recomputes only the
+//! rest. `msp-lab batch <manifest>` runs a whole experiment list that way,
+//! incrementally:
+//!
+//! ```text
+//! MSP_BENCH_JOURNAL_DIR=journal msp-lab table1 --sample --resume
+//! MSP_BENCH_JOURNAL_DIR=journal msp-lab batch experiments.txt
+//! ```
+//!
 //! With `MSP_BENCH_TRACE_DIR` set, functional traces persist to a
 //! compressed on-disk store shared across processes — a warm store means a
 //! cold `msp-lab` run re-executes nothing — and the `trace` subcommand
@@ -60,8 +72,9 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample] [--verbose]\n\
+        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample] [--resume] [--verbose]\n\
          \x20      msp-lab <subcommand> --bless\n\
+         \x20      msp-lab batch <manifest> [--verbose]\n\
          \x20      msp-lab trace <ls|stat|gc|capture> [...]\n\
          \n\
          Runs one experiment of the González et al. (MICRO 2008) reproduction\n\
@@ -74,6 +87,14 @@ fn usage() -> String {
     }
     out.push_str(
         "\n\
+         batch mode (needs MSP_BENCH_JOURNAL_DIR):\n\
+         \x20 batch <manifest>  run every experiment listed in <manifest> with the\n\
+         \x20                  crash-resumable journal: one `<subcommand> [--sample]\n\
+         \x20                  [--format fmt]` per line (# comments and blank lines\n\
+         \x20                  skipped), journaled cells replayed, the rest computed\n\
+         \x20                  and journaled — re-run the same command after a crash\n\
+         \x20                  to continue where it died\n\
+         \n\
          trace-store subcommands (need MSP_BENCH_TRACE_DIR):\n\
          \x20 trace ls         list the stored traces [--format text|json|csv; --bless\n\
          \x20                  regenerates the trace-ls JSON golden from the demo store]\n\
@@ -88,7 +109,10 @@ fn usage() -> String {
          \x20 --sample         sampled execution: estimate the full budget from periodic\n\
          \x20                  detailed windows (checkpointed resume + cumulative warming;\n\
          \x20                  interval from MSP_BENCH_SAMPLE_INTERVAL, 2.5% detail)\n\
+         \x20 --resume         journal every finished cell into MSP_BENCH_JOURNAL_DIR and\n\
+         \x20                  replay already-journaled cells instead of re-simulating\n\
          \x20 --verbose        print a trace-cache summary (mem/disk hits, captures) to stderr\n\
+         \x20                  (and a journal replay/record summary under --resume)\n\
          \x20 --bless          regenerate this subcommand's checked-in goldens in place\n\
          \x20 --list           list the subcommand names, one per line\n\
          \x20 --help           this help\n\
@@ -99,13 +123,25 @@ fn usage() -> String {
          \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n\
          \x20 MSP_BENCH_SAMPLE_INTERVAL   --sample interval in instructions (default 250000)\n\
          \x20 MSP_BENCH_TRACE_DIR         persistent trace-store directory (default: none)\n\
-         \x20 MSP_BENCH_TRACE_STORE_BYTES on-disk store byte budget (default 4294967296)\n",
+         \x20 MSP_BENCH_TRACE_STORE_BYTES on-disk store byte budget (default 4294967296)\n\
+         \x20 MSP_BENCH_JOURNAL_DIR       crash-resumable journal directory (default: none;\n\
+         \x20                             used by --resume and batch)\n",
     );
     out
 }
 
 enum Invocation {
-    Run(ReportKind, OutputFormat, bool, bool),
+    Run {
+        kind: ReportKind,
+        format: OutputFormat,
+        sample: bool,
+        resume: bool,
+        verbose: bool,
+    },
+    Batch {
+        manifest: String,
+        verbose: bool,
+    },
     Bless(ReportKind),
     Trace(TraceCmd),
     Help,
@@ -220,14 +256,39 @@ fn parse_trace_args(args: &[String]) -> Result<TraceCmd, String> {
     }
 }
 
+fn parse_batch_args(args: &[String]) -> Result<Invocation, String> {
+    let mut manifest: Option<String> = None;
+    let mut verbose = false;
+    for arg in args {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown batch option {flag:?}"));
+            }
+            path => {
+                if manifest.is_some() {
+                    return Err(format!("unexpected extra argument {path:?}"));
+                }
+                manifest = Some(path.to_string());
+            }
+        }
+    }
+    let manifest = manifest.ok_or_else(|| "batch needs a manifest file path".to_string())?;
+    Ok(Invocation::Batch { manifest, verbose })
+}
+
 fn parse_args(args: &[String]) -> Result<Invocation, String> {
     if args.first().map(String::as_str) == Some("trace") {
         return Ok(Invocation::Trace(parse_trace_args(&args[1..])?));
+    }
+    if args.first().map(String::as_str) == Some("batch") {
+        return parse_batch_args(&args[1..]);
     }
     let mut kind: Option<ReportKind> = None;
     let mut format = OutputFormat::Text;
     let mut sample = false;
     let mut bless = false;
+    let mut resume = false;
     let mut verbose = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -236,6 +297,7 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--list" => return Ok(Invocation::List),
             "--sample" => sample = true,
             "--bless" => bless = true,
+            "--resume" => resume = true,
             "--verbose" | "-v" => verbose = true,
             "--format" => {
                 let value = iter
@@ -267,6 +329,11 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 "--bless and --sample are mutually exclusive (goldens pin exact runs)".to_string(),
             );
         }
+        if resume {
+            return Err(
+                "--bless and --resume are mutually exclusive (goldens pin exact runs)".to_string(),
+            );
+        }
         if kind.goldens().is_empty() {
             return Err(format!(
                 "{:?} has no checked-in goldens to bless (see tests/golden/)",
@@ -275,7 +342,13 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         }
         return Ok(Invocation::Bless(kind));
     }
-    Ok(Invocation::Run(kind, format, sample, verbose))
+    Ok(Invocation::Run {
+        kind,
+        format,
+        sample,
+        resume,
+        verbose,
+    })
 }
 
 /// Regenerates every golden of `kind` in place. The golden directory is
@@ -411,6 +484,123 @@ fn run_trace(cmd: TraceCmd) -> Result<(), String> {
     }
 }
 
+/// Builds the session `Lab`. Journalling is opt-in per invocation: a plain
+/// run ignores any ambient `MSP_BENCH_JOURNAL_DIR` (its cells are not
+/// journaled and nothing replays), while `--resume` requires it.
+fn lab_from_env(resume: bool) -> Result<Lab, String> {
+    let mut config = LabConfig::from_env().map_err(|e| e.to_string())?;
+    if resume {
+        if config.journal_dir.is_none() {
+            return Err(
+                "--resume needs MSP_BENCH_JOURNAL_DIR to point at the journal directory"
+                    .to_string(),
+            );
+        }
+    } else {
+        config.journal_dir = None;
+    }
+    Ok(Lab::new(config))
+}
+
+/// One parsed manifest entry: `<subcommand> [--sample] [--format fmt]`.
+struct BatchEntry {
+    kind: ReportKind,
+    format: OutputFormat,
+    sample: bool,
+}
+
+/// Parses a batch manifest: one experiment per line, `#` comments and
+/// blank lines skipped. Each entry uses the normal run grammar (the parser
+/// is shared), but only plain runs are allowed — no nested `batch`, no
+/// `--bless`, no `trace`.
+fn parse_manifest(text: &str) -> Result<Vec<BatchEntry>, String> {
+    let mut entries = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        match parse_args(&tokens) {
+            Ok(Invocation::Run {
+                kind,
+                format,
+                sample,
+                ..
+            }) => entries.push(BatchEntry {
+                kind,
+                format,
+                sample,
+            }),
+            Ok(_) => {
+                return Err(format!(
+                    "manifest line {}: only `<subcommand> [--sample] [--format fmt]` \
+                     entries are allowed",
+                    index + 1
+                ));
+            }
+            Err(e) => return Err(format!("manifest line {}: {e}", index + 1)),
+        }
+    }
+    Ok(entries)
+}
+
+/// `msp-lab batch <manifest>`: every listed experiment runs through one
+/// journaled session — already-journaled cells replay, the rest compute
+/// and journal — so re-running the same command after a crash (or after
+/// editing the manifest) continues incrementally instead of starting over.
+fn run_batch(manifest: &str, verbose: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(manifest)
+        .map_err(|e| format!("cannot read manifest {manifest}: {e}"))?;
+    let entries = parse_manifest(&text)?;
+    if entries.is_empty() {
+        return Err(format!("manifest {manifest} lists no experiments"));
+    }
+    let config = LabConfig::from_env().map_err(|e| e.to_string())?;
+    if config.journal_dir.is_none() {
+        return Err(
+            "batch needs MSP_BENCH_JOURNAL_DIR to point at the journal directory".to_string(),
+        );
+    }
+    let lab = Lab::new(config);
+    let total = entries.len();
+    for (index, entry) in entries.iter().enumerate() {
+        let replayed_before = lab.journal_replayed_count();
+        let recorded_before = lab.journal_recorded_count();
+        let sampling = entry
+            .sample
+            .then(|| SamplingSpec::periodic(lab.config().sample_interval));
+        print!(
+            "{}",
+            entry
+                .kind
+                .build_sampled(&lab, sampling)
+                .render(entry.format)
+        );
+        eprintln!(
+            "msp-lab: batch [{}/{total}] {}: {} replayed / {} recorded",
+            index + 1,
+            entry.kind.name(),
+            lab.journal_replayed_count() - replayed_before,
+            lab.journal_recorded_count() - recorded_before,
+        );
+    }
+    if verbose {
+        eprintln!(
+            "msp-lab: trace cache: {} hits mem / {} hits disk / {} captures",
+            lab.mem_hit_count(),
+            lab.disk_hit_count(),
+            lab.capture_count()
+        );
+        eprintln!(
+            "msp-lab: journal: {} replayed / {} recorded",
+            lab.journal_replayed_count(),
+            lab.journal_recorded_count()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let invocation = match parse_args(&args) {
@@ -447,8 +637,21 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Invocation::Run(kind, format, sample, verbose) => {
-            let lab = match Lab::from_env() {
+        Invocation::Batch { manifest, verbose } => match run_batch(&manifest, verbose) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("msp-lab: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Invocation::Run {
+            kind,
+            format,
+            sample,
+            resume,
+            verbose,
+        } => {
+            let lab = match lab_from_env(resume) {
                 Ok(lab) => lab,
                 Err(error) => {
                     eprintln!("msp-lab: {error}");
@@ -464,6 +667,13 @@ fn main() -> ExitCode {
                     lab.disk_hit_count(),
                     lab.capture_count()
                 );
+                if lab.journal().is_some() {
+                    eprintln!(
+                        "msp-lab: journal: {} replayed / {} recorded",
+                        lab.journal_replayed_count(),
+                        lab.journal_recorded_count()
+                    );
+                }
             }
             ExitCode::SUCCESS
         }

@@ -1,0 +1,1481 @@
+//! The crash-resumable experiment journal.
+//!
+//! An [`ExperimentJournal`] makes `Lab::run` durable: every finished
+//! [`Cell`] is persisted as one content-addressed result file plus one
+//! fsync'd record in an append-only write-ahead log (WAL), keyed by a
+//! [`cell_fingerprint`] covering everything that determines the cell's
+//! statistics — workload identity, effective machine configuration,
+//! instruction budget, sampling plan and the journal format version. A
+//! sweep interrupted at *any* point (SIGKILL, OOM, CI timeout) resumes by
+//! replaying journaled cells bit-identically and recomputing only the
+//! rest.
+//!
+//! # On-disk layout
+//!
+//! The journal directory (`MSP_BENCH_JOURNAL_DIR`) holds:
+//!
+//! ```text
+//! journal.wal              header (magic "MSPJRNLW", version u32) then
+//!                          records: [payload_len u32][payload]
+//!                          [FNV-1a(payload) u64]; payload v1 = cell
+//!                          fingerprint u64. All little-endian.
+//! {fingerprint:016x}.mspcell
+//!                          magic "MSPCELLF", version u32, fingerprint u64,
+//!                          encoded Cell, trailing FNV-1a checksum over
+//!                          every preceding byte.
+//! ```
+//!
+//! # Commit discipline (the murodb-style WAL rules)
+//!
+//! A cell commits in two ordered durable steps: the result file is written
+//! first (temp + fsync + atomic rename), **then** the WAL record is
+//! appended and fsync'd. The WAL record is the commit point — replay
+//! trusts only fingerprints whose record checksums verify, and truncates
+//! the WAL at the first torn or corrupt record, never reading past it. A
+//! crash between the two steps leaves an orphaned result file that is
+//! simply overwritten when the cell is recomputed; a crash mid-result
+//! leaves a `.tmp` file swept on the next open. Every crash point is
+//! therefore idempotent: replay or recompute, nothing in between — proved
+//! by the deterministic kill-point harness below (`MSP_BENCH_KILL_POINT`)
+//! and the kill-matrix integration test.
+//!
+//! # Degradation policy
+//!
+//! Journal I/O never fails a sweep. An unopenable directory, a write
+//! error, a full disk: one warning on stderr, then the journal continues
+//! in-memory only (cells computed this session are still deduplicated, but
+//! nothing persists). A corrupt result file is deleted and its cell
+//! recomputed, exactly like a corrupt trace-store file.
+
+use crate::energy::SampledEnergy;
+use crate::experiment::Cell;
+use crate::{SampledStats, SamplingSpec};
+use msp_branch::PredictorKind;
+use msp_isa::wire::{fnv1a, put_varint, FNV_OFFSET};
+use msp_isa::{ArchReg, NUM_LOGICAL_REGS};
+use msp_pipeline::{
+    ActivityCounters, CacheConfig, ExecutedBreakdown, FrontendConfig, LatencyConfig, MachineKind,
+    MemoryConfig, ResourceConfig, SimConfig, SimResult, SimStats, StallBreakdown,
+};
+use msp_workloads::Variant;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Version written into (and required of) the WAL header, every cell file,
+/// and the [`cell_fingerprint`] preimage — so a format change invalidates
+/// every old record instead of misdecoding it.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// File name of the write-ahead log inside the journal directory.
+pub const WAL_FILE_NAME: &str = "journal.wal";
+
+/// File extension of content-addressed cell result files.
+pub const CELL_FILE_EXT: &str = "mspcell";
+
+const WAL_MAGIC: &[u8; 8] = b"MSPJRNLW";
+const CELL_MAGIC: &[u8; 8] = b"MSPCELLF";
+const FINGERPRINT_MAGIC: &[u8; 8] = b"MSPJRNFP";
+/// WAL header: magic + format version.
+const WAL_HEADER_LEN: usize = 12;
+/// WAL payload v1 is exactly one cell fingerprint.
+const WAL_PAYLOAD_LEN: usize = 8;
+
+// ------------------------------------------------------- fault injection
+
+/// Environment knob of the deterministic kill-point harness:
+/// `MSP_BENCH_KILL_POINT=<site>[:<n>]` delivers a real SIGKILL to this
+/// process at the `n`-th (default first) execution of the named crash site.
+/// The sites are [`KILL_POINTS`]. Test-only in spirit, but compiled in
+/// unconditionally: the env var is read once and the disarmed fast path is
+/// one atomic-free `OnceLock` read.
+pub const KILL_POINT_ENV: &str = "MSP_BENCH_KILL_POINT";
+
+/// Crash site: the cell result temp file is written and fsync'd, but not
+/// yet renamed into place (leaves a `.tmp` orphan).
+pub const KILL_CELL_TEMP_WRITTEN: &str = "cell-temp-written";
+/// Crash site: the cell result file is renamed into place, but its WAL
+/// record is not yet appended (leaves an un-journaled orphan result).
+pub const KILL_CELL_RENAMED: &str = "cell-renamed";
+/// Crash site: half of the WAL record is written and fsync'd, then the
+/// process dies — the torn-tail case replay must truncate.
+pub const KILL_WAL_TORN: &str = "wal-torn";
+/// Crash site: the WAL record is fully appended and fsync'd (the cell is
+/// committed; everything after is bookkeeping).
+pub const KILL_WAL_APPENDED: &str = "wal-appended";
+
+/// Every injectable crash site, in commit order.
+pub const KILL_POINTS: [&str; 4] = [
+    KILL_CELL_TEMP_WRITTEN,
+    KILL_CELL_RENAMED,
+    KILL_WAL_TORN,
+    KILL_WAL_APPENDED,
+];
+
+static KILL_SPEC: OnceLock<Option<(String, u64)>> = OnceLock::new();
+static KILL_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn kill_spec() -> Option<&'static (String, u64)> {
+    KILL_SPEC
+        .get_or_init(|| {
+            let raw = std::env::var(KILL_POINT_ENV).ok()?;
+            let (site, nth) = match raw.split_once(':') {
+                Some((site, n)) => (site.to_string(), n.trim().parse().unwrap_or(1)),
+                None => (raw, 1),
+            };
+            Some((site, nth.max(1)))
+        })
+        .as_ref()
+}
+
+/// True when this call is the configured occurrence of `site` — the caller
+/// is about to die (used by the torn-write site, which must corrupt the WAL
+/// itself before dying).
+fn kill_armed(site: &str) -> bool {
+    match kill_spec() {
+        Some((armed, nth)) if armed == site => {
+            KILL_HITS.fetch_add(1, Ordering::Relaxed) + 1 == *nth
+        }
+        _ => false,
+    }
+}
+
+fn maybe_kill(site: &str) {
+    if kill_armed(site) {
+        die();
+    }
+}
+
+/// Dies by a genuine SIGKILL (no atexit handlers, no unwinding, no Drop —
+/// exactly what an OOM kill or `kill -9` delivers), via the external `kill`
+/// utility since this crate forbids unsafe code. The exit fallback only
+/// runs if the signal somehow failed to land.
+fn die() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    std::process::exit(137);
+}
+
+// ------------------------------------------------------- cell fingerprint
+
+/// The stable identity of one experiment cell: an FNV-1a hash over a
+/// versioned encoding of everything that determines the cell's statistics —
+/// the program fingerprint, workload name and variant, the override hook's
+/// *name*, the **effective** [`SimConfig`] (after the hook applied, every
+/// field), the committed-instruction budget and the sampling plan. Two runs
+/// produce bit-identical [`Cell`]s iff their fingerprints match, so a
+/// journaled fingerprint licenses replay without re-simulation.
+///
+/// The hook name participates alongside the effective config because the
+/// rehydrated `Cell` must round-trip the hook *label*, and because two
+/// differently-named hooks with identical effects are still distinct
+/// experiment columns.
+pub fn cell_fingerprint(
+    program_fingerprint: u64,
+    workload: &str,
+    variant: Variant,
+    hook: Option<&str>,
+    config: &SimConfig,
+    instructions: u64,
+    sampling: Option<SamplingSpec>,
+) -> u64 {
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(FINGERPRINT_MAGIC);
+    buf.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+    put_u64(&mut buf, program_fingerprint);
+    put_string(&mut buf, workload);
+    put_variant(&mut buf, variant);
+    put_opt_string(&mut buf, hook);
+    put_varint(&mut buf, instructions);
+    match sampling {
+        None => buf.push(0),
+        Some(SamplingSpec {
+            interval,
+            detail_len,
+            warmup_len,
+        }) => {
+            buf.push(1);
+            put_varint(&mut buf, interval);
+            put_varint(&mut buf, detail_len);
+            put_varint(&mut buf, warmup_len);
+        }
+    }
+    put_sim_config(&mut buf, config);
+    fnv1a(FNV_OFFSET, &buf)
+}
+
+// ------------------------------------------------------------ WAL format
+
+fn wal_header() -> Vec<u8> {
+    let mut header = Vec::with_capacity(WAL_HEADER_LEN);
+    header.extend_from_slice(WAL_MAGIC);
+    header.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+    header
+}
+
+/// The encoded WAL record of one committed cell fingerprint (exposed for
+/// the torn-tail tests, which build and mutilate records byte-level).
+pub fn wal_record(fingerprint: u64) -> Vec<u8> {
+    let payload = fingerprint.to_le_bytes();
+    let mut record = Vec::with_capacity(4 + WAL_PAYLOAD_LEN + 8);
+    record.extend_from_slice(&(WAL_PAYLOAD_LEN as u32).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record.extend_from_slice(&fnv1a(FNV_OFFSET, &payload).to_le_bytes());
+    record
+}
+
+/// Replays WAL bytes: the set of committed fingerprints plus the byte
+/// length of the valid prefix. Reading stops — permanently — at the first
+/// structural problem: short header, wrong magic or version, torn record,
+/// bad checksum, unknown payload length. Nothing past a bad record is ever
+/// trusted, even if later bytes happen to look well-formed.
+fn replay_wal(bytes: &[u8]) -> (HashSet<u64>, u64) {
+    let mut known = HashSet::new();
+    if bytes.len() < WAL_HEADER_LEN
+        || &bytes[..8] != WAL_MAGIC
+        || bytes[8..WAL_HEADER_LEN] != JOURNAL_FORMAT_VERSION.to_le_bytes()
+    {
+        return (known, 0);
+    }
+    let mut pos = WAL_HEADER_LEN;
+    while let Some(len_bytes) = bytes.get(pos..pos + 4) {
+        let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if payload_len != WAL_PAYLOAD_LEN {
+            break;
+        }
+        let record_end = pos + 4 + payload_len + 8;
+        let Some(rest) = bytes.get(pos + 4..record_end) else {
+            break;
+        };
+        let (payload, checksum) = rest.split_at(payload_len);
+        if fnv1a(FNV_OFFSET, payload) != u64::from_le_bytes(checksum.try_into().expect("8 bytes")) {
+            break;
+        }
+        known.insert(u64::from_le_bytes(payload.try_into().expect("8 bytes")));
+        pos = record_end;
+    }
+    (known, pos as u64)
+}
+
+// ------------------------------------------------------------ the journal
+
+/// Distinguishes temp files of concurrent writers in the journal directory.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A crash-resumable journal of finished experiment cells (see the module
+/// docs for the format, commit discipline and degradation policy). All
+/// methods take `&self`; the state is internally synchronised, so one
+/// journal serves every worker thread of a sweep.
+pub struct ExperimentJournal {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    wal: Option<File>,
+    known: HashSet<u64>,
+    replayed: u64,
+    recorded: u64,
+    degraded: bool,
+    warned: bool,
+}
+
+impl fmt::Debug for ExperimentJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("ExperimentJournal")
+            .field("dir", &self.dir)
+            .field("known", &inner.known.len())
+            .field("replayed", &inner.replayed)
+            .field("recorded", &inner.recorded)
+            .field("degraded", &inner.degraded)
+            .finish()
+    }
+}
+
+impl ExperimentJournal {
+    /// Opens (creating if necessary) the journal directory, sweeps stale
+    /// temp files, and replays the WAL — truncating any torn tail. Never
+    /// fails: an unopenable or unreadable journal warns on stderr and
+    /// degrades to in-memory operation (the sweep still runs, nothing
+    /// persists).
+    pub fn open(dir: impl Into<PathBuf>) -> ExperimentJournal {
+        let dir = dir.into();
+        let (wal, known, degraded) = match open_wal(&dir) {
+            Ok((wal, known)) => (Some(wal), known, false),
+            Err(e) => {
+                eprintln!(
+                    "msp-bench: cannot open experiment journal at {}: {e}; \
+                     continuing without crash resumption",
+                    dir.display()
+                );
+                (None, HashSet::new(), true)
+            }
+        };
+        ExperimentJournal {
+            dir,
+            inner: Mutex::new(Inner {
+                wal,
+                known,
+                replayed: 0,
+                recorded: 0,
+                degraded,
+                warned: degraded,
+            }),
+        }
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The write-ahead-log path inside the journal directory.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE_NAME)
+    }
+
+    /// The result-file path of a cell fingerprint.
+    pub fn cell_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.{CELL_FILE_EXT}"))
+    }
+
+    /// Whether `fingerprint` has a committed WAL record.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.lock().known.contains(&fingerprint)
+    }
+
+    /// Number of committed fingerprints currently known.
+    pub fn known_count(&self) -> usize {
+        self.lock().known.len()
+    }
+
+    /// Cells rehydrated from the journal by this session (each one a
+    /// simulation *not* re-run).
+    pub fn replayed_count(&self) -> u64 {
+        self.lock().replayed
+    }
+
+    /// Cells durably recorded by this session.
+    pub fn recorded_count(&self) -> u64 {
+        self.lock().recorded
+    }
+
+    /// Whether the journal has fallen back to in-memory operation after an
+    /// I/O failure (nothing persists, but the session still deduplicates).
+    pub fn is_degraded(&self) -> bool {
+        self.lock().degraded
+    }
+
+    /// Rehydrates a journaled cell, bit-identical to the run that recorded
+    /// it. `None` means the cell must be computed: it was never journaled,
+    /// or its result file is missing/corrupt — in which case the file is
+    /// deleted, the fingerprint forgotten, and the recomputation will
+    /// re-journal it.
+    pub fn load_cell(&self, fingerprint: u64) -> Option<Cell> {
+        let mut inner = self.lock();
+        if !inner.known.contains(&fingerprint) {
+            return None;
+        }
+        let path = self.cell_path(fingerprint);
+        let decoded = fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| decode_cell_file(fingerprint, &bytes));
+        match decoded {
+            Ok(cell) => {
+                inner.replayed += 1;
+                Some(cell)
+            }
+            Err(e) => {
+                eprintln!(
+                    "msp-bench: discarding unreadable journaled cell {}: {e}",
+                    path.display()
+                );
+                let _ = fs::remove_file(&path);
+                inner.known.remove(&fingerprint);
+                None
+            }
+        }
+    }
+
+    /// Durably records a finished cell: result file first (temp + fsync +
+    /// rename), WAL record second (append + fsync; the commit point). A
+    /// fingerprint already committed is a no-op, so recording is idempotent
+    /// across crash/resume. I/O failure warns once and degrades to
+    /// in-memory deduplication — it never fails the sweep.
+    pub fn record_cell(&self, fingerprint: u64, cell: &Cell) {
+        let mut inner = self.lock();
+        if inner.known.contains(&fingerprint) {
+            return;
+        }
+        if !inner.degraded {
+            match record_durable(&self.dir, inner.wal.as_mut(), fingerprint, cell) {
+                Ok(()) => inner.recorded += 1,
+                Err(e) => {
+                    if !inner.warned {
+                        eprintln!(
+                            "msp-bench: experiment journal at {} failed ({e}); \
+                             continuing without crash resumption",
+                            self.dir.display()
+                        );
+                        inner.warned = true;
+                    }
+                    inner.degraded = true;
+                    inner.wal = None;
+                }
+            }
+        }
+        inner.known.insert(fingerprint);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("experiment journal poisoned")
+    }
+}
+
+fn open_wal(dir: &Path) -> io::Result<(File, HashSet<u64>)> {
+    fs::create_dir_all(dir)?;
+    crate::store::sweep_stale_temps(dir);
+    let path = dir.join(WAL_FILE_NAME);
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(&path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let (known, valid_len) = replay_wal(&bytes);
+    if (valid_len as usize) < bytes.len() {
+        eprintln!(
+            "msp-bench: truncating torn experiment journal tail ({} of {} bytes valid) in {}",
+            valid_len,
+            bytes.len(),
+            path.display()
+        );
+        file.set_len(valid_len)?;
+    }
+    if valid_len < WAL_HEADER_LEN as u64 {
+        // Empty or header-corrupt file: start a fresh log.
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&wal_header())?;
+        file.sync_data()?;
+    }
+    file.seek(SeekFrom::End(0))?;
+    Ok((file, known))
+}
+
+fn record_durable(
+    dir: &Path,
+    wal: Option<&mut File>,
+    fingerprint: u64,
+    cell: &Cell,
+) -> io::Result<()> {
+    let Some(wal) = wal else {
+        return Err(io::Error::other("journal WAL unavailable"));
+    };
+    let bytes = encode_cell_file(fingerprint, cell);
+    let temp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write_temp = (|| -> io::Result<()> {
+        let mut file = File::create(&temp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()
+    })();
+    if let Err(e) = write_temp {
+        let _ = fs::remove_file(&temp);
+        return Err(e);
+    }
+    maybe_kill(KILL_CELL_TEMP_WRITTEN);
+    let path = dir.join(format!("{fingerprint:016x}.{CELL_FILE_EXT}"));
+    if let Err(e) = fs::rename(&temp, &path) {
+        let _ = fs::remove_file(&temp);
+        return Err(e);
+    }
+    maybe_kill(KILL_CELL_RENAMED);
+    let record = wal_record(fingerprint);
+    if kill_armed(KILL_WAL_TORN) {
+        // The injected torn write: half a record, made durable, then death
+        // — the exact crash the replay truncation rule exists for.
+        let _ = wal.write_all(&record[..record.len() / 2]);
+        let _ = wal.sync_data();
+        die();
+    }
+    wal.write_all(&record)?;
+    wal.sync_data()?;
+    maybe_kill(KILL_WAL_APPENDED);
+    Ok(())
+}
+
+// -------------------------------------------------------- cell file codec
+
+/// Encodes a cell result file: magic, version, fingerprint, payload,
+/// trailing FNV-1a checksum over every preceding byte.
+fn encode_cell_file(fingerprint: u64, cell: &Cell) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024);
+    buf.extend_from_slice(CELL_MAGIC);
+    buf.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+    put_u64(&mut buf, fingerprint);
+    put_cell(&mut buf, cell);
+    let checksum = fnv1a(FNV_OFFSET, &buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// Decodes (and fully verifies) a cell result file written by
+/// [`encode_cell_file`] for the same fingerprint.
+fn decode_cell_file(fingerprint: u64, bytes: &[u8]) -> Result<Cell, String> {
+    const PREFIX: usize = 8 + 4 + 8;
+    if bytes.len() < PREFIX + 8 {
+        return Err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    if &bytes[..8] != CELL_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != JOURNAL_FORMAT_VERSION {
+        return Err(format!(
+            "format version {version} (expected {JOURNAL_FORMAT_VERSION})"
+        ));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv1a(FNV_OFFSET, body) != stored {
+        return Err("checksum mismatch".to_string());
+    }
+    let file_fp = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if file_fp != fingerprint {
+        return Err(format!(
+            "fingerprint mismatch (file {file_fp:016x}, expected {fingerprint:016x})"
+        ));
+    }
+    let mut reader = Reader::new(&body[PREFIX..]);
+    let cell = get_cell(&mut reader)?;
+    reader.expect_end()?;
+    Ok(cell)
+}
+
+// Primitive writers. Fingerprints, checksums and f64 bit patterns are raw
+// 8-byte little-endian; counters and sizes are varints (see msp_isa::wire).
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_varint(buf, v as u64);
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_usize(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_string(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_string(buf, s);
+        }
+    }
+}
+
+fn put_variant(buf: &mut Vec<u8>, variant: Variant) {
+    buf.push(match variant {
+        Variant::Original => 0,
+        Variant::Modified => 1,
+    });
+}
+
+fn put_machine(buf: &mut Vec<u8>, machine: MachineKind) {
+    match machine {
+        MachineKind::Baseline => buf.push(0),
+        MachineKind::Cpr { regs_per_class } => {
+            buf.push(1);
+            put_usize(buf, regs_per_class);
+        }
+        MachineKind::Msp { regs_per_bank } => {
+            buf.push(2);
+            put_usize(buf, regs_per_bank);
+        }
+        MachineKind::IdealMsp => buf.push(3),
+    }
+}
+
+fn put_predictor(buf: &mut Vec<u8>, predictor: PredictorKind) {
+    buf.push(match predictor {
+        PredictorKind::Bimodal => 0,
+        PredictorKind::Gshare => 1,
+        PredictorKind::Tage => 2,
+    });
+}
+
+/// Every field of the effective configuration, destructured without rest
+/// patterns (like `SimStats::accumulate`): adding a field anywhere in the
+/// config tree is a compile error here until it joins the fingerprint — a
+/// silently-excluded knob would alias distinct cells.
+fn put_sim_config(buf: &mut Vec<u8>, config: &SimConfig) {
+    let SimConfig {
+        machine,
+        predictor,
+        frontend,
+        resources,
+        latency,
+        memory,
+        lcs_delay,
+        max_same_reg_renames,
+        arbitration,
+    } = config;
+    put_machine(buf, *machine);
+    put_predictor(buf, *predictor);
+    let FrontendConfig {
+        fetch_width,
+        rename_width,
+        issue_width,
+        retire_width,
+        frontend_depth,
+    } = frontend;
+    put_usize(buf, *fetch_width);
+    put_usize(buf, *rename_width);
+    put_usize(buf, *issue_width);
+    put_usize(buf, *retire_width);
+    put_varint(buf, *frontend_depth);
+    let ResourceConfig {
+        iq_size,
+        rob_size,
+        lq_size,
+        sq_l1_size,
+        sq_l2_size,
+        sq_l2_scan_latency,
+        regs_per_class,
+        checkpoints,
+        max_insts_per_checkpoint,
+        int_units,
+        fp_units,
+        ldst_units,
+    } = resources;
+    put_usize(buf, *iq_size);
+    put_usize(buf, *rob_size);
+    put_usize(buf, *lq_size);
+    put_usize(buf, *sq_l1_size);
+    put_usize(buf, *sq_l2_size);
+    put_varint(buf, *sq_l2_scan_latency);
+    put_usize(buf, *regs_per_class);
+    put_usize(buf, *checkpoints);
+    put_varint(buf, *max_insts_per_checkpoint);
+    put_usize(buf, *int_units);
+    put_usize(buf, *fp_units);
+    put_usize(buf, *ldst_units);
+    let LatencyConfig {
+        int_alu,
+        int_mul,
+        fp_alu,
+        fp_mul,
+        fp_div,
+        branch,
+        agen,
+    } = latency;
+    put_varint(buf, *int_alu);
+    put_varint(buf, *int_mul);
+    put_varint(buf, *fp_alu);
+    put_varint(buf, *fp_mul);
+    put_varint(buf, *fp_div);
+    put_varint(buf, *branch);
+    put_varint(buf, *agen);
+    let MemoryConfig {
+        il1,
+        dl1,
+        l2,
+        memory_latency,
+    } = memory;
+    for cache in [il1, dl1, l2] {
+        let CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            hit_latency,
+        } = cache;
+        put_usize(buf, *size_bytes);
+        put_usize(buf, *ways);
+        put_usize(buf, *line_bytes);
+        put_varint(buf, *hit_latency);
+    }
+    put_varint(buf, *memory_latency);
+    match lcs_delay {
+        None => buf.push(0),
+        Some(delay) => {
+            buf.push(1);
+            put_usize(buf, *delay);
+        }
+    }
+    put_usize(buf, *max_same_reg_renames);
+    put_bool(buf, *arbitration);
+}
+
+fn put_sim_stats(buf: &mut Vec<u8>, stats: &SimStats) {
+    // Destructured without rest patterns (see `SimStats::accumulate`): a
+    // new counter is a compile error until the codec carries it — a
+    // silently-dropped counter would make replayed cells non-identical.
+    let SimStats {
+        cycles,
+        committed,
+        executed:
+            ExecutedBreakdown {
+                correct_path,
+                correct_path_reexecuted,
+                wrong_path,
+            },
+        branches,
+        mispredictions,
+        recoveries,
+        imprecise_recoveries,
+        checkpoints_allocated,
+        stalls:
+            StallBreakdown {
+                iq_full,
+                rob_full,
+                lq_full,
+                sq_full,
+                regs_full,
+                checkpoints_full,
+                bank_full,
+                same_reg_limit,
+                frontend_empty,
+            },
+        port_conflicts,
+        store_forwards,
+        dcache_misses,
+        watchdog_breaks,
+        activity,
+    } = stats;
+    put_varint(buf, *cycles);
+    put_varint(buf, *committed);
+    put_varint(buf, *correct_path);
+    put_varint(buf, *correct_path_reexecuted);
+    put_varint(buf, *wrong_path);
+    put_varint(buf, *branches);
+    put_varint(buf, *mispredictions);
+    put_varint(buf, *recoveries);
+    put_varint(buf, *imprecise_recoveries);
+    put_varint(buf, *checkpoints_allocated);
+    put_varint(buf, *iq_full);
+    put_varint(buf, *rob_full);
+    put_varint(buf, *lq_full);
+    put_varint(buf, *sq_full);
+    put_varint(buf, *regs_full);
+    put_varint(buf, *checkpoints_full);
+    // The map is emitted in flat-index order so the encoding is canonical
+    // (HashMap iteration order is not).
+    let mut banks: Vec<(usize, u64)> = bank_full
+        .iter()
+        .map(|(reg, count)| (reg.flat_index(), *count))
+        .collect();
+    banks.sort_unstable();
+    put_usize(buf, banks.len());
+    for (flat, count) in banks {
+        put_usize(buf, flat);
+        put_varint(buf, count);
+    }
+    put_varint(buf, *same_reg_limit);
+    put_varint(buf, *frontend_empty);
+    put_varint(buf, *port_conflicts);
+    put_varint(buf, *store_forwards);
+    put_varint(buf, *dcache_misses);
+    put_varint(buf, *watchdog_breaks);
+    let ActivityCounters {
+        rf_reads,
+        rf_writes,
+        rename_lookups,
+        sct_lookups,
+        lcs_propagations,
+        checkpoint_allocs,
+        checkpoint_releases,
+        reliq_wakeups,
+        lq_searches,
+        sq_searches,
+        icache_accesses,
+        dcache_accesses,
+        l2_accesses,
+        predictor_lookups,
+        btb_lookups,
+        ras_ops,
+    } = activity.as_ref();
+    for bank in rf_reads.iter().chain(rf_writes) {
+        put_varint(buf, *bank);
+    }
+    put_varint(buf, *rename_lookups);
+    put_varint(buf, *sct_lookups);
+    put_varint(buf, *lcs_propagations);
+    put_varint(buf, *checkpoint_allocs);
+    put_varint(buf, *checkpoint_releases);
+    put_varint(buf, *reliq_wakeups);
+    put_varint(buf, *lq_searches);
+    put_varint(buf, *sq_searches);
+    put_varint(buf, *icache_accesses);
+    put_varint(buf, *dcache_accesses);
+    put_varint(buf, *l2_accesses);
+    put_varint(buf, *predictor_lookups);
+    put_varint(buf, *btb_lookups);
+    put_varint(buf, *ras_ops);
+}
+
+fn put_cell(buf: &mut Vec<u8>, cell: &Cell) {
+    let Cell {
+        workload,
+        variant,
+        machine,
+        predictor,
+        hook,
+        result,
+        sampled,
+        sampled_energy,
+    } = cell;
+    put_string(buf, workload);
+    put_variant(buf, *variant);
+    put_machine(buf, *machine);
+    put_predictor(buf, *predictor);
+    put_opt_string(buf, hook.as_deref());
+    let SimResult {
+        machine: machine_label,
+        predictor: predictor_label,
+        truncated_by_watchdog,
+        stats,
+    } = result;
+    put_string(buf, machine_label);
+    put_string(buf, predictor_label);
+    put_bool(buf, *truncated_by_watchdog);
+    put_sim_stats(buf, stats);
+    match sampled {
+        None => buf.push(0),
+        Some(SampledStats {
+            intervals,
+            measured_instructions,
+            measured_cycles,
+            mean_ipc,
+            ipc_rel_stderr,
+        }) => {
+            buf.push(1);
+            put_usize(buf, *intervals);
+            put_varint(buf, *measured_instructions);
+            put_varint(buf, *measured_cycles);
+            put_f64(buf, *mean_ipc);
+            match ipc_rel_stderr {
+                None => buf.push(0),
+                Some(stderr) => {
+                    buf.push(1);
+                    put_f64(buf, *stderr);
+                }
+            }
+        }
+    }
+    match sampled_energy {
+        None => buf.push(0),
+        Some(SampledEnergy {
+            intervals,
+            measured_pj,
+            mean_epi_pj,
+            mean_rf_epi_pj,
+        }) => {
+            buf.push(1);
+            put_usize(buf, *intervals);
+            put_f64(buf, *measured_pj);
+            put_f64(buf, *mean_epi_pj);
+            put_f64(buf, *mean_rf_epi_pj);
+        }
+    }
+}
+
+/// Bounds-checked reader over a decoded cell payload.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let remaining = self.data.len() - self.pos;
+        if remaining < n {
+            return Err(format!(
+                "unexpected end: wanted {n} bytes, {remaining} left"
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(format!("bad bool tag {t}")),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err("varint overflows 64 bits".to_string());
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn usize_(&mut self) -> Result<usize, String> {
+        usize::try_from(self.varint()?).map_err(|_| "size overflows usize".to_string())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.usize_()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    fn opt_string(&mut self) -> Result<Option<String>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            t => Err(format!("bad option tag {t}")),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), String> {
+        let remaining = self.data.len() - self.pos;
+        if remaining != 0 {
+            return Err(format!("{remaining} trailing bytes after decoded cell"));
+        }
+        Ok(())
+    }
+}
+
+fn get_variant(r: &mut Reader<'_>) -> Result<Variant, String> {
+    match r.u8()? {
+        0 => Ok(Variant::Original),
+        1 => Ok(Variant::Modified),
+        t => Err(format!("bad variant tag {t}")),
+    }
+}
+
+fn get_machine(r: &mut Reader<'_>) -> Result<MachineKind, String> {
+    match r.u8()? {
+        0 => Ok(MachineKind::Baseline),
+        1 => Ok(MachineKind::Cpr {
+            regs_per_class: r.usize_()?,
+        }),
+        2 => Ok(MachineKind::Msp {
+            regs_per_bank: r.usize_()?,
+        }),
+        3 => Ok(MachineKind::IdealMsp),
+        t => Err(format!("bad machine tag {t}")),
+    }
+}
+
+fn get_predictor(r: &mut Reader<'_>) -> Result<PredictorKind, String> {
+    match r.u8()? {
+        0 => Ok(PredictorKind::Bimodal),
+        1 => Ok(PredictorKind::Gshare),
+        2 => Ok(PredictorKind::Tage),
+        t => Err(format!("bad predictor tag {t}")),
+    }
+}
+
+fn get_sim_stats(r: &mut Reader<'_>) -> Result<SimStats, String> {
+    let cycles = r.varint()?;
+    let committed = r.varint()?;
+    let executed = ExecutedBreakdown {
+        correct_path: r.varint()?,
+        correct_path_reexecuted: r.varint()?,
+        wrong_path: r.varint()?,
+    };
+    let branches = r.varint()?;
+    let mispredictions = r.varint()?;
+    let recoveries = r.varint()?;
+    let imprecise_recoveries = r.varint()?;
+    let checkpoints_allocated = r.varint()?;
+    let iq_full = r.varint()?;
+    let rob_full = r.varint()?;
+    let lq_full = r.varint()?;
+    let sq_full = r.varint()?;
+    let regs_full = r.varint()?;
+    let checkpoints_full = r.varint()?;
+    let bank_count = r.usize_()?;
+    if bank_count > NUM_LOGICAL_REGS {
+        return Err(format!("bank_full has {bank_count} entries"));
+    }
+    let mut bank_full = HashMap::with_capacity(bank_count);
+    for _ in 0..bank_count {
+        let flat = r.usize_()?;
+        if flat >= NUM_LOGICAL_REGS {
+            return Err(format!("bank_full register index {flat} out of range"));
+        }
+        bank_full.insert(ArchReg::from_flat_index(flat), r.varint()?);
+    }
+    let same_reg_limit = r.varint()?;
+    let frontend_empty = r.varint()?;
+    let port_conflicts = r.varint()?;
+    let store_forwards = r.varint()?;
+    let dcache_misses = r.varint()?;
+    let watchdog_breaks = r.varint()?;
+    let mut rf_reads = [0u64; NUM_LOGICAL_REGS];
+    for bank in rf_reads.iter_mut() {
+        *bank = r.varint()?;
+    }
+    let mut rf_writes = [0u64; NUM_LOGICAL_REGS];
+    for bank in rf_writes.iter_mut() {
+        *bank = r.varint()?;
+    }
+    // A full struct literal (no `..Default::default()`), so a new activity
+    // counter is a compile error here until the decoder reads it.
+    let activity = ActivityCounters {
+        rf_reads,
+        rf_writes,
+        rename_lookups: r.varint()?,
+        sct_lookups: r.varint()?,
+        lcs_propagations: r.varint()?,
+        checkpoint_allocs: r.varint()?,
+        checkpoint_releases: r.varint()?,
+        reliq_wakeups: r.varint()?,
+        lq_searches: r.varint()?,
+        sq_searches: r.varint()?,
+        icache_accesses: r.varint()?,
+        dcache_accesses: r.varint()?,
+        l2_accesses: r.varint()?,
+        predictor_lookups: r.varint()?,
+        btb_lookups: r.varint()?,
+        ras_ops: r.varint()?,
+    };
+    Ok(SimStats {
+        cycles,
+        committed,
+        executed,
+        branches,
+        mispredictions,
+        recoveries,
+        imprecise_recoveries,
+        checkpoints_allocated,
+        stalls: StallBreakdown {
+            iq_full,
+            rob_full,
+            lq_full,
+            sq_full,
+            regs_full,
+            checkpoints_full,
+            bank_full,
+            same_reg_limit,
+            frontend_empty,
+        },
+        port_conflicts,
+        store_forwards,
+        dcache_misses,
+        watchdog_breaks,
+        activity: Box::new(activity),
+    })
+}
+
+fn get_cell(r: &mut Reader<'_>) -> Result<Cell, String> {
+    let workload = r.string()?;
+    let variant = get_variant(r)?;
+    let machine = get_machine(r)?;
+    let predictor = get_predictor(r)?;
+    let hook = r.opt_string()?;
+    let machine_label = r.string()?;
+    let predictor_label = r.string()?;
+    let truncated_by_watchdog = r.bool()?;
+    let stats = get_sim_stats(r)?;
+    let sampled = match r.u8()? {
+        0 => None,
+        1 => Some(SampledStats {
+            intervals: r.usize_()?,
+            measured_instructions: r.varint()?,
+            measured_cycles: r.varint()?,
+            mean_ipc: r.f64()?,
+            ipc_rel_stderr: match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                t => return Err(format!("bad option tag {t}")),
+            },
+        }),
+        t => return Err(format!("bad option tag {t}")),
+    };
+    let sampled_energy = match r.u8()? {
+        0 => None,
+        1 => Some(SampledEnergy {
+            intervals: r.usize_()?,
+            measured_pj: r.f64()?,
+            mean_epi_pj: r.f64()?,
+            mean_rf_epi_pj: r.f64()?,
+        }),
+        t => return Err(format!("bad option tag {t}")),
+    };
+    Ok(Cell {
+        workload,
+        variant,
+        machine,
+        predictor,
+        hook,
+        result: SimResult {
+            machine: machine_label,
+            predictor: predictor_label,
+            truncated_by_watchdog,
+            stats,
+        },
+        sampled,
+        sampled_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "msp-journal-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_config() -> SimConfig {
+        SimConfig::machine(MachineKind::msp(16), PredictorKind::Gshare)
+    }
+
+    fn sample_cell() -> Cell {
+        let mut stats = SimStats {
+            cycles: 12_345,
+            committed: 20_000,
+            branches: 777,
+            mispredictions: 42,
+            ..SimStats::default()
+        };
+        stats.executed.correct_path = 20_000;
+        stats.executed.wrong_path = 311;
+        stats.stalls.iq_full = 17;
+        stats.stalls.bank_full.insert(ArchReg::int(7), 99);
+        stats.stalls.bank_full.insert(ArchReg::fp(3), 5);
+        stats.activity.rf_reads[7] = 1_234;
+        stats.activity.rf_writes[63] = 9;
+        stats.activity.sct_lookups = 40_001;
+        Cell {
+            workload: "gzip".to_string(),
+            variant: Variant::Original,
+            machine: MachineKind::msp(16),
+            predictor: PredictorKind::Gshare,
+            hook: Some("lcs=2".to_string()),
+            result: SimResult {
+                machine: "16-SP".to_string(),
+                predictor: "gshare".to_string(),
+                truncated_by_watchdog: false,
+                stats,
+            },
+            sampled: Some(SampledStats {
+                intervals: 8,
+                measured_instructions: 4_000,
+                measured_cycles: 2_500,
+                mean_ipc: 0.1 + 0.2, // a bit pattern decimal rendering loses
+                ipc_rel_stderr: Some(0.012_345_678_9),
+            }),
+            sampled_energy: Some(SampledEnergy {
+                intervals: 8,
+                measured_pj: 1.0e7 / 3.0,
+                mean_epi_pj: 123.456_789,
+                mean_rf_epi_pj: 23.9,
+            }),
+        }
+    }
+
+    fn assert_cells_bit_identical(a: &Cell, b: &Cell) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.variant, b.variant);
+        assert_eq!(a.machine, b.machine);
+        assert_eq!(a.predictor, b.predictor);
+        assert_eq!(a.hook, b.hook);
+        assert_eq!(a.result.machine, b.result.machine);
+        assert_eq!(a.result.predictor, b.result.predictor);
+        assert_eq!(
+            a.result.truncated_by_watchdog,
+            b.result.truncated_by_watchdog
+        );
+        assert_eq!(a.result.stats, b.result.stats);
+        assert_eq!(a.sampled, b.sampled);
+        match (&a.sampled, &b.sampled) {
+            (Some(x), Some(y)) => {
+                // PartialEq on f64 passes for equal values; pin *bit*
+                // identity explicitly (the resumability contract).
+                assert_eq!(x.mean_ipc.to_bits(), y.mean_ipc.to_bits());
+                assert_eq!(
+                    x.ipc_rel_stderr.map(f64::to_bits),
+                    y.ipc_rel_stderr.map(f64::to_bits)
+                );
+            }
+            (None, None) => {}
+            _ => panic!("sampled presence diverged"),
+        }
+        assert_eq!(a.sampled_energy, b.sampled_energy);
+    }
+
+    #[test]
+    fn cell_file_roundtrip_is_bit_identical() {
+        let cell = sample_cell();
+        let fp = 0xfeed_face_cafe_beef;
+        let bytes = encode_cell_file(fp, &cell);
+        let decoded = decode_cell_file(fp, &bytes).expect("roundtrip");
+        assert_cells_bit_identical(&cell, &decoded);
+    }
+
+    #[test]
+    fn corrupt_cell_file_is_rejected_at_every_byte() {
+        let cell = sample_cell();
+        let fp = 0x0123_4567_89ab_cdef;
+        let bytes = encode_cell_file(fp, &cell);
+        // Any single flipped byte anywhere must be rejected (FNV-1a's
+        // substitution guarantee), sampled across the file.
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut copy = bytes.clone();
+            copy[pos] ^= 0x40;
+            assert!(
+                decode_cell_file(fp, &copy).is_err(),
+                "flipped byte {pos} went undetected"
+            );
+        }
+        // A wrong expected fingerprint is rejected even with a valid file.
+        assert!(decode_cell_file(fp + 1, &bytes).is_err());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_axis() {
+        let config = sample_config();
+        let base = cell_fingerprint(1, "gzip", Variant::Original, None, &config, 20_000, None);
+        let spec = SamplingSpec {
+            interval: 1_000,
+            detail_len: 100,
+            warmup_len: 50,
+        };
+        let mut hooked = config.clone();
+        hooked.latency.int_mul = 5;
+        let others = [
+            cell_fingerprint(2, "gzip", Variant::Original, None, &config, 20_000, None),
+            cell_fingerprint(1, "vpr", Variant::Original, None, &config, 20_000, None),
+            cell_fingerprint(1, "gzip", Variant::Modified, None, &config, 20_000, None),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                Some("h"),
+                &config,
+                20_000,
+                None,
+            ),
+            cell_fingerprint(1, "gzip", Variant::Original, None, &config, 30_000, None),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(spec),
+            ),
+            cell_fingerprint(1, "gzip", Variant::Original, None, &hooked, 20_000, None),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &SimConfig::machine(MachineKind::Baseline, PredictorKind::Gshare),
+                20_000,
+                None,
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &SimConfig::machine(MachineKind::msp(16), PredictorKind::Tage),
+                20_000,
+                None,
+            ),
+        ];
+        for (i, other) in others.iter().enumerate() {
+            assert_ne!(base, *other, "axis {i} did not change the fingerprint");
+        }
+        // And it is stable: same inputs, same fingerprint.
+        assert_eq!(
+            base,
+            cell_fingerprint(1, "gzip", Variant::Original, None, &config, 20_000, None)
+        );
+    }
+
+    #[test]
+    fn journal_records_survive_reopen_and_replay_bit_identically() {
+        let dir = temp_dir("reopen");
+        let cell = sample_cell();
+        let fp = cell_fingerprint(
+            7,
+            "gzip",
+            Variant::Original,
+            Some("lcs=2"),
+            &sample_config(),
+            20_000,
+            None,
+        );
+        {
+            let journal = ExperimentJournal::open(&dir);
+            assert!(!journal.is_degraded());
+            assert!(!journal.contains(fp));
+            journal.record_cell(fp, &cell);
+            assert_eq!(journal.recorded_count(), 1);
+            // Recording the same fingerprint again is a no-op.
+            journal.record_cell(fp, &cell);
+            assert_eq!(journal.recorded_count(), 1);
+        }
+        let journal = ExperimentJournal::open(&dir);
+        assert!(journal.contains(fp));
+        assert_eq!(journal.known_count(), 1);
+        let replayed = journal.load_cell(fp).expect("journaled cell replays");
+        assert_cells_bit_identical(&cell, &replayed);
+        assert_eq!(journal.replayed_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_never_trusted() {
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(WAL_FILE_NAME);
+        let mut bytes = wal_header();
+        bytes.extend_from_slice(&wal_record(0x1111));
+        bytes.extend_from_slice(&wal_record(0x2222));
+        let valid_len = bytes.len() as u64;
+        // A torn third record, then a byte-wise *valid* fourth record after
+        // the tear: replay must keep 2 records, drop the tear, and never
+        // resynchronise onto the record past it.
+        let torn = wal_record(0x3333);
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        bytes.extend_from_slice(&wal_record(0x4444));
+        fs::write(&wal, &bytes).unwrap();
+        let journal = ExperimentJournal::open(&dir);
+        assert!(journal.contains(0x1111));
+        assert!(journal.contains(0x2222));
+        assert!(!journal.contains(0x3333));
+        assert!(!journal.contains(0x4444), "no resync past a torn record");
+        assert_eq!(fs::metadata(&wal).unwrap().len(), valid_len);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_wal_record_truncates_from_the_corruption() {
+        let dir = temp_dir("corrupt-wal");
+        fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(WAL_FILE_NAME);
+        let mut bytes = wal_header();
+        bytes.extend_from_slice(&wal_record(0xaaaa));
+        let valid_len = bytes.len() as u64;
+        let mut bad = wal_record(0xbbbb);
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        bytes.extend_from_slice(&bad);
+        fs::write(&wal, &bytes).unwrap();
+        let journal = ExperimentJournal::open(&dir);
+        assert!(journal.contains(0xaaaa));
+        assert!(!journal.contains(0xbbbb));
+        assert_eq!(fs::metadata(&wal).unwrap().len(), valid_len);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_corruption_restarts_the_log() {
+        let dir = temp_dir("header");
+        fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(WAL_FILE_NAME);
+        fs::write(&wal, b"NOTAJRNL-garbage-garbage").unwrap();
+        let journal = ExperimentJournal::open(&dir);
+        assert!(!journal.is_degraded());
+        assert_eq!(journal.known_count(), 0);
+        assert_eq!(
+            fs::read(&wal).unwrap(),
+            wal_header(),
+            "unrecognisable log restarts fresh"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unopenable_journal_degrades_without_failing() {
+        // A regular *file* where the directory should be: create_dir_all
+        // fails even for root (permission bits would not).
+        let dir = temp_dir("degraded");
+        fs::write(&dir, b"not a directory").unwrap();
+        let journal = ExperimentJournal::open(&dir);
+        assert!(journal.is_degraded());
+        let cell = sample_cell();
+        journal.record_cell(0x77, &cell);
+        assert!(journal.contains(0x77), "session-local dedup still works");
+        assert_eq!(journal.recorded_count(), 0, "nothing durably recorded");
+        assert!(journal.load_cell(0x77).is_none());
+        fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_cell_file_forgets_the_fingerprint_for_recompute() {
+        let dir = temp_dir("missing-cell");
+        let cell = sample_cell();
+        let journal = ExperimentJournal::open(&dir);
+        journal.record_cell(0xabc, &cell);
+        fs::remove_file(journal.cell_path(0xabc)).unwrap();
+        let reopened = ExperimentJournal::open(&dir);
+        assert!(reopened.contains(0xabc), "WAL still lists it");
+        assert!(reopened.load_cell(0xabc).is_none(), "file is gone");
+        assert!(
+            !reopened.contains(0xabc),
+            "fingerprint forgotten so the cell recomputes and re-records"
+        );
+        reopened.record_cell(0xabc, &cell);
+        assert!(reopened.load_cell(0xabc).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -46,6 +46,7 @@
 
 use crate::energy::{energy_model_for, SampledEnergy, REFERENCE_NODE};
 use crate::experiment::{Axes, Cell, Experiment, ResultSet};
+use crate::journal::{cell_fingerprint, ExperimentJournal};
 use crate::store::TraceStore;
 use crate::{parallel_map, SampledStats, SamplingSpec};
 use msp_branch::PredictorKind;
@@ -56,6 +57,7 @@ use msp_pipeline::{
 use msp_workloads::{Variant, Workload};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default number of committed instructions per simulation.
@@ -108,6 +110,12 @@ pub struct LabConfig {
     /// least-recently-used files are garbage-collected above it. Ignored
     /// without [`LabConfig::trace_dir`].
     pub trace_store_bytes: u64,
+    /// Directory of the crash-resumable experiment journal (default `None`
+    /// = no journalling). With it set, every finished cell of a
+    /// [`Lab::run`] is durably recorded, and a re-run **replays** journaled
+    /// cells bit-identically instead of re-simulating them — see
+    /// [`ExperimentJournal`] and the `msp-lab --resume` / `batch` modes.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for LabConfig {
@@ -119,6 +127,7 @@ impl Default for LabConfig {
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
             trace_dir: None,
             trace_store_bytes: crate::store::DEFAULT_TRACE_STORE_BYTES,
+            journal_dir: None,
         }
     }
 }
@@ -172,6 +181,8 @@ impl LabConfig {
     ///   a non-empty path (created if missing).
     /// * `MSP_BENCH_TRACE_STORE_BYTES` — byte budget of the on-disk store;
     ///   a non-negative integer (`0` retains only the newest file).
+    /// * `MSP_BENCH_JOURNAL_DIR` — directory of the crash-resumable
+    ///   experiment journal; a non-empty path (created if missing).
     ///
     /// Unset variables use the [`Default`] values; set-but-invalid ones are
     /// a [`LabConfigError`].
@@ -199,6 +210,7 @@ impl LabConfig {
             read("MSP_BENCH_SAMPLE_INTERVAL")?.as_deref(),
             read("MSP_BENCH_TRACE_DIR")?.as_deref(),
             read("MSP_BENCH_TRACE_STORE_BYTES")?.as_deref(),
+            read("MSP_BENCH_JOURNAL_DIR")?.as_deref(),
         )
     }
 
@@ -212,19 +224,25 @@ impl LabConfig {
         sample_interval: Option<&str>,
         trace_dir: Option<&str>,
         trace_store_bytes: Option<&str>,
+        journal_dir: Option<&str>,
     ) -> Result<LabConfig, LabConfigError> {
         let defaults = LabConfig::default();
-        let trace_dir = match trace_dir {
-            None => None,
-            Some(value) if value.trim().is_empty() => {
-                return Err(LabConfigError {
-                    var: "MSP_BENCH_TRACE_DIR",
+        fn parse_dir(
+            var: &'static str,
+            value: Option<&str>,
+        ) -> Result<Option<PathBuf>, LabConfigError> {
+            match value {
+                None => Ok(None),
+                Some(value) if value.trim().is_empty() => Err(LabConfigError {
+                    var,
                     value: value.to_string(),
                     reason: "must be a non-empty directory path",
-                });
+                }),
+                Some(value) => Ok(Some(PathBuf::from(value))),
             }
-            Some(value) => Some(PathBuf::from(value)),
-        };
+        }
+        let trace_dir = parse_dir("MSP_BENCH_TRACE_DIR", trace_dir)?;
+        let journal_dir = parse_dir("MSP_BENCH_JOURNAL_DIR", journal_dir)?;
         Ok(LabConfig {
             instructions: parse_var(
                 "MSP_BENCH_INSTRUCTIONS",
@@ -253,6 +271,7 @@ impl LabConfig {
                 defaults.trace_store_bytes,
                 false,
             )?,
+            journal_dir,
         })
     }
 }
@@ -406,6 +425,11 @@ pub struct Lab {
     config: LabConfig,
     cache: Mutex<TraceCache>,
     store: Option<TraceStore>,
+    journal: Option<ExperimentJournal>,
+    /// Disk trouble in the store/streaming paths warns once per session,
+    /// not once per cell (a 96-cell sweep on a full disk would otherwise
+    /// print 96 identical warnings).
+    store_warned: AtomicBool,
 }
 
 impl fmt::Debug for Lab {
@@ -426,20 +450,36 @@ impl Default for Lab {
 impl Lab {
     /// Creates a session with the given configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if [`LabConfig::trace_dir`] is set but the store directory
-    /// cannot be created or entered — a misconfigured store must fail
-    /// loudly, not silently re-execute every workload.
+    /// Disk-backed layers degrade gracefully: a [`LabConfig::trace_dir`]
+    /// that cannot be created or entered warns on stderr and the session
+    /// continues memory-only (every workload re-executes, nothing
+    /// persists); likewise an unopenable [`LabConfig::journal_dir`]
+    /// continues without crash resumption. I/O trouble never takes down a
+    /// sweep.
     pub fn new(config: LabConfig) -> Lab {
-        let store = config.trace_dir.as_ref().map(|dir| {
-            TraceStore::open(dir, config.trace_store_bytes)
-                .unwrap_or_else(|e| panic!("cannot open trace store at {}: {e}", dir.display()))
+        let store = config.trace_dir.as_ref().and_then(|dir| {
+            match TraceStore::open(dir, config.trace_store_bytes) {
+                Ok(store) => Some(store),
+                Err(e) => {
+                    eprintln!(
+                        "msp-bench: cannot open trace store at {}: {e}; \
+                         continuing without trace persistence",
+                        dir.display()
+                    );
+                    None
+                }
+            }
         });
+        let journal = config
+            .journal_dir
+            .as_ref()
+            .map(|dir| ExperimentJournal::open(dir.clone()));
         Lab {
             config,
             cache: Mutex::new(TraceCache::default()),
             store,
+            journal,
+            store_warned: AtomicBool::new(false),
         }
     }
 
@@ -571,19 +611,28 @@ impl Lab {
                 }
             }
             if stream {
-                let path = store
+                // Streaming capture straight to disk. Disk trouble here is
+                // not fatal: warn once and fall through to a materialised
+                // in-memory capture — slower and bigger, but the run
+                // finishes.
+                let streamed = store
                     .capture(program, budget, checkpoint_interval)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "cannot capture streaming trace into {}: {e}",
-                            store.dir().display()
-                        )
+                    .map_err(|e| format!("cannot capture streaming trace: {e}"))
+                    .and_then(|path| {
+                        TraceReader::open(&path, program).map_err(|e| {
+                            format!("just-captured trace {} unreadable: {e}", path.display())
+                        })
                     });
-                let reader = TraceReader::open(&path, program).unwrap_or_else(|e| {
-                    panic!("just-captured trace {} unreadable: {e}", path.display())
-                });
-                self.lock_cache().captures += 1;
-                return SharedTrace::Disk(Arc::new(reader));
+                match streamed {
+                    Ok(reader) => {
+                        self.lock_cache().captures += 1;
+                        return SharedTrace::Disk(Arc::new(reader));
+                    }
+                    Err(e) => self.warn_store_once(&format!(
+                        "trace store at {} failed ({e}); continuing memory-only",
+                        store.dir().display()
+                    )),
+                }
             }
         }
         let trace = Arc::new(if checkpoint_interval == 0 {
@@ -667,9 +716,38 @@ impl Lab {
         self.lock_cache().disk_hits
     }
 
-    /// The persistent on-disk store, if [`LabConfig::trace_dir`] is set.
+    /// The persistent on-disk store, if [`LabConfig::trace_dir`] is set
+    /// and its directory opened.
     pub fn trace_store(&self) -> Option<&TraceStore> {
         self.store.as_ref()
+    }
+
+    /// The crash-resumable experiment journal, if
+    /// [`LabConfig::journal_dir`] is set.
+    pub fn journal(&self) -> Option<&ExperimentJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Cells this session rehydrated from the journal instead of
+    /// simulating (diagnostics; `0` without a journal).
+    pub fn journal_replayed_count(&self) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(0, ExperimentJournal::replayed_count)
+    }
+
+    /// Cells this session durably recorded into the journal (diagnostics;
+    /// `0` without a journal).
+    pub fn journal_recorded_count(&self) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(0, ExperimentJournal::recorded_count)
+    }
+
+    fn warn_store_once(&self, message: &str) {
+        if !self.store_warned.swap(true, Ordering::Relaxed) {
+            eprintln!("msp-bench: {message}");
+        }
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, TraceCache> {
@@ -703,39 +781,139 @@ impl Lab {
         }
     }
 
+    /// The journal fingerprint of one cell: the workload's program
+    /// fingerprint plus its identity, the hook *name*, the effective
+    /// configuration, the budget and the sampling plan (see
+    /// [`cell_fingerprint`]).
+    fn flat_fingerprint(
+        &self,
+        axes: &Axes<'_>,
+        flat: usize,
+        config: &SimConfig,
+        instructions: u64,
+        sampling: Option<SamplingSpec>,
+    ) -> u64 {
+        let (w, _, _, h) = axes.coordinates(flat);
+        let workload = &axes.workloads[w];
+        cell_fingerprint(
+            program_fingerprint(workload),
+            workload.name(),
+            workload.variant(),
+            axes.hooks[h].name(),
+            config,
+            instructions,
+            sampling,
+        )
+    }
+
+    /// Rehydrates every journaled cell of a sweep: the partially-filled
+    /// cell vector (flat order) plus the flat indices still to compute.
+    /// Without a journal everything is pending.
+    fn replay_journaled(
+        &self,
+        axes: &Axes<'_>,
+        configs: &[SimConfig],
+        instructions: u64,
+        sampling: Option<SamplingSpec>,
+    ) -> (Vec<Option<Cell>>, Vec<usize>) {
+        let mut cells: Vec<Option<Cell>> = vec![None; axes.len()];
+        if let Some(journal) = &self.journal {
+            for (flat, slot) in cells.iter_mut().enumerate() {
+                let fp = self.flat_fingerprint(axes, flat, &configs[flat], instructions, sampling);
+                *slot = journal.load_cell(fp);
+            }
+        }
+        let pending = (0..axes.len()).filter(|&f| cells[f].is_none()).collect();
+        (cells, pending)
+    }
+
+    /// Durably records one finished cell (no-op without a journal).
+    fn record_cell(
+        &self,
+        axes: &Axes<'_>,
+        flat: usize,
+        config: &SimConfig,
+        instructions: u64,
+        sampling: Option<SamplingSpec>,
+        cell: &Cell,
+    ) {
+        if let Some(journal) = &self.journal {
+            let fp = self.flat_fingerprint(axes, flat, config, instructions, sampling);
+            journal.record_cell(fp, cell);
+        }
+    }
+
+    /// Resolves shared traces for exactly the workloads that still have a
+    /// cell to compute — so a fully-journaled resume performs **zero**
+    /// functional executions, not just zero timing simulations.
+    fn resolve_pending_traces(
+        &self,
+        axes: &Axes<'_>,
+        pending: &[usize],
+        instructions: u64,
+        checkpoint_interval: u64,
+    ) -> Vec<Option<SharedTrace>> {
+        let mut traces: Vec<Option<SharedTrace>> = vec![None; axes.workloads.len()];
+        for &flat in pending {
+            let (w, ..) = axes.coordinates(flat);
+            if traces[w].is_none() {
+                traces[w] = Some(self.resolve_trace(
+                    &axes.workloads[w],
+                    instructions,
+                    checkpoint_interval,
+                    true,
+                ));
+            }
+        }
+        traces
+    }
+
     fn run_exact(&self, experiment: &Experiment, axes: &Axes<'_>, instructions: u64) -> ResultSet {
-        let traces: Vec<SharedTrace> = axes
-            .workloads
-            .iter()
-            .map(|w| self.resolve_trace(w, instructions, 0, true))
+        // Per-cell effective configurations (hooks applied), built up front
+        // so journal fingerprints cover exactly what each cell will run.
+        let configs: Vec<SimConfig> = (0..axes.len())
+            .map(|flat| {
+                let (_, m, p, h) = axes.coordinates(flat);
+                let mut config = SimConfig::machine(axes.machines[m], axes.predictors[p]);
+                axes.hooks[h].apply(&mut config);
+                config
+            })
             .collect();
-        // One flat work list over the full cross product: threads stay busy
+        let (mut cells, pending) = self.replay_journaled(axes, &configs, instructions, None);
+        let traces = self.resolve_pending_traces(axes, &pending, instructions, 0);
+        // One flat work list over the unjournaled cells: threads stay busy
         // across row boundaries, and the flat index encodes the cell
         // coordinates (workload-major, then machine, predictor, override).
-        let flat_cells: Vec<usize> = (0..axes.len()).collect();
-        let results = parallel_map(self.config.threads, &flat_cells, |&flat| {
+        // Each finished cell is journaled by the worker that computed it,
+        // so a crash mid-sweep preserves every completed simulation.
+        let computed = parallel_map(self.config.threads, &pending, |&flat| {
             let (w, m, p, h) = axes.coordinates(flat);
-            let mut config = SimConfig::machine(axes.machines[m], axes.predictors[p]);
-            axes.hooks[h].apply(&mut config);
-            Simulator::with_trace(axes.workloads[w].program(), config, traces[w].open_source())
-                .run(instructions)
+            let trace = traces[w].as_ref().expect("pending workload resolved");
+            let result = Simulator::with_trace(
+                axes.workloads[w].program(),
+                configs[flat].clone(),
+                trace.open_source(),
+            )
+            .run(instructions);
+            let cell = Cell {
+                workload: axes.workloads[w].name().to_string(),
+                variant: axes.workloads[w].variant(),
+                machine: axes.machines[m],
+                predictor: axes.predictors[p],
+                hook: axes.hooks[h].name().map(str::to_string),
+                result,
+                sampled: None,
+                sampled_energy: None,
+            };
+            self.record_cell(axes, flat, &configs[flat], instructions, None, &cell);
+            cell
         });
-        let cells = results
+        for (&flat, cell) in pending.iter().zip(computed) {
+            cells[flat] = Some(cell);
+        }
+        let cells = cells
             .into_iter()
-            .enumerate()
-            .map(|(flat, result)| {
-                let (w, m, p, h) = axes.coordinates(flat);
-                Cell {
-                    workload: axes.workloads[w].name().to_string(),
-                    variant: axes.workloads[w].variant(),
-                    machine: axes.machines[m],
-                    predictor: axes.predictors[p],
-                    hook: axes.hooks[h].name().map(str::to_string),
-                    result,
-                    sampled: None,
-                    sampled_energy: None,
-                }
-            })
+            .map(|cell| cell.expect("every cell replayed or computed"))
             .collect();
         ResultSet::new(
             experiment.name().to_string(),
@@ -781,13 +959,9 @@ impl Lab {
     ) -> ResultSet {
         spec.assert_valid();
         let checkpoint_interval = spec.interval;
-        let traces: Vec<SharedTrace> = axes
-            .workloads
-            .iter()
-            .map(|w| self.resolve_trace(w, instructions, checkpoint_interval, true))
-            .collect();
         // Per-cell effective configuration (hooks applied), built up front
-        // so cells can share warm trajectories.
+        // so cells can share warm trajectories and journal fingerprints
+        // cover exactly what each cell will run.
         let configs: Vec<SimConfig> = (0..axes.len())
             .map(|flat| {
                 let (_, m, p, h) = axes.coordinates(flat);
@@ -796,12 +970,18 @@ impl Lab {
                 config
             })
             .collect();
+        // Journaled cells replay outright: no trace, no warming pass, no
+        // work units. Everything below operates on the pending cells only.
+        let (mut replayed, pending) =
+            self.replay_journaled(axes, &configs, instructions, Some(spec));
+        let traces = self.resolve_pending_traces(axes, &pending, instructions, checkpoint_interval);
         // Group the cells by warm-structure configuration: (workload,
         // predictor, memory geometry). Cells in one group see identical
         // warm trajectories, so the functional warming pass runs once per
         // group, not once per cell.
         let mut groups: Vec<(usize, PredictorKind, MemoryConfig, Vec<usize>)> = Vec::new();
-        for (flat, config) in configs.iter().enumerate() {
+        for &flat in &pending {
+            let config = &configs[flat];
             let (w, ..) = axes.coordinates(flat);
             let key = (w, config.predictor, config.memory);
             match groups
@@ -821,7 +1001,10 @@ impl Lab {
                 // a disk-resident trace costs one cursor window per group,
                 // not a materialisation.
                 let program = axes.workloads[*w].program();
-                let mut source = traces[*w].open_source();
+                let mut source = traces[*w]
+                    .as_ref()
+                    .expect("grouped workload resolved")
+                    .open_source();
                 let mut warm = WarmState::for_config(program, &configs[members[0]]);
                 let mut snapshots = Vec::new();
                 let mut index = 0;
@@ -844,7 +1027,8 @@ impl Lab {
                 groups
                     .iter()
                     .position(|(.., members)| members.contains(&flat))
-                    .expect("every cell is grouped")
+                    // Replayed cells have no group; nothing indexes theirs.
+                    .unwrap_or(usize::MAX)
             })
             .collect();
         // The flat unit list, cell-major then interval-ascending — the
@@ -862,8 +1046,9 @@ impl Lab {
             span: u64,
         }
         let mut units: Vec<Unit> = Vec::new();
-        for flat in 0..axes.len() {
+        for &flat in &pending {
             let (w, ..) = axes.coordinates(flat);
+            let trace = traces[w].as_ref().expect("pending workload resolved");
             let mut start = 0;
             while start < instructions {
                 let (warmup, detail, span) = if start == 0 {
@@ -878,7 +1063,7 @@ impl Lab {
                 };
                 // No checkpoint (or no warm snapshot) means the program
                 // ended before this window; nothing to measure from here.
-                if !traces[w].has_checkpoint_at(start) {
+                if !trace.has_checkpoint_at(start) {
                     break;
                 }
                 if start > 0
@@ -902,9 +1087,10 @@ impl Lab {
             let (w, ..) = axes.coordinates(unit.flat);
             let config = configs[unit.flat].clone();
             let program = axes.workloads[w].program();
+            let trace = traces[w].as_ref().expect("pending workload resolved");
             if unit.start == 0 {
                 // The head window: exact detail from a cold machine.
-                return Simulator::resume_from(program, config, traces[w].open_source(), 0, 0)
+                return Simulator::resume_from(program, config, trace.open_source(), 0, 0)
                     .run(unit.detail);
             }
             let snapshot = &group_snapshots[group_of_flat[unit.flat]]
@@ -912,7 +1098,7 @@ impl Lab {
             let mut sim = Simulator::resume_warmed(
                 program,
                 config,
-                traces[w].open_source(),
+                trace.open_source(),
                 unit.start,
                 snapshot.clone(),
             );
@@ -932,6 +1118,12 @@ impl Lab {
         let mut cells = Vec::with_capacity(axes.len());
         let mut cursor = 0;
         for flat in 0..axes.len() {
+            if let Some(cell) = replayed[flat].take() {
+                // Rehydrated from the journal; the unit list never
+                // contained this cell, so the cursor needs no adjustment.
+                cells.push(cell);
+                continue;
+            }
             let (w, m, p, h) = axes.coordinates(flat);
             let mut per_interval: Vec<(SimStats, u64)> = Vec::new();
             let mut aggregate = SimStats::default();
@@ -944,7 +1136,7 @@ impl Lab {
                 cursor += 1;
             }
             let energy_model = energy_model_for(axes.machines[m], REFERENCE_NODE);
-            cells.push(Cell {
+            let cell = Cell {
                 workload: axes.workloads[w].name().to_string(),
                 variant: axes.workloads[w].variant(),
                 machine: axes.machines[m],
@@ -958,7 +1150,9 @@ impl Lab {
                 },
                 sampled: Some(SampledStats::from_intervals(&per_interval)),
                 sampled_energy: Some(SampledEnergy::from_intervals(&per_interval, &energy_model)),
-            });
+            };
+            self.record_cell(axes, flat, &configs[flat], instructions, Some(spec), &cell);
+            cells.push(cell);
         }
         ResultSet::new(
             experiment.name().to_string(),

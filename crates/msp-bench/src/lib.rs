@@ -63,6 +63,7 @@
 
 mod energy;
 mod experiment;
+pub mod journal;
 mod lab;
 mod report;
 pub mod reports;
@@ -71,6 +72,7 @@ pub mod store;
 
 pub use energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
 pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
+pub use journal::{cell_fingerprint, ExperimentJournal, JOURNAL_FORMAT_VERSION};
 pub use lab::{
     Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_SAMPLE_INTERVAL,
     DEFAULT_TRACE_CACHE_BYTES,
@@ -311,41 +313,42 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_garbage() {
-        assert!(LabConfig::from_vars(None, None, None, None, None, None).is_ok());
+        assert!(LabConfig::from_vars(None, None, None, None, None, None, None).is_ok());
         assert_eq!(
-            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None, None, None)
+            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None, None, None, None)
                 .unwrap()
                 .instructions,
             20_000
         );
         // Unparseable values are errors, not silent defaults.
         for bad in ["20_000", "", "abc", "-1", "1.5"] {
-            let err = LabConfig::from_vars(Some(bad), None, None, None, None, None).unwrap_err();
+            let err =
+                LabConfig::from_vars(Some(bad), None, None, None, None, None, None).unwrap_err();
             assert_eq!(err.var, "MSP_BENCH_INSTRUCTIONS");
             assert!(err.to_string().contains("MSP_BENCH_INSTRUCTIONS"));
         }
-        assert!(LabConfig::from_vars(None, Some("zero"), None, None, None, None).is_err());
-        assert!(LabConfig::from_vars(None, None, Some("x"), None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, Some("zero"), None, None, None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, None, Some("x"), None, None, None, None).is_err());
         // Zero budgets/threads are rejected; a zero cache budget is legal.
-        assert!(LabConfig::from_vars(Some("0"), None, None, None, None, None).is_err());
-        assert!(LabConfig::from_vars(None, Some("0"), None, None, None, None).is_err());
+        assert!(LabConfig::from_vars(Some("0"), None, None, None, None, None, None).is_err());
+        assert!(LabConfig::from_vars(None, Some("0"), None, None, None, None, None).is_err());
         assert_eq!(
-            LabConfig::from_vars(None, None, Some("0"), None, None, None)
+            LabConfig::from_vars(None, None, Some("0"), None, None, None, None)
                 .unwrap()
                 .trace_cache_bytes,
             0
         );
         // The store knobs: an empty dir is garbage, a zero byte budget is
         // legal, and a garbage byte budget is an error.
-        let err = LabConfig::from_vars(None, None, None, None, Some("  "), None).unwrap_err();
+        let err = LabConfig::from_vars(None, None, None, None, Some("  "), None, None).unwrap_err();
         assert_eq!(err.var, "MSP_BENCH_TRACE_DIR");
         assert_eq!(
-            LabConfig::from_vars(None, None, None, None, Some("/tmp/traces"), Some("0"))
+            LabConfig::from_vars(None, None, None, None, Some("/tmp/traces"), Some("0"), None)
                 .unwrap()
                 .trace_store_bytes,
             0
         );
-        assert!(LabConfig::from_vars(None, None, None, None, None, Some("big")).is_err());
+        assert!(LabConfig::from_vars(None, None, None, None, None, Some("big"), None).is_err());
     }
 
     #[test]

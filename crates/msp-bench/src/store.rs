@@ -89,10 +89,12 @@ pub struct GcReport {
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl TraceStore {
-    /// Opens (creating if necessary) the store directory.
+    /// Opens (creating if necessary) the store directory, sweeping any
+    /// stale `.tmp-*` files a crashed writer left behind mid-commit.
     pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> io::Result<TraceStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        sweep_stale_temps(&dir);
         Ok(TraceStore { dir, budget_bytes })
     }
 
@@ -263,6 +265,58 @@ impl TraceStore {
     }
 }
 
+/// Age beyond which a temp file is considered abandoned when the owning
+/// process cannot be identified (no `/proc`, unparseable name).
+const STALE_TEMP_SECS: u64 = 3600;
+
+/// Deletes orphaned `.tmp-{pid}-{counter}` files: atomic temp+rename commits
+/// leak their temp when the writing process dies between the write and the
+/// rename. A temp is stale when its owning process is provably gone
+/// (`/proc/{pid}` absent) or, without a liveness oracle, when it is over an
+/// hour old. Best-effort and shared by every temp+rename directory in the
+/// crate (trace store and experiment journal). Returns the number deleted.
+pub(crate) fn sweep_stale_temps(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for dirent in entries.flatten() {
+        let file_name = dirent.file_name();
+        let Some(name) = file_name.to_str() else {
+            continue;
+        };
+        if !name.starts_with(".tmp-") {
+            continue;
+        }
+        if temp_is_stale(name, &dirent.path()) && fs::remove_file(dirent.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+fn temp_is_stale(name: &str, path: &Path) -> bool {
+    let owner = name
+        .strip_prefix(".tmp-")
+        .and_then(|rest| rest.split('-').next())
+        .and_then(|pid| pid.parse::<u32>().ok());
+    if let Some(pid) = owner {
+        if pid == std::process::id() {
+            return false;
+        }
+        if Path::new("/proc").is_dir() {
+            return !Path::new(&format!("/proc/{pid}")).exists();
+        }
+    }
+    // No liveness oracle: fall back to age (a live writer finishes its
+    // commit in well under an hour).
+    fs::metadata(path)
+        .and_then(|meta| meta.modified())
+        .ok()
+        .and_then(|modified| SystemTime::now().duration_since(modified).ok())
+        .is_some_and(|age| age.as_secs() > STALE_TEMP_SECS)
+}
+
 /// Refreshes a file's modification time (a disk-cache hit marks the file
 /// recently used, so GC evicts cold traces first). Best-effort: a read-only
 /// store still serves hits.
@@ -411,6 +465,27 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(store.open_reader(w.program(), 1_000, 0).is_none());
         assert!(!path.exists(), "corrupt file is deleted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_dead_writers_temps_and_keeps_live_ones() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        // A temp owned by a provably-dead pid (u32::MAX is far above any
+        // real pid_max) must be swept; one owned by this live process must
+        // survive; completed store files are untouched.
+        let dead = dir.join(format!(".tmp-{}-0", u32::MAX));
+        let live = dir.join(format!(".tmp-{}-0", std::process::id()));
+        fs::write(&dead, b"partial capture").unwrap();
+        fs::write(&live, b"in-flight capture").unwrap();
+        let store = TraceStore::open(&dir, DEFAULT_TRACE_STORE_BYTES).unwrap();
+        assert!(!dead.exists(), "dead writer's temp is swept on open");
+        assert!(live.exists(), "live writer's temp is preserved");
+        let w = msp_workloads::by_name("gzip", Variant::Original).unwrap();
+        let path = store.capture(w.program(), 500, 0).unwrap();
+        let _ = TraceStore::open(&dir, DEFAULT_TRACE_STORE_BYTES).unwrap();
+        assert!(path.exists(), "committed files are never swept");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -330,19 +330,19 @@ fn checkpoint_heavy_traces_respect_the_lru_byte_bound() {
 #[test]
 fn sample_interval_env_is_strict() {
     assert_eq!(
-        LabConfig::from_vars(None, None, None, None, None, None)
+        LabConfig::from_vars(None, None, None, None, None, None, None)
             .unwrap()
             .sample_interval,
         msp_bench::DEFAULT_SAMPLE_INTERVAL
     );
     assert_eq!(
-        LabConfig::from_vars(None, None, None, Some("25000"), None, None)
+        LabConfig::from_vars(None, None, None, Some("25000"), None, None, None)
             .unwrap()
             .sample_interval,
         25_000
     );
     for bad in ["0", "", "abc", "-5", "1e6", "100_000"] {
-        let err = LabConfig::from_vars(None, None, None, Some(bad), None, None).unwrap_err();
+        let err = LabConfig::from_vars(None, None, None, Some(bad), None, None, None).unwrap_err();
         assert_eq!(err.var, "MSP_BENCH_SAMPLE_INTERVAL", "value {bad:?}");
         assert!(err.to_string().contains("MSP_BENCH_SAMPLE_INTERVAL"));
     }

@@ -44,6 +44,7 @@ mod reg;
 mod state;
 mod trace;
 mod tracefile;
+pub mod wire;
 
 pub use exec::{execute_at, execute_step, ExecError, ExecutedInst};
 pub use inst::{BranchCond, FuClass, Instruction, MemWidth, Opcode};

@@ -73,14 +73,7 @@ const FOOTER_LEN: usize = 24;
 /// window with room to spare.
 const CURSOR_SLOTS: usize = 4;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
-    bytes
-        .iter()
-        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
-}
+use crate::wire::{fnv1a, put_varint, unzigzag, zigzag, FNV_OFFSET};
 
 /// Error reading or validating a trace file.
 #[derive(Debug)]
@@ -160,30 +153,6 @@ pub struct TraceFileMeta {
     pub complete: bool,
     /// Total file size in bytes.
     pub file_bytes: u64,
-}
-
-// ---------------------------------------------------------------------------
-// varint / zigzag primitives
-// ---------------------------------------------------------------------------
-
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Bounds-checked reader over a decoded byte slice.

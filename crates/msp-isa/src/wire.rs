@@ -1,0 +1,51 @@
+//! Shared on-disk encoding primitives: FNV-1a checksums and LEB128
+//! varint/zigzag integer coding.
+//!
+//! These started life inside the trace-file format ([`crate::TraceReader`])
+//! and are exported here so every durable format in the workspace — trace
+//! files, the experiment journal, the result store — agrees on one checksum
+//! and one integer wire coding. FNV-1a's XOR and odd-prime multiply are both
+//! bijections modulo 2^64, so any single substituted byte always changes the
+//! final hash; that is the property the corruption fences rely on.
+
+/// FNV-1a 64-bit offset basis: the initial `hash` argument to [`fnv1a`].
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a hash. Seed with [`FNV_OFFSET`] and
+/// chain calls to hash discontiguous regions.
+#[must_use]
+pub fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Append `v` to `buf` as a LEB128 varint (7 payload bits per byte,
+/// continuation bit 0x80).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Map a signed value onto an unsigned one so that small magnitudes of
+/// either sign stay small as varints.
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}

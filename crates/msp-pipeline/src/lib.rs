@@ -40,7 +40,7 @@ mod simulator;
 mod stats;
 
 pub use config::{FrontendConfig, LatencyConfig, MachineKind, ResourceConfig, SimConfig};
-pub use msp_mem::MemoryConfig;
+pub use msp_mem::{CacheConfig, MemoryConfig};
 pub use oracle::{Oracle, TraceSource};
 pub use simulator::{SimResult, Simulator, WarmState};
 pub use stats::{ActivityCounters, ExecutedBreakdown, SimStats, StallBreakdown};

@@ -80,6 +80,14 @@
 //! assert!(estimate.mean_ipc > 0.0);
 //! ```
 //!
+//! Long sweeps are **crash-resumable**: point `MSP_BENCH_JOURNAL_DIR` at a
+//! directory and run `msp-lab table1 --sample --resume` — every finished
+//! cell commits to an append-only, checksummed journal, so a killed run
+//! resumes bit-identically, recomputing only unfinished cells. A whole
+//! manifest of runs journals incrementally via `msp-lab batch
+//! experiments.txt` (see the experiment-journal section of
+//! `crates/msp-bench/DESIGN.md`).
+//!
 //! The underlying `Simulator` remains available for single bespoke runs:
 //!
 //! ```

@@ -20,7 +20,14 @@ baseline and fails on:
     acceptance target recorded in the baseline, or
   * the persistent trace store breaking its never-re-execute invariant:
     `trace_store.warm_store_functional_captures` must be 0 (a warm store
-    serves a fresh process entirely from disk).
+    serves a fresh process entirely from disk), or
+  * the experiment journal breaking its guarantees:
+    `journal.journal_overhead_vs_warm_store_pct` above
+    JOURNAL_MAX_OVERHEAD_PCT (the per-cell WAL/cell-file write path must
+    stay cheap relative to simulation), `journal.resumed_recomputed_cells`
+    nonzero, or `journal.resumed_replayed_cells` short of the sweep's cell
+    count (a resume over a complete journal must replay everything and
+    recompute nothing).
 
 The seed-comparison fields (`speedup_vs_seed`,
 `speedup_vs_pre_trace_layer`) are only measured at the 200k budget the
@@ -42,6 +49,11 @@ import sys
 # exact because simulation is deterministic.
 SAMPLED_MIN_SPEEDUP = 4.0
 SAMPLED_MAX_ERROR_PCT = 2.0
+# The journal acceptance criterion: one fsync'd WAL record plus one cell
+# file per cell must cost < 2% of the sweep it protects at the reference
+# 2M-instruction budget (both sides of the ratio are warm-store sequential
+# passes, so the comparison isolates the journal's write path).
+JOURNAL_MAX_OVERHEAD_PCT = 2.0
 
 
 def load(path):
@@ -129,6 +141,30 @@ def main():
             failures.append(
                 f"warm trace store performed {captures} functional captures; "
                 f"a warm store must serve a fresh process entirely from disk")
+
+    journal = current.get("journal")
+    if journal is None:
+        failures.append("current run records no 'journal' section")
+    else:
+        overhead = journal.get("journal_overhead_vs_warm_store_pct", float("inf"))
+        replayed = journal.get("resumed_replayed_cells")
+        recomputed = journal.get("resumed_recomputed_cells")
+        sims = current.get("sims")
+        print(f"journal: {overhead:+.2f}% overhead vs warm store "
+              f"(gate <= {JOURNAL_MAX_OVERHEAD_PCT}%), resume replayed "
+              f"{replayed}/{sims} cells, recomputed {recomputed} (gate == 0)")
+        if overhead > JOURNAL_MAX_OVERHEAD_PCT:
+            failures.append(
+                f"journal overhead {overhead:.2f}% above "
+                f"{JOURNAL_MAX_OVERHEAD_PCT}% of the warm-store sweep")
+        if recomputed != 0:
+            failures.append(
+                f"resume recomputed {recomputed} journaled cells; a complete "
+                f"journal must replay every cell without re-simulation")
+        if replayed != sims:
+            failures.append(
+                f"resume replayed {replayed} of {sims} cells; a complete "
+                f"journal must cover the whole sweep")
 
     if failures:
         for failure in failures:
