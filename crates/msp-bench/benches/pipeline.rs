@@ -22,12 +22,15 @@
 //!    host's actual hardware parallelism (a single-core container shows a
 //!    flat curve — that, not load imbalance, explained the historical 1.03x
 //!    "parallel speedup"), and
-//! 5. a **sampled** cold pass of the same sweep (`SamplingSpec::periodic`
-//!    at the default interval, fresh `Lab`): wall-clock speedup over the
-//!    cold exact pass plus the worst per-cell IPC error of the sampled
-//!    estimate against the exact cells — the two numbers the sampled-
-//!    simulation subsystem is accountable for (`scripts/perf_gate.py`
-//!    gates both in CI at the 2M-instruction reference budget), and
+//! 5. three **sampled** cold passes of the same sweep, one per
+//!    `SamplingPlan` (fresh `Lab` each): `periodic` at the default interval
+//!    (wall-clock speedup over the cold exact pass plus the worst per-cell
+//!    IPC error — the two numbers the sampled-simulation subsystem is
+//!    accountable for), `phases` (SimPoint-style clustering, which must
+//!    match or beat the periodic error from no more detailed windows) and
+//!    `adaptive` (which must land its achieved IPC relative standard error
+//!    within 20% of the requested target). `scripts/perf_gate.py` gates
+//!    all of these in CI at the 2M-instruction reference budget, and
 //! 6. a **persistent-store** pair over a scratch `trace_dir`: a cold-store
 //!    pass (captures and writes through to disk) and a warm-store pass
 //!    from a **fresh `Lab`** — the cold-process stand-in — which must
@@ -55,7 +58,7 @@
 //! MSP_BENCH_INSTRUCTIONS=2000000 cargo bench -p msp-bench --bench pipeline
 //! ```
 
-use msp_bench::{reports, Experiment, Lab, LabConfig, SamplingSpec};
+use msp_bench::{reports, Experiment, Lab, LabConfig, SamplingPlan};
 use msp_branch::PredictorKind;
 use msp_workloads::{by_name, Variant, Workload};
 use std::time::Instant;
@@ -137,7 +140,8 @@ fn main() {
     //    state) but a cold *Lab* — the same footing the exact cold pass
     //    below gets, which runs after this pass has warmed the process.
     //    Accuracy is judged against the exact cells of the cold pass.
-    let sampling = SamplingSpec::periodic(config.sample_interval.max(1));
+    let sampling = SamplingPlan::periodic(config.sample_interval.max(1));
+    let (periodic_detail, periodic_warmup) = (sampling.detail_len(), sampling.warmup_len());
     let sampled_spec = spec.clone().sampling(sampling);
     let process_warmup = Lab::new(LabConfig {
         threads: 1,
@@ -153,6 +157,42 @@ fn main() {
     let sampled_results = sampled_lab.run(&sampled_spec);
     let sampled_wall_s = sampled_start.elapsed().as_secs_f64();
     drop(sampled_lab);
+
+    // 0b. Phase-aware cold pass: same footing as the periodic pass (fresh
+    //     single-threaded Lab, warm process), but the detailed windows are
+    //     the SimPoint representatives — one population-weighted window per
+    //     clustered basic-block-vector phase instead of one per interval.
+    let phase_plan = SamplingPlan::phase_aware(config.sample_interval.max(1));
+    let phase_spec = spec.clone().sampling(phase_plan);
+    let phase_lab = Lab::new(LabConfig {
+        threads: 1,
+        ..config.clone()
+    });
+    let phase_start = Instant::now();
+    let phase_results = phase_lab.run(&phase_spec);
+    let phase_wall_s = phase_start.elapsed().as_secs_f64();
+    drop(phase_lab);
+
+    // 0c. Adaptive cold pass: a 2x finer interval than the periodic plan
+    //     (doubling the window pool so the stopping rule has room to work)
+    //     but the periodic plan's window *shape* — shrinking the windows
+    //     with the interval would trade warm-up quality for pool depth and
+    //     inflate the very spread the plan is chasing. Default 2%
+    //     relative-standard-error target; the gate checks the achieved
+    //     spread lands within 20% of the request.
+    let adaptive_target = msp_bench::DEFAULT_SAMPLE_TARGET_STDERR;
+    let adaptive_plan = SamplingPlan::adaptive(adaptive_target)
+        .with_interval((config.sample_interval.max(1) / 2).max(1))
+        .with_window(periodic_detail, periodic_warmup);
+    let adaptive_spec = spec.clone().sampling(adaptive_plan);
+    let adaptive_lab = Lab::new(LabConfig {
+        threads: 1,
+        ..config.clone()
+    });
+    let adaptive_start = Instant::now();
+    let adaptive_results = adaptive_lab.run(&adaptive_spec);
+    let adaptive_wall_s = adaptive_start.elapsed().as_secs_f64();
+    drop(adaptive_lab);
 
     // 1. Cold sequential pass: the lab's trace cache is empty, so this
     //    includes one functional execution per kernel (the seed-comparable
@@ -283,31 +323,49 @@ fn main() {
     let journal_overhead_pct = 100.0 * (journaled.wall_s - warm_store.wall_s) / warm_store.wall_s;
     let resumed_speedup = journaled.wall_s / resumed.wall_s;
 
-    // 5. Judge the sampled estimates (pass 0) per cell against the exact
-    //    cells of pass 1.
-    assert!(
-        sampled_results
-            .cells()
-            .iter()
-            .all(|c| !c.result.truncated_by_watchdog),
-        "a wedged sampled window must not be reported as a benchmark result"
-    );
-    let mut max_ipc_rel_error: f64 = 0.0;
-    let mut max_rel_stderr: f64 = 0.0;
-    let mut sampled_intervals = 0usize;
-    for (exact_cell, sampled_cell) in exact_results.cells().iter().zip(sampled_results.cells()) {
-        let sampled = sampled_cell
-            .sampled
-            .as_ref()
-            .expect("sampled cells carry estimates");
-        let rel = (sampled.mean_ipc - exact_cell.ipc()).abs() / exact_cell.ipc().max(1e-12);
-        max_ipc_rel_error = max_ipc_rel_error.max(rel);
-        // An undefined spread (fewer than two periodic windows) cannot
-        // happen at the reference budget; treat it as zero for the record.
-        max_rel_stderr = max_rel_stderr.max(sampled.ipc_rel_stderr.unwrap_or(0.0));
-        sampled_intervals = sampled_intervals.max(sampled.intervals);
+    // 5. Judge the sampled estimates (passes 0/0b/0c) per cell against the
+    //    exact cells of pass 1.
+    struct SampledJudgement {
+        max_ipc_rel_error: f64,
+        max_rel_stderr: f64,
+        max_intervals: usize,
     }
+    let judge = |results: &msp_bench::ResultSet, label: &str| -> SampledJudgement {
+        assert!(
+            results
+                .cells()
+                .iter()
+                .all(|c| !c.result.truncated_by_watchdog),
+            "a wedged {label} sampled window must not be reported as a benchmark result"
+        );
+        let mut j = SampledJudgement {
+            max_ipc_rel_error: 0.0,
+            max_rel_stderr: 0.0,
+            max_intervals: 0,
+        };
+        for (exact_cell, sampled_cell) in exact_results.cells().iter().zip(results.cells()) {
+            let sampled = sampled_cell
+                .sampled
+                .as_ref()
+                .expect("sampled cells carry estimates");
+            let rel = (sampled.mean_ipc - exact_cell.ipc()).abs() / exact_cell.ipc().max(1e-12);
+            j.max_ipc_rel_error = j.max_ipc_rel_error.max(rel);
+            // An undefined spread (fewer than two windows) cannot happen at
+            // the reference budget; treat it as zero for the record.
+            j.max_rel_stderr = j.max_rel_stderr.max(sampled.ipc_rel_stderr.unwrap_or(0.0));
+            j.max_intervals = j.max_intervals.max(sampled.intervals);
+        }
+        j
+    };
+    let periodic_judged = judge(&sampled_results, "periodic");
+    let phase_judged = judge(&phase_results, "phase-aware");
+    let adaptive_judged = judge(&adaptive_results, "adaptive");
+    let max_ipc_rel_error = periodic_judged.max_ipc_rel_error;
+    let max_rel_stderr = periodic_judged.max_rel_stderr;
+    let sampled_intervals = periodic_judged.max_intervals;
     let sampled_speedup = cold.wall_s / sampled_wall_s;
+    let phase_speedup = cold.wall_s / phase_wall_s;
+    let adaptive_speedup = cold.wall_s / adaptive_wall_s;
     // The "parallel" datapoint is the warm pass at the host's default
     // worker count, compared against the warm sequential pass — warm vs
     // warm, so the ratio measures parallelism and nothing else (on a
@@ -358,6 +416,24 @@ fn main() {
         sampled_wall_s,
         sampled_speedup,
         100.0 * max_ipc_rel_error
+    );
+    println!(
+        "table1_sweep/sampled-phases ({})      time: [{:.3} s]  {:.2}x vs exact cold, max IPC err {:.2}%, {} windows/cell (periodic: {})",
+        phase_plan.describe(),
+        phase_wall_s,
+        phase_speedup,
+        100.0 * phase_judged.max_ipc_rel_error,
+        phase_judged.max_intervals,
+        sampled_intervals
+    );
+    println!(
+        "table1_sweep/sampled-adaptive ({})    time: [{:.3} s]  {:.2}x vs exact cold, max IPC err {:.2}%, achieved stderr {:.2}% (target {:.2}%)",
+        adaptive_plan.describe(),
+        adaptive_wall_s,
+        adaptive_speedup,
+        100.0 * adaptive_judged.max_ipc_rel_error,
+        100.0 * adaptive_judged.max_rel_stderr,
+        100.0 * adaptive_target
     );
     println!(
         "table1_sweep/cold-store{:29} time: [{:.3} s]  captures + write-through ({store_files} files, {store_bytes} bytes)",
@@ -438,6 +514,30 @@ fn main() {
     "max_ipc_rel_stderr_pct": {s_stderr:.3},
     "note": "cold sampled Lab (captures its own checkpointed traces) vs the cold exact pass; per-cell sampled mean IPC vs exact IPC over the same table1 sweep"
   }},
+  "sampled_phase_aware": {{
+    "interval": {p_interval},
+    "detail_len": {p_detail},
+    "warmup_len": {p_warmup},
+    "max_intervals_per_cell": {p_intervals},
+    "periodic_max_intervals_per_cell": {s_intervals},
+    "wall_s": {p_wall:.3},
+    "speedup_vs_sequential_cold": {p_speedup:.2},
+    "max_ipc_rel_error_pct": {p_err:.3},
+    "periodic_max_ipc_rel_error_pct": {s_err:.3},
+    "note": "SimPoint-style plan: per-interval basic-block vectors clustered (k-means + BIC), one population-weighted representative window per phase; must match or beat the periodic max IPC error from no more detailed windows per cell"
+  }},
+  "sampled_adaptive": {{
+    "interval": {a_interval},
+    "detail_len": {a_detail},
+    "warmup_len": {a_warmup},
+    "target_rel_stderr_pct": {a_target:.3},
+    "achieved_max_ipc_rel_stderr_pct": {a_stderr:.3},
+    "max_intervals_per_cell": {a_intervals},
+    "wall_s": {a_wall:.3},
+    "speedup_vs_sequential_cold": {a_speedup:.2},
+    "max_ipc_rel_error_pct": {a_err:.3},
+    "note": "adaptive plan: windows added in bit-reversal order until the per-cell IPC relative standard error reaches the target (or the window pool is exhausted); the achieved spread must land within 20% of the target"
+  }},
   "trace_store": {{
     "cold_store_wall_s": {cs_wall:.3},
     "warm_store_wall_s": {ws_wall:.3},
@@ -463,14 +563,30 @@ fn main() {
 }}
 "#,
         sims = warm.sims,
-        s_interval = sampling.interval,
-        s_detail = sampling.detail_len,
-        s_warmup = sampling.warmup_len,
+        s_interval = sampling.interval(),
+        s_detail = sampling.detail_len(),
+        s_warmup = sampling.warmup_len(),
         s_intervals = sampled_intervals,
         s_wall = sampled_wall_s,
         s_speedup = sampled_speedup,
         s_err = 100.0 * max_ipc_rel_error,
         s_stderr = 100.0 * max_rel_stderr,
+        p_interval = phase_plan.interval(),
+        p_detail = phase_plan.detail_len(),
+        p_warmup = phase_plan.warmup_len(),
+        p_intervals = phase_judged.max_intervals,
+        p_wall = phase_wall_s,
+        p_speedup = phase_speedup,
+        p_err = 100.0 * phase_judged.max_ipc_rel_error,
+        a_interval = adaptive_plan.interval(),
+        a_detail = adaptive_plan.detail_len(),
+        a_warmup = adaptive_plan.warmup_len(),
+        a_target = 100.0 * adaptive_target,
+        a_stderr = 100.0 * adaptive_judged.max_rel_stderr,
+        a_intervals = adaptive_judged.max_intervals,
+        a_wall = adaptive_wall_s,
+        a_speedup = adaptive_speedup,
+        a_err = 100.0 * adaptive_judged.max_ipc_rel_error,
         cold_wall = cold.wall_s,
         warm_wall = warm.wall_s,
         par_wall = par.wall_s,

@@ -23,13 +23,19 @@
 //! ```
 //!
 //! `--sample` runs the subcommand's experiment **sampled** (checkpointed
-//! resume + cumulative functional warming over the shared trace, one
-//! detailed window per `MSP_BENCH_SAMPLE_INTERVAL` committed instructions)
-//! instead of simulating every instruction in detail — the way to run
-//! multi-million-instruction budgets:
+//! resume + cumulative functional warming over the shared trace) instead
+//! of simulating every instruction in detail — the way to run
+//! multi-million-instruction budgets. `--sample-plan` picks where the
+//! detailed windows go: `periodic` (one per `MSP_BENCH_SAMPLE_INTERVAL`
+//! committed instructions), `phases` (SimPoint-style — one weighted window
+//! per clustered program phase), or `adaptive` (windows added until the
+//! estimate's relative standard error reaches `--sample-target-stderr`):
 //!
 //! ```text
 //! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample
+//! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample --sample-plan phases
+//! MSP_BENCH_INSTRUCTIONS=2000000 msp-lab table1 --sample --sample-plan adaptive \
+//!     --sample-target-stderr 0.01
 //! ```
 //!
 //! With `MSP_BENCH_JOURNAL_DIR` set and `--resume` passed, every finished
@@ -66,13 +72,16 @@
 //! four hand-edited files.
 
 use msp_bench::store::{demo_store, trace_ls_report};
-use msp_bench::{Lab, LabConfig, OutputFormat, ReportKind, SamplingSpec, TraceStore};
+use msp_bench::{
+    Lab, LabConfig, OutputFormat, ReportKind, SamplePlanKind, SamplingPlan, TraceStore,
+};
 use msp_workloads::Variant;
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample] [--resume] [--verbose]\n\
+        "usage: msp-lab <subcommand> [--format text|json|csv] [--sample] [--sample-plan plan]\n\
+         \x20                        [--sample-target-stderr x] [--resume] [--verbose]\n\
          \x20      msp-lab <subcommand> --bless\n\
          \x20      msp-lab batch <manifest> [--verbose]\n\
          \x20      msp-lab trace <ls|stat|gc|capture> [...]\n\
@@ -90,6 +99,7 @@ fn usage() -> String {
          batch mode (needs MSP_BENCH_JOURNAL_DIR):\n\
          \x20 batch <manifest>  run every experiment listed in <manifest> with the\n\
          \x20                  crash-resumable journal: one `<subcommand> [--sample]\n\
+         \x20                  [--sample-plan p] [--sample-target-stderr x]\n\
          \x20                  [--format fmt]` per line (# comments and blank lines\n\
          \x20                  skipped), journaled cells replayed, the rest computed\n\
          \x20                  and journaled — re-run the same command after a crash\n\
@@ -106,9 +116,16 @@ fn usage() -> String {
          \n\
          options:\n\
          \x20 --format <fmt>   output format: text (default), json or csv\n\
-         \x20 --sample         sampled execution: estimate the full budget from periodic\n\
-         \x20                  detailed windows (checkpointed resume + cumulative warming;\n\
+         \x20 --sample         sampled execution: estimate the full budget from detailed\n\
+         \x20                  windows (checkpointed resume + cumulative warming;\n\
          \x20                  interval from MSP_BENCH_SAMPLE_INTERVAL, 2.5% detail)\n\
+         \x20 --sample-plan <p> where the windows go (needs --sample): periodic (default;\n\
+         \x20                  one window per interval), phases (SimPoint-style — one\n\
+         \x20                  weighted window per clustered program phase), or adaptive\n\
+         \x20                  (windows added until the IPC relative standard error\n\
+         \x20                  reaches the target)\n\
+         \x20 --sample-target-stderr <x>  adaptive stopping target, strictly between 0\n\
+         \x20                  and 1 (needs --sample; default 0.02)\n\
          \x20 --resume         journal every finished cell into MSP_BENCH_JOURNAL_DIR and\n\
          \x20                  replay already-journaled cells instead of re-simulating\n\
          \x20 --verbose        print a trace-cache summary (mem/disk hits, captures) to stderr\n\
@@ -122,6 +139,8 @@ fn usage() -> String {
          \x20 MSP_BENCH_THREADS           sweep worker threads (default: hardware threads)\n\
          \x20 MSP_BENCH_TRACE_CACHE_BYTES trace-cache byte budget (default 268435456)\n\
          \x20 MSP_BENCH_SAMPLE_INTERVAL   --sample interval in instructions (default 250000)\n\
+         \x20 MSP_BENCH_SAMPLE_PLAN       default --sample-plan: periodic, phases or adaptive\n\
+         \x20 MSP_BENCH_SAMPLE_TARGET_STDERR  default --sample-target-stderr (default 0.02)\n\
          \x20 MSP_BENCH_TRACE_DIR         persistent trace-store directory (default: none)\n\
          \x20 MSP_BENCH_TRACE_STORE_BYTES on-disk store byte budget (default 4294967296)\n\
          \x20 MSP_BENCH_JOURNAL_DIR       crash-resumable journal directory (default: none;\n\
@@ -135,6 +154,8 @@ enum Invocation {
         kind: ReportKind,
         format: OutputFormat,
         sample: bool,
+        plan: Option<SamplePlanKind>,
+        target_stderr: Option<f64>,
         resume: bool,
         verbose: bool,
     },
@@ -165,6 +186,27 @@ enum TraceCmd {
 fn parse_format(value: &str) -> Result<OutputFormat, String> {
     OutputFormat::parse(value)
         .ok_or_else(|| format!("unknown format {value:?} (text, json or csv)"))
+}
+
+fn parse_plan_kind(value: &str) -> Result<SamplePlanKind, String> {
+    match value {
+        "periodic" => Ok(SamplePlanKind::Periodic),
+        "phases" => Ok(SamplePlanKind::PhaseAware),
+        "adaptive" => Ok(SamplePlanKind::Adaptive),
+        other => Err(format!(
+            "unknown sample plan {other:?} (periodic, phases or adaptive)"
+        )),
+    }
+}
+
+fn parse_target_stderr(value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|t| t.is_finite() && *t > 0.0 && *t < 1.0)
+        .ok_or_else(|| {
+            format!("--sample-target-stderr {value:?} must be a number strictly between 0 and 1")
+        })
 }
 
 /// Parses the `trace <ls|stat|gc|capture>` family (everything after the
@@ -287,6 +329,8 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut kind: Option<ReportKind> = None;
     let mut format = OutputFormat::Text;
     let mut sample = false;
+    let mut plan: Option<SamplePlanKind> = None;
+    let mut target_stderr: Option<f64> = None;
     let mut bless = false;
     let mut resume = false;
     let mut verbose = false;
@@ -308,6 +352,26 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
             flag if flag.starts_with("--format=") => {
                 format = parse_format(&flag["--format=".len()..])?;
             }
+            "--sample-plan" => {
+                let value = iter.next().ok_or_else(|| {
+                    "--sample-plan needs a value (periodic, phases or adaptive)".to_string()
+                })?;
+                plan = Some(parse_plan_kind(value)?);
+            }
+            flag if flag.starts_with("--sample-plan=") => {
+                plan = Some(parse_plan_kind(&flag["--sample-plan=".len()..])?);
+            }
+            "--sample-target-stderr" => {
+                let value = iter.next().ok_or_else(|| {
+                    "--sample-target-stderr needs a value strictly between 0 and 1".to_string()
+                })?;
+                target_stderr = Some(parse_target_stderr(value)?);
+            }
+            flag if flag.starts_with("--sample-target-stderr=") => {
+                target_stderr = Some(parse_target_stderr(
+                    &flag["--sample-target-stderr=".len()..],
+                )?);
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
             }
@@ -323,6 +387,14 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         }
     }
     let kind = kind.ok_or_else(|| "missing subcommand".to_string())?;
+    if !sample {
+        if plan.is_some() {
+            return Err("--sample-plan needs --sample".to_string());
+        }
+        if target_stderr.is_some() {
+            return Err("--sample-target-stderr needs --sample".to_string());
+        }
+    }
     if bless {
         if sample {
             return Err(
@@ -346,9 +418,29 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
         kind,
         format,
         sample,
+        plan,
+        target_stderr,
         resume,
         verbose,
     })
+}
+
+/// Resolves the effective `SamplingPlan` for one `--sample` run: the session
+/// configuration (environment) provides the defaults, the command-line flags
+/// override them.
+fn resolve_plan(
+    config: &LabConfig,
+    plan: Option<SamplePlanKind>,
+    target_stderr: Option<f64>,
+) -> SamplingPlan {
+    let mut config = config.clone();
+    if let Some(plan) = plan {
+        config.sample_plan = plan;
+    }
+    if let Some(target) = target_stderr {
+        config.sample_target_stderr = target;
+    }
+    config.sampling_plan()
 }
 
 /// Regenerates every golden of `kind` in place. The golden directory is
@@ -502,11 +594,14 @@ fn lab_from_env(resume: bool) -> Result<Lab, String> {
     Ok(Lab::new(config))
 }
 
-/// One parsed manifest entry: `<subcommand> [--sample] [--format fmt]`.
+/// One parsed manifest entry: `<subcommand> [--sample] [--sample-plan p]
+/// [--sample-target-stderr x] [--format fmt]`.
 struct BatchEntry {
     kind: ReportKind,
     format: OutputFormat,
     sample: bool,
+    plan: Option<SamplePlanKind>,
+    target_stderr: Option<f64>,
 }
 
 /// Parses a batch manifest: one experiment per line, `#` comments and
@@ -526,16 +621,20 @@ fn parse_manifest(text: &str) -> Result<Vec<BatchEntry>, String> {
                 kind,
                 format,
                 sample,
+                plan,
+                target_stderr,
                 ..
             }) => entries.push(BatchEntry {
                 kind,
                 format,
                 sample,
+                plan,
+                target_stderr,
             }),
             Ok(_) => {
                 return Err(format!(
-                    "manifest line {}: only `<subcommand> [--sample] [--format fmt]` \
-                     entries are allowed",
+                    "manifest line {}: only `<subcommand> [--sample] [--sample-plan p] \
+                     [--sample-target-stderr x] [--format fmt]` entries are allowed",
                     index + 1
                 ));
             }
@@ -569,7 +668,7 @@ fn run_batch(manifest: &str, verbose: bool) -> Result<(), String> {
         let recorded_before = lab.journal_recorded_count();
         let sampling = entry
             .sample
-            .then(|| SamplingSpec::periodic(lab.config().sample_interval));
+            .then(|| resolve_plan(lab.config(), entry.plan, entry.target_stderr));
         print!(
             "{}",
             entry
@@ -648,6 +747,8 @@ fn main() -> ExitCode {
             kind,
             format,
             sample,
+            plan,
+            target_stderr,
             resume,
             verbose,
         } => {
@@ -658,7 +759,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let sampling = sample.then(|| SamplingSpec::periodic(lab.config().sample_interval));
+            let sampling = sample.then(|| resolve_plan(lab.config(), plan, target_stderr));
             print!("{}", kind.build_sampled(&lab, sampling).render(format));
             if verbose {
                 eprintln!(

@@ -8,7 +8,7 @@
 //! group-by and pivoting into [`TextTable`]s.
 
 use crate::energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
-use crate::{SampledStats, SamplingSpec, TextTable};
+use crate::{SampledStats, SamplingPlan, TextTable};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig, SimResult};
 use msp_power::TechNode;
@@ -92,7 +92,7 @@ pub struct Experiment {
     predictors: Vec<PredictorKind>,
     hooks: Vec<ConfigHook>,
     instructions: Option<u64>,
-    sampling: Option<SamplingSpec>,
+    sampling: Option<SamplingPlan>,
 }
 
 impl Experiment {
@@ -166,20 +166,21 @@ impl Experiment {
     }
 
     /// Runs this spec as a **sampled** experiment: every cell estimates its
-    /// full-budget statistics from detailed simulation of periodic
-    /// intervals (checkpointed warm-up over the shared trace — see
-    /// [`SamplingSpec`]) instead of simulating every committed instruction
-    /// in detail. Each cell then carries a [`SampledStats`] estimate.
-    pub fn sampling(mut self, spec: SamplingSpec) -> Self {
-        self.sampling = Some(spec);
+    /// full-budget statistics from detailed simulation of short windows
+    /// (checkpointed warm-up over the shared trace) instead of simulating
+    /// every committed instruction in detail. The [`SamplingPlan`] decides
+    /// where the windows go — periodic, phase-aware (SimPoint) or
+    /// adaptive. Each cell then carries a [`SampledStats`] estimate.
+    pub fn sampling(mut self, plan: SamplingPlan) -> Self {
+        self.sampling = Some(plan);
         self
     }
 
-    /// [`Experiment::sampling`] with an optional spec (`None` leaves the
+    /// [`Experiment::sampling`] with an optional plan (`None` leaves the
     /// experiment exact) — convenient for flag-driven callers like the
     /// `msp-lab --sample` report recipes.
-    pub fn sampling_opt(mut self, spec: Option<SamplingSpec>) -> Self {
-        self.sampling = spec;
+    pub fn sampling_opt(mut self, plan: Option<SamplingPlan>) -> Self {
+        self.sampling = plan;
         self
     }
 
@@ -194,7 +195,7 @@ impl Experiment {
     }
 
     /// The sampling plan, if this spec runs sampled.
-    pub fn sampling_spec(&self) -> Option<SamplingSpec> {
+    pub fn sampling_plan(&self) -> Option<SamplingPlan> {
         self.sampling
     }
 
@@ -279,10 +280,10 @@ pub struct Cell {
     /// over all measured intervals (every counter summed).
     pub result: SimResult,
     /// The sampled estimate, present iff the experiment ran with a
-    /// [`SamplingSpec`].
+    /// [`SamplingPlan`].
     pub sampled: Option<SampledStats>,
     /// The sampled energy estimate at [`REFERENCE_NODE`], present iff the
-    /// experiment ran with a [`SamplingSpec`].
+    /// experiment ran with a [`SamplingPlan`].
     pub sampled_energy: Option<SampledEnergy>,
 }
 
@@ -343,7 +344,7 @@ impl Cell {
 pub struct ResultSet {
     name: String,
     instructions: u64,
-    sampling: Option<SamplingSpec>,
+    sampling: Option<SamplingPlan>,
     workloads: Vec<(String, Variant)>,
     machines: Vec<MachineKind>,
     predictors: Vec<PredictorKind>,
@@ -355,7 +356,7 @@ impl ResultSet {
     pub(crate) fn new(
         name: String,
         instructions: u64,
-        sampling: Option<SamplingSpec>,
+        sampling: Option<SamplingPlan>,
         axes: &Axes<'_>,
         cells: Vec<Cell>,
     ) -> ResultSet {
@@ -392,7 +393,7 @@ impl ResultSet {
     }
 
     /// The sampling plan the cells were produced under (`None` = exact).
-    pub fn sampling(&self) -> Option<SamplingSpec> {
+    pub fn sampling(&self) -> Option<SamplingPlan> {
         self.sampling
     }
 

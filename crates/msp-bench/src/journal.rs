@@ -49,7 +49,7 @@
 
 use crate::energy::SampledEnergy;
 use crate::experiment::Cell;
-use crate::{SampledStats, SamplingSpec};
+use crate::{SampledStats, SamplingPlan};
 use msp_branch::PredictorKind;
 use msp_isa::wire::{fnv1a, put_varint, FNV_OFFSET};
 use msp_isa::{ArchReg, NUM_LOGICAL_REGS};
@@ -183,7 +183,7 @@ pub fn cell_fingerprint(
     hook: Option<&str>,
     config: &SimConfig,
     instructions: u64,
-    sampling: Option<SamplingSpec>,
+    sampling: Option<SamplingPlan>,
 ) -> u64 {
     let mut buf = Vec::with_capacity(256);
     buf.extend_from_slice(FINGERPRINT_MAGIC);
@@ -193,9 +193,14 @@ pub fn cell_fingerprint(
     put_variant(&mut buf, variant);
     put_opt_string(&mut buf, hook);
     put_varint(&mut buf, instructions);
+    // Rest-pattern-free destructures on purpose: adding a field to any
+    // plan variant without fingerprinting it is a compile error here, not
+    // a silent replay of stale cells. Tag 1 (periodic) keeps the exact
+    // encoding of the old three-field `SamplingSpec`, so periodic journals
+    // written before the plan redesign still replay.
     match sampling {
         None => buf.push(0),
-        Some(SamplingSpec {
+        Some(SamplingPlan::Periodic {
             interval,
             detail_len,
             warmup_len,
@@ -204,6 +209,34 @@ pub fn cell_fingerprint(
             put_varint(&mut buf, interval);
             put_varint(&mut buf, detail_len);
             put_varint(&mut buf, warmup_len);
+        }
+        Some(SamplingPlan::PhaseAware {
+            interval,
+            detail_len,
+            warmup_len,
+            max_phases,
+            seed,
+        }) => {
+            buf.push(2);
+            put_varint(&mut buf, interval);
+            put_varint(&mut buf, detail_len);
+            put_varint(&mut buf, warmup_len);
+            put_varint(&mut buf, max_phases as u64);
+            put_varint(&mut buf, seed);
+        }
+        Some(SamplingPlan::Adaptive {
+            interval,
+            detail_len,
+            warmup_len,
+            target_rel_stderr,
+            max_windows,
+        }) => {
+            buf.push(3);
+            put_varint(&mut buf, interval);
+            put_varint(&mut buf, detail_len);
+            put_varint(&mut buf, warmup_len);
+            put_u64(&mut buf, target_rel_stderr.to_bits());
+            put_varint(&mut buf, max_windows as u64);
         }
     }
     put_sim_config(&mut buf, config);
@@ -1290,7 +1323,7 @@ mod tests {
     fn fingerprint_covers_every_axis() {
         let config = sample_config();
         let base = cell_fingerprint(1, "gzip", Variant::Original, None, &config, 20_000, None);
-        let spec = SamplingSpec {
+        let spec = SamplingPlan::Periodic {
             interval: 1_000,
             detail_len: 100,
             warmup_len: 50,
@@ -1320,6 +1353,99 @@ mod tests {
                 20_000,
                 Some(spec),
             ),
+            // The plan *variant* and every plan-specific field are axes of
+            // their own: a phase-aware or adaptive run must never replay a
+            // periodic cell with the same window shape (or vice versa).
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::PhaseAware {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    max_phases: 8,
+                    seed: 1,
+                }),
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::PhaseAware {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    max_phases: 8,
+                    seed: 2,
+                }),
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::PhaseAware {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    max_phases: 4,
+                    seed: 1,
+                }),
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::Adaptive {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    target_rel_stderr: 0.01,
+                    max_windows: 64,
+                }),
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::Adaptive {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    target_rel_stderr: 0.02,
+                    max_windows: 64,
+                }),
+            ),
+            cell_fingerprint(
+                1,
+                "gzip",
+                Variant::Original,
+                None,
+                &config,
+                20_000,
+                Some(SamplingPlan::Adaptive {
+                    interval: 1_000,
+                    detail_len: 100,
+                    warmup_len: 50,
+                    target_rel_stderr: 0.01,
+                    max_windows: 32,
+                }),
+            ),
             cell_fingerprint(1, "gzip", Variant::Original, None, &hooked, 20_000, None),
             cell_fingerprint(
                 1,
@@ -1342,6 +1468,13 @@ mod tests {
         ];
         for (i, other) in others.iter().enumerate() {
             assert_ne!(base, *other, "axis {i} did not change the fingerprint");
+        }
+        // Pairwise too: plan-specific fields (seed, max_phases, target,
+        // max_windows) must separate plans that agree on everything else.
+        for i in 0..others.len() {
+            for j in i + 1..others.len() {
+                assert_ne!(others[i], others[j], "axes {i} and {j} collided");
+            }
         }
         // And it is stable: same inputs, same fingerprint.
         assert_eq!(

@@ -47,10 +47,11 @@
 use crate::energy::{energy_model_for, SampledEnergy, REFERENCE_NODE};
 use crate::experiment::{Axes, Cell, Experiment, ResultSet};
 use crate::journal::{cell_fingerprint, ExperimentJournal};
+use crate::sampling::{adaptive_window_order, cluster_phases};
 use crate::store::TraceStore;
-use crate::{parallel_map, SampledStats, SamplingSpec};
+use crate::{parallel_map, SampledStats, SamplingPlan};
 use msp_branch::PredictorKind;
-use msp_isa::{ExecutedInst, Trace, TraceReader};
+use msp_isa::{BbvAccumulator, BbvSignature, ExecutedInst, Program, Trace, TraceReader};
 use msp_pipeline::{
     MemoryConfig, SimConfig, SimResult, SimStats, Simulator, TraceSource, WarmState,
 };
@@ -64,8 +65,13 @@ use std::sync::{Arc, Mutex};
 pub const DEFAULT_INSTRUCTIONS: u64 = 20_000;
 
 /// Default sampling interval for `--sample` runs (one detailed window per
-/// this many committed instructions; see [`SamplingSpec::periodic`]).
+/// this many committed instructions; see [`SamplingPlan::periodic`]).
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 250_000;
+
+/// Default adaptive-stopping target for `--sample-plan adaptive` runs when
+/// no explicit `--sample-target-stderr` is given: stop once the estimate's
+/// relative standard error reaches 2%.
+pub const DEFAULT_SAMPLE_TARGET_STDERR: f64 = 0.02;
 
 /// Default trace-cache byte budget: room for a handful of 200k-instruction
 /// traces (~20 MiB each) or dozens of 20k ones.
@@ -83,7 +89,7 @@ const TRACE_MARGIN: u64 = 4_096;
 /// reads. Construct with [`Default`] (or struct update syntax) for
 /// programmatic use, or with [`LabConfig::from_env`] for the documented
 /// `MSP_BENCH_*` environment knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabConfig {
     /// Committed-instruction budget per simulation (default
     /// [`DEFAULT_INSTRUCTIONS`]). An [`Experiment`] can override it per
@@ -98,10 +104,18 @@ pub struct LabConfig {
     /// evicted above it.
     pub trace_cache_bytes: usize,
     /// Sampling interval used when a caller asks for sampled execution
-    /// without an explicit [`SamplingSpec`] (the `msp-lab --sample` flag;
+    /// without an explicit [`SamplingPlan`] (the `msp-lab --sample` flag;
     /// default [`DEFAULT_SAMPLE_INTERVAL`]). Experiments attach their own
     /// plan with [`Experiment::sampling`].
     pub sample_interval: u64,
+    /// Which [`SamplingPlan`] variant flag-driven `--sample` runs build
+    /// from [`LabConfig::sampling_plan`] (default
+    /// [`SamplePlanKind::Periodic`]).
+    pub sample_plan: SamplePlanKind,
+    /// Stopping target for [`SamplePlanKind::Adaptive`] `--sample` runs
+    /// (default [`DEFAULT_SAMPLE_TARGET_STDERR`]); strictly between 0
+    /// and 1. Ignored by the other plan kinds.
+    pub sample_target_stderr: f64,
     /// Directory of the persistent on-disk trace store (default `None` =
     /// memory tier only). Shared across processes; see [`TraceStore`].
     pub trace_dir: Option<PathBuf>,
@@ -125,6 +139,8 @@ impl Default for LabConfig {
             threads: default_threads(),
             trace_cache_bytes: DEFAULT_TRACE_CACHE_BYTES,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            sample_plan: SamplePlanKind::Periodic,
+            sample_target_stderr: DEFAULT_SAMPLE_TARGET_STDERR,
             trace_dir: None,
             trace_store_bytes: crate::store::DEFAULT_TRACE_STORE_BYTES,
             journal_dir: None,
@@ -136,6 +152,32 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Which [`SamplingPlan`] variant a flag-driven `--sample` run uses (the
+/// `MSP_BENCH_SAMPLE_PLAN` / `--sample-plan` knob). Experiments built in
+/// code attach a full plan directly with [`Experiment::sampling`]; this
+/// kind only parameterises [`LabConfig::sampling_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePlanKind {
+    /// [`SamplingPlan::periodic`] at [`LabConfig::sample_interval`].
+    Periodic,
+    /// [`SamplingPlan::phase_aware`] at [`LabConfig::sample_interval`].
+    PhaseAware,
+    /// [`SamplingPlan::adaptive`] at [`LabConfig::sample_target_stderr`],
+    /// re-intervalled to [`LabConfig::sample_interval`].
+    Adaptive,
+}
+
+impl SamplePlanKind {
+    /// The `--sample-plan` spelling of this kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplePlanKind::Periodic => "periodic",
+            SamplePlanKind::PhaseAware => "phases",
+            SamplePlanKind::Adaptive => "adaptive",
+        }
+    }
 }
 
 /// A rejected `MSP_BENCH_*` environment value.
@@ -177,6 +219,10 @@ impl LabConfig {
     ///   use).
     /// * `MSP_BENCH_SAMPLE_INTERVAL` — sampling interval for `--sample`
     ///   runs; a positive integer.
+    /// * `MSP_BENCH_SAMPLE_PLAN` — sampling plan for `--sample` runs; one
+    ///   of `periodic`, `phases`, `adaptive`.
+    /// * `MSP_BENCH_SAMPLE_TARGET_STDERR` — adaptive stopping target for
+    ///   `--sample` runs; a number strictly between 0 and 1.
     /// * `MSP_BENCH_TRACE_DIR` — directory of the persistent trace store;
     ///   a non-empty path (created if missing).
     /// * `MSP_BENCH_TRACE_STORE_BYTES` — byte budget of the on-disk store;
@@ -208,6 +254,8 @@ impl LabConfig {
             read("MSP_BENCH_THREADS")?.as_deref(),
             read("MSP_BENCH_TRACE_CACHE_BYTES")?.as_deref(),
             read("MSP_BENCH_SAMPLE_INTERVAL")?.as_deref(),
+            read("MSP_BENCH_SAMPLE_PLAN")?.as_deref(),
+            read("MSP_BENCH_SAMPLE_TARGET_STDERR")?.as_deref(),
             read("MSP_BENCH_TRACE_DIR")?.as_deref(),
             read("MSP_BENCH_TRACE_STORE_BYTES")?.as_deref(),
             read("MSP_BENCH_JOURNAL_DIR")?.as_deref(),
@@ -217,11 +265,14 @@ impl LabConfig {
     /// [`LabConfig::from_env`] with the variable values passed explicitly
     /// (`None` = unset), so the parsing rules are testable without mutating
     /// the process environment.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_vars(
         instructions: Option<&str>,
         threads: Option<&str>,
         trace_cache_bytes: Option<&str>,
         sample_interval: Option<&str>,
+        sample_plan: Option<&str>,
+        sample_target_stderr: Option<&str>,
         trace_dir: Option<&str>,
         trace_store_bytes: Option<&str>,
         journal_dir: Option<&str>,
@@ -243,6 +294,34 @@ impl LabConfig {
         }
         let trace_dir = parse_dir("MSP_BENCH_TRACE_DIR", trace_dir)?;
         let journal_dir = parse_dir("MSP_BENCH_JOURNAL_DIR", journal_dir)?;
+        let sample_plan = match sample_plan.map(str::trim) {
+            None => defaults.sample_plan,
+            Some("periodic") => SamplePlanKind::Periodic,
+            Some("phases") => SamplePlanKind::PhaseAware,
+            Some("adaptive") => SamplePlanKind::Adaptive,
+            Some(other) => {
+                return Err(LabConfigError {
+                    var: "MSP_BENCH_SAMPLE_PLAN",
+                    value: other.to_string(),
+                    reason: "must be one of: periodic, phases, adaptive",
+                })
+            }
+        };
+        let sample_target_stderr = match sample_target_stderr {
+            None => defaults.sample_target_stderr,
+            Some(value) => {
+                let parsed = value
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t > 0.0 && *t < 1.0);
+                parsed.ok_or(LabConfigError {
+                    var: "MSP_BENCH_SAMPLE_TARGET_STDERR",
+                    value: value.to_string(),
+                    reason: "must be a number strictly between 0 and 1",
+                })?
+            }
+        };
         Ok(LabConfig {
             instructions: parse_var(
                 "MSP_BENCH_INSTRUCTIONS",
@@ -264,6 +343,8 @@ impl LabConfig {
                 defaults.sample_interval,
                 true,
             )?,
+            sample_plan,
+            sample_target_stderr,
             trace_dir,
             trace_store_bytes: parse_var(
                 "MSP_BENCH_TRACE_STORE_BYTES",
@@ -273,6 +354,20 @@ impl LabConfig {
             )?,
             journal_dir,
         })
+    }
+
+    /// The [`SamplingPlan`] a flag-driven `--sample` run uses: the
+    /// configured [`LabConfig::sample_plan`] kind at
+    /// [`LabConfig::sample_interval`] (with
+    /// [`LabConfig::sample_target_stderr`] as the adaptive stopping
+    /// target).
+    pub fn sampling_plan(&self) -> SamplingPlan {
+        match self.sample_plan {
+            SamplePlanKind::Periodic => SamplingPlan::periodic(self.sample_interval),
+            SamplePlanKind::PhaseAware => SamplingPlan::phase_aware(self.sample_interval),
+            SamplePlanKind::Adaptive => SamplingPlan::adaptive(self.sample_target_stderr)
+                .with_interval(self.sample_interval),
+        }
     }
 }
 
@@ -411,6 +506,31 @@ impl SharedTrace {
         match self {
             SharedTrace::Memory(trace) => trace.checkpoint_at(index).is_some(),
             SharedTrace::Disk(reader) => reader.has_checkpoint_at(index),
+        }
+    }
+
+    /// The per-interval basic-block vectors of this trace, for phase
+    /// clustering. Materialised traces carry them; disk traces read the
+    /// stored v2 chunk, and a v1 file (no stored BBVs) derives them with
+    /// one streaming pass over its records — the same
+    /// [`BbvAccumulator`] the capture would have run, so all three routes
+    /// produce identical signatures.
+    fn bbvs(&self, program: &Program, interval: u64) -> Vec<BbvSignature> {
+        match self {
+            SharedTrace::Memory(trace) => trace.bbvs().to_vec(),
+            SharedTrace::Disk(reader) => {
+                if let Ok(Some(bbvs)) = reader.read_bbvs() {
+                    return bbvs;
+                }
+                let mut acc = BbvAccumulator::new(interval);
+                let mut source = self.open_source();
+                let mut index = 0;
+                while let Some(rec) = source.get(program, index) {
+                    acc.observe(rec);
+                    index += 1;
+                }
+                acc.finish()
+            }
         }
     }
 }
@@ -760,24 +880,28 @@ impl Lab {
     /// trace, and the results are collected into a [`ResultSet`] in
     /// deterministic cell order.
     ///
-    /// A spec carrying a [`SamplingSpec`] runs **sampled**: each cell's
-    /// periodic detail intervals become independent work units fanned
-    /// across the worker threads (`Simulator::resume_from` per interval),
-    /// and the cell's [`SampledStats`] estimate is aggregated from them.
+    /// A spec carrying a [`SamplingPlan`] runs **sampled**: each cell's
+    /// detail windows become independent work units fanned across the
+    /// worker threads (`Simulator::resume_from` per window), and the
+    /// cell's [`SampledStats`] estimate is aggregated from them. The plan
+    /// decides where the windows go: one per interval
+    /// ([`SamplingPlan::Periodic`]), one per clustered program phase
+    /// ([`SamplingPlan::PhaseAware`]), or incrementally until a target
+    /// confidence ([`SamplingPlan::Adaptive`]).
     ///
     /// # Panics
     ///
     /// Panics if the experiment has no workloads or no machines (an empty
     /// axis is a spec bug, not an empty result), or if its sampling plan is
-    /// inconsistent ([`SamplingSpec::assert_valid`]).
+    /// inconsistent ([`SamplingPlan::assert_valid`]).
     pub fn run(&self, experiment: &Experiment) -> ResultSet {
         let axes = experiment.axes();
         let instructions = experiment
             .instructions_override()
             .unwrap_or(self.config.instructions);
-        match experiment.sampling_spec() {
+        match experiment.sampling_plan() {
             None => self.run_exact(experiment, &axes, instructions),
-            Some(spec) => self.run_sampled(experiment, &axes, instructions, spec),
+            Some(plan) => self.run_sampled(experiment, &axes, instructions, plan),
         }
     }
 
@@ -791,7 +915,7 @@ impl Lab {
         flat: usize,
         config: &SimConfig,
         instructions: u64,
-        sampling: Option<SamplingSpec>,
+        sampling: Option<SamplingPlan>,
     ) -> u64 {
         let (w, _, _, h) = axes.coordinates(flat);
         let workload = &axes.workloads[w];
@@ -814,7 +938,7 @@ impl Lab {
         axes: &Axes<'_>,
         configs: &[SimConfig],
         instructions: u64,
-        sampling: Option<SamplingSpec>,
+        sampling: Option<SamplingPlan>,
     ) -> (Vec<Option<Cell>>, Vec<usize>) {
         let mut cells: Vec<Option<Cell>> = vec![None; axes.len()];
         if let Some(journal) = &self.journal {
@@ -834,7 +958,7 @@ impl Lab {
         flat: usize,
         config: &SimConfig,
         instructions: u64,
-        sampling: Option<SamplingSpec>,
+        sampling: Option<SamplingPlan>,
         cell: &Cell,
     ) {
         if let Some(journal) = &self.journal {
@@ -924,7 +1048,7 @@ impl Lab {
         )
     }
 
-    /// The sampled execution path: one work unit per `(cell, interval)`
+    /// The sampled execution path: one work unit per `(cell, window)`
     /// pair, fanned across the worker threads, so even a single-cell
     /// experiment parallelises. Units resume from the trace's architectural
     /// checkpoints, seeded with snapshots of a **cumulative warm
@@ -936,29 +1060,47 @@ impl Lab {
     /// * interval 0 is measured **exactly** — detail over the whole first
     ///   interval from a cold machine, which is bit-identical to the exact
     ///   run's prefix and captures the one-time cold-start transient that
-    ///   periodic windows would otherwise misrepresent;
-    /// * interval `k ≥ 1` resumes at the checkpoint at `k·interval`,
-    ///   seeded with a [`WarmState`] snapshot taken at that point by one
-    ///   functional warming pass over the whole trace — so every window's
-    ///   caches and predictors carry the history of the *entire* prefix (a
-    ///   bounded warm window systematically under-trains slow-converging
-    ///   predictors and large working sets). One trajectory serves every
-    ///   cell whose warm structures are configured identically (same
-    ///   predictor, same memory geometry) — in the reference table1 sweep,
-    ///   all four machines share one. The first `warmup_len` committed
-    ///   instructions of the window run in detail but are excluded from
-    ///   measurement: they re-establish the pipeline occupancy (in-flight
-    ///   window, queues) that no snapshot carries, which deep bulk-commit
-    ///   machines need a few hundred cycles to ramp.
+    ///   sampled windows would otherwise misrepresent;
+    /// * a window starting at `k·interval`, `k ≥ 1`, resumes at the
+    ///   checkpoint there, seeded with a [`WarmState`] snapshot taken at
+    ///   that point by one functional warming pass over the whole trace —
+    ///   so every window's caches and predictors carry the history of the
+    ///   *entire* prefix (a bounded warm window systematically under-trains
+    ///   slow-converging predictors and large working sets). One trajectory
+    ///   serves every cell whose warm structures are configured identically
+    ///   (same predictor, same memory geometry) — in the reference table1
+    ///   sweep, all four machines share one. The first `warmup_len`
+    ///   committed instructions of the window run in detail but are
+    ///   excluded from measurement: they re-establish the pipeline
+    ///   occupancy (in-flight window, queues) that no snapshot carries,
+    ///   which deep bulk-commit machines need a few hundred cycles to ramp.
+    ///
+    /// The [`SamplingPlan`] decides **which** interval starts get a window
+    /// and how each window is weighted (its represented span):
+    ///
+    /// * [`SamplingPlan::Periodic`] — every eligible interval start, each
+    ///   spanning its own interval;
+    /// * [`SamplingPlan::PhaseAware`] — the tail intervals' basic-block
+    ///   vectors are clustered once per workload ([`cluster_phases`]) and
+    ///   only each phase's most central interval is simulated, spanning
+    ///   `members × interval` — the SimPoint population weighting, folded
+    ///   through the same span-weighted estimator;
+    /// * [`SamplingPlan::Adaptive`] — periodic windows are added one at a
+    ///   time in bit-reversed (low-discrepancy) order, re-estimating after
+    ///   each, until `ipc_rel_stderr` reaches the target or `max_windows`
+    ///   is hit; the measured windows split the whole tail span evenly.
     fn run_sampled(
         &self,
         experiment: &Experiment,
         axes: &Axes<'_>,
         instructions: u64,
-        spec: SamplingSpec,
+        plan: SamplingPlan,
     ) -> ResultSet {
-        spec.assert_valid();
-        let checkpoint_interval = spec.interval;
+        plan.assert_valid();
+        let interval = plan.interval();
+        let detail_len = plan.detail_len();
+        let warmup_len = plan.warmup_len();
+        let checkpoint_interval = interval;
         // Per-cell effective configuration (hooks applied), built up front
         // so cells can share warm trajectories and journal fingerprints
         // cover exactly what each cell will run.
@@ -973,7 +1115,7 @@ impl Lab {
         // Journaled cells replay outright: no trace, no warming pass, no
         // work units. Everything below operates on the pending cells only.
         let (mut replayed, pending) =
-            self.replay_journaled(axes, &configs, instructions, Some(spec));
+            self.replay_journaled(axes, &configs, instructions, Some(plan));
         let traces = self.resolve_pending_traces(axes, &pending, instructions, checkpoint_interval);
         // Group the cells by warm-structure configuration: (workload,
         // predictor, memory geometry). Cells in one group see identical
@@ -1008,7 +1150,7 @@ impl Lab {
                 let mut warm = WarmState::for_config(program, &configs[members[0]]);
                 let mut snapshots = Vec::new();
                 let mut index = 0;
-                let mut start = spec.interval;
+                let mut start = interval;
                 while start < instructions {
                     while index < start {
                         let Some(rec) = source.get(program, index) else {
@@ -1018,7 +1160,7 @@ impl Lab {
                         index += 1;
                     }
                     snapshots.push(warm.clone());
-                    start += spec.interval;
+                    start += interval;
                 }
                 snapshots
             });
@@ -1031,109 +1173,243 @@ impl Lab {
                     .unwrap_or(usize::MAX)
             })
             .collect();
-        // The flat unit list, cell-major then interval-ascending — the
-        // aggregation below walks it back in the same order.
         // The head stratum: measured exactly from a cold machine. A third
         // of an interval bounds the cold-start transient at a fraction of a
         // full interval's detailed cost; a full-detail plan (detail ==
         // interval) keeps complete coverage.
-        let head_len = (spec.interval / 3).max(spec.detail_len).min(instructions);
-        struct Unit {
-            flat: usize,
-            start: u64,
-            warmup: u64,
-            detail: u64,
-            span: u64,
-        }
-        let mut units: Vec<Unit> = Vec::new();
-        for &flat in &pending {
+        let head_len = (interval / 3).max(detail_len).min(instructions);
+        // Eligible window starts of a cell: interval starts backed by a
+        // trace checkpoint and (past the head) by a warm snapshot. A
+        // missing checkpoint or snapshot means the program ended before
+        // that start; nothing to measure from there on.
+        let eligible_starts = |flat: usize| -> Vec<u64> {
             let (w, ..) = axes.coordinates(flat);
             let trace = traces[w].as_ref().expect("pending workload resolved");
+            let mut starts = Vec::new();
             let mut start = 0;
             while start < instructions {
-                let (warmup, detail, span) = if start == 0 {
-                    (0, head_len, head_len)
-                } else {
-                    let warmup = spec.warmup_len.min(instructions - start);
-                    (
-                        warmup,
-                        spec.detail_len.min(instructions - start - warmup),
-                        spec.interval,
-                    )
-                };
-                // No checkpoint (or no warm snapshot) means the program
-                // ended before this window; nothing to measure from here.
                 if !trace.has_checkpoint_at(start) {
                     break;
                 }
                 if start > 0
-                    && group_snapshots[group_of_flat[flat]].len() < (start / spec.interval) as usize
+                    && group_snapshots[group_of_flat[flat]].len() < (start / interval) as usize
                 {
                     break;
                 }
-                if detail > 0 {
-                    units.push(Unit {
-                        flat,
-                        start,
-                        warmup,
-                        detail,
-                        span,
-                    });
-                }
-                start += spec.interval;
+                starts.push(start);
+                start += interval;
             }
-        }
-        let results = parallel_map(self.config.threads, &units, |unit| {
-            let (w, ..) = axes.coordinates(unit.flat);
-            let config = configs[unit.flat].clone();
+            starts
+        };
+        // `(warmup, detail)` of the window at a start, clipped to the
+        // budget.
+        let window_shape = |start: u64| -> (u64, u64) {
+            if start == 0 {
+                (0, head_len)
+            } else {
+                let warmup = warmup_len.min(instructions - start);
+                (warmup, detail_len.min(instructions - start - warmup))
+            }
+        };
+        // One detailed window: resume, fill, measure. Shared verbatim by
+        // all three plans — they only differ in which windows run.
+        let simulate = |flat: usize, start: u64, warmup: u64, detail: u64| -> SimResult {
+            let (w, ..) = axes.coordinates(flat);
+            let config = configs[flat].clone();
             let program = axes.workloads[w].program();
             let trace = traces[w].as_ref().expect("pending workload resolved");
-            if unit.start == 0 {
+            if start == 0 {
                 // The head window: exact detail from a cold machine.
                 return Simulator::resume_from(program, config, trace.open_source(), 0, 0)
-                    .run(unit.detail);
+                    .run(detail);
             }
-            let snapshot = &group_snapshots[group_of_flat[unit.flat]]
-                [(unit.start / spec.interval) as usize - 1];
+            let snapshot = &group_snapshots[group_of_flat[flat]][(start / interval) as usize - 1];
             let mut sim = Simulator::resume_warmed(
                 program,
                 config,
                 trace.open_source(),
-                unit.start,
+                start,
                 snapshot.clone(),
             );
-            if unit.warmup == 0 {
-                return sim.run(unit.detail);
+            if warmup == 0 {
+                return sim.run(detail);
             }
             // Detailed pipeline fill, excluded from the measured window.
             // Bulk-commit machines can overshoot the fill request by a
             // whole commit group, so the measured window is anchored at
             // wherever the fill actually stopped.
-            sim.run(unit.warmup);
+            sim.run(warmup);
             let prefix = sim.stats().clone();
-            let mut result = sim.run(prefix.committed + unit.detail);
+            let mut result = sim.run(prefix.committed + detail);
             result.stats = result.stats.subtracting(&prefix);
             result
-        });
+        };
+        // Per pending cell: the measured `(stats, represented span)` pairs
+        // (head first) and the watchdog flag.
+        let per_cell: Vec<(Vec<(SimStats, u64)>, bool)> = match plan {
+            SamplingPlan::Adaptive {
+                target_rel_stderr,
+                max_windows,
+                ..
+            } => {
+                // Each cell is one sequential stop-when-confident loop;
+                // the cells themselves fan across the workers.
+                parallel_map(self.config.threads, &pending, |&flat| {
+                    let tail: Vec<u64> = eligible_starts(flat)
+                        .into_iter()
+                        .filter(|&s| s > 0)
+                        .collect();
+                    let tail_span = tail.len() as u64 * interval;
+                    let mut truncated = false;
+                    let mut head: Vec<(SimStats, u64)> = Vec::new();
+                    if head_len > 0 {
+                        let r = simulate(flat, 0, 0, head_len);
+                        truncated |= r.truncated_by_watchdog;
+                        head.push((r.stats, head_len));
+                    }
+                    let assemble = |windows: &[SimStats]| -> Vec<(SimStats, u64)> {
+                        let mut per = head.clone();
+                        if !windows.is_empty() {
+                            let spans = spread_spans(tail_span, windows.len());
+                            per.extend(windows.iter().cloned().zip(spans));
+                        }
+                        per
+                    };
+                    let mut windows: Vec<SimStats> = Vec::new();
+                    for &oi in &adaptive_window_order(tail.len()) {
+                        if windows.len() >= max_windows {
+                            break;
+                        }
+                        let start = tail[oi];
+                        let (warmup, detail) = window_shape(start);
+                        if detail == 0 {
+                            continue;
+                        }
+                        let r = simulate(flat, start, warmup, detail);
+                        truncated |= r.truncated_by_watchdog;
+                        windows.push(r.stats);
+                        let est = SampledStats::from_intervals(&assemble(&windows));
+                        if est.ipc_rel_stderr.is_some_and(|e| e <= target_rel_stderr) {
+                            break;
+                        }
+                    }
+                    (assemble(&windows), truncated)
+                })
+            }
+            SamplingPlan::Periodic { .. } | SamplingPlan::PhaseAware { .. } => {
+                // The flat unit list, cell-major then start-ascending — the
+                // per-cell walk below consumes it back in the same order.
+                struct Unit {
+                    flat: usize,
+                    start: u64,
+                    warmup: u64,
+                    detail: u64,
+                    span: u64,
+                }
+                let mut units: Vec<Unit> = Vec::new();
+                // Phase-aware window placement is a per-workload decision
+                // (every cell of a workload shares the trace, hence the
+                // BBVs and the clustering); computed once and reused.
+                let mut phase_windows: Vec<Option<Vec<(u64, u64)>>> =
+                    vec![None; axes.workloads.len()];
+                for &flat in &pending {
+                    let (w, ..) = axes.coordinates(flat);
+                    let starts = eligible_starts(flat);
+                    let placed: Vec<(u64, u64)> = match plan {
+                        SamplingPlan::Periodic { .. } => starts
+                            .iter()
+                            .map(|&s| (s, if s == 0 { head_len } else { interval }))
+                            .collect(),
+                        SamplingPlan::PhaseAware {
+                            max_phases, seed, ..
+                        } => {
+                            if phase_windows[w].is_none() {
+                                let trace = traces[w].as_ref().expect("pending workload resolved");
+                                let bbvs = trace.bbvs(axes.workloads[w].program(), interval);
+                                // Tail intervals with a recorded BBV (the
+                                // program ran into them); interval k covers
+                                // [k·interval, (k+1)·interval).
+                                let tail: Vec<u64> = starts
+                                    .iter()
+                                    .copied()
+                                    .filter(|&s| s > 0 && ((s / interval) as usize) < bbvs.len())
+                                    .collect();
+                                let tail_bbvs: Vec<BbvSignature> = tail
+                                    .iter()
+                                    .map(|&s| bbvs[(s / interval) as usize].clone())
+                                    .collect();
+                                let phases = cluster_phases(&tail_bbvs, max_phases, seed);
+                                let mut windows: Vec<(u64, u64)> = phases
+                                    .representatives
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(p, &rep)| {
+                                        let members =
+                                            phases.assignment.iter().filter(|&&a| a == p).count()
+                                                as u64;
+                                        (tail[rep], members * interval)
+                                    })
+                                    .collect();
+                                windows.sort_unstable();
+                                phase_windows[w] = Some(windows);
+                            }
+                            let mut placed = Vec::new();
+                            if head_len > 0 {
+                                placed.push((0, head_len));
+                            }
+                            placed.extend(phase_windows[w].as_ref().unwrap());
+                            placed
+                        }
+                        SamplingPlan::Adaptive { .. } => unreachable!("handled above"),
+                    };
+                    for (start, span) in placed {
+                        let (warmup, detail) = window_shape(start);
+                        if detail > 0 {
+                            units.push(Unit {
+                                flat,
+                                start,
+                                warmup,
+                                detail,
+                                span,
+                            });
+                        }
+                    }
+                }
+                let results = parallel_map(self.config.threads, &units, |unit| {
+                    simulate(unit.flat, unit.start, unit.warmup, unit.detail)
+                });
+                let mut per_cell = Vec::with_capacity(pending.len());
+                let mut cursor = 0;
+                for &flat in &pending {
+                    let mut per_interval: Vec<(SimStats, u64)> = Vec::new();
+                    let mut truncated = false;
+                    while cursor < units.len() && units[cursor].flat == flat {
+                        let result = &results[cursor];
+                        truncated |= result.truncated_by_watchdog;
+                        per_interval.push((result.stats.clone(), units[cursor].span));
+                        cursor += 1;
+                    }
+                    per_cell.push((per_interval, truncated));
+                }
+                per_cell
+            }
+        };
         let mut cells = Vec::with_capacity(axes.len());
-        let mut cursor = 0;
+        let mut computed = pending.iter().zip(per_cell);
         for flat in 0..axes.len() {
             if let Some(cell) = replayed[flat].take() {
-                // Rehydrated from the journal; the unit list never
-                // contained this cell, so the cursor needs no adjustment.
+                // Rehydrated from the journal; the computed list never
+                // contained this cell.
                 cells.push(cell);
                 continue;
             }
+            let (&pflat, (per_interval, truncated)) =
+                computed.next().expect("every pending cell computed");
+            debug_assert_eq!(pflat, flat);
             let (w, m, p, h) = axes.coordinates(flat);
-            let mut per_interval: Vec<(SimStats, u64)> = Vec::new();
             let mut aggregate = SimStats::default();
-            let mut truncated = false;
-            while cursor < units.len() && units[cursor].flat == flat {
-                let result = &results[cursor];
-                truncated |= result.truncated_by_watchdog;
-                aggregate.accumulate(&result.stats);
-                per_interval.push((result.stats.clone(), units[cursor].span));
-                cursor += 1;
+            for (stats, _) in &per_interval {
+                aggregate.accumulate(stats);
             }
             let energy_model = energy_model_for(axes.machines[m], REFERENCE_NODE);
             let cell = Cell {
@@ -1151,15 +1427,25 @@ impl Lab {
                 sampled: Some(SampledStats::from_intervals(&per_interval)),
                 sampled_energy: Some(SampledEnergy::from_intervals(&per_interval, &energy_model)),
             };
-            self.record_cell(axes, flat, &configs[flat], instructions, Some(spec), &cell);
+            self.record_cell(axes, flat, &configs[flat], instructions, Some(plan), &cell);
             cells.push(cell);
         }
         ResultSet::new(
             experiment.name().to_string(),
             instructions,
-            Some(spec),
+            Some(plan),
             axes,
             cells,
         )
     }
+}
+
+/// Splits `total` span units over `m` windows as evenly as integer spans
+/// allow (the first `total % m` windows carry the remainder) — how an
+/// adaptive estimate distributes the tail span over however many windows
+/// it ended up measuring.
+fn spread_spans(total: u64, m: usize) -> Vec<u64> {
+    let base = total / m as u64;
+    let rem = (total % m as u64) as usize;
+    (0..m).map(|i| base + u64::from(i < rem)).collect()
 }

@@ -36,15 +36,21 @@
 //!
 //! # Sampled simulation
 //!
-//! An [`Experiment`] carrying a [`SamplingSpec`] estimates its full-budget
-//! statistics from detailed simulation of **periodic intervals**: the
-//! trace is captured with architectural checkpoints, each interval resumes
-//! from its checkpoint (`Simulator::resume_from`), functionally warms the
-//! caches and branch predictors, measures `detail_len` committed
-//! instructions in detail, and the per-interval statistics fold into a
-//! [`SampledStats`] mean-IPC estimate with a relative-error figure. This
-//! is what makes multi-million-instruction budgets tractable — see the
-//! `msp-lab --sample` flag and DESIGN.md's invariants section.
+//! An [`Experiment`] carrying a [`SamplingPlan`] estimates its full-budget
+//! statistics from detailed simulation of **short windows**: the trace is
+//! captured with architectural checkpoints (and per-interval basic-block
+//! vectors), each window resumes from its checkpoint
+//! (`Simulator::resume_from`), functionally warms the caches and branch
+//! predictors, measures `detail_len` committed instructions in detail, and
+//! the per-window statistics fold into a [`SampledStats`] mean-IPC
+//! estimate with a relative-error figure. The plan picks the windows:
+//! [`SamplingPlan::Periodic`] measures every interval (SMARTS),
+//! [`SamplingPlan::PhaseAware`] clusters the interval BBVs and measures one
+//! weighted representative per program phase (SimPoint), and
+//! [`SamplingPlan::Adaptive`] keeps adding windows until the estimate's
+//! relative standard error reaches a target. This is what makes
+//! multi-million-instruction budgets tractable — see the `msp-lab
+//! --sample` flag and DESIGN.md's phase-aware-sampling section.
 //!
 //! # Activity-driven energy accounting
 //!
@@ -74,12 +80,15 @@ pub use energy::{energy_model_for, EnergyStats, SampledEnergy, REFERENCE_NODE};
 pub use experiment::{Cell, ConfigHook, Experiment, ResultSet};
 pub use journal::{cell_fingerprint, ExperimentJournal, JOURNAL_FORMAT_VERSION};
 pub use lab::{
-    Lab, LabConfig, LabConfigError, DEFAULT_INSTRUCTIONS, DEFAULT_SAMPLE_INTERVAL,
-    DEFAULT_TRACE_CACHE_BYTES,
+    Lab, LabConfig, LabConfigError, SamplePlanKind, DEFAULT_INSTRUCTIONS, DEFAULT_SAMPLE_INTERVAL,
+    DEFAULT_SAMPLE_TARGET_STDERR, DEFAULT_TRACE_CACHE_BYTES,
 };
 pub use report::{csv_row, json_string, parse_csv_record, Block, OutputFormat, Report};
 pub use reports::{GoldenSpec, ReportKind};
-pub use sampling::{SampledStats, SamplingSpec};
+pub use sampling::{
+    adaptive_window_order, cluster_phases, PhaseAssignment, SampledStats, SamplingPlan,
+    DEFAULT_CLUSTER_SEED, DEFAULT_MAX_PHASES, DEFAULT_MAX_WINDOWS,
+};
 pub use store::{GcReport, StoreEntry, TraceStore, DEFAULT_TRACE_STORE_BYTES};
 
 use msp_pipeline::MachineKind;
@@ -311,44 +320,125 @@ mod tests {
         t.row(vec!["only one".into()]);
     }
 
+    /// `LabConfig::from_vars` with every variable unset except the named
+    /// overrides, so the strict-parsing assertions below stay readable as
+    /// the knob list grows.
+    fn vars(overrides: &[(&'static str, &str)]) -> Result<LabConfig, LabConfigError> {
+        let get = |var: &str| {
+            overrides
+                .iter()
+                .find(|(v, _)| *v == var)
+                .map(|(_, value)| *value)
+        };
+        LabConfig::from_vars(
+            get("MSP_BENCH_INSTRUCTIONS"),
+            get("MSP_BENCH_THREADS"),
+            get("MSP_BENCH_TRACE_CACHE_BYTES"),
+            get("MSP_BENCH_SAMPLE_INTERVAL"),
+            get("MSP_BENCH_SAMPLE_PLAN"),
+            get("MSP_BENCH_SAMPLE_TARGET_STDERR"),
+            get("MSP_BENCH_TRACE_DIR"),
+            get("MSP_BENCH_TRACE_STORE_BYTES"),
+            get("MSP_BENCH_JOURNAL_DIR"),
+        )
+    }
+
     #[test]
     fn strict_env_parsing_rejects_garbage() {
-        assert!(LabConfig::from_vars(None, None, None, None, None, None, None).is_ok());
+        assert!(vars(&[]).is_ok());
         assert_eq!(
-            LabConfig::from_vars(Some("20000"), Some("4"), Some("0"), None, None, None, None)
-                .unwrap()
-                .instructions,
+            vars(&[
+                ("MSP_BENCH_INSTRUCTIONS", "20000"),
+                ("MSP_BENCH_THREADS", "4"),
+                ("MSP_BENCH_TRACE_CACHE_BYTES", "0"),
+            ])
+            .unwrap()
+            .instructions,
             20_000
         );
         // Unparseable values are errors, not silent defaults.
         for bad in ["20_000", "", "abc", "-1", "1.5"] {
-            let err =
-                LabConfig::from_vars(Some(bad), None, None, None, None, None, None).unwrap_err();
+            let err = vars(&[("MSP_BENCH_INSTRUCTIONS", bad)]).unwrap_err();
             assert_eq!(err.var, "MSP_BENCH_INSTRUCTIONS");
             assert!(err.to_string().contains("MSP_BENCH_INSTRUCTIONS"));
         }
-        assert!(LabConfig::from_vars(None, Some("zero"), None, None, None, None, None).is_err());
-        assert!(LabConfig::from_vars(None, None, Some("x"), None, None, None, None).is_err());
+        assert!(vars(&[("MSP_BENCH_THREADS", "zero")]).is_err());
+        assert!(vars(&[("MSP_BENCH_TRACE_CACHE_BYTES", "x")]).is_err());
         // Zero budgets/threads are rejected; a zero cache budget is legal.
-        assert!(LabConfig::from_vars(Some("0"), None, None, None, None, None, None).is_err());
-        assert!(LabConfig::from_vars(None, Some("0"), None, None, None, None, None).is_err());
+        assert!(vars(&[("MSP_BENCH_INSTRUCTIONS", "0")]).is_err());
+        assert!(vars(&[("MSP_BENCH_THREADS", "0")]).is_err());
         assert_eq!(
-            LabConfig::from_vars(None, None, Some("0"), None, None, None, None)
+            vars(&[("MSP_BENCH_TRACE_CACHE_BYTES", "0")])
                 .unwrap()
                 .trace_cache_bytes,
             0
         );
         // The store knobs: an empty dir is garbage, a zero byte budget is
         // legal, and a garbage byte budget is an error.
-        let err = LabConfig::from_vars(None, None, None, None, Some("  "), None, None).unwrap_err();
+        let err = vars(&[("MSP_BENCH_TRACE_DIR", "  ")]).unwrap_err();
         assert_eq!(err.var, "MSP_BENCH_TRACE_DIR");
         assert_eq!(
-            LabConfig::from_vars(None, None, None, None, Some("/tmp/traces"), Some("0"), None)
-                .unwrap()
-                .trace_store_bytes,
+            vars(&[
+                ("MSP_BENCH_TRACE_DIR", "/tmp/traces"),
+                ("MSP_BENCH_TRACE_STORE_BYTES", "0"),
+            ])
+            .unwrap()
+            .trace_store_bytes,
             0
         );
-        assert!(LabConfig::from_vars(None, None, None, None, None, Some("big"), None).is_err());
+        assert!(vars(&[("MSP_BENCH_TRACE_STORE_BYTES", "big")]).is_err());
+        // The sampling-plan knobs parse strictly too: only the three
+        // documented spellings, and only targets strictly inside (0, 1).
+        assert_eq!(
+            vars(&[("MSP_BENCH_SAMPLE_PLAN", "periodic")])
+                .unwrap()
+                .sample_plan,
+            SamplePlanKind::Periodic
+        );
+        assert_eq!(
+            vars(&[("MSP_BENCH_SAMPLE_PLAN", " phases ")])
+                .unwrap()
+                .sample_plan,
+            SamplePlanKind::PhaseAware
+        );
+        assert_eq!(
+            vars(&[("MSP_BENCH_SAMPLE_PLAN", "adaptive")])
+                .unwrap()
+                .sample_plan,
+            SamplePlanKind::Adaptive
+        );
+        for bad in ["simpoint", "Periodic", "", "phase"] {
+            let err = vars(&[("MSP_BENCH_SAMPLE_PLAN", bad)]).unwrap_err();
+            assert_eq!(err.var, "MSP_BENCH_SAMPLE_PLAN");
+        }
+        assert_eq!(
+            vars(&[("MSP_BENCH_SAMPLE_TARGET_STDERR", "0.05")])
+                .unwrap()
+                .sample_target_stderr,
+            0.05
+        );
+        for bad in ["0", "1", "1.5", "-0.1", "NaN", "inf", "five%", ""] {
+            let err = vars(&[("MSP_BENCH_SAMPLE_TARGET_STDERR", bad)]).unwrap_err();
+            assert_eq!(err.var, "MSP_BENCH_SAMPLE_TARGET_STDERR");
+        }
+        // The derived flag-driven plan reflects the parsed kind.
+        let config = vars(&[
+            ("MSP_BENCH_SAMPLE_PLAN", "adaptive"),
+            ("MSP_BENCH_SAMPLE_TARGET_STDERR", "0.03"),
+            ("MSP_BENCH_SAMPLE_INTERVAL", "1000"),
+        ])
+        .unwrap();
+        match config.sampling_plan() {
+            SamplingPlan::Adaptive {
+                interval,
+                target_rel_stderr,
+                ..
+            } => {
+                assert_eq!(interval, 1_000);
+                assert_eq!(target_rel_stderr, 0.03);
+            }
+            other => panic!("expected an adaptive plan, got {other:?}"),
+        }
     }
 
     #[test]

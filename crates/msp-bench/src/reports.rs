@@ -9,7 +9,7 @@
 use crate::energy::{energy_model_for, REFERENCE_NODE};
 use crate::{
     figure_machines, fmt_ipc, geometric_mean, Block, Cell, Experiment, Lab, OutputFormat, Report,
-    ResultSet, SamplingSpec, TextTable,
+    ResultSet, SamplingPlan, TextTable,
 };
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig};
@@ -134,12 +134,12 @@ impl ReportKind {
         self.build_sampled(lab, None)
     }
 
-    /// [`ReportKind::build`] with an optional [`SamplingSpec`]: when given,
+    /// [`ReportKind::build`] with an optional [`SamplingPlan`]: when given,
     /// every simulation-backed report runs sampled (the `msp-lab --sample`
     /// flag) and appends a note block describing the plan and the
     /// per-cell relative-error figures. Purely analytical reports
     /// (`table3`) ignore the spec.
-    pub fn build_sampled(self, lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+    pub fn build_sampled(self, lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
         match self {
             ReportKind::Table1 => table1(lab, sampling),
             ReportKind::Table2 => table2(lab, sampling),
@@ -303,7 +303,7 @@ fn push_sampling_note(blocks: &mut Vec<Block>, results: &ResultSet) {
 /// line per simulation of the reference workload × machine × predictor
 /// matrix, in stable order. The text rendering is pinned byte-for-byte by
 /// the `tests/golden/stats_dump_*.txt` files.
-pub fn stats_dump(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn stats_dump(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let spec = Experiment::new("stats-dump")
         .workloads(reference_workloads())
         .machines(reference_machines())
@@ -356,7 +356,7 @@ fn ipc_figure(
     title: &str,
     workloads: Vec<Workload>,
     predictor: PredictorKind,
-    sampling: Option<SamplingSpec>,
+    sampling: Option<SamplingPlan>,
 ) -> Report {
     let spec = Experiment::new(name)
         .workloads(workloads)
@@ -400,7 +400,7 @@ fn ipc_figure(
 /// Table I: the configuration rows of every reference machine, plus
 /// measured-IPC rows (the four columns simulated on the reference kernels
 /// with gshare — the harness's standard sweep benchmark).
-pub fn table1(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn table1(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let machines = reference_machines();
     let mut table = TextTable::new(&["parameter", "Baseline", "CPR", "n-SP (n=16)", "ideal MSP"]);
     let configs: Vec<SimConfig> = machines
@@ -511,7 +511,7 @@ pub fn table1(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
 /// Table II: IPC of the original vs hand-modified (unrolled,
 /// register-rotated) hot loops for the five register-pressure benchmarks,
 /// with the TAGE predictor.
-pub fn table2(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn table2(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let machines = [
         MachineKind::cpr(),
         MachineKind::msp(8),
@@ -632,7 +632,7 @@ fn metric_pivot_with_mean(
 ///    of the whole activity budget (caches, rename, predictors, queues);
 /// 3. **energy-delay product per instruction** — energy × CPI, the figure
 ///    that rewards cheap accesses *and* CPR-class IPC together.
-pub fn energy(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn energy(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let machines = [
         MachineKind::cpr(),
         MachineKind::msp(4),
@@ -700,7 +700,7 @@ pub fn energy(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
 /// Fig. 9: the total number of executed instructions for the SPECint suite,
 /// split into correct-path, correct-path re-executed and wrong-path work,
 /// for CPR and 16-SP under both predictors.
-pub fn fig9(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn fig9(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let machines = [MachineKind::cpr(), MachineKind::msp(16)];
     let predictors = [PredictorKind::Gshare, PredictorKind::Tage];
     let spec = Experiment::new("fig9")
@@ -800,7 +800,7 @@ fn ablation(lab: &Lab, name: &'static str, title: &str, spec: Experiment) -> Rep
 /// Ablation (Section 3.2.2): sensitivity of the MSP to the LCS propagation
 /// delay. The paper reports that even a 4-cycle LCS computation costs less
 /// than 1% IPC versus a 1-cycle one.
-pub fn ablate_lcs(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn ablate_lcs(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let mut spec = Experiment::new("ablate-lcs")
         .workloads(spec_int_like(Variant::Original))
         .machine(MachineKind::msp(16))
@@ -825,7 +825,7 @@ pub fn ablate_lcs(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
 /// Ablation (Section 3.3): how many same-logical-register renamings per
 /// cycle are needed. The paper reports that two are sufficient and that
 /// allowing only one costs about 5% IPC.
-pub fn ablate_rename(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn ablate_rename(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let mut spec = Experiment::new("ablate-rename")
         .workloads(spec_int_like(Variant::Original))
         .machine(MachineKind::msp(16))
@@ -848,7 +848,7 @@ pub fn ablate_rename(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
 /// reports that growing CPR's register file from 192 to 256 or 512 entries
 /// gains only about 1-1.3% IPC, showing the MSP's advantage is not simply
 /// its larger register file.
-pub fn ablate_cpr_regs(lab: &Lab, sampling: Option<SamplingSpec>) -> Report {
+pub fn ablate_cpr_regs(lab: &Lab, sampling: Option<SamplingPlan>) -> Report {
     let machines = [
         MachineKind::Cpr {
             regs_per_class: 192,

@@ -4,7 +4,7 @@
 //! and the `energy` report must render the comparison in every format.
 
 use msp_bench::{
-    energy_model_for, Experiment, Lab, LabConfig, OutputFormat, ReportKind, SamplingSpec,
+    energy_model_for, Experiment, Lab, LabConfig, OutputFormat, ReportKind, SamplingPlan,
     REFERENCE_NODE,
 };
 use msp_branch::PredictorKind;
@@ -83,7 +83,7 @@ fn sampled_energy_estimate_is_consistent_with_its_windows() {
             )
             .machines([MachineKind::cpr(), MachineKind::msp(16)])
             .predictor(PredictorKind::Gshare)
-            .sampling(SamplingSpec {
+            .sampling(SamplingPlan::Periodic {
                 interval: 1_500,
                 detail_len: 1_500,
                 warmup_len: 0,

@@ -16,7 +16,7 @@
 use msp_bench::journal::{
     wal_record, KILL_POINTS, KILL_POINT_ENV, KILL_WAL_APPENDED, WAL_FILE_NAME,
 };
-use msp_bench::{Experiment, ExperimentJournal, Lab, LabConfig, ResultSet, SamplingSpec};
+use msp_bench::{Experiment, ExperimentJournal, Lab, LabConfig, ResultSet, SamplingPlan};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{by_name, Variant};
@@ -167,7 +167,7 @@ fn journaled_rerun_replays_bit_identically_with_zero_work() {
 #[test]
 fn sampled_journaled_rerun_replays_bit_identically() {
     let dir = TempDir::new("sampled");
-    let spec = SamplingSpec {
+    let spec = SamplingPlan::Periodic {
         interval: 1_000,
         detail_len: 300,
         warmup_len: 100,

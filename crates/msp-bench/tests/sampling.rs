@@ -13,7 +13,7 @@
 //! exact IPC closely (a deterministic accuracy canary, not a statistical
 //! test).
 
-use msp_bench::{Experiment, Lab, LabConfig, SampledStats, SamplingSpec};
+use msp_bench::{Experiment, Lab, LabConfig, SampledStats, SamplingPlan};
 use msp_branch::PredictorKind;
 use msp_pipeline::{MachineKind, SimConfig, SimStats, Simulator, WarmState};
 use msp_workloads::{by_name, Variant};
@@ -44,10 +44,11 @@ fn lab(instructions: u64, threads: usize) -> Lab {
 #[test]
 fn lab_sampled_cells_match_manual_resume_simulation() {
     const BUDGET: u64 = 12_000;
-    let spec = SamplingSpec {
-        interval: 3_000,
-        detail_len: 1_000,
-        warmup_len: 500,
+    let (interval, detail_len, warmup_len) = (3_000u64, 1_000u64, 500u64);
+    let spec = SamplingPlan::Periodic {
+        interval,
+        detail_len,
+        warmup_len,
     };
     let workload = by_name("gzip", Variant::Original).unwrap();
     let lab = lab(BUDGET, 4);
@@ -58,22 +59,22 @@ fn lab_sampled_cells_match_manual_resume_simulation() {
             .predictor(PredictorKind::Gshare)
             .sampling(spec),
     );
-    let trace = lab.trace_with_checkpoints(&workload, BUDGET, spec.interval);
+    let trace = lab.trace_with_checkpoints(&workload, BUDGET, interval);
     for (m, machine) in reference_machines().iter().enumerate() {
         let config = SimConfig::machine(*machine, PredictorKind::Gshare);
         // The cumulative warm trajectory: absorb the trace from the head,
         // snapshotting at every interval start ≥ 1.
         let mut warm = WarmState::for_config(workload.program(), &config);
         let mut snapshots = Vec::new();
-        for index in 0..BUDGET - spec.interval {
+        for index in 0..BUDGET - interval {
             warm.absorb(trace.get(index).unwrap());
-            if (index + 1) % spec.interval == 0 {
+            if (index + 1) % interval == 0 {
                 snapshots.push(warm.clone());
             }
         }
         let mut per_interval: Vec<(SimStats, u64)> = Vec::new();
         let mut aggregate = SimStats::default();
-        let head_len = (spec.interval / 3).max(spec.detail_len);
+        let head_len = (interval / 3).max(detail_len);
         let mut start = 0;
         while start < BUDGET {
             // The head stratum measures `max(interval/3, detail_len)`
@@ -95,7 +96,7 @@ fn lab_sampled_cells_match_manual_resume_simulation() {
                     head_len,
                 )
             } else {
-                let snapshot = snapshots[(start / spec.interval) as usize - 1].clone();
+                let snapshot = snapshots[(start / interval) as usize - 1].clone();
                 let mut sim = Simulator::resume_warmed(
                     workload.program(),
                     config.clone(),
@@ -103,18 +104,18 @@ fn lab_sampled_cells_match_manual_resume_simulation() {
                     start,
                     snapshot,
                 );
-                sim.run(spec.warmup_len);
+                sim.run(warmup_len);
                 let prefix = sim.stats().clone();
                 (
-                    sim.run(prefix.committed + spec.detail_len)
+                    sim.run(prefix.committed + detail_len)
                         .stats
                         .subtracting(&prefix),
-                    spec.interval,
+                    interval,
                 )
             };
             aggregate.accumulate(&stats);
             per_interval.push((stats, span));
-            start += spec.interval;
+            start += interval;
         }
         let cell = results.get(0, m, 0, 0);
         assert_eq!(
@@ -142,7 +143,7 @@ fn sampled_runs_are_thread_count_invariant() {
                 .map(|n| by_name(n, Variant::Original).unwrap()),
         )
         .machines([MachineKind::cpr(), MachineKind::msp(16)])
-        .sampling(SamplingSpec {
+        .sampling(SamplingPlan::Periodic {
             interval: 2_000,
             detail_len: 600,
             warmup_len: 200,
@@ -178,7 +179,7 @@ fn full_detail_sampling_covers_the_whole_budget() {
         &Experiment::new("full-detail")
             .workload(workload)
             .machines(reference_machines())
-            .sampling(SamplingSpec {
+            .sampling(SamplingPlan::Periodic {
                 interval: 1_000,
                 detail_len: 1_000,
                 warmup_len: 0,
@@ -199,7 +200,7 @@ fn full_detail_sampling_covers_the_whole_budget() {
 }
 
 /// The deterministic accuracy canary — the acceptance shape itself: at a
-/// 2M-instruction budget with the default `SamplingSpec::periodic` plan,
+/// 2M-instruction budget with the default `SamplingPlan::periodic` plan,
 /// every reference-sweep cell's sampled IPC is within 2% of the exact IPC.
 /// Simulation is deterministic, so this is a fixed number, not a flaky
 /// statistical bound; it moving past the fence means the warm-up,
@@ -228,7 +229,7 @@ fn sampled_ipc_tracks_exact_ipc_at_2m() {
     let sampled = exact_lab.run(
         &spec
             .clone()
-            .sampling(SamplingSpec::periodic(msp_bench::DEFAULT_SAMPLE_INTERVAL)),
+            .sampling(SamplingPlan::periodic(msp_bench::DEFAULT_SAMPLE_INTERVAL)),
     );
     for (e, s) in exact.cells().iter().zip(sampled.cells()) {
         let exact_ipc = e.ipc();
@@ -265,7 +266,7 @@ fn undefined_rel_stderr_renders_as_na_in_every_format() {
     let lab = lab(2_000, 1);
     // interval 1500 on a 2000-instruction budget: a head stratum plus one
     // periodic window — no measurable spread.
-    let report = ReportKind::Table1.build_sampled(&lab, Some(SamplingSpec::periodic(1_500)));
+    let report = ReportKind::Table1.build_sampled(&lab, Some(SamplingPlan::periodic(1_500)));
     let text = report.render(OutputFormat::Text);
     assert!(
         text.contains("worst-cell IPC rel. std. error: n/a"),
@@ -330,19 +331,30 @@ fn checkpoint_heavy_traces_respect_the_lru_byte_bound() {
 #[test]
 fn sample_interval_env_is_strict() {
     assert_eq!(
-        LabConfig::from_vars(None, None, None, None, None, None, None)
+        LabConfig::from_vars(None, None, None, None, None, None, None, None, None)
             .unwrap()
             .sample_interval,
         msp_bench::DEFAULT_SAMPLE_INTERVAL
     );
     assert_eq!(
-        LabConfig::from_vars(None, None, None, Some("25000"), None, None, None)
-            .unwrap()
-            .sample_interval,
+        LabConfig::from_vars(
+            None,
+            None,
+            None,
+            Some("25000"),
+            None,
+            None,
+            None,
+            None,
+            None
+        )
+        .unwrap()
+        .sample_interval,
         25_000
     );
     for bad in ["0", "", "abc", "-5", "1e6", "100_000"] {
-        let err = LabConfig::from_vars(None, None, None, Some(bad), None, None, None).unwrap_err();
+        let err = LabConfig::from_vars(None, None, None, Some(bad), None, None, None, None, None)
+            .unwrap_err();
         assert_eq!(err.var, "MSP_BENCH_SAMPLE_INTERVAL", "value {bad:?}");
         assert!(err.to_string().contains("MSP_BENCH_SAMPLE_INTERVAL"));
     }
@@ -381,10 +393,135 @@ fn overlapping_sampling_windows_are_rejected_by_run() {
         &Experiment::new("bad")
             .workload(workload)
             .machine(MachineKind::Baseline)
-            .sampling(SamplingSpec {
+            .sampling(SamplingPlan::Periodic {
                 interval: 100,
                 detail_len: 90,
                 warmup_len: 20,
             }),
     );
+}
+
+/// Phase-aware sampled results are identical for every worker-thread count
+/// and run-to-run: clustering is seeded from the plan, so the whole
+/// BBV → phases → representative-windows path must be deterministic.
+#[test]
+fn phase_aware_runs_are_thread_count_invariant() {
+    const BUDGET: u64 = 12_000;
+    let spec = Experiment::new("phases-threads")
+        .workloads(
+            ["gzip", "swim"]
+                .iter()
+                .map(|n| by_name(n, Variant::Original).unwrap()),
+        )
+        .machines([MachineKind::cpr(), MachineKind::msp(16)])
+        .sampling(SamplingPlan::phase_aware(2_000));
+    let a = lab(BUDGET, 1).run(&spec);
+    let b = lab(BUDGET, 16).run(&spec);
+    let c = lab(BUDGET, 16).run(&spec);
+    assert_eq!(a.cells().len(), b.cells().len());
+    for ((left, mid), right) in a.cells().iter().zip(b.cells()).zip(c.cells()) {
+        assert_eq!(left.result.stats, mid.result.stats, "1 vs 16 threads");
+        assert_eq!(left.sampled, mid.sampled, "1 vs 16 threads estimate");
+        assert_eq!(mid.result.stats, right.result.stats, "run-to-run");
+        assert_eq!(mid.sampled, right.sampled, "run-to-run estimate");
+        let sampled = left.sampled.as_ref().unwrap();
+        assert!(sampled.intervals >= 2, "head plus at least one phase");
+        assert!(sampled.mean_ipc > 0.0);
+    }
+}
+
+/// Phase-aware estimates are identical whether the checkpointed trace (and
+/// its basic-block vectors) lives in memory or is streamed back from the
+/// persistent store's v2 trace files: the BBVs a fresh process reads from
+/// disk must cluster exactly like the ones the capturing process computed.
+#[test]
+fn phase_aware_estimates_match_between_memory_and_disk_traces() {
+    const BUDGET: u64 = 10_000;
+    let dir = std::env::temp_dir().join(format!(
+        "msp-bench-phase-store-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LabConfig {
+        instructions: BUDGET,
+        threads: 2,
+        trace_dir: Some(dir.clone()),
+        ..LabConfig::default()
+    };
+    let spec = Experiment::new("phases-store")
+        .workload(by_name("vpr", Variant::Original).unwrap())
+        .machines([MachineKind::cpr(), MachineKind::msp(16)])
+        .sampling(SamplingPlan::phase_aware(2_000));
+    let capturing = Lab::new(config.clone());
+    let from_memory = capturing.run(&spec);
+    assert!(capturing.capture_count() > 0, "cold store must capture");
+    drop(capturing);
+    let resolving = Lab::new(config);
+    let from_disk = resolving.run(&spec);
+    assert_eq!(
+        resolving.capture_count(),
+        0,
+        "a warm store must serve the BBVs without functional re-execution"
+    );
+    for (m, d) in from_memory.cells().iter().zip(from_disk.cells()) {
+        assert_eq!(m.result.stats, d.result.stats, "memory vs disk trace");
+        assert_eq!(m.sampled, d.sampled, "memory vs disk estimate");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An adaptive plan whose target is unreachable stops at `max_windows`
+/// (plus the head stratum) instead of looping; one with a trivially
+/// generous target stops as soon as the spread is defined at all.
+#[test]
+fn adaptive_stops_at_max_windows_or_at_the_target() {
+    const BUDGET: u64 = 12_000;
+    let workload = by_name("gzip", Variant::Original).unwrap();
+    // 12 intervals of 1000 → 11 tail starts, capped at 3 windows. A 0.01%
+    // relative standard error is unreachable for this workload.
+    let capped = lab(BUDGET, 2).run(
+        &Experiment::new("adaptive-capped")
+            .workload(workload.clone())
+            .machine(MachineKind::msp(16))
+            .sampling(
+                SamplingPlan::adaptive(0.000_1)
+                    .with_interval(1_000)
+                    .with_max_windows(3),
+            ),
+    );
+    let sampled = capped.cells()[0].sampled.as_ref().unwrap();
+    assert_eq!(sampled.intervals, 4, "head + max_windows windows");
+    assert!(sampled.ipc_rel_stderr.unwrap() > 0.000_1, "target unmet");
+    // A 90% target is met by the first defined spread: head + 2 windows.
+    let generous = lab(BUDGET, 2).run(
+        &Experiment::new("adaptive-generous")
+            .workload(workload)
+            .machine(MachineKind::msp(16))
+            .sampling(SamplingPlan::adaptive(0.9).with_interval(1_000)),
+    );
+    let sampled = generous.cells()[0].sampled.as_ref().unwrap();
+    assert_eq!(sampled.intervals, 3, "stops at the first defined stderr");
+    assert!(sampled.ipc_rel_stderr.unwrap() <= 0.9);
+}
+
+/// Adaptive sampled results are thread-count invariant too: each cell's
+/// stop-when-confident loop is sequential, and cells fan out cell-per-task.
+#[test]
+fn adaptive_runs_are_thread_count_invariant() {
+    const BUDGET: u64 = 8_000;
+    let spec = Experiment::new("adaptive-threads")
+        .workloads(
+            ["gzip", "vpr"]
+                .iter()
+                .map(|n| by_name(n, Variant::Original).unwrap()),
+        )
+        .machines([MachineKind::cpr(), MachineKind::msp(16)])
+        .sampling(SamplingPlan::adaptive(0.05).with_interval(1_000));
+    let a = lab(BUDGET, 1).run(&spec);
+    let b = lab(BUDGET, 16).run(&spec);
+    for (left, mid) in a.cells().iter().zip(b.cells()) {
+        assert_eq!(left.result.stats, mid.result.stats, "1 vs 16 threads");
+        assert_eq!(left.sampled, mid.sampled, "1 vs 16 threads estimate");
+    }
 }

@@ -7,7 +7,7 @@
 //! **bit-identical** to the materialised path; and the store recovers from
 //! corruption by re-capturing, never by trusting a damaged file.
 
-use msp_bench::{Experiment, Lab, LabConfig, SamplingSpec, DEFAULT_TRACE_CACHE_BYTES};
+use msp_bench::{Experiment, Lab, LabConfig, SamplingPlan, DEFAULT_TRACE_CACHE_BYTES};
 use msp_branch::PredictorKind;
 use msp_pipeline::MachineKind;
 use msp_workloads::{by_name, Variant};
@@ -165,7 +165,7 @@ fn streaming_runs_are_bit_identical_to_materialised_runs() {
     );
     assert_same_results(&expected, &actual, "streaming exact run");
 
-    let spec = SamplingSpec {
+    let spec = SamplingPlan::Periodic {
         interval: 1_000,
         detail_len: 400,
         warmup_len: 200,

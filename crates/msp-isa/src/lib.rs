@@ -52,7 +52,7 @@ pub use memory::Memory;
 pub use program::{Program, TEXT_BASE};
 pub use reg::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS, NUM_LOGICAL_REGS};
 pub use state::ArchState;
-pub use trace::{Trace, TraceBuilder};
+pub use trace::{BbvAccumulator, BbvSignature, Trace, TraceBuilder};
 pub use tracefile::{
     capture_trace_to_path, program_fingerprint, read_trace_meta, write_trace_to_path, TraceCursor,
     TraceFileError, TraceFileMeta, TraceReader, TraceWriter, DEFAULT_BLOCK_RECORDS,

@@ -35,6 +35,120 @@
 use crate::exec::{execute_step, ExecError, ExecutedInst};
 use crate::program::Program;
 use crate::state::ArchState;
+use std::collections::BTreeMap;
+
+/// The basic-block vector (BBV) of one trace interval: how many committed
+/// instructions the interval spent in each basic block, keyed by the block's
+/// start PC.
+///
+/// A *basic block* here is the dynamic notion SimPoint uses: a run of
+/// committed instructions that starts at the target of a control transfer
+/// (or at the program entry) and ends at the next control-flow instruction
+/// ([`ExecutedInst::is_control`]). Every committed instruction is attributed
+/// to the start PC of the block it executes in, so an interval's weights
+/// always sum to the number of instructions the interval covers. Pairs are
+/// sorted by start PC, which makes signatures directly comparable and their
+/// serialisation canonical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BbvSignature {
+    /// `(block start PC, committed instructions)` pairs, sorted by PC.
+    weights: Vec<(u64, u64)>,
+}
+
+impl BbvSignature {
+    /// Reassembles a signature from already-sorted `(pc, count)` pairs
+    /// (the trace-file decoder).
+    pub(crate) fn from_sorted_weights(weights: Vec<(u64, u64)>) -> BbvSignature {
+        debug_assert!(weights.windows(2).all(|w| w[0].0 < w[1].0));
+        BbvSignature { weights }
+    }
+
+    /// The `(block start PC, committed instructions)` pairs, sorted by PC.
+    pub fn weights(&self) -> &[(u64, u64)] {
+        &self.weights
+    }
+
+    /// Total committed instructions the signature covers (the sum of all
+    /// block weights — the interval length, except for a partial tail
+    /// interval).
+    pub fn total(&self) -> u64 {
+        self.weights.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Whether the signature covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Streaming accumulator of per-interval [`BbvSignature`]s over a
+/// committed-path record stream.
+///
+/// Feed it every committed record in dynamic order via
+/// [`BbvAccumulator::observe`]; a finished signature is emitted every
+/// `interval` records, and [`BbvAccumulator::finish`] flushes the partial
+/// tail. The accumulator is the *single* definition of BBV profiling in the
+/// workspace — [`TraceBuilder`], the streaming trace-file capture and the
+/// trace-file fallback for files predating BBV storage all run the same code,
+/// so a signature never depends on which path produced it.
+#[derive(Debug, Clone)]
+pub struct BbvAccumulator {
+    interval: u64,
+    /// Start PC of the basic block the next record belongs to; `None` until
+    /// the first record is seen.
+    block_start: Option<u64>,
+    counts: BTreeMap<u64, u64>,
+    in_interval: u64,
+    bbvs: Vec<BbvSignature>,
+}
+
+impl BbvAccumulator {
+    /// Creates an accumulator emitting one signature per `interval` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> BbvAccumulator {
+        assert!(interval > 0, "BBV interval must be positive");
+        BbvAccumulator {
+            interval,
+            block_start: None,
+            counts: BTreeMap::new(),
+            in_interval: 0,
+            bbvs: Vec::new(),
+        }
+    }
+
+    /// Attributes one committed record to its basic block.
+    pub fn observe(&mut self, rec: &ExecutedInst) {
+        let start = *self.block_start.get_or_insert(rec.pc);
+        *self.counts.entry(start).or_insert(0) += 1;
+        // A control transfer ends the current block; the next committed
+        // record starts a new one at wherever control went.
+        if rec.is_control() {
+            self.block_start = Some(rec.next_pc);
+        }
+        self.in_interval += 1;
+        if self.in_interval == self.interval {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let weights: Vec<(u64, u64)> = std::mem::take(&mut self.counts).into_iter().collect();
+        self.bbvs.push(BbvSignature { weights });
+        self.in_interval = 0;
+    }
+
+    /// Flushes the partial tail interval (if any) and returns every
+    /// signature, one per interval in stream order.
+    pub fn finish(mut self) -> Vec<BbvSignature> {
+        if self.in_interval > 0 {
+            self.flush();
+        }
+        self.bbvs
+    }
+}
 
 /// An immutable, fully materialised committed-path execution trace.
 ///
@@ -57,6 +171,10 @@ pub struct Trace {
     /// `checkpoints[i]` is the architectural state positioned immediately
     /// before the record at dynamic index `i * checkpoint_interval`.
     checkpoints: Vec<ArchState>,
+    /// `bbvs[i]` is the basic-block vector of records
+    /// `[i * checkpoint_interval, (i + 1) * checkpoint_interval)` (the last
+    /// may be partial). Empty when captured without checkpoints.
+    bbvs: Vec<BbvSignature>,
 }
 
 impl Trace {
@@ -96,6 +214,7 @@ impl Trace {
             complete: false,
             checkpoint_interval: 0,
             checkpoints: Vec::new(),
+            bbvs: Vec::new(),
         }
     }
 
@@ -165,6 +284,16 @@ impl Trace {
             .get((index / self.checkpoint_interval) as usize)
     }
 
+    /// Per-interval basic-block vectors: `bbvs()[i]` covers records
+    /// `[i * interval, (i + 1) * interval)` where `interval` is
+    /// [`Trace::checkpoint_interval`] (the last signature may cover a partial
+    /// interval). Empty for traces captured without checkpoints — BBV
+    /// profiling rides along with checkpointing, since both exist to serve
+    /// sampled simulation.
+    pub fn bbvs(&self) -> &[BbvSignature] {
+        &self.bbvs
+    }
+
     /// Reassembles a trace from its raw components (the trace-file decoder).
     /// The caller vouches for the invariants a capture would have
     /// established: records form a committed-path chain, `end_state` sits
@@ -176,6 +305,7 @@ impl Trace {
         complete: bool,
         checkpoint_interval: u64,
         checkpoints: Vec<ArchState>,
+        bbvs: Vec<BbvSignature>,
     ) -> Trace {
         Trace {
             records,
@@ -183,6 +313,7 @@ impl Trace {
             complete,
             checkpoint_interval,
             checkpoints,
+            bbvs,
         }
     }
 
@@ -209,6 +340,12 @@ impl Trace {
                 .iter()
                 .map(|c| c.memory().footprint_bytes())
                 .sum::<usize>()
+            + self.bbvs.capacity() * std::mem::size_of::<BbvSignature>()
+            + self
+                .bbvs
+                .iter()
+                .map(|b| b.weights.capacity() * std::mem::size_of::<(u64, u64)>())
+                .sum::<usize>()
     }
 }
 
@@ -226,6 +363,10 @@ pub struct TraceBuilder<'p> {
     complete: bool,
     checkpoint_interval: u64,
     checkpoints: Vec<ArchState>,
+    /// Present iff checkpointing is configured: BBV profiling shares the
+    /// checkpoint interval, so every checkpointed trace can feed phase
+    /// clustering without a second functional pass.
+    bbv: Option<BbvAccumulator>,
 }
 
 impl<'p> TraceBuilder<'p> {
@@ -238,6 +379,7 @@ impl<'p> TraceBuilder<'p> {
             complete: false,
             checkpoint_interval: 0,
             checkpoints: Vec::new(),
+            bbv: None,
         }
     }
 
@@ -256,6 +398,7 @@ impl<'p> TraceBuilder<'p> {
             "checkpointing must be configured before the first step"
         );
         self.checkpoint_interval = interval;
+        self.bbv = Some(BbvAccumulator::new(interval));
         self
     }
 
@@ -295,6 +438,9 @@ impl<'p> TraceBuilder<'p> {
                 if let Some(snapshot) = snapshot {
                     self.checkpoints.push(snapshot);
                 }
+                if let Some(bbv) = self.bbv.as_mut() {
+                    bbv.observe(&rec);
+                }
                 if rec.halted {
                     self.complete = true;
                 }
@@ -311,7 +457,12 @@ impl<'p> TraceBuilder<'p> {
     /// Materialises records until the trace holds `n` of them or the program
     /// finishes.
     pub fn extend_to(&mut self, n: u64) {
-        self.records.reserve(n.saturating_sub(self.len()) as usize);
+        // The reservation is a hint: clamp it so an effectively-unbounded
+        // budget (`u64::MAX` = "run to completion") doesn't try to reserve
+        // the address space up front.
+        const MAX_RESERVE: u64 = 1 << 22;
+        self.records
+            .reserve(n.saturating_sub(self.len()).min(MAX_RESERVE) as usize);
         while self.len() < n && self.step() {}
     }
 
@@ -325,6 +476,7 @@ impl<'p> TraceBuilder<'p> {
             complete: self.complete,
             checkpoint_interval: self.checkpoint_interval,
             checkpoints: self.checkpoints,
+            bbvs: self.bbv.map_or_else(Vec::new, BbvAccumulator::finish),
         }
     }
 }
@@ -469,6 +621,59 @@ mod tests {
         assert!(
             checkpointed.footprint_bytes() > plain.footprint_bytes(),
             "checkpoints are accounted in the footprint"
+        );
+    }
+
+    #[test]
+    fn bbvs_cover_every_interval_and_every_instruction() {
+        let p = counted_loop(1_000);
+        let trace = Trace::capture_with_checkpoints(&p, 250, 100);
+        // 250 records at interval 100: two full intervals plus a partial
+        // tail of 50.
+        assert_eq!(trace.bbvs().len(), 3);
+        assert_eq!(trace.bbvs()[0].total(), 100);
+        assert_eq!(trace.bbvs()[1].total(), 100);
+        assert_eq!(trace.bbvs()[2].total(), 50);
+        let covered: u64 = trace.bbvs().iter().map(BbvSignature::total).sum();
+        assert_eq!(covered, trace.len(), "every record is attributed once");
+        // Weights are sorted by block start PC.
+        for bbv in trace.bbvs() {
+            assert!(bbv.weights().windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(!bbv.is_empty());
+        }
+        // A plain capture records none.
+        assert!(Trace::capture(&p, 250).bbvs().is_empty());
+    }
+
+    #[test]
+    fn bbv_blocks_start_at_control_transfer_targets() {
+        // counted_loop body: li; (addi; bne)*; halt. Dynamic blocks are
+        // [li, addi, bne] from entry, then [addi, bne] per taken iteration,
+        // then [halt] after the final not-taken branch.
+        let p = counted_loop(3);
+        let trace = Trace::capture_with_checkpoints(&p, 1_000, 1_000);
+        assert_eq!(trace.bbvs().len(), 1);
+        let weights = trace.bbvs()[0].weights();
+        let entry = p.entry();
+        assert_eq!(
+            weights,
+            &[(entry, 3), (entry + 4, 4), (entry + 12, 1)],
+            "blocks keyed by their start PCs with per-block instruction counts"
+        );
+    }
+
+    #[test]
+    fn standalone_accumulator_matches_builder_profile() {
+        let p = counted_loop(500);
+        let trace = Trace::capture_with_checkpoints(&p, 333, 64);
+        let mut acc = BbvAccumulator::new(64);
+        for rec in trace.records() {
+            acc.observe(rec);
+        }
+        assert_eq!(
+            acc.finish(),
+            trace.bbvs(),
+            "streaming a trace's records reproduces its builder-time BBVs"
         );
     }
 

@@ -9,7 +9,7 @@
 //! which decodes one block at a time into a small reusable window — the path
 //! that lets a simulation iterate a trace far larger than RAM.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! All integers are little-endian; `varint` is LEB128 with 7 payload bits per
 //! byte.
@@ -20,11 +20,19 @@
 //! blocks   (...)   one LZ-compressed chunk per `block_records` records
 //! ckpts    (...)   one LZ-compressed chunk per architectural checkpoint
 //! end      (...)   one LZ-compressed chunk holding the end state
+//! bbvs     (...)   one LZ-compressed chunk holding every per-interval
+//!                  basic-block vector (version >= 2 only)
 //! index    (...)   record_count u64, complete u8, block entries,
-//!                  checkpoint entries, end entry (offsets, lengths,
-//!                  per-chunk FNV-1a checksums of the *uncompressed* bytes)
+//!                  checkpoint entries, end entry, bbv entry (version >= 2)
+//!                  (offsets, lengths, per-chunk FNV-1a checksums of the
+//!                  *uncompressed* bytes)
 //! footer   (24 B)  index_offset u64, file checksum u64, magic "MSPTREOF"
 //! ```
+//!
+//! Version 1 files — everything before the BBV chunk existed — remain fully
+//! readable: the reader simply reports no stored BBVs, and
+//! [`TraceReader::read_trace`] re-derives them from the decoded records, so
+//! phase-aware consumers see identical signatures either way.
 //!
 //! The file checksum is FNV-1a over every byte up to (not including) the
 //! checksum field itself, so any single flipped byte anywhere in the file is
@@ -46,7 +54,7 @@ use crate::memory::{Memory, PAGE_SIZE};
 use crate::program::Program;
 use crate::reg::{RegClass, NUM_FP_REGS, NUM_INT_REGS};
 use crate::state::ArchState;
-use crate::trace::Trace;
+use crate::trace::{BbvAccumulator, BbvSignature, Trace};
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
@@ -54,8 +62,13 @@ use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Version written into (and required of) every trace file header.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// Version written into every new trace file header. Version 2 added the
+/// basic-block-vector chunk; version 1 files are still read (their BBVs are
+/// derived from the records on demand).
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version the reader still accepts.
+pub const MIN_TRACE_FORMAT_VERSION: u32 = 1;
 
 /// Default number of records per compressed block.
 ///
@@ -103,7 +116,8 @@ impl fmt::Display for TraceFileError {
             TraceFileError::Corrupt(msg) => write!(f, "corrupt trace file: {msg}"),
             TraceFileError::Version { found } => write!(
                 f,
-                "unsupported trace file version {found} (expected {TRACE_FORMAT_VERSION})"
+                "unsupported trace file version {found} \
+                 (supported: {MIN_TRACE_FORMAT_VERSION}..={TRACE_FORMAT_VERSION})"
             ),
             TraceFileError::ProgramMismatch { file, program } => write!(
                 f,
@@ -501,6 +515,64 @@ fn decode_state(bytes: &mut Bytes<'_>) -> Result<ArchState, TraceFileError> {
 }
 
 // ---------------------------------------------------------------------------
+// basic-block-vector codec
+// ---------------------------------------------------------------------------
+//
+// All BBVs live in one chunk: varint signature count, then per signature a
+// varint pair count followed by delta-coded block-start PCs (the pairs are
+// sorted by PC, so deltas are small) interleaved with varint instruction
+// counts.
+
+fn encode_bbvs(buf: &mut Vec<u8>, bbvs: &[BbvSignature]) {
+    put_varint(buf, bbvs.len() as u64);
+    for bbv in bbvs {
+        put_varint(buf, bbv.weights().len() as u64);
+        let mut prev = 0u64;
+        for &(pc, count) in bbv.weights() {
+            put_varint(buf, pc.wrapping_sub(prev));
+            prev = pc;
+            put_varint(buf, count);
+        }
+    }
+}
+
+fn decode_bbvs(bytes: &mut Bytes<'_>) -> Result<Vec<BbvSignature>, TraceFileError> {
+    let count = bytes.varint()?;
+    let mut bbvs = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let pairs = bytes.varint()?;
+        let mut weights = Vec::with_capacity(pairs.min(1 << 20) as usize);
+        let mut prev = 0u64;
+        for _ in 0..pairs {
+            let delta = bytes.varint()?;
+            if !weights.is_empty() && delta == 0 {
+                return Err(corrupt("BBV block PCs are not strictly increasing"));
+            }
+            let pc = prev
+                .checked_add(delta)
+                .ok_or_else(|| corrupt("BBV block PC overflows 64 bits"))?;
+            prev = pc;
+            weights.push((pc, bytes.varint()?));
+        }
+        bbvs.push(BbvSignature::from_sorted_weights(weights));
+    }
+    Ok(bbvs)
+}
+
+/// Derives the per-interval BBVs a version-2 capture would have stored, from
+/// an already-decoded record stream (the version-1 fallback).
+fn derive_bbvs(records: &[ExecutedInst], checkpoint_interval: u64) -> Vec<BbvSignature> {
+    if checkpoint_interval == 0 || records.is_empty() {
+        return Vec::new();
+    }
+    let mut acc = BbvAccumulator::new(checkpoint_interval);
+    for rec in records {
+        acc.observe(rec);
+    }
+    acc.finish()
+}
+
+// ---------------------------------------------------------------------------
 // writer
 // ---------------------------------------------------------------------------
 
@@ -569,6 +641,7 @@ struct PendingChunk {
 /// can stream a trace arbitrarily larger than RAM straight to disk.
 pub struct TraceWriter {
     out: HashingFile,
+    version: u32,
     block_records: u32,
     record_count: u64,
     blocks: Vec<BlockEntry>,
@@ -577,6 +650,7 @@ pub struct TraceWriter {
     block_first_pc: u64,
     prev_mem_addr: u64,
     checkpoint_chunks: Vec<PendingChunk>,
+    bbvs: Vec<BbvSignature>,
     state_buf: Vec<u8>,
     scratch: Vec<u8>,
 }
@@ -604,15 +678,47 @@ impl TraceWriter {
         checkpoint_interval: u64,
         block_records: u32,
     ) -> io::Result<TraceWriter> {
+        TraceWriter::with_format_version(
+            path,
+            program,
+            checkpoint_interval,
+            block_records,
+            TRACE_FORMAT_VERSION,
+        )
+    }
+
+    /// [`TraceWriter::with_block_records`] writing an explicit (older) format
+    /// version. Only compatibility tests should need this — new files always
+    /// use [`TRACE_FORMAT_VERSION`] — but it is the honest way to produce a
+    /// genuine version-1 file and prove the reader still accepts it.
+    /// A version-1 writer silently drops [`TraceWriter::add_bbv`] calls,
+    /// exactly like a version-1 capture that never profiled BBVs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_records` is zero or `version` is unsupported.
+    #[doc(hidden)]
+    pub fn with_format_version(
+        path: impl AsRef<Path>,
+        program: &Program,
+        checkpoint_interval: u64,
+        block_records: u32,
+        version: u32,
+    ) -> io::Result<TraceWriter> {
         assert!(block_records > 0, "block size must be positive");
+        assert!(
+            (MIN_TRACE_FORMAT_VERSION..=TRACE_FORMAT_VERSION).contains(&version),
+            "unsupported trace format version {version}"
+        );
         let mut out = HashingFile::create(path.as_ref())?;
         out.put(MAGIC)?;
-        out.put(&TRACE_FORMAT_VERSION.to_le_bytes())?;
+        out.put(&version.to_le_bytes())?;
         out.put(&block_records.to_le_bytes())?;
         out.put(&program_fingerprint(program).to_le_bytes())?;
         out.put(&checkpoint_interval.to_le_bytes())?;
         Ok(TraceWriter {
             out,
+            version,
             block_records,
             record_count: 0,
             blocks: Vec::new(),
@@ -621,6 +727,7 @@ impl TraceWriter {
             block_first_pc: 0,
             prev_mem_addr: 0,
             checkpoint_chunks: Vec::new(),
+            bbvs: Vec::new(),
             state_buf: Vec::new(),
             scratch: Vec::new(),
         })
@@ -660,6 +767,16 @@ impl TraceWriter {
             raw_len: self.state_buf.len() as u32,
             checksum: fnv1a(FNV_OFFSET, &self.state_buf),
         });
+    }
+
+    /// Buffers the basic-block vector of the *next* interval of appended
+    /// records. BBV order must follow interval order, exactly as
+    /// [`crate::BbvAccumulator`] emits them. Ignored (dropped) when writing
+    /// a pre-BBV format version.
+    pub fn add_bbv(&mut self, bbv: &BbvSignature) {
+        if self.version >= 2 {
+            self.bbvs.push(bbv.clone());
+        }
     }
 
     fn flush_block(&mut self) -> io::Result<()> {
@@ -717,6 +834,23 @@ impl TraceWriter {
             checkpoints.push(entry);
         }
         let end = self.write_state_chunk(end_state)?;
+        let bbv_entry = if self.version >= 2 {
+            self.state_buf.clear();
+            let bbvs = std::mem::take(&mut self.bbvs);
+            encode_bbvs(&mut self.state_buf, &bbvs);
+            self.scratch.clear();
+            lz::compress_into(&self.state_buf, &mut self.scratch);
+            let entry = ChunkEntry {
+                offset: self.out.len,
+                comp_len: self.scratch.len() as u32,
+                raw_len: self.state_buf.len() as u32,
+                checksum: fnv1a(FNV_OFFSET, &self.state_buf),
+            };
+            self.out.put(&self.scratch)?;
+            Some(entry)
+        } else {
+            None
+        };
 
         let put_chunk = |index: &mut Vec<u8>, c: &ChunkEntry| {
             index.extend_from_slice(&c.offset.to_le_bytes());
@@ -741,6 +875,9 @@ impl TraceWriter {
             put_chunk(&mut index, c);
         }
         put_chunk(&mut index, &end);
+        if let Some(entry) = &bbv_entry {
+            put_chunk(&mut index, entry);
+        }
 
         let index_offset = self.out.len;
         self.out.put(&index)?;
@@ -813,6 +950,9 @@ pub struct TraceReader {
     blocks: Vec<BlockEntry>,
     checkpoints: Vec<ChunkEntry>,
     end: ChunkEntry,
+    /// The stored-BBV chunk; `None` for version-1 files, whose BBVs must be
+    /// derived from the records instead.
+    bbv: Option<ChunkEntry>,
 }
 
 impl TraceReader {
@@ -841,7 +981,7 @@ impl TraceReader {
             return Err(corrupt("bad header magic"));
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if version != TRACE_FORMAT_VERSION {
+        if !(MIN_TRACE_FORMAT_VERSION..=TRACE_FORMAT_VERSION).contains(&version) {
             return Err(TraceFileError::Version { found: version });
         }
         let block_records = u32::from_le_bytes(header[12..16].try_into().unwrap());
@@ -920,6 +1060,13 @@ impl TraceReader {
             checkpoints.push(read_chunk_entry(&mut bytes)?);
         }
         let end = read_chunk_entry(&mut bytes)?;
+        // The BBV chunk entry only exists from format version 2 on; parsing
+        // it unconditionally would trip `expect_end` on version-1 files.
+        let bbv = if version >= 2 {
+            Some(read_chunk_entry(&mut bytes)?)
+        } else {
+            None
+        };
         bytes.expect_end()?;
 
         if blocks.iter().map(|b| u64::from(b.records)).sum::<u64>() != record_count {
@@ -929,6 +1076,7 @@ impl TraceReader {
             checkpoints
                 .iter()
                 .chain([&end])
+                .chain(bbv.as_ref())
                 .map(|c| (c.offset, c.comp_len)),
         ) {
             if offset < HEADER_LEN as u64 || offset + u64::from(comp_len) > index_offset {
@@ -951,6 +1099,7 @@ impl TraceReader {
             blocks,
             checkpoints,
             end,
+            bbv,
         })
     }
 
@@ -1011,13 +1160,45 @@ impl TraceReader {
             checkpoints.push(decode_chunk_state(c)?);
         }
         let end_state = decode_chunk_state(&self.end)?;
+        let bbvs = match &self.bbv {
+            Some(entry) => {
+                read_chunk(&mut file, entry, &mut comp, &mut raw)?;
+                let mut bytes = Bytes::new(&raw);
+                let bbvs = decode_bbvs(&mut bytes)?;
+                bytes.expect_end()?;
+                bbvs
+            }
+            // Version-1 file: re-derive what a version-2 capture would have
+            // stored, so in-memory traces look the same either way.
+            None => derive_bbvs(&records, self.meta.checkpoint_interval),
+        };
         Ok(Trace::from_parts(
             records,
             end_state,
             self.meta.complete,
             self.meta.checkpoint_interval,
             checkpoints,
+            bbvs,
         ))
+    }
+
+    /// Decodes the per-interval basic-block vectors **stored** in the file.
+    /// Returns `None` for version-1 files, which predate BBV storage — the
+    /// caller decides whether to re-derive them by streaming the records
+    /// through a [`crate::BbvAccumulator`] (what [`TraceReader::read_trace`]
+    /// does internally).
+    pub fn read_bbvs(&self) -> Result<Option<Vec<BbvSignature>>, TraceFileError> {
+        let Some(entry) = &self.bbv else {
+            return Ok(None);
+        };
+        let mut file = File::open(&self.path)?;
+        let mut comp = Vec::new();
+        let mut raw = Vec::new();
+        read_chunk(&mut file, entry, &mut comp, &mut raw)?;
+        let mut bytes = Bytes::new(&raw);
+        let bbvs = decode_bbvs(&mut bytes)?;
+        bytes.expect_end()?;
+        Ok(Some(bbvs))
     }
 
     /// Opens a streaming [`TraceCursor`] over this file. The reader is shared
@@ -1249,6 +1430,9 @@ pub fn write_trace_to_path(
     for state in trace.checkpoints() {
         writer.add_checkpoint(state);
     }
+    for bbv in trace.bbvs() {
+        writer.add_bbv(bbv);
+    }
     for rec in trace.records() {
         writer.append(rec)?;
     }
@@ -1274,6 +1458,9 @@ pub fn capture_trace_to_path(
     let mut state = ArchState::new(program);
     let mut checkpoints = 0u64;
     let mut complete = false;
+    // BBV profiling mirrors `TraceBuilder`: enabled exactly when
+    // checkpointing is, sharing its interval.
+    let mut bbv = (checkpoint_interval > 0).then(|| BbvAccumulator::new(checkpoint_interval));
     while writer.record_count() < max_instructions {
         // Mirrors `TraceBuilder::step`: the snapshot is taken before the
         // step and committed only if the step produced its record.
@@ -1286,6 +1473,9 @@ pub fn capture_trace_to_path(
                     writer.add_checkpoint(&snapshot);
                     checkpoints += 1;
                 }
+                if let Some(bbv) = bbv.as_mut() {
+                    bbv.observe(&rec);
+                }
                 let halted = rec.halted;
                 writer.append(&rec)?;
                 if halted {
@@ -1297,6 +1487,11 @@ pub fn capture_trace_to_path(
                 complete = true;
                 break;
             }
+        }
+    }
+    if let Some(bbv) = bbv {
+        for sig in bbv.finish() {
+            writer.add_bbv(&sig);
         }
     }
     writer.finish(&state, complete)
@@ -1418,6 +1613,7 @@ mod tests {
         assert_eq!(a.is_complete(), b.is_complete());
         assert_eq!(a.checkpoint_interval(), b.checkpoint_interval());
         assert_eq!(a.checkpoint_count(), b.checkpoint_count());
+        assert_eq!(a.bbvs(), b.bbvs());
         let interval = a.checkpoint_interval().max(1);
         for i in 0..a.checkpoint_count() as u64 {
             assert_eq!(
@@ -1584,6 +1780,79 @@ mod tests {
                 .unwrap();
             assert_traces_identical(&reference, &decoded);
         }
+    }
+
+    #[test]
+    fn stored_bbvs_round_trip_and_match_the_capture() {
+        let p = full_coverage_kernel();
+        let trace = Trace::capture_with_checkpoints(&p, 10_000, 16);
+        assert!(!trace.bbvs().is_empty());
+        let tmp = TempFile::new("bbvs");
+        write_trace_to_path(tmp.path(), &p, &trace).unwrap();
+        let reader = TraceReader::open(tmp.path(), &p).unwrap();
+        assert_eq!(reader.meta().version, TRACE_FORMAT_VERSION);
+        let stored = reader.read_bbvs().unwrap().expect("v2 files store BBVs");
+        assert_eq!(stored.as_slice(), trace.bbvs());
+    }
+
+    #[test]
+    fn version_1_files_are_still_read_with_derived_bbvs() {
+        let p = full_coverage_kernel();
+        let trace = Trace::capture_with_checkpoints(&p, 10_000, 16);
+        let tmp = TempFile::new("v1compat");
+        {
+            let mut writer = TraceWriter::with_format_version(
+                tmp.path(),
+                &p,
+                trace.checkpoint_interval(),
+                DEFAULT_BLOCK_RECORDS,
+                1,
+            )
+            .unwrap();
+            for state in trace.checkpoints() {
+                writer.add_checkpoint(state);
+            }
+            for bbv in trace.bbvs() {
+                writer.add_bbv(bbv); // dropped: v1 has nowhere to put them
+            }
+            for rec in trace.records() {
+                writer.append(rec).unwrap();
+            }
+            writer
+                .finish(trace.end_state(), trace.is_complete())
+                .unwrap();
+        }
+        let reader = TraceReader::open(tmp.path(), &p).unwrap();
+        assert_eq!(reader.meta().version, 1);
+        assert_eq!(
+            reader.read_bbvs().unwrap(),
+            None,
+            "v1 files store no BBV chunk"
+        );
+        // The decoded trace still carries BBVs (derived from the records),
+        // bit-identical to what a v2 capture stores.
+        let decoded = reader.read_trace(&p).unwrap();
+        assert_traces_identical(&trace, &decoded);
+    }
+
+    #[test]
+    fn unsupported_future_version_is_rejected() {
+        let p = counted_loop(3);
+        let trace = Trace::capture(&p, 100);
+        let tmp = TempFile::new("future");
+        write_trace_to_path(tmp.path(), &p, &trace).unwrap();
+        let mut bytes = std::fs::read(tmp.path()).unwrap();
+        bytes[8..12].copy_from_slice(&(TRACE_FORMAT_VERSION + 1).to_le_bytes());
+        // Refresh the file checksum so only the version field is at fault.
+        let hash = fnv1a(FNV_OFFSET, &bytes[..bytes.len() - 16]);
+        let checksum_at = bytes.len() - 16;
+        bytes[checksum_at..checksum_at + 8].copy_from_slice(&hash.to_le_bytes());
+        let victim = TempFile::new("future-victim");
+        std::fs::write(victim.path(), &bytes).unwrap();
+        assert!(matches!(
+            TraceReader::open_unchecked(victim.path()),
+            Err(TraceFileError::Version { found }) if found == TRACE_FORMAT_VERSION + 1
+        ));
     }
 
     #[test]

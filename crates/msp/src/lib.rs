@@ -60,11 +60,17 @@
 //! assert!(msp16.rf_epi_pj() < cpr.rf_epi_pj(), "the Table III trend, measured");
 //! ```
 //!
-//! Large budgets run **sampled**: attach a [`SamplingSpec`](bench::SamplingSpec)
+//! Large budgets run **sampled**: attach a [`SamplingPlan`](bench::SamplingPlan)
 //! and every cell estimates its full-budget statistics from detailed
-//! simulation of periodic, checkpoint-resumed windows (≥5× faster than
-//! exact at multi-million-instruction budgets, per-cell IPC within 2% —
-//! see `BENCH_pipeline.json` and DESIGN.md):
+//! simulation of checkpoint-resumed windows (≥5× faster than exact at
+//! multi-million-instruction budgets, per-cell IPC within 2% — see
+//! `BENCH_pipeline.json` and DESIGN.md). Three plans are available:
+//! [`SamplingPlan::periodic`](bench::SamplingPlan::periodic) (one window per
+//! fixed interval), [`SamplingPlan::phase_aware`](bench::SamplingPlan::phase_aware)
+//! (SimPoint-style — cluster per-interval basic-block vectors and simulate
+//! one weighted representative window per program phase) and
+//! [`SamplingPlan::adaptive`](bench::SamplingPlan::adaptive) (keep adding
+//! windows until the IPC relative standard error reaches a target):
 //!
 //! ```
 //! use msp::prelude::*;
@@ -73,11 +79,28 @@
 //! let spec = Experiment::new("sampled")
 //!     .workload(msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists"))
 //!     .machine(MachineKind::msp(16))
-//!     .sampling(SamplingSpec::periodic(10_000));
+//!     .sampling(SamplingPlan::periodic(10_000));
 //! let results = lab.run(&spec);
 //! let estimate = results.cells()[0].sampled.as_ref().expect("sampled cell");
 //! assert!(estimate.intervals >= 2);
 //! assert!(estimate.mean_ipc > 0.0);
+//! ```
+//!
+//! The adaptive plan self-tunes the window count to an accuracy budget
+//! instead of a fixed schedule — ask for a 1% relative standard error with
+//! `SamplingPlan::adaptive(0.01).with_interval(10_000)`:
+//!
+//! ```
+//! use msp::prelude::*;
+//!
+//! let lab = Lab::new(LabConfig { instructions: 40_000, ..LabConfig::default() });
+//! let spec = Experiment::new("adaptive")
+//!     .workload(msp::workloads::by_name("gzip", Variant::Original).expect("kernel exists"))
+//!     .machine(MachineKind::msp(16))
+//!     .sampling(SamplingPlan::adaptive(0.01).with_interval(10_000));
+//! let results = lab.run(&spec);
+//! let estimate = results.cells()[0].sampled.as_ref().expect("sampled cell");
+//! assert!(estimate.intervals >= 2);
 //! ```
 //!
 //! Long sweeps are **crash-resumable**: point `MSP_BENCH_JOURNAL_DIR` at a
@@ -116,7 +139,7 @@ pub use msp_workloads as workloads;
 pub mod prelude {
     pub use msp_bench::{
         Experiment, Lab, LabConfig, OutputFormat, Report, ReportKind, ResultSet, SampledStats,
-        SamplingSpec,
+        SamplingPlan,
     };
     pub use msp_branch::{DirectionPredictor, PredictorKind};
     pub use msp_isa::{ArchReg, ArchState, Instruction, Program, Trace};

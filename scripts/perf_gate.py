@@ -17,7 +17,17 @@ baseline and fails on:
     `sampled.max_ipc_rel_error_pct` above SAMPLED_MAX_ERROR_PCT. The error
     bound is deterministic (simulation is bit-reproducible for a given
     budget); the speedup bound is wall-clock and carries margin below the
-    acceptance target recorded in the baseline, or
+    acceptance target recorded in the baseline. When more than one window
+    per cell was measured, `sampled.max_ipc_rel_stderr_pct` must be present
+    and numeric — a run that measured a spread but didn't record it fails
+    closed instead of silently passing, or
+  * the phase-aware plan (`sampled_phase_aware`) spending more detailed
+    windows per cell than the periodic plan, or landing a worse worst-cell
+    IPC error — SimPoint sampling must match or beat periodic accuracy
+    from a detailed-simulation budget no larger than periodic's, or
+  * the adaptive plan (`sampled_adaptive`) overshooting its requested
+    confidence: `achieved_max_ipc_rel_stderr_pct` must land within
+    ADAPTIVE_TARGET_SLACK of `target_rel_stderr_pct`, or
   * the persistent trace store breaking its never-re-execute invariant:
     `trace_store.warm_store_functional_captures` must be 0 (a warm store
     serves a fresh process entirely from disk), or
@@ -54,6 +64,10 @@ SAMPLED_MAX_ERROR_PCT = 2.0
 # 2M-instruction budget (both sides of the ratio are warm-store sequential
 # passes, so the comparison isolates the journal's write path).
 JOURNAL_MAX_OVERHEAD_PCT = 2.0
+# The adaptive plan must land its achieved worst-cell IPC relative standard
+# error within 20% of the requested target (it may run out of windows on a
+# small budget, but not by more than this).
+ADAPTIVE_TARGET_SLACK = 1.2
 
 
 def load(path):
@@ -113,6 +127,57 @@ def main():
         if error > SAMPLED_MAX_ERROR_PCT:
             failures.append(
                 f"sampled IPC error {error:.3f}% above {SAMPLED_MAX_ERROR_PCT}%")
+        # Fail closed on a missing confidence figure: with more than one
+        # window per cell a spread exists, so a run that doesn't record it
+        # (or records garbage) must not slip through as "no stderr, no gate".
+        if sampled.get("max_intervals_per_cell", 0) > 1:
+            stderr = sampled.get("max_ipc_rel_stderr_pct")
+            if not isinstance(stderr, (int, float)):
+                failures.append(
+                    f"sampled run measured {sampled['max_intervals_per_cell']} "
+                    f"windows per cell but records no numeric "
+                    f"'max_ipc_rel_stderr_pct' (got {stderr!r}); a measured "
+                    f"spread must be recorded, not silently dropped")
+            else:
+                print(f"sampled stderr: {stderr:.3f}% "
+                      f"(recorded; informational for the periodic plan)")
+
+    phase = current.get("sampled_phase_aware")
+    if phase is None:
+        failures.append("current run records no 'sampled_phase_aware' section")
+    elif sampled is not None:
+        p_err = phase["max_ipc_rel_error_pct"]
+        p_windows = phase["max_intervals_per_cell"]
+        s_err = sampled["max_ipc_rel_error_pct"]
+        s_windows = sampled["max_intervals_per_cell"]
+        print(f"phase-aware: max IPC error {p_err:.3f}% from {p_windows} "
+              f"windows/cell (periodic: {s_err:.3f}% from {s_windows}; gate: "
+              f"no worse on both)")
+        if p_windows > s_windows:
+            failures.append(
+                f"phase-aware plan used {p_windows} windows per cell, more "
+                f"than the periodic plan's {s_windows}; SimPoint sampling "
+                f"must not cost more detailed simulation than periodic")
+        if p_err > s_err:
+            failures.append(
+                f"phase-aware IPC error {p_err:.3f}% above the periodic "
+                f"plan's {s_err:.3f}%; phase representatives must match or "
+                f"beat periodic accuracy")
+
+    adaptive = current.get("sampled_adaptive")
+    if adaptive is None:
+        failures.append("current run records no 'sampled_adaptive' section")
+    else:
+        target = adaptive["target_rel_stderr_pct"]
+        achieved = adaptive["achieved_max_ipc_rel_stderr_pct"]
+        bound = ADAPTIVE_TARGET_SLACK * target
+        print(f"adaptive: achieved stderr {achieved:.3f}% vs target "
+              f"{target:.3f}% (gate <= {bound:.3f}%)")
+        if achieved > bound:
+            failures.append(
+                f"adaptive achieved stderr {achieved:.3f}% overshoots the "
+                f"{target:.3f}% target by more than "
+                f"{100 * (ADAPTIVE_TARGET_SLACK - 1):.0f}%")
 
     seed_fields = ("speedup_vs_seed", "speedup_vs_pre_trace_layer")
     if current.get("comparable_to_seed_baseline"):

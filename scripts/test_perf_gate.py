@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/perf_gate.py (run by CI before the gate).
+
+The gate is the last line of defence for the sampled-simulation
+guarantees, so its own failure modes are pinned here — most importantly
+that it fails CLOSED when a run measured a spread but didn't record it
+(the historical fail-open hole: no `max_ipc_rel_stderr_pct`, no gate).
+
+Run with:  python3 scripts/test_perf_gate.py
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_gate.py")
+
+# A minimal document that satisfies every gate.
+GOOD = {
+    "instructions_per_sim": 2_000_000,
+    "sims": 12,
+    "after": {"sequential_cold_simulated_mips": 1.0},
+    "sampled": {
+        "max_intervals_per_cell": 8,
+        "speedup_vs_sequential_cold": 5.0,
+        "max_ipc_rel_error_pct": 1.4,
+        "max_ipc_rel_stderr_pct": 3.1,
+    },
+    "sampled_phase_aware": {
+        "max_intervals_per_cell": 5,
+        "max_ipc_rel_error_pct": 1.2,
+    },
+    "sampled_adaptive": {
+        "target_rel_stderr_pct": 2.0,
+        "achieved_max_ipc_rel_stderr_pct": 1.9,
+    },
+    "trace_store": {
+        "warm_store_functional_captures": 0,
+        "warm_store_speedup_vs_cold_store": 2.0,
+    },
+    "journal": {
+        "journal_overhead_vs_warm_store_pct": 0.5,
+        "resumed_replayed_cells": 12,
+        "resumed_recomputed_cells": 0,
+    },
+    "comparable_to_seed_baseline": False,
+}
+
+
+def run_gate(baseline, current):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle)
+        with open(cur_path, "w", encoding="utf-8") as handle:
+            json.dump(current, handle)
+        return subprocess.run(
+            [sys.executable, GATE, base_path, cur_path],
+            capture_output=True, text=True, check=False)
+
+
+def check(name, current, expect_pass, expect_msg=None):
+    result = run_gate(GOOD, current)
+    passed = result.returncode == 0
+    if passed != expect_pass:
+        sys.exit(
+            f"test_perf_gate: {name}: expected "
+            f"{'pass' if expect_pass else 'fail'}, got exit "
+            f"{result.returncode}\nstdout:\n{result.stdout}\n"
+            f"stderr:\n{result.stderr}")
+    if expect_msg is not None and expect_msg not in result.stderr:
+        sys.exit(
+            f"test_perf_gate: {name}: expected {expect_msg!r} in stderr, "
+            f"got:\n{result.stderr}")
+    print(f"test_perf_gate: ok: {name}")
+
+
+def variant(**overrides):
+    doc = copy.deepcopy(GOOD)
+    for dotted, value in overrides.items():
+        section, _, key = dotted.partition(".")
+        if not key:
+            if value is None:
+                doc.pop(section, None)
+            else:
+                doc[section] = value
+        elif value is None:
+            doc[section].pop(key, None)
+        else:
+            doc[section][key] = value
+    return doc
+
+
+def main():
+    check("well-formed document passes", GOOD, True)
+
+    # The fail-closed bugfix: >1 window per cell measured, stderr missing
+    # or non-numeric, must FAIL (it used to slip through unexamined).
+    check("missing stderr with >1 window fails closed",
+          variant(**{"sampled.max_ipc_rel_stderr_pct": None}),
+          False, "must be recorded")
+    check("non-numeric stderr fails closed",
+          variant(**{"sampled.max_ipc_rel_stderr_pct": "n/a"}),
+          False, "must be recorded")
+    check("single-window run needs no stderr",
+          variant(**{"sampled.max_intervals_per_cell": 1,
+                     "sampled.max_ipc_rel_stderr_pct": None,
+                     "sampled_phase_aware.max_intervals_per_cell": 1}),
+          True)
+
+    # Phase-aware gates: worse error or more windows than periodic fails.
+    check("phase-aware worse error fails",
+          variant(**{"sampled_phase_aware.max_ipc_rel_error_pct": 1.5}),
+          False, "match or beat periodic")
+    check("phase-aware extra windows fail",
+          variant(**{"sampled_phase_aware.max_intervals_per_cell": 9}),
+          False, "more than the periodic plan")
+    check("missing phase-aware section fails",
+          variant(sampled_phase_aware=None),
+          False, "sampled_phase_aware")
+
+    # Adaptive gate: achieved must land within 20% of the target.
+    check("adaptive at the slack boundary passes",
+          variant(**{"sampled_adaptive.achieved_max_ipc_rel_stderr_pct": 2.4}),
+          True)
+    check("adaptive overshooting the target fails",
+          variant(**{"sampled_adaptive.achieved_max_ipc_rel_stderr_pct": 2.5}),
+          False, "overshoots")
+    check("missing adaptive section fails",
+          variant(sampled_adaptive=None),
+          False, "sampled_adaptive")
+
+    # Pre-existing gates still bite.
+    check("sampled error above bound fails",
+          variant(**{"sampled.max_ipc_rel_error_pct": 2.1}),
+          False, "above 2.0%")
+    check("warm-store capture fails",
+          variant(**{"trace_store.warm_store_functional_captures": 1}),
+          False, "functional captures")
+    check("journal recompute fails",
+          variant(**{"journal.resumed_recomputed_cells": 1}),
+          False, "recomputed")
+
+    print("test_perf_gate: all tests passed")
+
+
+if __name__ == "__main__":
+    main()
