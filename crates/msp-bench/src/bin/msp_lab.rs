@@ -85,6 +85,7 @@ fn usage() -> String {
          \x20      msp-lab <subcommand> --bless\n\
          \x20      msp-lab batch <manifest> [--verbose]\n\
          \x20      msp-lab trace <ls|stat|gc|capture> [...]\n\
+         \x20      msp-lab check [--cpr] [--max-states N] [--mutation <name>|--mutation-matrix]\n\
          \n\
          Runs one experiment of the González et al. (MICRO 2008) reproduction\n\
          and prints the report.\n\
@@ -113,6 +114,19 @@ fn usage() -> String {
          \x20 trace capture <workload>  pre-capture one workload's trace into the store\n\
          \x20                  [--variant original|modified, --interval N checkpoints;\n\
          \x20                  budget from MSP_BENCH_INSTRUCTIONS]\n\
+         \n\
+         model-checker subcommand:\n\
+         \x20 check            exhaustively enumerate every legal event interleaving of a\n\
+         \x20                  tiny MSP machine built from the real msp-state structures,\n\
+         \x20                  auditing occupancy/architectural/StateId invariants at every\n\
+         \x20                  step; fails if any violation is found or the state budget\n\
+         \x20                  runs out [--cpr checks the CPR comparison machine instead;\n\
+         \x20                  --max-states N caps the search (default 4000000);\n\
+         \x20                  --mutation <name> arms one seeded recovery defect and\n\
+         \x20                  requires the explorer to catch it (needs a build with\n\
+         \x20                  RUSTFLAGS=\"--cfg msp_check_mutation\"); --mutation-matrix\n\
+         \x20                  runs every seeded defect and requires all kills;\n\
+         \x20                  --list-mutations prints the defect names]\n\
          \n\
          options:\n\
          \x20 --format <fmt>   output format: text (default), json or csv\n\
@@ -165,8 +179,28 @@ enum Invocation {
     },
     Bless(ReportKind),
     Trace(TraceCmd),
+    Check(CheckCmd),
     Help,
     List,
+}
+
+/// `msp-lab check`: which machine to enumerate and whether to prove the
+/// invariants' teeth against the seeded defects.
+struct CheckCmd {
+    cpr: bool,
+    max_states: u64,
+    mode: CheckMode,
+}
+
+enum CheckMode {
+    /// Plain exhaustive run; fails on any violation or an exhausted budget.
+    Clean,
+    /// Arm one seeded defect; fails unless the explorer catches it.
+    Mutation(String),
+    /// Run every seeded defect in turn; fails unless all are caught.
+    Matrix,
+    /// Print the seeded defect names, one per line.
+    ListMutations,
 }
 
 enum TraceCmd {
@@ -298,6 +332,51 @@ fn parse_trace_args(args: &[String]) -> Result<TraceCmd, String> {
     }
 }
 
+/// Parses the `check` family (everything after the `check` token).
+fn parse_check_args(args: &[String]) -> Result<CheckCmd, String> {
+    let mut cpr = false;
+    let mut max_states: u64 = msp_check::ExploreLimits::default().max_states;
+    let mut mode = CheckMode::Clean;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cpr" => cpr = true,
+            "--list-mutations" => mode = CheckMode::ListMutations,
+            "--mutation-matrix" => {
+                if matches!(mode, CheckMode::Mutation(_)) {
+                    return Err("--mutation and --mutation-matrix are mutually exclusive".into());
+                }
+                mode = CheckMode::Matrix;
+            }
+            "--mutation" => {
+                if matches!(mode, CheckMode::Matrix) {
+                    return Err("--mutation and --mutation-matrix are mutually exclusive".into());
+                }
+                let value = iter.next().ok_or_else(|| {
+                    "--mutation needs a defect name (see --list-mutations)".to_string()
+                })?;
+                mode = CheckMode::Mutation(value.clone());
+            }
+            "--max-states" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--max-states needs an unsigned integer".to_string())?;
+                max_states = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--max-states {value:?} is not a positive integer"))?;
+            }
+            other => return Err(format!("unexpected check argument {other:?}")),
+        }
+    }
+    Ok(CheckCmd {
+        cpr,
+        max_states,
+        mode,
+    })
+}
+
 fn parse_batch_args(args: &[String]) -> Result<Invocation, String> {
     let mut manifest: Option<String> = None;
     let mut verbose = false;
@@ -325,6 +404,9 @@ fn parse_args(args: &[String]) -> Result<Invocation, String> {
     }
     if args.first().map(String::as_str) == Some("batch") {
         return parse_batch_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("check") {
+        return Ok(Invocation::Check(parse_check_args(&args[1..])?));
     }
     let mut kind: Option<ReportKind> = None;
     let mut format = OutputFormat::Text;
@@ -576,6 +658,102 @@ fn run_trace(cmd: TraceCmd) -> Result<(), String> {
     }
 }
 
+/// One exploration of the selected machine under the current thread's armed
+/// mutation (if any). The default geometries are the checked-in CI
+/// configurations: small enough to exhaust in seconds, rich enough to reach
+/// every squash path.
+fn run_one_check(cpr: bool, max_states: u64) -> msp_check::CheckReport {
+    let limits = msp_check::ExploreLimits { max_states };
+    if cpr {
+        msp_check::check_cpr(msp_check::CprConfig::default(), limits)
+    } else {
+        msp_check::check_msp(msp_check::CheckConfig::default(), limits)
+    }
+}
+
+/// `msp-lab check`: exhaustive model checking of the recovery paths. Clean
+/// runs must complete without violations; mutation runs must violate (the
+/// seeded defect must be caught) — either failure mode is a non-zero exit.
+fn run_check(cmd: CheckCmd) -> Result<(), String> {
+    let machine = if cmd.cpr { "cpr" } else { "msp" };
+    match cmd.mode {
+        CheckMode::ListMutations => {
+            for name in msp_check::MUTATIONS {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        CheckMode::Clean => {
+            let report = run_one_check(cmd.cpr, cmd.max_states);
+            println!("check {machine}: {report}");
+            if let Some(cx) = &report.violation {
+                println!("\n{}", cx.transcript);
+                return Err("invariant violation found".to_string());
+            }
+            if !report.complete {
+                return Err(format!(
+                    "state budget exhausted before the space was enumerated \
+                     (raise --max-states above {})",
+                    cmd.max_states
+                ));
+            }
+            Ok(())
+        }
+        CheckMode::Mutation(name) => {
+            msp_check::arm_mutation(&name)?;
+            let report = run_one_check(cmd.cpr, cmd.max_states);
+            msp_check::disarm_mutation();
+            match &report.violation {
+                Some(cx) => {
+                    println!("check {machine}: mutation '{name}' KILLED — {report}");
+                    println!("\n{}", cx.transcript);
+                    Ok(())
+                }
+                None => Err(format!(
+                    "mutation '{name}' SURVIVED the explorer ({report}) — the invariants \
+                     have lost their teeth"
+                )),
+            }
+        }
+        CheckMode::Matrix => {
+            if !msp_check::mutations_compiled_in() {
+                return Err("the mutation matrix needs a build with \
+                     RUSTFLAGS=\"--cfg msp_check_mutation\""
+                    .to_string());
+            }
+            let mut survivors = Vec::new();
+            for &name in msp_check::MUTATIONS {
+                // The CPR leak lives in the CPR machine; everything else is
+                // an MSP-side defect.
+                let cpr = name == "leak-cpr-checkpoint";
+                msp_check::arm_mutation(name)?;
+                let report = run_one_check(cpr, cmd.max_states);
+                msp_check::disarm_mutation();
+                match &report.violation {
+                    Some(cx) => println!(
+                        "check matrix: {name:28} KILLED after {} events ({} states visited)",
+                        cx.events.len(),
+                        report.visited
+                    ),
+                    None => {
+                        println!("check matrix: {name:28} SURVIVED ({report})");
+                        survivors.push(name);
+                    }
+                }
+            }
+            if survivors.is_empty() {
+                println!(
+                    "check matrix: all {} seeded defects killed",
+                    msp_check::MUTATIONS.len()
+                );
+                Ok(())
+            } else {
+                Err(format!("surviving mutations: {}", survivors.join(", ")))
+            }
+        }
+    }
+}
+
 /// Builds the session `Lab`. Journalling is opt-in per invocation: a plain
 /// run ignores any ambient `MSP_BENCH_JOURNAL_DIR` (its cells are not
 /// journaled and nothing replays), while `--resume` requires it.
@@ -730,6 +908,13 @@ fn main() -> ExitCode {
             }
         },
         Invocation::Trace(cmd) => match run_trace(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("msp-lab: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Invocation::Check(cmd) => match run_check(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("msp-lab: {message}");

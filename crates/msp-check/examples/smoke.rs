@@ -1,0 +1,8 @@
+fn main() {
+    let t = std::time::Instant::now();
+    let report = msp_check::check_msp(Default::default(), Default::default());
+    println!("MSP: {report}  [{:?}]", t.elapsed());
+    let t = std::time::Instant::now();
+    let report = msp_check::check_cpr(Default::default(), Default::default());
+    println!("CPR: {report}  [{:?}]", t.elapsed());
+}

@@ -1,0 +1,278 @@
+//! The explicit-state explorer: breadth-first enumeration of every reachable
+//! state of a [`Model`] with hash-based visited-state deduplication.
+//!
+//! Breadth-first order matters: when a violation exists, the first one found
+//! is reached by a *shortest* event path, so every counterexample the checker
+//! prints is minimal in the number of events.
+
+use std::cell::Cell;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static SILENCED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the default panic hook suppressed on this thread. The
+/// explorer *expects* panics (debug assertions and the `invariant_audit`
+/// layer are oracles here) and converts them into counterexamples; without
+/// this, every caught violation would spray a backtrace to stderr. Other
+/// threads keep the default hook.
+pub(crate) fn with_silenced_panics<R>(f: impl FnOnce() -> R) -> R {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCED.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    let was = SILENCED.with(|s| s.replace(true));
+    let result = f();
+    SILENCED.with(|s| s.set(was));
+    result
+}
+
+/// A system the explorer can enumerate: a cloneable state with a finite set
+/// of enabled events and a deterministic transition function.
+///
+/// `apply` returns `Err` when an *invariant oracle* fails; panics raised by
+/// the structures under test (debug assertions, the `invariant_audit` layer)
+/// are caught by the explorer and reported the same way.
+pub trait Model: Clone {
+    /// The event alphabet.
+    type Event: Clone + fmt::Display;
+
+    /// Every event enabled in the current state, in a deterministic order.
+    /// An empty list marks a terminal (fully quiesced) state.
+    fn enabled_events(&self) -> Vec<Self::Event>;
+
+    /// Applies one event and runs the per-event invariant oracles.
+    fn apply(&mut self, event: &Self::Event) -> Result<(), String>;
+
+    /// A collision-resistant fingerprint of the behavioural state (stats and
+    /// other monotone counters excluded) used for visited-state dedup.
+    fn fingerprint(&self) -> u64;
+
+    /// The quiescence oracle, run in every terminal state.
+    fn check_terminal(&self) -> Result<(), String>;
+
+    /// One-line state summary used when pretty-printing counterexamples.
+    fn summary(&self) -> String;
+}
+
+/// Exploration budget and reporting knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Stop (incomplete) after visiting this many distinct states.
+    pub max_states: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// A violating run: the shortest event sequence from the initial state to a
+/// state where an invariant (or a debug assertion inside the structures under
+/// test) fails.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The events of the violating run, rendered with [`fmt::Display`]; the
+    /// last event is the one whose application violated the invariant.
+    pub events: Vec<String>,
+    /// The oracle failure or panic message.
+    pub message: String,
+    /// A full replay transcript: each event followed by the state summary it
+    /// produced, ending in the violation.
+    pub transcript: String,
+}
+
+/// The result of one exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Number of distinct states visited.
+    pub visited: u64,
+    /// Number of terminal (fully quiesced) states checked.
+    pub terminal_states: u64,
+    /// Length of the longest event path explored.
+    pub max_depth: usize,
+    /// Whether the reachable state space was exhausted (no budget cut-off
+    /// and no violation stopping the search).
+    pub complete: bool,
+    /// The first (shortest) violation found, if any.
+    pub violation: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// `true` when the space was fully exhausted and no oracle fired.
+    pub fn is_clean(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "visited {} states ({} terminal, max depth {}): {}",
+            self.visited,
+            self.terminal_states,
+            self.max_depth,
+            if self.violation.is_some() {
+                "VIOLATION"
+            } else if self.complete {
+                "complete, no violations"
+            } else {
+                "budget exhausted (incomplete)"
+            }
+        )?;
+        if let Some(cx) = &self.violation {
+            writeln!(f, "\n{}", cx.transcript)?;
+        }
+        Ok(())
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Applies `event`, converting both oracle failures and panics raised inside
+/// the structures under test into an error message.
+fn apply_checked<M: Model>(state: &mut M, event: &M::Event) -> Result<(), String> {
+    #[cfg(msp_check_mutation)]
+    msp_state::mutation::rearm();
+    match with_silenced_panics(|| catch_unwind(AssertUnwindSafe(|| state.apply(event)))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(payload))),
+    }
+}
+
+fn check_terminal_checked<M: Model>(state: &M) -> Result<(), String> {
+    match with_silenced_panics(|| catch_unwind(AssertUnwindSafe(|| state.check_terminal()))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(payload))),
+    }
+}
+
+/// Re-runs a violating event path from the initial state and renders a
+/// human-readable transcript of every step.
+fn render_counterexample<M: Model>(
+    initial: &M,
+    path: &[M::Event],
+    message: &str,
+    terminal_violation: bool,
+) -> Counterexample {
+    let mut transcript = String::new();
+    transcript.push_str(&format!("counterexample ({} events):\n", path.len()));
+    transcript.push_str(&format!("  initial   {}\n", initial.summary()));
+    let mut replay = initial.clone();
+    for (i, event) in path.iter().enumerate() {
+        let failing = !terminal_violation && i == path.len() - 1;
+        let outcome = apply_checked(&mut replay, event);
+        transcript.push_str(&format!("  step {:<3}  {event}\n", i + 1));
+        match outcome {
+            Ok(()) => transcript.push_str(&format!("            {}\n", replay.summary())),
+            Err(e) => {
+                transcript.push_str(&format!("            FAILS: {e}\n"));
+                if !failing {
+                    transcript.push_str("            (violation replayed early)\n");
+                }
+                break;
+            }
+        }
+    }
+    if terminal_violation {
+        transcript.push_str(&format!("  terminal  FAILS: {message}\n"));
+    }
+    Counterexample {
+        events: path.iter().map(|e| e.to_string()).collect(),
+        message: message.to_string(),
+        transcript,
+    }
+}
+
+/// Exhaustively explores every state reachable from `initial`, stopping at
+/// the first violation (which, by breadth-first order, has a shortest event
+/// path) or when the state budget is exhausted.
+pub fn explore<M: Model>(initial: M, limits: ExploreLimits) -> CheckReport {
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut queue: VecDeque<(M, Vec<M::Event>)> = VecDeque::new();
+    visited.insert(initial.fingerprint());
+    queue.push_back((initial.clone(), Vec::new()));
+
+    let mut terminal_states = 0u64;
+    let mut max_depth = 0usize;
+
+    while let Some((state, path)) = queue.pop_front() {
+        max_depth = max_depth.max(path.len());
+        let events = state.enabled_events();
+        if events.is_empty() {
+            terminal_states += 1;
+            if let Err(message) = check_terminal_checked(&state) {
+                return CheckReport {
+                    visited: visited.len() as u64,
+                    terminal_states,
+                    max_depth,
+                    complete: false,
+                    violation: Some(render_counterexample(&initial, &path, &message, true)),
+                };
+            }
+            continue;
+        }
+        for event in events {
+            let mut next = state.clone();
+            if let Err(message) = apply_checked(&mut next, &event) {
+                let mut failing_path = path.clone();
+                failing_path.push(event);
+                return CheckReport {
+                    visited: visited.len() as u64,
+                    terminal_states,
+                    max_depth: max_depth.max(failing_path.len()),
+                    complete: false,
+                    violation: Some(render_counterexample(
+                        &initial,
+                        &failing_path,
+                        &message,
+                        false,
+                    )),
+                };
+            }
+            if visited.len() as u64 >= limits.max_states {
+                return CheckReport {
+                    visited: visited.len() as u64,
+                    terminal_states,
+                    max_depth,
+                    complete: false,
+                    violation: None,
+                };
+            }
+            if visited.insert(next.fingerprint()) {
+                let mut next_path = path.clone();
+                next_path.push(event);
+                queue.push_back((next, next_path));
+            }
+        }
+    }
+
+    CheckReport {
+        visited: visited.len() as u64,
+        terminal_states,
+        max_depth,
+        complete: true,
+        violation: None,
+    }
+}

@@ -1,0 +1,155 @@
+//! Exhaustive clean runs plus the mutation-kill matrix.
+//!
+//! The clean tests prove the default tiny geometry's reachable state space
+//! is fully enumerable and violation-free. The kill tests (compiled only
+//! under `RUSTFLAGS="--cfg msp_check_mutation"`) prove the invariants have
+//! teeth: every seeded recovery defect must be caught with a replayable
+//! counterexample.
+
+use msp_check::{check_cpr, check_msp, CheckConfig, CprConfig, ExploreLimits, MUTATIONS};
+
+#[test]
+fn msp_state_space_exhausts_cleanly() {
+    let report = check_msp(CheckConfig::default(), ExploreLimits::default());
+    assert!(
+        report.is_clean(),
+        "expected a clean exhaustive run, got: {report}"
+    );
+    assert!(
+        report.visited > 10_000,
+        "suspiciously small space: {report}"
+    );
+    assert!(report.terminal_states > 0, "no terminal states: {report}");
+}
+
+#[test]
+fn cpr_state_space_exhausts_cleanly() {
+    let report = check_cpr(CprConfig::default(), ExploreLimits::default());
+    assert!(
+        report.is_clean(),
+        "expected a clean exhaustive run, got: {report}"
+    );
+    assert!(report.terminal_states > 0, "no terminal states: {report}");
+}
+
+#[test]
+fn state_budget_cuts_off_incomplete() {
+    let report = check_msp(CheckConfig::default(), ExploreLimits { max_states: 100 });
+    assert!(!report.complete, "a 100-state budget cannot exhaust");
+    assert!(report.violation.is_none());
+    assert!(report.visited <= 101);
+}
+
+#[test]
+fn unknown_mutation_is_rejected() {
+    let err = msp_check::arm_mutation("no-such-defect").unwrap_err();
+    assert!(err.contains("unknown mutation"), "{err}");
+}
+
+#[test]
+fn mutation_registry_is_complete() {
+    assert_eq!(MUTATIONS.len(), 7);
+}
+
+#[cfg(not(msp_check_mutation))]
+#[test]
+fn arming_requires_the_rebuild_flag() {
+    let err = msp_check::arm_mutation("skip-reliq-clear").unwrap_err();
+    assert!(err.contains("msp_check_mutation"), "{err}");
+    assert!(!msp_check::mutations_compiled_in());
+}
+
+#[cfg(msp_check_mutation)]
+mod kills {
+    use super::*;
+
+    /// Arms a mutation for the current thread and disarms it on drop, so a
+    /// failing assertion cannot leak the defect into other tests.
+    struct Armed;
+
+    impl Armed {
+        fn new(name: &str) -> Self {
+            msp_check::arm_mutation(name).expect("mutation compiled in");
+            Armed
+        }
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            msp_check::disarm_mutation();
+        }
+    }
+
+    fn assert_killed_msp(name: &str) {
+        let _armed = Armed::new(name);
+        let report = check_msp(CheckConfig::default(), ExploreLimits::default());
+        let cx = report
+            .violation
+            .unwrap_or_else(|| panic!("mutation '{name}' survived the explorer"));
+        assert!(!cx.events.is_empty(), "empty counterexample for '{name}'");
+        assert!(
+            cx.transcript.contains("FAILS"),
+            "counterexample for '{name}' lacks a replay transcript:\n{}",
+            cx.transcript
+        );
+    }
+
+    #[test]
+    fn kills_skip_reliq_clear() {
+        assert_killed_msp("skip-reliq-clear");
+    }
+
+    #[test]
+    fn kills_sct_release_off_by_one() {
+        assert_killed_msp("sct-release-off-by-one");
+    }
+
+    #[test]
+    fn kills_stale_lcs_anchor() {
+        assert_killed_msp("stale-lcs-anchor");
+    }
+
+    #[test]
+    fn kills_sct_recover_keep_youngest() {
+        assert_killed_msp("sct-recover-keep-youngest");
+    }
+
+    #[test]
+    fn kills_counter_recover_off_by_one() {
+        assert_killed_msp("counter-recover-off-by-one");
+    }
+
+    #[test]
+    fn kills_skip_storequeue_squash() {
+        assert_killed_msp("skip-storequeue-squash");
+    }
+
+    #[test]
+    fn kills_leak_cpr_checkpoint() {
+        let _armed = Armed::new("leak-cpr-checkpoint");
+        let report = check_cpr(CprConfig::default(), ExploreLimits::default());
+        let cx = report
+            .violation
+            .expect("mutation 'leak-cpr-checkpoint' survived the explorer");
+        assert!(
+            cx.message.contains("leaked") || cx.transcript.contains("leaked"),
+            "unexpected violation for the CPR leak:\n{}",
+            cx.transcript
+        );
+    }
+
+    #[test]
+    fn counterexamples_are_shortest_first() {
+        // Breadth-first order: the counter off-by-one fires at the very
+        // first reachable mispredict, so its counterexample must not be
+        // longer than the clean run's maximum depth.
+        let _armed = Armed::new("counter-recover-off-by-one");
+        let report = check_msp(CheckConfig::default(), ExploreLimits::default());
+        let cx = report.violation.expect("must be killed");
+        assert!(
+            cx.events.len() <= 10,
+            "expected a short (BFS-minimal) counterexample, got {} events",
+            cx.events.len()
+        );
+    }
+}

@@ -277,6 +277,13 @@ impl SimpleStoreQueue {
             filter: BlockFilter::new(),
         }
     }
+
+    /// Iterates over the queued stores in program order (oldest first).
+    /// Diagnostics and the model checker's occupancy fingerprint; the
+    /// pipeline itself only forwards and drains.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreQueueEntry> + '_ {
+        self.entries.iter()
+    }
 }
 
 impl StoreQueue for SimpleStoreQueue {

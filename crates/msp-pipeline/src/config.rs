@@ -283,6 +283,7 @@ impl SimConfig {
                     width: 4,
                     max_same_logical: self.max_same_reg_renames,
                 },
+                ..MspConfig::default()
             },
             MachineKind::IdealMsp => MspConfig {
                 iq_size: self.resources.iq_size,

@@ -1012,6 +1012,88 @@ impl<'p> Simulator<'p> {
         self.next_oracle_idx = restart_oracle_idx;
         self.oracle_done = false;
         self.fetch_stalled_until = self.cycle + 1;
+
+        #[cfg(any(debug_assertions, feature = "invariant_audit"))]
+        self.audit_recovery(msp_recovery_state);
+    }
+
+    /// Post-recovery invariant audit (the full-scale sibling of the
+    /// `msp-check` explorer's assertions): the window stayed contiguous,
+    /// every seq-keyed side structure was purged of squashed entries, and —
+    /// on MSP machines — the rename map rewound exactly to the recovery
+    /// state. Compiled only into debug builds and `invariant_audit` builds;
+    /// release hot paths never execute it.
+    #[cfg(any(debug_assertions, feature = "invariant_audit"))]
+    fn audit_recovery(&self, recovery_state: Option<StateId>) {
+        let mut expected = self.window.front().map(|i| i.seq);
+        for inst in &self.window {
+            assert_eq!(
+                Some(inst.seq),
+                expected,
+                "window seqs must stay contiguous after a squash"
+            );
+            expected = Some(inst.seq + 1);
+        }
+        if let Some(back) = self.window.back() {
+            assert_eq!(
+                back.seq + 1,
+                self.next_seq,
+                "sequence counter must rewind to the youngest survivor + 1"
+            );
+        }
+        let waiting_in_window = self
+            .window
+            .iter()
+            .filter(|i| i.status == Status::Waiting)
+            .count();
+        assert_eq!(
+            waiting_in_window, self.iq_occupancy,
+            "IQ occupancy must match the surviving waiting instructions"
+        );
+        assert!(
+            self.waiting.windows(2).all(|w| w[0] < w[1]),
+            "issue wait-list must stay strictly sorted across a squash"
+        );
+        assert!(
+            self.waiting.iter().all(|s| self.window_index(*s).is_some()),
+            "issue wait-list must not retain squashed seqs"
+        );
+        for &Reverse((_, seq)) in &self.completion_events {
+            assert!(
+                seq < self.next_seq,
+                "completion event survived for squashed seq {seq}"
+            );
+        }
+        let (Backend::Msp { manager, .. }, Some(state)) = (&self.backend, recovery_state) else {
+            return;
+        };
+        for inst in &self.window {
+            if let Some(s) = inst.msp_state {
+                assert!(
+                    s <= state,
+                    "surviving instruction seq {} carries squashed state {s} \
+                     (recovered to {state})",
+                    inst.seq
+                );
+            }
+        }
+        // The rename map rewound exactly: every logical register whose
+        // youngest surviving writer is still in flight must map to that
+        // writer's physical register.
+        for (flat, writer) in self.last_writer.iter().enumerate() {
+            let Some(seq) = writer else { continue };
+            let idx = self
+                .window_index(*seq)
+                .expect("writer map is rebuilt from the surviving window");
+            if let Some(dest) = self.window[idx].msp_dest {
+                let mapped = manager.source_mapping(ArchReg::from_flat_index(flat)).phys;
+                assert_eq!(
+                    mapped, dest,
+                    "rename map points r{flat} at {mapped} but its youngest surviving \
+                     writer (seq {seq}) allocated {dest}"
+                );
+            }
+        }
     }
 
     // --------------------------------------------------------------- commit
@@ -1164,12 +1246,20 @@ impl<'p> Simulator<'p> {
             }
         }
         // Draining the (potentially huge) store queue is only needed when
-        // the commit point actually moved.
+        // the commit point actually moved. The drain is gated by window
+        // *retirement* (everything older than the remaining window head),
+        // not by the raw LCS: with a pipelined LCS a store can dispatch into
+        // the current state after a younger minimum was already computed, so
+        // `state < lcs` alone does not imply the store has executed — the
+        // model checker's `store drained before it executed` oracle catches
+        // exactly that hazard. Retirement requires completion, so the
+        // boundary is always safe.
         if retired_any {
+            let boundary_seq = self.window.front().map_or(self.next_seq, |f| f.seq);
             let memory = &mut self.memory;
             let activity = &mut self.stats.activity;
             self.store_queue
-                .drain_committed_with(lcs.as_u64(), &mut |drained| {
+                .drain_committed_with(boundary_seq, &mut |drained| {
                     activity.dcache_accesses += 1;
                     if !memory.store_commit(drained.addr) {
                         activity.l2_accesses += 1;
@@ -1536,6 +1626,17 @@ impl<'p> Simulator<'p> {
                         for (bit, mapping) in
                             source_bits.iter_mut().zip(renamed.sources.iter().flatten())
                         {
+                            // When a non-allocating instruction's source
+                            // mapping aliases its state anchor, the single
+                            // RelIQ bit covers both roles and must survive
+                            // until the *later* release point — completion.
+                            // The anchor owns it; no source-side bit is
+                            // recorded, so issue will not clear it early and
+                            // release the state while the instruction is
+                            // still in flight (Section 3.4).
+                            if renamed.dest.is_none() && mapping.phys == renamed.anchor {
+                                continue;
+                            }
                             manager.note_use(mapping.phys, slot);
                             *bit = Some((mapping.phys, slot));
                         }
@@ -1660,10 +1761,10 @@ impl<'p> Simulator<'p> {
                 .rec
                 .mem_addr
                 .unwrap_or_else(|| Self::wrong_path_address(front.rec.pc));
-            let tag = match msp_state {
-                Some(state) => state.as_u64(),
-                None => seq,
-            };
+            // Every backend tags stores with the sequence number: commit
+            // drains up to a retirement boundary, which for the MSP is the
+            // oldest instruction still in the window (see `commit_msp`).
+            let tag = seq;
             self.store_queue.insert(StoreQueueEntry {
                 seq,
                 tag,

@@ -105,6 +105,24 @@ impl LcsUnit {
         self.in_flight.clear();
         self.visible = value;
     }
+
+    /// Number of computed minimums still propagating through the pipeline
+    /// (always zero right after a flush — the recovery audit checks this).
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Feeds the visible value and the in-flight pipeline into `hasher`,
+    /// excluding the monotone comparison counter. Used by the model
+    /// checker's visited-state dedup.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        self.visible.as_u64().hash(hasher);
+        self.in_flight.len().hash(hasher);
+        for v in &self.in_flight {
+            v.as_u64().hash(hasher);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,8 @@
 
 mod lcs;
 mod manager;
+#[cfg(msp_check_mutation)]
+pub mod mutation;
 mod physreg;
 mod regfile;
 mod reliq;

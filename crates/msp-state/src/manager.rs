@@ -16,6 +16,10 @@ use std::fmt;
 pub struct MspConfig {
     /// Physical registers per logical-register bank (the `n` in `n-SP`).
     pub regs_per_bank: usize,
+    /// Number of logical-register banks managed. The full machine always
+    /// manages [`NUM_LOGICAL_REGS`] banks; the model checker shrinks this to
+    /// a handful so the reachable state space stays exhaustively enumerable.
+    pub banks: usize,
     /// Instruction-queue size (number of RelIQ columns).
     pub iq_size: usize,
     /// Propagation delay of the LCS reduction tree in cycles (Table I: 1 for
@@ -29,6 +33,7 @@ impl Default for MspConfig {
     fn default() -> Self {
         MspConfig {
             regs_per_bank: 16,
+            banks: NUM_LOGICAL_REGS,
             iq_size: 128,
             lcs_delay: 1,
             rename: RenameUnitConfig::default(),
@@ -56,9 +61,22 @@ impl MspConfig {
         }
     }
 
+    /// A deliberately tiny geometry for exhaustive model checking: `banks`
+    /// logical registers, `regs_per_bank` physical registers each and an
+    /// `iq_size`-slot instruction queue. Only the first `banks` logical
+    /// registers may be renamed through a manager built from this config.
+    pub fn tiny(banks: usize, regs_per_bank: usize, iq_size: usize) -> Self {
+        MspConfig {
+            regs_per_bank,
+            banks,
+            iq_size,
+            ..MspConfig::default()
+        }
+    }
+
     /// Total number of physical registers.
     pub fn total_registers(&self) -> usize {
-        self.regs_per_bank * NUM_LOGICAL_REGS
+        self.regs_per_bank * self.banks
     }
 
     /// The `m` parameter of the compact StateId encoding: `ceil(log2(M))`
@@ -284,24 +302,36 @@ pub struct MspStateManager {
     stats: MspStats,
 }
 
-/// Bitmask with one dirty bit for every logical-register bank.
-const ALL_BANKS_DIRTY: u64 = if NUM_LOGICAL_REGS >= 64 {
-    u64::MAX
-} else {
-    (1u64 << NUM_LOGICAL_REGS) - 1
-};
 const _: () = assert!(
     NUM_LOGICAL_REGS <= 64,
     "the dirty-bank bitmask packs one bank per bit of a u64"
 );
 
+/// Bitmask with one dirty bit for each of `banks` logical-register banks.
+#[inline]
+fn all_banks_dirty(banks: usize) -> u64 {
+    if banks >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << banks) - 1
+    }
+}
+
 impl MspStateManager {
     /// Creates a manager for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.banks` is zero or exceeds [`NUM_LOGICAL_REGS`].
     pub fn new(config: MspConfig) -> Self {
-        let scts = (0..NUM_LOGICAL_REGS)
+        assert!(
+            config.banks >= 1 && config.banks <= NUM_LOGICAL_REGS,
+            "bank count must be in 1..={NUM_LOGICAL_REGS}"
+        );
+        let scts = (0..config.banks)
             .map(|bank| Sct::new(bank, config.regs_per_bank))
             .collect();
-        let reliqs = (0..NUM_LOGICAL_REGS)
+        let reliqs = (0..config.banks)
             .map(|_| RelIq::new(config.regs_per_bank, config.iq_size))
             .collect();
         MspStateManager {
@@ -313,9 +343,9 @@ impl MspStateManager {
             rename_unit: RenameUnit::new(config.rename),
             last_allocated: PhysReg::new(0, 0),
             committed_floor: StateId::ZERO,
-            dirty_banks: ALL_BANKS_DIRTY,
-            contrib_cache: vec![u64::MAX; NUM_LOGICAL_REGS],
-            release_gate: vec![u64::MAX; NUM_LOGICAL_REGS],
+            dirty_banks: all_banks_dirty(config.banks),
+            contrib_cache: vec![u64::MAX; config.banks],
+            release_gate: vec![u64::MAX; config.banks],
             stats: MspStats::default(),
             config,
         }
@@ -369,6 +399,7 @@ impl MspStateManager {
     /// Stall counts for every bank, largest first.
     pub fn bank_full_stalls_ranked(&self) -> Vec<(ArchReg, u64)> {
         let mut v: Vec<(ArchReg, u64)> = ArchReg::all()
+            .filter(|r| r.flat_index() < self.scts.len())
             .map(|r| (r, self.bank_full_stalls(r)))
             .collect();
         v.sort_by_key(|(_, stalls)| std::cmp::Reverse(*stalls));
@@ -554,6 +585,10 @@ impl MspStateManager {
     /// squashed by a recovery). Only the bits the slot actually set are
     /// touched — at most two sources and one anchor.
     pub fn clear_iq_slot(&mut self, iq_slot: usize) {
+        #[cfg(msp_check_mutation)]
+        if crate::mutation::fire_once("skip-reliq-clear") {
+            return;
+        }
         let mut uses = std::mem::take(&mut self.slot_uses[iq_slot]);
         for (bank, row) in uses.drain(..) {
             self.reliqs[bank].clear_use(row, iq_slot);
@@ -640,7 +675,7 @@ impl MspStateManager {
         //    condition under which `release_committed_with` frees anything).
         let mut released_count = 0u64;
         let lcs_raw = lcs.as_u64();
-        for bank in 0..NUM_LOGICAL_REGS {
+        for bank in 0..self.scts.len() {
             if self.release_gate[bank] >= lcs_raw {
                 continue;
             }
@@ -656,6 +691,7 @@ impl MspStateManager {
         let newly_committed = lcs.as_u64().saturating_sub(self.committed_floor.as_u64());
         if lcs > self.committed_floor {
             self.committed_floor = lcs;
+            self.counter.note_committed(lcs);
         }
         self.stats.states_committed += newly_committed;
         self.stats.registers_released += released_count;
@@ -681,25 +717,242 @@ impl MspStateManager {
             "cannot recover into already committed states"
         );
         let mut released = Vec::new();
-        for bank in 0..NUM_LOGICAL_REGS {
+        for bank in 0..self.scts.len() {
             for slot in self.scts[bank].recover(recovery_state) {
                 self.reliqs[bank].clear_row(slot);
                 released.push(PhysReg::new(bank, slot));
             }
         }
         self.counter.recover_to(recovery_state);
-        self.dirty_banks = ALL_BANKS_DIRTY;
+        self.dirty_banks = all_banks_dirty(self.scts.len());
         // Restore the anchor for subsequently decoded non-allocating
         // instructions to the surviving renaming of the recovery state.
         self.last_allocated = self.anchor_for_current_state();
-        let clamped = StateId::new(self.lcs.current().as_u64().min(recovery_state.as_u64() + 1));
-        self.lcs.flush(clamped);
+        #[allow(unused_mut)]
+        let mut flush_lcs = true;
+        #[cfg(msp_check_mutation)]
+        if crate::mutation::is_active("stale-lcs-anchor") {
+            flush_lcs = false;
+        }
+        if flush_lcs {
+            let clamped =
+                StateId::new(self.lcs.current().as_u64().min(recovery_state.as_u64() + 1));
+            self.lcs.flush(clamped);
+        }
         self.stats.recoveries += 1;
         self.stats.registers_squashed += released.len() as u64;
+        #[cfg(any(debug_assertions, feature = "invariant_audit"))]
+        if let Err(violation) = self.verify_recovery(recovery_state) {
+            panic!("post-recovery invariant audit failed: {violation}");
+        }
         RecoveryOutcome {
             recovery_state,
             released,
         }
+    }
+
+    /// Number of logical-register banks this manager drives.
+    pub fn num_banks(&self) -> usize {
+        self.scts.len()
+    }
+
+    /// Read access to one bank's State Control Table (diagnostics and the
+    /// model checker; the pipeline never reads SCTs directly).
+    pub fn sct(&self, bank: usize) -> &Sct {
+        &self.scts[bank]
+    }
+
+    /// Read access to one bank's use-tracking matrix.
+    pub fn reliq(&self, bank: usize) -> &RelIq {
+        &self.reliqs[bank]
+    }
+
+    /// The committed floor: every state strictly older than this has
+    /// committed and can never be recovered into.
+    pub fn committed_floor(&self) -> StateId {
+        self.committed_floor
+    }
+
+    /// The `(bank, row)` use bits currently attributed to an IQ slot by the
+    /// slot-indexed bookkeeping (the inverse index of the RelIQ matrices).
+    pub fn slot_uses(&self, iq_slot: usize) -> &[(usize, usize)] {
+        &self.slot_uses[iq_slot]
+    }
+
+    /// Number of LCS minimums still propagating through the reduction-tree
+    /// pipeline (zero right after a recovery flush).
+    pub fn lcs_pending(&self) -> usize {
+        self.lcs.pending()
+    }
+
+    /// Feeds every behaviourally relevant bit of the manager into `hasher`,
+    /// excluding monotone statistics and derived caches. Two managers with
+    /// equal canonical hashes are (modulo hash collisions) indistinguishable
+    /// by any future sequence of operations — the property the model
+    /// checker's visited-state deduplication relies on. The cache exclusion
+    /// is sound because [`MspStateManager::verify_occupancy`] cross-checks
+    /// every clean bank's cache against a fresh derivation.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        for sct in &self.scts {
+            sct.hash_canonical(hasher);
+        }
+        for reliq in &self.reliqs {
+            reliq.hash_canonical(hasher);
+        }
+        for uses in &self.slot_uses {
+            let mut sorted: Vec<(usize, usize)> = uses.clone();
+            sorted.sort_unstable();
+            sorted.hash(hasher);
+        }
+        self.counter.current().as_u64().hash(hasher);
+        self.lcs.hash_canonical(hasher);
+        (self.last_allocated.bank(), self.last_allocated.slot()).hash(hasher);
+        self.committed_floor.as_u64().hash(hasher);
+    }
+
+    /// Cheap post-recovery invariant audit: StateId counter restored, no
+    /// surviving renaming newer than the recovery state, release pointers on
+    /// live entries, LCS pipeline quiesced to the recovery anchor. Called
+    /// automatically at the end of [`MspStateManager::recover`] in debug
+    /// builds and under the `invariant_audit` feature; the model checker
+    /// calls it directly after every recovery event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_recovery(&self, recovery_state: StateId) -> Result<(), String> {
+        if self.counter.current() != recovery_state {
+            return Err(format!(
+                "StateId counter is {} after recovering to {recovery_state}",
+                self.counter.current()
+            ));
+        }
+        if self.committed_floor.as_u64() > recovery_state.as_u64() + 1 {
+            return Err(format!(
+                "recovered to {recovery_state} below the committed floor {}",
+                self.committed_floor
+            ));
+        }
+        for sct in &self.scts {
+            for (slot, entry) in sct.iter_live() {
+                if entry.state_id() > recovery_state {
+                    return Err(format!(
+                        "bank {} slot {slot} survived recovery to {recovery_state} \
+                         with state {}",
+                        sct.bank(),
+                        entry.state_id()
+                    ));
+                }
+            }
+            if !sct.entry(sct.release_pointer()).is_valid() {
+                return Err(format!(
+                    "bank {} release pointer {} rests on an invalid entry after recovery",
+                    sct.bank(),
+                    sct.release_pointer()
+                ));
+            }
+        }
+        if self.lcs.pending() != 0 {
+            return Err(format!(
+                "{} stale LCS minimums still in flight after the recovery flush",
+                self.lcs.pending()
+            ));
+        }
+        if self.lcs.current() > recovery_state.next() {
+            return Err(format!(
+                "visible LCS {} exceeds the recovery anchor {} + 1",
+                self.lcs.current(),
+                recovery_state
+            ));
+        }
+        Ok(())
+    }
+
+    /// Exhaustive occupancy audit: per-bank SCT structure, no leaked use bits
+    /// on free physical registers, exact two-way consistency between the
+    /// RelIQ matrices and the slot-indexed bookkeeping, and cache coherence
+    /// of every clean bank. Quadratic in the geometry — the model checker
+    /// runs it after every event; the full-scale pipeline only through the
+    /// property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_occupancy(&self) -> Result<(), String> {
+        for (bank, sct) in self.scts.iter().enumerate() {
+            let live = sct.live_entries();
+            if live < 1 || live > sct.capacity() {
+                return Err(format!("bank {bank} has {live} live entries"));
+            }
+            let mut prev: Option<StateId> = None;
+            for (_, entry) in sct.iter_live() {
+                if let Some(p) = prev {
+                    if entry.state_id() <= p {
+                        return Err(format!(
+                            "bank {bank} live StateIds are not strictly increasing \
+                             ({p} then {})",
+                            entry.state_id()
+                        ));
+                    }
+                }
+                prev = Some(entry.state_id());
+            }
+            for slot in 0..sct.capacity() {
+                if !sct.entry(slot).is_valid() && self.reliqs[bank].any_use(slot) {
+                    return Err(format!(
+                        "free physical register r{bank}.{slot} has leaked RelIQ use bits"
+                    ));
+                }
+            }
+            if self.dirty_banks & (1u64 << bank) == 0 {
+                let contrib = sct.lcs_contribution().map_or(u64::MAX, StateId::as_u64);
+                if self.contrib_cache[bank] != contrib {
+                    return Err(format!(
+                        "clean bank {bank} caches LCS contribution {} but derives {contrib}",
+                        self.contrib_cache[bank]
+                    ));
+                }
+                if self.release_gate[bank] != sct.second_oldest_state() {
+                    return Err(format!(
+                        "clean bank {bank} caches release gate {} but derives {}",
+                        self.release_gate[bank],
+                        sct.second_oldest_state()
+                    ));
+                }
+            }
+        }
+        for (iq_slot, uses) in self.slot_uses.iter().enumerate() {
+            for &(bank, row) in uses {
+                if !self.reliqs[bank].is_set(row, iq_slot) {
+                    return Err(format!(
+                        "slot {iq_slot} bookkeeping claims a use of r{bank}.{row} \
+                         but the RelIQ bit is clear"
+                    ));
+                }
+            }
+        }
+        for (bank, reliq) in self.reliqs.iter().enumerate() {
+            for row in 0..reliq.rows() {
+                for iq_slot in 0..self.config.iq_size {
+                    if reliq.is_set(row, iq_slot) && !self.slot_uses[iq_slot].contains(&(bank, row))
+                    {
+                        return Err(format!(
+                            "RelIQ bit (r{bank}.{row}, slot {iq_slot}) is set \
+                             without a bookkeeping entry"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.lcs.current() > self.counter.current().next() {
+            return Err(format!(
+                "visible LCS {} exceeds the current state {} + 1",
+                self.lcs.current(),
+                self.counter.current()
+            ));
+        }
+        Ok(())
     }
 
     /// The physical register that anchors the current processor state: the
@@ -971,6 +1224,67 @@ mod tests {
         // 16 regs/bank * 64 banks = 1024 registers -> 10-bit StateIds.
         assert_eq!(MspConfig::n_sp(16).state_width(), 10);
         assert!(MspConfig::default() == MspConfig::n_sp(16));
+        let tiny = MspConfig::tiny(2, 3, 8);
+        assert_eq!(tiny.banks, 2);
+        assert_eq!(tiny.total_registers(), 6);
+    }
+
+    /// A manager built with a shrunken bank count (the model checker's
+    /// geometry) behaves like the full machine restricted to its banks, and
+    /// the occupancy/recovery audits accept every healthy state.
+    #[test]
+    fn tiny_geometry_is_bank_count_agnostic() {
+        let mut msp = MspStateManager::new(MspConfig::tiny(2, 3, 8));
+        assert_eq!(msp.num_banks(), 2);
+        let out = msp
+            .rename_group(&[
+                RenameRequest::new(Some(int(1)), &[int(0)]),
+                RenameRequest::new(Some(int(0)), &[int(1)]),
+            ])
+            .unwrap();
+        assert!(out.stall.is_none());
+        msp.verify_occupancy().expect("healthy state");
+        let first = out.renamed[0].dest.unwrap();
+        msp.mark_ready(first.phys);
+        msp.clock_commit();
+        let rec = msp.recover(first.state_id);
+        assert_eq!(rec.released.len(), 1, "only the second renaming squashes");
+        msp.verify_recovery(first.state_id)
+            .expect("precise recovery");
+        msp.verify_occupancy()
+            .expect("healthy state after recovery");
+        assert_eq!(msp.sct(1).live_entries(), 2);
+        assert_eq!(msp.reliq(0).rows(), 3);
+        assert_eq!(msp.lcs_pending(), 0);
+        assert!(msp.committed_floor() <= first.state_id.next());
+        assert!(msp.slot_uses(0).is_empty());
+    }
+
+    /// Two managers driven through identical histories hash identically, and
+    /// any behavioural difference (an extra allocation) changes the hash.
+    #[test]
+    fn canonical_hash_tracks_behavioural_state() {
+        use std::hash::{DefaultHasher, Hasher};
+        let fingerprint = |m: &MspStateManager| {
+            let mut h = DefaultHasher::new();
+            m.hash_canonical(&mut h);
+            h.finish()
+        };
+        let mut a = MspStateManager::new(MspConfig::tiny(2, 3, 8));
+        let mut b = MspStateManager::new(MspConfig::tiny(2, 3, 8));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        a.rename_group(&[RenameRequest::new(Some(int(1)), &[])])
+            .unwrap();
+        b.rename_group(&[RenameRequest::new(Some(int(1)), &[])])
+            .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // Statistics do not disturb the canonical hash...
+        b.stats();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // ...but a further allocation does.
+        b.rename_group(&[RenameRequest::new(Some(int(0)), &[])])
+            .unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
     }
 
     /// The allocation-free single-instruction paths must be observationally

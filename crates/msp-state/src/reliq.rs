@@ -116,6 +116,14 @@ impl RelIq {
     pub fn clear(&mut self) {
         self.bits.fill(0);
     }
+
+    /// Feeds the raw bit matrix into `hasher` (the matrix has no derived or
+    /// statistical state, so the canonical hash covers every word). Used by
+    /// the model checker's visited-state dedup.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        self.bits.hash(hasher);
+    }
 }
 
 #[cfg(test)]

@@ -365,7 +365,13 @@ impl Sct {
             }
         }
         // Keep the youngest committed entry (the architectural mapping).
-        while committed > 1 {
+        #[allow(unused_mut)]
+        let mut keep = 1;
+        #[cfg(msp_check_mutation)]
+        if crate::mutation::is_active("sct-release-off-by-one") {
+            keep = 2;
+        }
+        while committed > keep {
             let slot = self.oldest;
             debug_assert!(self.entries[slot].valid);
             self.entries[slot] = SctEntry::INVALID;
@@ -381,10 +387,21 @@ impl Sct {
     /// youngest surviving renaming. Returns the released slots, youngest
     /// first.
     pub fn recover(&mut self, recovery_state: StateId) -> Vec<usize> {
+        debug_assert!(
+            recovery_state >= self.entries[self.oldest].state_id,
+            "recovery target {recovery_state} is older than the oldest live mapping \
+             {} of bank {} — a committed state would be squashed",
+            self.entries[self.oldest].state_id,
+            self.bank
+        );
         let mut released = Vec::new();
         while self.live > 1 {
             let ren_p = self.current_mapping();
             if self.entries[ren_p].state_id > recovery_state {
+                #[cfg(msp_check_mutation)]
+                if crate::mutation::is_active("sct-recover-keep-youngest") {
+                    break;
+                }
                 self.entries[ren_p] = SctEntry::INVALID;
                 released.push(ren_p);
                 self.live -= 1;
@@ -412,6 +429,17 @@ impl Sct {
             let slot = self.wrap(self.oldest + i);
             (slot, &self.entries[slot])
         })
+    }
+
+    /// Feeds every behaviourally relevant bit of the table into `hasher`:
+    /// the pointer positions and the live entries, excluding the monotone
+    /// stall counter. Used by the model checker's visited-state dedup.
+    pub fn hash_canonical<H: std::hash::Hasher>(&self, hasher: &mut H) {
+        use std::hash::Hash;
+        (self.oldest, self.live, self.rel_p, self.idle).hash(hasher);
+        for (slot, entry) in self.iter_live() {
+            (slot, entry.state_id().as_u64(), entry.is_ready()).hash(hasher);
+        }
     }
 }
 
@@ -630,6 +658,20 @@ mod tests {
         let mut sct = Sct::new(0, 4);
         sct.allocate(StateId::new(5)).unwrap();
         let _ = sct.allocate(StateId::new(5));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "older than the oldest live mapping")]
+    fn recovery_below_oldest_live_mapping_panics() {
+        let mut sct = Sct::new(0, 8);
+        sct.allocate(StateId::new(4)).unwrap();
+        sct.allocate(StateId::new(6)).unwrap();
+        // Committing past state 6 leaves the state-6 renaming as the oldest
+        // live (architectural) mapping; recovering to state 5 would squash a
+        // committed state and must trip the precondition check.
+        sct.release_committed(StateId::new(7));
+        let _ = sct.recover(StateId::new(5));
     }
 
     #[test]

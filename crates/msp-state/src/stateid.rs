@@ -225,6 +225,9 @@ pub struct StateCounter {
     unbounded: StateId,
     m: u8,
     epoch_resets: u64,
+    /// The commit floor last reported by the owner: every state strictly
+    /// older has committed, so recoveries below `floor - 1` are impossible.
+    committed_floor: StateId,
 }
 
 impl StateCounter {
@@ -239,6 +242,7 @@ impl StateCounter {
             unbounded: StateId::ZERO,
             m,
             epoch_resets: 0,
+            committed_floor: StateId::ZERO,
         }
     }
 
@@ -266,18 +270,41 @@ impl StateCounter {
         (self.unbounded, reset)
     }
 
+    /// Records that every state strictly older than `floor` has committed.
+    /// The owner (the state manager's commit clock) reports this so
+    /// [`StateCounter::recover_to`] can check its precondition.
+    pub fn note_committed(&mut self, floor: StateId) {
+        if floor > self.committed_floor {
+            self.committed_floor = floor;
+        }
+    }
+
     /// Restores the counter to `state` after a recovery (Section 3.5: "After
     /// the recovery is complete, the SC is set to the Recovery StateId").
     ///
     /// # Panics
     ///
-    /// Panics if `state` is newer than the current state.
+    /// Panics if `state` is newer than the current state, and in debug
+    /// builds if `state` lies below the reported commit floor (committed
+    /// states can never be recovered into).
     pub fn recover_to(&mut self, state: StateId) {
         assert!(
             state <= self.unbounded,
             "cannot recover forwards to a state that was never allocated"
         );
-        self.unbounded = state;
+        debug_assert!(
+            state.as_u64() + 1 >= self.committed_floor.as_u64(),
+            "cannot recover to {state}: every state below the commit floor {} \
+             has already committed",
+            self.committed_floor
+        );
+        #[allow(unused_mut)]
+        let mut target = state;
+        #[cfg(msp_check_mutation)]
+        if crate::mutation::is_active("counter-recover-off-by-one") {
+            target = state.next();
+        }
+        self.unbounded = target;
     }
 
     /// Number of saturation-bit epoch resets that have occurred.
@@ -402,6 +429,31 @@ mod tests {
     fn counter_forward_recovery_panics() {
         let mut sc = StateCounter::new(4);
         sc.recover_to(StateId::new(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "has already committed")]
+    fn counter_recovery_below_commit_floor_panics() {
+        let mut sc = StateCounter::new(4);
+        for _ in 0..10 {
+            sc.allocate();
+        }
+        sc.note_committed(StateId::new(8));
+        sc.recover_to(StateId::new(5));
+    }
+
+    #[test]
+    fn counter_recovery_to_floor_minus_one_is_allowed() {
+        // The youngest committed state survives as the architectural anchor,
+        // so recovering to floor - 1 is legal (it squashes nothing committed).
+        let mut sc = StateCounter::new(4);
+        for _ in 0..10 {
+            sc.allocate();
+        }
+        sc.note_committed(StateId::new(8));
+        sc.recover_to(StateId::new(7));
+        assert_eq!(sc.current(), StateId::new(7));
     }
 
     proptest! {

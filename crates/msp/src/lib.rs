@@ -111,6 +111,14 @@
 //! experiments.txt` (see the experiment-journal section of
 //! `crates/msp-bench/DESIGN.md`).
 //!
+//! Recovery correctness is **model-checked**: `msp-lab check` exhaustively
+//! enumerates every legal dispatch/issue/complete/commit/mispredict
+//! interleaving of a tiny machine built from the real state-management
+//! structures, auditing occupancy, architectural-equivalence and StateId
+//! invariants in every reachable state (and `--mutation-matrix` proves the
+//! invariants catch seeded recovery defects — see the recovery-correctness
+//! section of `crates/msp-bench/DESIGN.md`).
+//!
 //! The underlying `Simulator` remains available for single bespoke runs:
 //!
 //! ```
